@@ -1,0 +1,36 @@
+# DOoC reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt figures experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/storage/ ./internal/core/ ./internal/datacutter/ ./internal/simnet/ ./internal/mfdn/ ./internal/bfs/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Regenerate the figure artifacts committed under figures/.
+figures:
+	$(GO) run ./cmd/doocplot -out figures
+
+# Print every table and figure, paper vs reproduction.
+experiments:
+	$(GO) run ./cmd/doocbench -exp all
+
+clean:
+	$(GO) clean ./...

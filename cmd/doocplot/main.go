@@ -1,0 +1,154 @@
+// Command doocplot regenerates the paper's figures as SVG files:
+//
+//	fig5a.svg / fig5b.svg — the Fig. 5 Gantt charts (regular vs back-and-
+//	                        forth), produced from the real scheduler policy
+//	fig6.svg              — runtime relative to optimal I/O time
+//	fig7.svg              — CPU-hours per iteration vs problem size, with
+//	                        the 9-node "star" annotated
+//
+// Usage:
+//
+//	doocplot -out ./figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dooc/internal/ci"
+	"dooc/internal/dag"
+	"dooc/internal/mfdn"
+	"dooc/internal/perfmodel"
+	"dooc/internal/scheduler"
+	"dooc/internal/spmv"
+	"dooc/internal/svgplot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("doocplot: ")
+	out := flag.String("out", "figures", "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := fig5(*out); err != nil {
+		log.Fatal(err)
+	}
+	if err := fig6(*out); err != nil {
+		log.Fatal(err)
+	}
+	if err := fig7(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote fig5a.svg fig5b.svg fig6.svg fig7.svg to %s\n", *out)
+}
+
+func writeSVG(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fig5(dir string) error {
+	cfg := spmv.ProgramConfig{K: 3, Iters: 2, SubBytes: 1000, VecBytes: 8}
+	costs := scheduler.Costs{LoadSecondsPerByte: 0.003, RunSeconds: func(*dag.Task) float64 { return 1 }}
+	for _, mode := range []struct {
+		file, title string
+		reorder     bool
+	}{
+		{"fig5a.svg", "Fig. 5(a) Regular — 3 loads/node/iteration", false},
+		{"fig5b.svg", "Fig. 5(b) Back and forth — 3 then 2 loads/node/iteration", true},
+	} {
+		g, err := spmv.Graph(cfg)
+		if err != nil {
+			return err
+		}
+		plan, err := scheduler.Simulate(g, spmv.RowAssignment(cfg), cfg.K, cfg.SubBytes, mode.reorder, costs)
+		if err != nil {
+			return err
+		}
+		gantt := svgplot.Gantt{Title: mode.title, Lanes: []string{"P1", "P2", "P3"}}
+		for _, op := range plan.Ops {
+			label := op.Task
+			bold := false
+			if op.Kind == scheduler.OpLoad {
+				label = "L(" + op.Ref.Array + ")"
+				bold = true
+			}
+			gantt.Ops = append(gantt.Ops, svgplot.GanttOp{
+				Lane: op.Node, Start: op.Start, End: op.End, Label: label, Bold: bold,
+			})
+		}
+		if err := writeSVG(filepath.Join(dir, mode.file), gantt.Render); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fig6(dir string) error {
+	t3, t4 := perfmodel.Table3(), perfmodel.Table4()
+	mk := func(rows []perfmodel.Row) ([]float64, []float64) {
+		var xs, ys []float64
+		for _, r := range rows {
+			xs = append(xs, float64(r.Nodes))
+			ys = append(ys, r.RelativeToOptimal())
+		}
+		return xs, ys
+	}
+	x3, y3 := mk(t3)
+	x4, y4 := mk(t4)
+	chart := svgplot.Chart{
+		Title:  "Fig. 6 — runtime relative to optimal I/O time (20 GB/s peak)",
+		XLabel: "compute nodes",
+		YLabel: "time / optimal-I/O time",
+		LogY:   true,
+		Series: []svgplot.Series{
+			{Name: "(a) simple policy", X: x3, Y: y3, Marker: true},
+			{Name: "(b) interleaved", X: x4, Y: y4, Marker: true},
+		},
+	}
+	return writeSVG(filepath.Join(dir, "fig6.svg"), chart.Render)
+}
+
+func fig7(dir string) error {
+	var sx, sy []float64
+	for _, r := range perfmodel.Table4() {
+		sx = append(sx, r.SizeTB)
+		sy = append(sy, r.CPUHoursPerIter)
+	}
+	var hx, hy []float64
+	for i, r := range mfdn.ModelTable2() {
+		t1 := ci.ReferenceTable1[i]
+		// Problem size in TB: nnz at ~8 bytes/element.
+		hx = append(hx, t1.NNZ*8/1e12)
+		hy = append(hy, r.CPUHoursPerIter)
+	}
+	star := perfmodel.Star()
+	chart := svgplot.Chart{
+		Title:  "Fig. 7 — CPU-hours per iteration: SSD testbed vs Hopper",
+		XLabel: "problem size (TB)",
+		YLabel: "CPU-hours per iteration",
+		LogY:   true,
+		Series: []svgplot.Series{
+			{Name: "DOoC on SSD testbed", X: sx, Y: sy, Marker: true},
+			{Name: "MFDn on Hopper (model)", X: hx, Y: hy, Marker: true, Dashed: true},
+		},
+		Annotations: []svgplot.Annotation{{
+			X: star.SizeTB, Y: star.CPUHoursPerIter,
+			Text: fmt.Sprintf("star: 9 nodes, %.2f CPU-h", star.CPUHoursPerIter),
+		}},
+	}
+	return writeSVG(filepath.Join(dir, "fig7.svg"), chart.Render)
+}

@@ -1,0 +1,69 @@
+// Command doocserve plays the I/O-node role: it serves a scratch directory
+// of staged arrays (e.g. doocgen output for one node) over TCP, so compute
+// processes on other machines — or other terminals — can fetch blocks with
+// the internal/remote client. This is the paper's compute-node / I/O-node
+// separation across real OS processes.
+//
+// Usage:
+//
+//	doocgen  -out /tmp/stage -dim 8000 -nnz 800000 -k 4 -nodes 1
+//	doocserve -scratch /tmp/stage/node0 -listen 127.0.0.1:7777
+//
+// Then, from another process, dial 127.0.0.1:7777 with remote.Dial and
+// ReadAll("A_000_000") etc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"dooc/internal/remote"
+	"dooc/internal/storage"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("doocserve: ")
+	var (
+		scratch = flag.String("scratch", "", "scratch directory to serve (required)")
+		listen  = flag.String("listen", "127.0.0.1:7777", "listen address")
+		mem     = flag.Int64("mem", 1<<30, "server-side memory budget in bytes")
+		stats   = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+	)
+	flag.Parse()
+	if *scratch == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	st, err := storage.NewLocal(storage.Config{MemoryBudget: *mem, ScratchDir: *scratch, IOWorkers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	srv, err := remote.Listen(st, *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("serving %s on %s", *scratch, srv.Addr())
+
+	if *stats > 0 {
+		go func() {
+			for range time.Tick(*stats) {
+				s := st.Stats()
+				fmt.Printf("requests=%d out=%.1fMB in=%.1fMB disk-read=%.1fMB resident=%.1fMB\n",
+					srv.Requests(), float64(srv.BytesOut())/1e6, float64(srv.BytesIn())/1e6,
+					float64(s.BytesReadDisk)/1e6, float64(s.MemUsed)/1e6)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("shutting down after %d requests", srv.Requests())
+}

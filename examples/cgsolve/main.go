@@ -1,0 +1,107 @@
+// CGSolve: solve a large sparse symmetric positive-definite linear system
+// out-of-core with the Conjugate Gradient method — the paper's stated next
+// step ("Developing more linear algebra kernels will lower the bar for the
+// application scientists to use our proposed paradigm").
+//
+// A 2D Poisson problem (5-point Laplacian on a g×g grid, a classic SPD
+// system) is staged as a K×K block grid; every CG iteration's matrix
+// application runs through the DOoC middleware.
+//
+//	go run ./examples/cgsolve
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"dooc/internal/core"
+	"dooc/internal/solvers"
+	"dooc/internal/sparse"
+)
+
+// poisson2D builds the 5-point Laplacian on a g×g grid (dimension g²).
+func poisson2D(g int) (*sparse.CSR, error) {
+	n := g * g
+	var ts []sparse.Triplet
+	idx := func(i, j int) int { return i*g + j }
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			c := idx(i, j)
+			ts = append(ts, sparse.Triplet{Row: c, Col: c, Val: 4})
+			if i > 0 {
+				ts = append(ts, sparse.Triplet{Row: c, Col: idx(i-1, j), Val: -1})
+			}
+			if i < g-1 {
+				ts = append(ts, sparse.Triplet{Row: c, Col: idx(i+1, j), Val: -1})
+			}
+			if j > 0 {
+				ts = append(ts, sparse.Triplet{Row: c, Col: idx(i, j-1), Val: -1})
+			}
+			if j < g-1 {
+				ts = append(ts, sparse.Triplet{Row: c, Col: idx(i, j+1), Val: -1})
+			}
+		}
+	}
+	return sparse.FromTriplets(n, n, ts)
+}
+
+func main() {
+	log.SetFlags(0)
+	const grid = 48 // 2304 unknowns
+	a, err := poisson2D(grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := a.Rows
+	fmt.Printf("2D Poisson system: %d unknowns, %d nonzeros\n", n, a.NNZ())
+
+	root, err := os.MkdirTemp("", "dooc-cg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+	cfg := core.SpMVConfig{Dim: n, K: 4, Iters: 1, Nodes: 2}
+	if err := core.StageMatrix(root, a, cfg); err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.Options{
+		Nodes:          2,
+		WorkersPerNode: 2,
+		ScratchRoot:    root,
+		MemoryBudget:   1 << 21,
+		PrefetchWindow: 2,
+		Reorder:        true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Right-hand side: a point source in the middle of the domain.
+	b := make([]float64, n)
+	b[(grid/2)*grid+grid/2] = 1
+
+	op := &core.Operator{Sys: sys, Cfg: cfg}
+	x, st, err := solvers.CG(op, b, solvers.CGOptions{Tol: 1e-8, MaxIter: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CG converged=%v after %d iterations (%d out-of-core SpMV programs)\n",
+		st.Converged, st.Iterations, op.Calls())
+	fmt.Printf("relative residual %.2e\n", st.Residual)
+
+	// In-core verification.
+	ax := make([]float64, n)
+	sparse.MulVec(a, x, ax)
+	worst := 0.0
+	for i := range b {
+		if d := math.Abs(ax[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("in-core check ||Ax-b||_inf = %.2e\n", worst)
+	fmt.Printf("potential at the source: %.6f (positive, peaked: %v)\n",
+		x[(grid/2)*grid+grid/2], x[(grid/2)*grid+grid/2] > x[0])
+}

@@ -1,0 +1,99 @@
+// Graph500: out-of-core breadth-first search on an R-MAT graph — the
+// workload of the paper's Section VI discussion, where a single
+// SSD-equipped machine (Leviathan) matched a 6128-core in-memory cluster
+// on graph traversal.
+//
+// The adjacency matrix is generated with the Graph500 R-MAT recipe, staged
+// as a K×K grid of CRS blocks, and traversed level by level: each BFS level
+// is one DOoC task program (expand tasks over adjacency blocks, merge tasks
+// over frontier bitsets), with frontier and visited sets as immutable
+// versioned arrays.
+//
+//	go run ./examples/graph500 [-scale 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dooc/internal/bfs"
+	"dooc/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Int("scale", 10, "R-MAT scale (2^scale vertices)")
+	flag.Parse()
+
+	g, err := bfs.RMAT(bfs.Graph500Defaults(*scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("R-MAT graph: scale %d, %d vertices, %d directed edges\n", *scale, g.Rows, g.NNZ())
+
+	root, err := os.MkdirTemp("", "dooc-g500")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+	cfg := core.SpMVConfig{Dim: g.Rows, K: 4, Iters: 1, Nodes: 2, Tag: "g500"}
+	if err := core.StageMatrix(root, g, cfg); err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.Options{
+		Nodes:          2,
+		WorkersPerNode: 2,
+		ScratchRoot:    root,
+		MemoryBudget:   1 << 22,
+		PrefetchWindow: 2,
+		Reorder:        true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	drv := &bfs.Driver{Sys: sys, Cfg: cfg}
+	start := time.Now()
+	dist, err := drv.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// Level histogram and traversal statistics.
+	levels := map[int32]int{}
+	reached := 0
+	maxLevel := int32(0)
+	for _, d := range dist {
+		if d == bfs.Unreached {
+			continue
+		}
+		levels[d]++
+		reached++
+		if d > maxLevel {
+			maxLevel = d
+		}
+	}
+	fmt.Printf("reached %d of %d vertices in %d levels (%v)\n", reached, g.Rows, maxLevel+1, elapsed)
+	for l := int32(0); l <= maxLevel; l++ {
+		fmt.Printf("  level %2d: %6d vertices\n", l, levels[l])
+	}
+	teps := float64(g.NNZ()) / elapsed.Seconds()
+	fmt.Printf("~%.2e traversed edges per second (laptop scale, through the full middleware)\n", teps)
+
+	// Verify against the in-core oracle.
+	want, err := bfs.Reference(g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range want {
+		if dist[i] != want[i] {
+			log.Fatalf("MISMATCH at vertex %d: %d vs %d", i, dist[i], want[i])
+		}
+	}
+	fmt.Println("verified against in-core BFS: all distances match")
+}

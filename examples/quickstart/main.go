@@ -1,0 +1,124 @@
+// Quickstart: the smallest complete DOoC program.
+//
+// It creates a 3-node system, declares immutable arrays, submits a task
+// program whose dependencies are derived from the data each task reads and
+// writes, and lets the hierarchical scheduler place and order execution.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dooc/internal/core"
+	"dooc/internal/dag"
+	"dooc/internal/storage"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys, err := core.NewSystem(core.Options{
+		Nodes:          3,
+		WorkersPerNode: 2,
+		Reorder:        true,
+		PrefetchWindow: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Immutable arrays: written once, then read anywhere in the cluster.
+	const n = 1000
+	for _, name := range []string{"input", "squares", "total"} {
+		size := int64(8 * n)
+		if name == "total" {
+			size = 8
+		}
+		if err := sys.Store(0).Create(name, size, size); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The task program. Dependencies are not declared — they are derived:
+	// "square" reads what "fill" writes, "sum" reads what "square" writes.
+	tasks := []*dag.Task{
+		{ID: "fill", Kind: "fill", Outputs: []dag.Ref{{Array: "input", Bytes: 8 * n}}},
+		{ID: "square", Kind: "square",
+			Inputs:  []dag.Ref{{Array: "input", Bytes: 8 * n}},
+			Outputs: []dag.Ref{{Array: "squares", Bytes: 8 * n}}},
+		{ID: "sum", Kind: "sum",
+			Inputs:  []dag.Ref{{Array: "squares", Bytes: 8 * n}},
+			Outputs: []dag.Ref{{Array: "total", Bytes: 8}}},
+	}
+
+	executors := map[string]core.Executor{
+		"fill": func(ctx *core.ExecContext) error {
+			w, err := ctx.Store.RequestBlock("input", 0, storage.PermWrite)
+			if err != nil {
+				return err
+			}
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = float64(i + 1)
+			}
+			storage.PutFloat64s(w, vals)
+			w.Release()
+			return nil
+		},
+		"square": func(ctx *core.ExecContext) error {
+			r, err := ctx.Store.RequestBlock("input", 0, storage.PermRead)
+			if err != nil {
+				return err
+			}
+			vals := storage.GetFloat64s(r)
+			r.Release()
+			for i, v := range vals {
+				vals[i] = v * v
+			}
+			w, err := ctx.Store.RequestBlock("squares", 0, storage.PermWrite)
+			if err != nil {
+				return err
+			}
+			storage.PutFloat64s(w, vals)
+			w.Release()
+			return nil
+		},
+		"sum": func(ctx *core.ExecContext) error {
+			r, err := ctx.Store.RequestBlock("squares", 0, storage.PermRead)
+			if err != nil {
+				return err
+			}
+			total := 0.0
+			for _, v := range storage.GetFloat64s(r) {
+				total += v
+			}
+			r.Release()
+			w, err := ctx.Store.RequestBlock("total", 0, storage.PermWrite)
+			if err != nil {
+				return err
+			}
+			storage.PutFloat64s(w, []float64{total})
+			w.Release()
+			return nil
+		},
+	}
+
+	stats, err := sys.Run(core.RunSpec{Tasks: tasks, Executors: executors})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	raw, err := sys.Store(2).ReadAll("total") // read from any node
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := storage.DecodeFloat64s(raw)[0]
+	want := float64(n) * (n + 1) * (2*n + 1) / 6 // sum of squares 1..n
+	fmt.Printf("sum of squares 1..%d = %.0f (expected %.0f)\n", n, got, want)
+	fmt.Printf("ran %d tasks in %v across %d nodes\n", len(tasks), stats.Wall, sys.Nodes())
+	for _, ev := range stats.Events {
+		fmt.Printf("  %-8s on node %d (%v)\n", ev.Task, ev.Node, ev.End.Sub(ev.Start))
+	}
+}

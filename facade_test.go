@@ -1,0 +1,105 @@
+package dooc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dooc/internal/lanczos"
+	"dooc/internal/sparse"
+)
+
+// TestFacadeEndToEnd exercises the public facade exactly as README's
+// quickstart describes: stage a matrix, run iterated SpMV, run Lanczos over
+// the out-of-core operator.
+func TestFacadeEndToEnd(t *testing.T) {
+	const dim = 36
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 2, Seed: 3, Symmetric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	cfg := SpMVConfig{Dim: dim, K: 3, Iters: 2, Nodes: 2}
+	if err := StageMatrix(root, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Options{
+		Nodes:          2,
+		WorkersPerNode: 2,
+		ScratchRoot:    root,
+		MemoryBudget:   1 << 16,
+		PrefetchWindow: 1,
+		Reorder:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	x0 := make([]float64, dim)
+	for i := range x0 {
+		x0[i] = rng.NormFloat64()
+	}
+	res, err := RunIteratedSpMV(sys, cfg, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference.
+	ref := append([]float64(nil), x0...)
+	tmp := make([]float64, dim)
+	for i := 0; i < 2; i++ {
+		sparse.MulVec(m, ref, tmp)
+		ref, tmp = tmp, ref
+	}
+	for i := range ref {
+		if math.Abs(res.X[i]-ref[i]) > 1e-10 {
+			t.Fatalf("X[%d] = %v, want %v", i, res.X[i], ref[i])
+		}
+	}
+
+	// Lanczos over the facade operator.
+	op := &Operator{Sys: sys, Cfg: cfg}
+	lres, err := Lanczos(op, lanczos.Options{Steps: dim, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lanczos.JacobiEigen(m.Dense(), dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lres.Eigenvalues[0]-want[0]) > 1e-7*(1+math.Abs(want[0])) {
+		t.Fatalf("lowest eig %v vs dense %v", lres.Eigenvalues[0], want[0])
+	}
+}
+
+// TestFacadeInMemoryStaging covers the LoadMatrixInMemory path.
+func TestFacadeInMemoryStaging(t *testing.T) {
+	const dim = 20
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Options{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cfg := SpMVConfig{Dim: dim, K: 2, Iters: 1, Nodes: 1}
+	if err := LoadMatrixInMemory(sys, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	x0 := make([]float64, dim)
+	x0[0] = 1
+	res, err := RunIteratedSpMV(sys, cfg, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, dim)
+	sparse.MulVec(m, x0, want)
+	for i := range want {
+		if res.X[i] != want[i] {
+			t.Fatalf("X[%d] = %v, want %v", i, res.X[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module dooc
+
+go 1.22

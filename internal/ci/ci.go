@@ -1,0 +1,365 @@
+// Package ci implements a toy Configuration Interaction (CI) model of the
+// nuclear structure problem that motivates the paper (Section II).
+//
+// The real MFDn code expands the nuclear many-body Schrödinger equation in a
+// basis of Slater determinants of harmonic-oscillator (HO) single-particle
+// states, truncated by the parameter Nmax (total HO quanta above the
+// minimum) and the magnetic projection Mj. The Hamiltonian in this basis is
+// sparse and symmetric: with a 2-body interaction, H[i][j] is non-zero only
+// when determinants i and j differ in at most two single-particle states.
+//
+// This package reproduces that *structure* end to end at laptop scale:
+// HO single-particle states with (n, l, j, m) quantum numbers, Slater
+// determinant enumeration under (Nmax, Mj, parity) truncation, and a
+// deterministic pseudo-random 2-body Hamiltonian with the correct sparsity
+// rule. Matrix *values* are synthetic — the paper's evaluation itself uses
+// randomly generated matrices calibrated to MFDn's dimensions (Section V),
+// so a physically calibrated interaction is out of scope by the paper's own
+// standard. Exact MFDn dimensions from the paper are kept as reference data
+// (Table I) in table1.go.
+package ci
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"dooc/internal/sparse"
+)
+
+// SPState is a harmonic-oscillator single-particle state. Angular momenta
+// are stored doubled (J2 = 2j, M2 = 2m) so half-integers stay integral.
+type SPState struct {
+	// N is the HO major-shell quantum number (energy N + 3/2 in ħω).
+	N int
+	// L is the orbital angular momentum (N, N-2, ... >= 0).
+	L int
+	// J2 is twice the total angular momentum j = l ± 1/2.
+	J2 int
+	// M2 is twice the projection m = -j..j.
+	M2 int
+}
+
+// Energy returns the state's HO energy in units of ħω.
+func (s SPState) Energy() float64 { return float64(s.N) + 1.5 }
+
+// Parity returns the state's parity (-1)^l.
+func (s SPState) Parity() int {
+	if s.L%2 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// SingleParticleStates enumerates all HO states with shell N <= maxShell in
+// a fixed deterministic order (by N, then l descending, then j, then m).
+func SingleParticleStates(maxShell int) []SPState {
+	var out []SPState
+	for n := 0; n <= maxShell; n++ {
+		for l := n; l >= 0; l -= 2 {
+			for _, j2 := range []int{2*l + 1, 2*l - 1} {
+				if j2 <= 0 {
+					continue
+				}
+				for m2 := -j2; m2 <= j2; m2 += 2 {
+					out = append(out, SPState{N: n, L: l, J2: j2, M2: m2})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ShellDegeneracy returns the number of states in shell N: (N+1)(N+2).
+func ShellDegeneracy(n int) int { return (n + 1) * (n + 2) }
+
+// BasisConfig truncates the many-body basis.
+type BasisConfig struct {
+	// A is the particle count (single species in the toy model).
+	A int
+	// Nmax is the allowed total HO quanta above the minimal configuration.
+	Nmax int
+	// M2 is twice the required total magnetic projection Mj.
+	M2 int
+	// Parity restricts total parity: +1, -1, or 0 for both.
+	Parity int
+}
+
+// Basis is an enumerated set of Slater determinants.
+type Basis struct {
+	Config BasisConfig
+	// SP is the single-particle space.
+	SP []SPState
+	// Dets lists determinants as strictly increasing SP indices.
+	Dets [][]int32
+	// MinQuanta is the Pauli-minimal total quanta for A particles.
+	MinQuanta int
+}
+
+// Dim returns the basis dimension D.
+func (b *Basis) Dim() int { return len(b.Dets) }
+
+// minQuanta computes the minimal total HO quanta for a particles by filling
+// shells bottom-up.
+func minQuanta(a int) int {
+	total := 0
+	n := 0
+	for a > 0 {
+		take := ShellDegeneracy(n)
+		if take > a {
+			take = a
+		}
+		total += take * n
+		a -= take
+		n++
+	}
+	return total
+}
+
+// BuildBasis enumerates all Slater determinants of cfg.A particles with
+// total quanta <= MinQuanta + Nmax, total M2 equal to cfg.M2, and matching
+// parity. The search is depth-first with quanta pruning.
+func BuildBasis(cfg BasisConfig) (*Basis, error) {
+	if cfg.A <= 0 {
+		return nil, fmt.Errorf("ci: need at least one particle, got %d", cfg.A)
+	}
+	if cfg.Nmax < 0 {
+		return nil, fmt.Errorf("ci: negative Nmax %d", cfg.Nmax)
+	}
+	if cfg.Parity != 0 && cfg.Parity != 1 && cfg.Parity != -1 {
+		return nil, fmt.Errorf("ci: parity must be -1, 0 or +1, got %d", cfg.Parity)
+	}
+	minQ := minQuanta(cfg.A)
+	budget := minQ + cfg.Nmax
+	// Any shell above the budget can never appear.
+	sp := SingleParticleStates(budget)
+	b := &Basis{Config: cfg, SP: sp, MinQuanta: minQ}
+
+	det := make([]int32, 0, cfg.A)
+	var rec func(start, quanta, m2 int)
+	rec = func(start, quanta, m2 int) {
+		if len(det) == cfg.A {
+			if m2 != cfg.M2 {
+				return
+			}
+			if cfg.Parity != 0 {
+				par := 1
+				for _, i := range det {
+					par *= sp[i].Parity()
+				}
+				if par != cfg.Parity {
+					return
+				}
+			}
+			b.Dets = append(b.Dets, append([]int32(nil), det...))
+			return
+		}
+		remaining := cfg.A - len(det)
+		for i := start; i <= len(sp)-remaining; i++ {
+			q := quanta + sp[i].N
+			// Prune: the cheapest completion uses the smallest remaining
+			// quanta, which is at least 0 each; tighter bound: states are
+			// sorted by N, so all following states have N >= sp[i].N is not
+			// guaranteed across l; use 0 as the safe lower bound.
+			if q > budget {
+				continue
+			}
+			det = append(det, int32(i))
+			rec(i+1, q, m2+sp[i].M2)
+			det = det[:len(det)-1]
+		}
+	}
+	rec(0, 0, 0)
+	return b, nil
+}
+
+// DifferBy returns the number of single-particle states in which two
+// determinants (strictly increasing index slices) differ: |a \ b|.
+func DifferBy(a, b []int32) int {
+	i, j, diff := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			diff++
+			i++
+		default:
+			j++
+		}
+	}
+	return diff + (len(a) - i)
+}
+
+// HamiltonianConfig controls matrix-element synthesis.
+type HamiltonianConfig struct {
+	// Seed makes the synthetic interaction deterministic.
+	Seed int64
+	// Strength scales off-diagonal elements (default 1).
+	Strength float64
+	// HbarOmega is the oscillator energy scale (default 10).
+	HbarOmega float64
+}
+
+// Hamiltonian builds the sparse symmetric Hamiltonian over basis b with the
+// 2-body sparsity rule: H[i][j] != 0 iff determinants i and j differ in at
+// most 2 single-particle states. Diagonal entries are the HO energies plus
+// a deterministic perturbation; off-diagonals are deterministic pseudo-
+// random values damped by the quanta difference.
+func Hamiltonian(b *Basis, cfg HamiltonianConfig) (*sparse.CSR, error) {
+	if cfg.Strength == 0 {
+		cfg.Strength = 1
+	}
+	if cfg.HbarOmega == 0 {
+		cfg.HbarOmega = 10
+	}
+	d := b.Dim()
+	if d == 0 {
+		return nil, fmt.Errorf("ci: empty basis")
+	}
+	var ts []sparse.Triplet
+	for i := 0; i < d; i++ {
+		ei := 0.0
+		for _, s := range b.Dets[i] {
+			ei += b.SP[s].Energy()
+		}
+		ts = append(ts, sparse.Triplet{
+			Row: i, Col: i,
+			Val: cfg.HbarOmega*ei + cfg.Strength*hashUnit(cfg.Seed, i, i),
+		})
+		for j := i + 1; j < d; j++ {
+			if DifferBy(b.Dets[i], b.Dets[j]) > 2 {
+				continue
+			}
+			v := cfg.Strength * hashUnit(cfg.Seed, i, j)
+			ts = append(ts, sparse.Triplet{Row: i, Col: j, Val: v}, sparse.Triplet{Row: j, Col: i, Val: v})
+		}
+	}
+	return sparse.FromTriplets(d, d, ts)
+}
+
+// hashUnit maps (seed, i, j) to a deterministic value in [-1, 1).
+func hashUnit(seed int64, i, j int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d/%d", seed, i, j)
+	u := h.Sum64() >> 11 // 53 significant bits
+	return 2*float64(u)/float64(1<<53) - 1
+}
+
+// ScalingRow is one row of the toy-model growth study (the Table I analogue
+// at laptop scale).
+type ScalingRow struct {
+	Nmax    int
+	M2      int
+	Dim     int
+	NNZ     int64
+	Density float64
+}
+
+// ToyScaling enumerates the toy model's dimension and Hamiltonian sparsity
+// as Nmax grows — reproducing the exponential basis growth that forces
+// MFDn out of core.
+func ToyScaling(a int, m2 int, nmaxes []int, seed int64) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, nmax := range nmaxes {
+		b, err := BuildBasis(BasisConfig{A: a, Nmax: nmax, M2: m2})
+		if err != nil {
+			return nil, err
+		}
+		if b.Dim() == 0 {
+			rows = append(rows, ScalingRow{Nmax: nmax, M2: m2})
+			continue
+		}
+		h, err := Hamiltonian(b, HamiltonianConfig{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		d := b.Dim()
+		rows = append(rows, ScalingRow{
+			Nmax:    nmax,
+			M2:      m2,
+			Dim:     d,
+			NNZ:     h.NNZ(),
+			Density: float64(h.NNZ()) / (float64(d) * float64(d)),
+		})
+	}
+	return rows, nil
+}
+
+// SortDets orders determinants lexicographically (stable basis order for
+// reproducibility across runs).
+func (b *Basis) SortDets() {
+	sort.Slice(b.Dets, func(i, j int) bool {
+		a, c := b.Dets[i], b.Dets[j]
+		for k := 0; k < len(a) && k < len(c); k++ {
+			if a[k] != c[k] {
+				return a[k] < c[k]
+			}
+		}
+		return len(a) < len(c)
+	})
+}
+
+// GroundStateEnergyScale returns a rough magnitude estimate of the lowest
+// eigenvalue (the filled-configuration HO energy), useful for sanity checks.
+func (b *Basis) GroundStateEnergyScale(hbarOmega float64) float64 {
+	if hbarOmega == 0 {
+		hbarOmega = 10
+	}
+	return hbarOmega * (float64(b.MinQuanta) + 1.5*float64(b.Config.A))
+}
+
+// CheckDeterminants validates basis invariants (strictly increasing indices,
+// quanta budget, M2). Used by tests and doocbench self-checks.
+func (b *Basis) CheckDeterminants() error {
+	budget := b.MinQuanta + b.Config.Nmax
+	for di, det := range b.Dets {
+		if len(det) != b.Config.A {
+			return fmt.Errorf("ci: determinant %d has %d particles, want %d", di, len(det), b.Config.A)
+		}
+		q, m2 := 0, 0
+		for k, idx := range det {
+			if k > 0 && det[k-1] >= idx {
+				return fmt.Errorf("ci: determinant %d not strictly increasing", di)
+			}
+			if int(idx) >= len(b.SP) {
+				return fmt.Errorf("ci: determinant %d references state %d out of %d", di, idx, len(b.SP))
+			}
+			q += b.SP[idx].N
+			m2 += b.SP[idx].M2
+		}
+		if q > budget {
+			return fmt.Errorf("ci: determinant %d has %d quanta, budget %d", di, q, budget)
+		}
+		if m2 != b.Config.M2 {
+			return fmt.Errorf("ci: determinant %d has M2=%d, want %d", di, m2, b.Config.M2)
+		}
+	}
+	return nil
+}
+
+// expGrowthRate fits log(D) vs Nmax to confirm exponential growth in tests.
+func expGrowthRate(rows []ScalingRow) float64 {
+	var xs, ys []float64
+	for _, r := range rows {
+		if r.Dim > 0 {
+			xs = append(xs, float64(r.Nmax))
+			ys = append(ys, math.Log(float64(r.Dim)))
+		}
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	// Least-squares slope.
+	n := float64(len(xs))
+	var sx, sy, sxy, sxx float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxy += xs[i] * ys[i]
+		sxx += xs[i] * xs[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

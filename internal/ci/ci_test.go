@@ -1,0 +1,287 @@
+package ci
+
+import (
+	"math"
+	"testing"
+
+	"dooc/internal/lanczos"
+)
+
+func TestSingleParticleStates(t *testing.T) {
+	// Shell 0: l=0, j=1/2, m=±1/2 -> 2 states. Shell 1: l=1, j=3/2 (4) and
+	// j=1/2 (2) -> 6 states. Matches (N+1)(N+2).
+	sp := SingleParticleStates(2)
+	counts := map[int]int{}
+	for _, s := range sp {
+		counts[s.N]++
+		if s.J2 <= 0 || s.M2 < -s.J2 || s.M2 > s.J2 || (s.M2-s.J2)%2 != 0 {
+			t.Fatalf("bad state %+v", s)
+		}
+		if s.L > s.N || (s.N-s.L)%2 != 0 {
+			t.Fatalf("bad l for %+v", s)
+		}
+	}
+	for n := 0; n <= 2; n++ {
+		if counts[n] != ShellDegeneracy(n) {
+			t.Errorf("shell %d has %d states, want %d", n, counts[n], ShellDegeneracy(n))
+		}
+	}
+}
+
+func TestMinQuanta(t *testing.T) {
+	// 2 particles fill shell 0 (quanta 0); the 3rd goes to shell 1.
+	if got := minQuanta(2); got != 0 {
+		t.Errorf("minQuanta(2) = %d", got)
+	}
+	if got := minQuanta(3); got != 1 {
+		t.Errorf("minQuanta(3) = %d", got)
+	}
+	// 2 in shell 0 + 6 in shell 1 = 8 particles, quanta 6; 9th adds 2.
+	if got := minQuanta(8); got != 6 {
+		t.Errorf("minQuanta(8) = %d", got)
+	}
+	if got := minQuanta(9); got != 8 {
+		t.Errorf("minQuanta(9) = %d", got)
+	}
+}
+
+func TestBuildBasisInvariants(t *testing.T) {
+	for _, nmax := range []int{0, 1, 2} {
+		b, err := BuildBasis(BasisConfig{A: 3, Nmax: nmax, M2: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.CheckDeterminants(); err != nil {
+			t.Fatalf("Nmax=%d: %v", nmax, err)
+		}
+		if b.Dim() == 0 {
+			t.Fatalf("Nmax=%d: empty basis", nmax)
+		}
+	}
+}
+
+func TestBasisGrowsWithNmax(t *testing.T) {
+	var dims []int
+	for _, nmax := range []int{0, 1, 2, 3} {
+		b, err := BuildBasis(BasisConfig{A: 3, Nmax: nmax, M2: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dims = append(dims, b.Dim())
+	}
+	for i := 1; i < len(dims); i++ {
+		if dims[i] <= dims[i-1] {
+			t.Fatalf("dimension not growing: %v", dims)
+		}
+	}
+	// The paper's Section II: exponential growth in Nmax. Check the fitted
+	// log-slope is decidedly positive.
+	rows, err := ToyScaling(3, 1, []int{0, 1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := expGrowthRate(rows); rate < 0.5 {
+		t.Errorf("growth rate %v too small for exponential growth", rate)
+	}
+}
+
+func TestParityRestriction(t *testing.T) {
+	all, err := BuildBasis(BasisConfig{A: 2, Nmax: 2, M2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus, err := BuildBasis(BasisConfig{A: 2, Nmax: 2, M2: 0, Parity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minus, err := BuildBasis(BasisConfig{A: 2, Nmax: 2, M2: 0, Parity: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plus.Dim()+minus.Dim() != all.Dim() {
+		t.Fatalf("parity split %d + %d != %d", plus.Dim(), minus.Dim(), all.Dim())
+	}
+	if plus.Dim() == 0 || minus.Dim() == 0 {
+		t.Fatal("a parity sector is empty")
+	}
+}
+
+func TestBuildBasisValidation(t *testing.T) {
+	if _, err := BuildBasis(BasisConfig{A: 0, Nmax: 1}); err == nil {
+		t.Error("A=0 accepted")
+	}
+	if _, err := BuildBasis(BasisConfig{A: 1, Nmax: -1}); err == nil {
+		t.Error("negative Nmax accepted")
+	}
+	if _, err := BuildBasis(BasisConfig{A: 1, Nmax: 1, Parity: 2}); err == nil {
+		t.Error("bad parity accepted")
+	}
+}
+
+func TestDifferBy(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want int
+	}{
+		{[]int32{1, 2, 3}, []int32{1, 2, 3}, 0},
+		{[]int32{1, 2, 3}, []int32{1, 2, 4}, 1},
+		{[]int32{1, 2, 3}, []int32{4, 5, 6}, 3},
+		{[]int32{1, 2, 3}, []int32{2, 3, 4}, 1},
+		{[]int32{1, 5, 9}, []int32{1, 6, 9}, 1},
+	}
+	for _, c := range cases {
+		if got := DifferBy(c.a, c.b); got != c.want {
+			t.Errorf("DifferBy(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := DifferBy(c.b, c.a); got != c.want {
+			t.Errorf("DifferBy not symmetric for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestHamiltonianStructure(t *testing.T) {
+	b, err := BuildBasis(BasisConfig{A: 3, Nmax: 2, M2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Hamiltonian(b, HamiltonianConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.IsSymmetric(0) {
+		t.Fatal("Hamiltonian not symmetric")
+	}
+	// 2-body rule: H[i][j] == 0 whenever determinants differ by > 2.
+	d := b.Dim()
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			diff := DifferBy(b.Dets[i], b.Dets[j])
+			v := h.At(i, j)
+			if diff > 2 && v != 0 {
+				t.Fatalf("H[%d][%d] = %v but determinants differ by %d", i, j, v, diff)
+			}
+			if diff == 0 && i == j && v == 0 {
+				t.Fatalf("zero diagonal at %d", i)
+			}
+		}
+	}
+}
+
+func TestHamiltonianDeterministic(t *testing.T) {
+	b, _ := BuildBasis(BasisConfig{A: 2, Nmax: 2, M2: 0})
+	h1, err := Hamiltonian(b, HamiltonianConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Hamiltonian(b, HamiltonianConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.NNZ() != h2.NNZ() {
+		t.Fatal("same seed produced different sparsity")
+	}
+	for i := range h1.Val {
+		if h1.Val[i] != h2.Val[i] {
+			t.Fatal("same seed produced different values")
+		}
+	}
+	h3, err := Hamiltonian(b, HamiltonianConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range h1.Val {
+		if i < len(h3.Val) && h1.Val[i] != h3.Val[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical values")
+	}
+}
+
+func TestHamiltonianSparsityShrinksWithNmax(t *testing.T) {
+	rows, err := ToyScaling(3, 1, []int{1, 2, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Density >= rows[i-1].Density {
+			t.Fatalf("density not shrinking: %+v", rows)
+		}
+	}
+}
+
+func TestLanczosOnToyHamiltonian(t *testing.T) {
+	// The full Section II pipeline at toy scale: build a CI Hamiltonian and
+	// find its lowest eigenvalues with Lanczos; cross-check against Jacobi.
+	b, err := BuildBasis(BasisConfig{A: 2, Nmax: 3, M2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Hamiltonian(b, HamiltonianConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := b.Dim()
+	if d < 10 || d > 400 {
+		t.Fatalf("unexpected toy dimension %d", d)
+	}
+	res, err := lanczos.Solve(lanczos.MatrixOperator{M: h}, lanczos.Options{Steps: d, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lanczos.JacobiEigen(h.Dense(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(res.Eigenvalues[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+			t.Fatalf("eig[%d]: %v vs %v", i, res.Eigenvalues[i], want[i])
+		}
+	}
+	// The ground state sits near the HO scale estimate.
+	scale := b.GroundStateEnergyScale(10)
+	if math.Abs(res.Eigenvalues[0])+1 > 10*scale+100 {
+		t.Fatalf("ground state %v implausible vs scale %v", res.Eigenvalues[0], scale)
+	}
+}
+
+func TestReferenceTablesIntact(t *testing.T) {
+	if len(ReferenceTable1) != 4 || len(ReferenceTable2) != 4 {
+		t.Fatal("reference tables must have 4 rows")
+	}
+	for i, r := range ReferenceTable1 {
+		if r.Dim <= 0 || r.NNZ <= 0 || r.Np <= 0 {
+			t.Fatalf("row %d invalid: %+v", i, r)
+		}
+		if i > 0 && (r.Dim <= ReferenceTable1[i-1].Dim || r.Np <= ReferenceTable1[i-1].Np) {
+			t.Fatalf("table 1 rows not monotone at %d", i)
+		}
+	}
+	for i, r := range ReferenceTable2 {
+		if i > 0 && r.CommFraction <= ReferenceTable2[i-1].CommFraction {
+			t.Fatalf("comm fraction not increasing at row %d", i)
+		}
+	}
+}
+
+// TestRequiredProcessorsMatchesTable1: the memory-driven processor-count
+// rule reproduces the published np within 20% for every row, using the
+// paper's own avg local-matrix sizes and ~8 bytes per stored element.
+func TestRequiredProcessorsMatchesTable1(t *testing.T) {
+	for _, r := range ReferenceTable1 {
+		got := RequiredProcessors(r.NNZ, 8, r.HLocalMB)
+		rel := math.Abs(float64(got-r.Np)) / float64(r.Np)
+		if rel > 0.20 {
+			t.Errorf("%s: modeled np=%d, published %d (%.0f%% off)", r.Name, got, r.Np, 100*rel)
+		}
+	}
+	if RequiredProcessors(0, 8, 800) != 0 {
+		t.Error("degenerate input not rejected")
+	}
+}

@@ -1,0 +1,178 @@
+package ci
+
+import (
+	"fmt"
+
+	"dooc/internal/sparse"
+)
+
+// Two-species Configuration Interaction: real nuclei have protons AND
+// neutrons (¹⁰B has 5 of each), and MFDn's basis is a product of proton and
+// neutron Slater determinants coupled by total Mj and total quanta. This
+// file extends the toy model accordingly.
+
+// TwoSpeciesConfig truncates a proton-neutron basis.
+type TwoSpeciesConfig struct {
+	// Z and N are the proton and neutron counts.
+	Z, N int
+	// Nmax bounds the total HO quanta above the combined minimal
+	// configuration (protons and neutrons fill independently, as in MFDn).
+	Nmax int
+	// M2 is twice the required total Mj.
+	M2 int
+	// Parity restricts total parity: +1, -1, or 0 for both.
+	Parity int
+}
+
+// speciesDet is one species' determinant with its aggregates.
+type speciesDet struct {
+	idx    []int32
+	quanta int
+	m2     int
+	parity int
+}
+
+// TwoSpeciesBasis is the enumerated proton-neutron product basis.
+type TwoSpeciesBasis struct {
+	Config TwoSpeciesConfig
+	// SP is the shared single-particle space.
+	SP []SPState
+	// Protons and Neutrons are the per-species candidate determinants.
+	Protons, Neutrons []speciesDet
+	// Pairs are (proton index, neutron index) combinations satisfying the
+	// coupled truncation; the basis dimension is len(Pairs).
+	Pairs [][2]int32
+	// MinQuanta is the combined Pauli floor.
+	MinQuanta int
+}
+
+// Dim returns the many-body dimension.
+func (b *TwoSpeciesBasis) Dim() int { return len(b.Pairs) }
+
+// enumerateSpecies lists all determinants of `count` particles with quanta
+// at most budget.
+func enumerateSpecies(sp []SPState, count, budget int) []speciesDet {
+	var out []speciesDet
+	det := make([]int32, 0, count)
+	var rec func(start, quanta, m2, parity int)
+	rec = func(start, quanta, m2, parity int) {
+		if len(det) == count {
+			out = append(out, speciesDet{
+				idx:    append([]int32(nil), det...),
+				quanta: quanta, m2: m2, parity: parity,
+			})
+			return
+		}
+		remaining := count - len(det)
+		for i := start; i <= len(sp)-remaining; i++ {
+			q := quanta + sp[i].N
+			if q > budget {
+				continue
+			}
+			det = append(det, int32(i))
+			rec(i+1, q, m2+sp[i].M2, parity*sp[i].Parity())
+			det = det[:len(det)-1]
+		}
+	}
+	rec(0, 0, 0, 1)
+	return out
+}
+
+// BuildTwoSpeciesBasis enumerates the coupled proton-neutron basis.
+func BuildTwoSpeciesBasis(cfg TwoSpeciesConfig) (*TwoSpeciesBasis, error) {
+	if cfg.Z <= 0 || cfg.N <= 0 {
+		return nil, fmt.Errorf("ci: need positive proton and neutron counts, got Z=%d N=%d", cfg.Z, cfg.N)
+	}
+	if cfg.Nmax < 0 {
+		return nil, fmt.Errorf("ci: negative Nmax %d", cfg.Nmax)
+	}
+	if cfg.Parity != 0 && cfg.Parity != 1 && cfg.Parity != -1 {
+		return nil, fmt.Errorf("ci: parity must be -1, 0 or +1, got %d", cfg.Parity)
+	}
+	minQ := minQuanta(cfg.Z) + minQuanta(cfg.N)
+	budget := minQ + cfg.Nmax
+	sp := SingleParticleStates(budget)
+	b := &TwoSpeciesBasis{
+		Config:    cfg,
+		SP:        sp,
+		MinQuanta: minQ,
+		Protons:   enumerateSpecies(sp, cfg.Z, budget),
+		Neutrons:  enumerateSpecies(sp, cfg.N, budget),
+	}
+	// Join: group neutron dets by m2 for the coupled Mj constraint.
+	byM2 := map[int][]int32{}
+	for i, nd := range b.Neutrons {
+		byM2[nd.m2] = append(byM2[nd.m2], int32(i))
+	}
+	for pi, pd := range b.Protons {
+		for _, ni := range byM2[cfg.M2-pd.m2] {
+			nd := b.Neutrons[ni]
+			if pd.quanta+nd.quanta > budget {
+				continue
+			}
+			if cfg.Parity != 0 && pd.parity*nd.parity != cfg.Parity {
+				continue
+			}
+			b.Pairs = append(b.Pairs, [2]int32{int32(pi), ni})
+		}
+	}
+	return b, nil
+}
+
+// TwoSpeciesDiffer counts the total single-particle differences between two
+// coupled states: proton differences plus neutron differences.
+func (b *TwoSpeciesBasis) TwoSpeciesDiffer(i, j int) int {
+	pi, ni := b.Pairs[i][0], b.Pairs[i][1]
+	pj, nj := b.Pairs[j][0], b.Pairs[j][1]
+	d := 0
+	if pi != pj {
+		d += DifferBy(b.Protons[pi].idx, b.Protons[pj].idx)
+	}
+	if d > 2 {
+		return d
+	}
+	if ni != nj {
+		d += DifferBy(b.Neutrons[ni].idx, b.Neutrons[nj].idx)
+	}
+	return d
+}
+
+// energyOf returns the HO energy of coupled state i in units of ħω.
+func (b *TwoSpeciesBasis) energyOf(i int) float64 {
+	pd := b.Protons[b.Pairs[i][0]]
+	nd := b.Neutrons[b.Pairs[i][1]]
+	return float64(pd.quanta+nd.quanta) + 1.5*float64(b.Config.Z+b.Config.N)
+}
+
+// TwoSpeciesHamiltonian builds the sparse symmetric Hamiltonian with the
+// 2-body rule over the coupled basis: entries are non-zero only when the
+// two states differ in at most two single-particle states counted across
+// both species (a 2-body force can move a proton pair, a neutron pair, or
+// one of each).
+func TwoSpeciesHamiltonian(b *TwoSpeciesBasis, cfg HamiltonianConfig) (*sparse.CSR, error) {
+	if cfg.Strength == 0 {
+		cfg.Strength = 1
+	}
+	if cfg.HbarOmega == 0 {
+		cfg.HbarOmega = 10
+	}
+	d := b.Dim()
+	if d == 0 {
+		return nil, fmt.Errorf("ci: empty two-species basis")
+	}
+	var ts []sparse.Triplet
+	for i := 0; i < d; i++ {
+		ts = append(ts, sparse.Triplet{
+			Row: i, Col: i,
+			Val: cfg.HbarOmega*b.energyOf(i) + cfg.Strength*hashUnit(cfg.Seed, i, i),
+		})
+		for j := i + 1; j < d; j++ {
+			if b.TwoSpeciesDiffer(i, j) > 2 {
+				continue
+			}
+			v := cfg.Strength * hashUnit(cfg.Seed, i, j)
+			ts = append(ts, sparse.Triplet{Row: i, Col: j, Val: v}, sparse.Triplet{Row: j, Col: i, Val: v})
+		}
+	}
+	return sparse.FromTriplets(d, d, ts)
+}

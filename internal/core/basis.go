@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"dooc/internal/storage"
+)
+
+// BasisStore keeps Lanczos basis vectors in DOoC storage arrays instead of
+// process memory. With Spill enabled, every appended vector is immediately
+// flushed to the scratch directory and evicted, so the resident footprint
+// of a k-step run stays O(dim) instead of O(k·dim) — out-of-core
+// reorthogonalization, the natural next step after the paper's out-of-core
+// SpMV ("our out-of-core code does not implement the full Lanczos algorithm
+// required for MFDn computations").
+type BasisStore struct {
+	// Store is the node-local storage filter holding the vectors.
+	Store *storage.Store
+	// Prefix namespaces the vector arrays (default "lanczos").
+	Prefix string
+	// Spill flushes + evicts each vector right after it is written,
+	// forcing genuine out-of-core streaming during reorthogonalization.
+	// Requires the store to have a scratch directory.
+	Spill bool
+
+	count int
+}
+
+// name returns the array name of basis vector j.
+func (b *BasisStore) name(j int) string {
+	p := b.Prefix
+	if p == "" {
+		p = "lanczos"
+	}
+	return fmt.Sprintf("%s:v%d", p, j)
+}
+
+// Append implements lanczos.Basis.
+func (b *BasisStore) Append(v []float64) error {
+	name := b.name(b.count)
+	size := int64(8 * len(v))
+	if err := b.Store.Create(name, size, size); err != nil {
+		return err
+	}
+	l, err := b.Store.Request(name, 0, size, storage.PermWrite)
+	if err != nil {
+		return err
+	}
+	storage.PutFloat64s(l, v)
+	l.Release()
+	if b.Spill {
+		if err := b.Store.Flush(name); err != nil {
+			return err
+		}
+		if err := b.Store.Evict(name, 0); err != nil {
+			return err
+		}
+	}
+	b.count++
+	return nil
+}
+
+// Len implements lanczos.Basis.
+func (b *BasisStore) Len() int { return b.count }
+
+// Vector implements lanczos.Basis. Evicted vectors are transparently
+// re-read from scratch by the storage layer.
+func (b *BasisStore) Vector(j int) ([]float64, error) {
+	if j < 0 || j >= b.count {
+		return nil, fmt.Errorf("core: basis vector %d out of [0,%d)", j, b.count)
+	}
+	raw, err := b.Store.ReadAll(b.name(j))
+	if err != nil {
+		return nil, err
+	}
+	return storage.DecodeFloat64s(raw), nil
+}
+
+// Close deletes all stored vectors.
+func (b *BasisStore) Close() error {
+	var first error
+	for j := 0; j < b.count; j++ {
+		if err := b.Store.Delete(b.name(j)); err != nil && first == nil {
+			first = err
+		}
+	}
+	b.count = 0
+	return first
+}

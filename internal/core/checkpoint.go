@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dooc/internal/sparse"
+	"dooc/internal/storage"
+)
+
+// Checkpointing: a long iterated-SpMV run can persist every produced
+// iterate to the scratch directory, so a crashed or interrupted run resumes
+// from the last completed iteration instead of from x⁰. This is the
+// operational complement of out-of-core execution — the same scratch
+// directories, sidecars, and startup scan that hold the matrix also hold
+// the solver's progress.
+
+// Checkpoint describes a resumable state found on disk.
+type Checkpoint struct {
+	// Iter is the last completed iteration.
+	Iter int
+	// X is the iterate x[Iter].
+	X []float64
+}
+
+// LatestCheckpoint scans the scratch layout for the newest complete iterate
+// of a tagged run. Returns (nil, nil) when no checkpoint exists.
+func LatestCheckpoint(scratchRoot string, cfg SpMVConfig) (*Checkpoint, error) {
+	if cfg.Tag == "" {
+		return nil, fmt.Errorf("core: checkpointed runs need a stable Tag")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := cfg.Partition()
+	if err != nil {
+		return nil, err
+	}
+	prefix := cfg.Tag + ":"
+	// Find, per iteration index, which vector parts exist on disk.
+	parts := map[int]map[int]string{} // iter -> u -> file path
+	entries, err := os.ReadDir(scratchRoot)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "node") {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(scratchRoot, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			name := f.Name()
+			if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".arr") {
+				continue
+			}
+			var t, u int
+			if _, err := fmt.Sscanf(strings.TrimPrefix(name, prefix), "x_%d_%d.arr", &t, &u); err != nil {
+				continue
+			}
+			if parts[t] == nil {
+				parts[t] = map[int]string{}
+			}
+			parts[t][u] = filepath.Join(scratchRoot, e.Name(), name)
+		}
+	}
+	best := -1
+	for t, us := range parts {
+		if len(us) == cfg.K && t > best {
+			best = t
+		}
+	}
+	if best < 0 {
+		return nil, nil
+	}
+	x := make([]float64, 0, cfg.Dim)
+	for u := 0; u < cfg.K; u++ {
+		raw, err := os.ReadFile(parts[best][u])
+		if err != nil {
+			return nil, err
+		}
+		want := 8 * p.Size(u)
+		if len(raw) < want {
+			return nil, fmt.Errorf("core: checkpoint part %s truncated (%d of %d bytes)", parts[best][u], len(raw), want)
+		}
+		x = append(x, storage.DecodeFloat64s(raw[:want])...)
+	}
+	return &Checkpoint{Iter: best, X: x}, nil
+}
+
+// ResumeIteratedSpMV runs a *checkpointed* iterated SpMV to cfg.Iters total
+// iterations: it loads the newest checkpoint (or starts from x0 if none)
+// and executes only the remaining iterations, flushing every produced
+// iterate so the run can be interrupted and resumed again. The returned int
+// is the iteration it resumed from. cfg.Tag must be non-empty and stable
+// across restarts; the system needs a ScratchRoot.
+func ResumeIteratedSpMV(sys *System, cfg SpMVConfig, x0 []float64) (*SpMVResult, int, error) {
+	if sys.opts.ScratchRoot == "" {
+		return nil, 0, fmt.Errorf("core: checkpointing needs a system with a ScratchRoot")
+	}
+	ck, err := LatestCheckpoint(sys.opts.ScratchRoot, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := 0
+	x := x0
+	if ck != nil {
+		start = ck.Iter
+		x = ck.X
+	}
+	if start >= cfg.Iters {
+		return &SpMVResult{X: x}, start, nil
+	}
+	rest := cfg
+	rest.Iters = cfg.Iters - start
+	// Offset the tag per segment so array names of the segment runs never
+	// collide; checkpoint files keep the global iteration index.
+	rest.Tag = fmt.Sprintf("%s@%d", cfg.Tag, start)
+	res, err := runIteratedSpMV(sys, rest, x, spmvRunOpts{
+		checkpoint:     true,
+		checkpointTag:  cfg.Tag,
+		checkpointBase: start,
+	})
+	if err != nil {
+		return nil, start, err
+	}
+	return res, start, nil
+}
+
+// checkpointSumExecutor wraps the reduction executor: after x[t][u] is
+// written, it is flushed to scratch and hard-linked to the global
+// checkpoint name the resume scan looks for.
+func checkpointSumExecutor(sys *System, runPrefix, ckTag string, base int, p sparse.GridPartition) Executor {
+	inner := execSum
+	return func(ctx *ExecContext) error {
+		if err := inner(ctx); err != nil {
+			return err
+		}
+		out := ctx.Task.Outputs[0].Array
+		if err := ctx.Store.Flush(out); err != nil {
+			return fmt.Errorf("checkpointing %s: %w", out, err)
+		}
+		// The flushed file carries the segment-local name
+		// "<runPrefix>x_<t>_<u>". Copy it to the global checkpoint name
+		// "<ckTag>:x_<base+t>_<u>" so LatestCheckpoint finds it.
+		var t, u int
+		if _, err := fmt.Sscanf(strings.TrimPrefix(out, runPrefix), "x_%d_%d", &t, &u); err != nil {
+			return fmt.Errorf("checkpointing %s: cannot parse name: %w", out, err)
+		}
+		src := filepath.Join(sys.scratchDir(ctx.Node), out+".arr")
+		dst := filepath.Join(sys.scratchDir(ctx.Node), fmt.Sprintf("%s:x_%d_%d.arr", ckTag, base+t, u))
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return fmt.Errorf("checkpointing %s: %w", out, err)
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			return fmt.Errorf("checkpointing %s: %w", out, err)
+		}
+		return nil
+	}
+}
+
+// scratchDir returns node i's scratch directory (empty when out-of-core is
+// disabled).
+func (s *System) scratchDir(node int) string {
+	if s.opts.ScratchRoot == "" {
+		return ""
+	}
+	return filepath.Join(s.opts.ScratchRoot, fmt.Sprintf("node%d", node))
+}

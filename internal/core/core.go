@@ -1,0 +1,161 @@
+// Package core is the DOoC engine: it couples the distributed storage layer
+// (internal/storage), the derived task DAG (internal/dag), and the
+// hierarchical data-aware scheduler (internal/scheduler) into a runtime that
+// executes task programs out-of-core across an in-process cluster.
+//
+// The division of labor mirrors the paper's Fig. 2:
+//
+//   - a storage filter and its asynchronous I/O filters run on every node
+//     (internal/storage),
+//   - the global scheduler assigns tasks to nodes by data affinity,
+//   - a local scheduler per node picks the next task among its ready set by
+//     residency and recency (discovering the back-and-forth traversal),
+//     issues prefetches to keep the I/O filters busy, and dispatches to the
+//     node's computing filters (worker goroutines).
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"dooc/internal/simnet"
+	"dooc/internal/storage"
+)
+
+// Options configures a System.
+type Options struct {
+	// Nodes is the cluster size (default 1).
+	Nodes int
+	// WorkersPerNode is the number of computing filters per node
+	// (default 1).
+	WorkersPerNode int
+	// MemoryBudget is each node's storage budget in bytes (default 1 GiB).
+	MemoryBudget int64
+	// ScratchRoot, when non-empty, gives every node an out-of-core scratch
+	// directory ScratchRoot/node<i>.
+	ScratchRoot string
+	// PrefetchWindow is how many heavy data the local scheduler keeps in
+	// flight ahead of execution (default 2; 0 disables prefetching).
+	PrefetchWindow int
+	// Reorder enables the local scheduler's data-aware reordering
+	// (default true; the ablation benches switch it off).
+	Reorder bool
+	// IOWorkers per node (default 2).
+	IOWorkers int
+	// Seed makes random-peer probing deterministic.
+	Seed int64
+	// DecodeCacheBytes enables a per-node cache of decoded CRS blocks
+	// (0 = off). The storage layer faithfully holds raw encoded bytes;
+	// without a cache every multiply re-decodes its block, which makes
+	// fine task splitting pay the decode cost once per sub-task.
+	DecodeCacheBytes int64
+	// Eviction selects the storage reclamation policy (default LRU, the
+	// paper's; the eviction ablation sweeps FIFO and MRU).
+	Eviction storage.EvictionPolicy
+}
+
+func (o *Options) fill() {
+	if o.Nodes <= 0 {
+		o.Nodes = 1
+	}
+	if o.WorkersPerNode <= 0 {
+		o.WorkersPerNode = 1
+	}
+	if o.MemoryBudget <= 0 {
+		o.MemoryBudget = 1 << 30
+	}
+	if o.IOWorkers <= 0 {
+		o.IOWorkers = 2
+	}
+}
+
+// System is a running DOoC instance: an in-process cluster of nodes, each
+// with a storage filter, I/O filters, and computing filters.
+type System struct {
+	opts    Options
+	cluster *simnet.Cluster
+	stores  []*storage.Store
+	decode  []*decodeCache // per node; nil entries when disabled
+}
+
+// NewSystem builds and starts a system.
+func NewSystem(opts Options) (*System, error) {
+	opts.fill()
+	cluster, err := simnet.New(simnet.Config{Nodes: opts.Nodes})
+	if err != nil {
+		return nil, err
+	}
+	stores, err := storage.NewNetwork(opts.Nodes, func(node int, cfg *storage.Config) {
+		cfg.MemoryBudget = opts.MemoryBudget
+		cfg.IOWorkers = opts.IOWorkers
+		cfg.Seed = opts.Seed + int64(node)
+		cfg.Ledger = cluster.Transfer
+		cfg.Eviction = opts.Eviction
+		if opts.ScratchRoot != "" {
+			cfg.ScratchDir = filepath.Join(opts.ScratchRoot, fmt.Sprintf("node%d", node))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{opts: opts, cluster: cluster, stores: stores}
+	sys.decode = make([]*decodeCache, opts.Nodes)
+	for i := range sys.decode {
+		sys.decode[i] = newDecodeCache(opts.DecodeCacheBytes)
+	}
+	return sys, nil
+}
+
+// Nodes returns the cluster size.
+func (s *System) Nodes() int { return s.opts.Nodes }
+
+// Store returns node i's storage filter.
+func (s *System) Store(i int) *storage.Store { return s.stores[i] }
+
+// Cluster returns the interconnect ledger.
+func (s *System) Cluster() *simnet.Cluster { return s.cluster }
+
+// Close shuts all nodes down.
+func (s *System) Close() {
+	for _, st := range s.stores {
+		st.Close()
+	}
+}
+
+// Event is one entry of a run's execution log (real time, for Gantt-style
+// inspection of actual runs).
+type Event struct {
+	Node  int
+	Task  string
+	Kind  string
+	Start time.Time
+	End   time.Time
+}
+
+// RunStats summarizes a Run.
+type RunStats struct {
+	Wall          time.Duration
+	TasksPerNode  []int
+	Events        []Event
+	StorageBefore []storage.Stats
+	StorageAfter  []storage.Stats
+}
+
+// BytesReadDisk sums disk reads across nodes during the run.
+func (r *RunStats) BytesReadDisk() int64 {
+	var n int64
+	for i := range r.StorageAfter {
+		n += r.StorageAfter[i].BytesReadDisk - r.StorageBefore[i].BytesReadDisk
+	}
+	return n
+}
+
+// PeerBytes sums cross-node block fetches during the run.
+func (r *RunStats) PeerBytes() int64 {
+	var n int64
+	for i := range r.StorageAfter {
+		n += r.StorageAfter[i].BytesFetchedPeer - r.StorageBefore[i].BytesFetchedPeer
+	}
+	return n
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+
+	"dooc/internal/sparse"
+	"dooc/internal/storage"
+)
+
+// decodeCache memoizes CRS decoding per node. The storage layer holds raw
+// encoded bytes (faithful to the paper's untyped arrays); every task that
+// multiplies with a block must otherwise decode it again. Matrix arrays are
+// immutable, so a decoded copy keyed by array name is always valid; the
+// cache is LRU-bounded and counts its own bytes separately from the storage
+// budget (enable via Options.DecodeCacheBytes).
+type decodeCache struct {
+	mu      sync.Mutex
+	cap     int64
+	used    int64
+	tick    int64
+	entries map[string]*decEntry
+
+	hits, misses int64
+}
+
+type decEntry struct {
+	m       *sparse.CSR
+	bytes   int64
+	lastUse int64
+}
+
+func newDecodeCache(capBytes int64) *decodeCache {
+	if capBytes <= 0 {
+		return nil
+	}
+	return &decodeCache{cap: capBytes, entries: make(map[string]*decEntry)}
+}
+
+// matrix returns the decoded block for `array`, reading through the store
+// on a miss. A nil receiver always reads through (cache disabled).
+func (c *decodeCache) matrix(store *storage.Store, array string) (*sparse.CSR, error) {
+	if c != nil {
+		c.mu.Lock()
+		if e, ok := c.entries[array]; ok {
+			c.tick++
+			e.lastUse = c.tick
+			c.hits++
+			c.mu.Unlock()
+			return e.m, nil
+		}
+		c.misses++
+		c.mu.Unlock()
+	}
+	lease, err := store.RequestBlock(array, 0, storage.PermRead)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sparse.ReadCRS(bytes.NewReader(lease.Data))
+	lease.Release()
+	if err != nil {
+		return nil, err
+	}
+	if c != nil {
+		c.put(array, m)
+	}
+	return m, nil
+}
+
+func (c *decodeCache) put(array string, m *sparse.CSR) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[array]; dup {
+		return
+	}
+	sz := m.Bytes()
+	c.tick++
+	c.entries[array] = &decEntry{m: m, bytes: sz, lastUse: c.tick}
+	c.used += sz
+	for c.used > c.cap && len(c.entries) > 1 {
+		victim := ""
+		var vt int64
+		for k, e := range c.entries {
+			if k == array {
+				continue
+			}
+			if victim == "" || e.lastUse < vt || (e.lastUse == vt && k < victim) {
+				victim, vt = k, e.lastUse
+			}
+		}
+		if victim == "" {
+			return
+		}
+		c.used -= c.entries[victim].bytes
+		delete(c.entries, victim)
+	}
+}
+
+// invalidate drops an entry (used when an array is deleted).
+func (c *decodeCache) invalidate(array string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[array]; ok {
+		c.used -= e.bytes
+		delete(c.entries, array)
+	}
+	c.mu.Unlock()
+}
+
+// stats reports cache effectiveness.
+func (c *decodeCache) stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

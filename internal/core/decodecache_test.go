@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dooc/internal/sparse"
+	"dooc/internal/storage"
+)
+
+func stageRaw(t *testing.T, s *storage.Store, name string, m *sparse.CSR) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sparse.WriteCRS(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteArray(name, buf.Bytes(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeCacheHitsAndEviction(t *testing.T) {
+	s, err := storage.NewLocal(storage.Config{MemoryBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: 30, Cols: 30, D: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stageRaw(t, s, "a", m)
+	stageRaw(t, s, "b", m)
+	stageRaw(t, s, "c", m)
+
+	// Capacity for roughly two decoded copies.
+	c := newDecodeCache(2*m.Bytes() + 64)
+	for _, name := range []string{"a", "a", "b", "a"} {
+		got, err := c.matrix(s, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NNZ() != m.NNZ() {
+			t.Fatalf("%s: nnz %d", name, got.NNZ())
+		}
+	}
+	hits, misses := c.stats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/2", hits, misses)
+	}
+	// Loading c evicts the LRU (b).
+	if _, err := c.matrix(s, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.entries["b"]; ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.entries["a"]; !ok {
+		t.Fatal("a evicted although more recently used")
+	}
+	// Invalidate drops entries and is nil-safe.
+	c.invalidate("a")
+	if _, ok := c.entries["a"]; ok {
+		t.Fatal("invalidate did not drop a")
+	}
+	var nilCache *decodeCache
+	nilCache.invalidate("x")
+	if h, m := nilCache.stats(); h != 0 || m != 0 {
+		t.Fatal("nil cache stats")
+	}
+	if _, err := nilCache.matrix(s, "a"); err != nil {
+		t.Fatalf("nil cache read-through: %v", err)
+	}
+}
+
+func TestDecodeCacheDisabledByDefault(t *testing.T) {
+	sys, err := NewSystem(Options{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if sys.decode[0] != nil {
+		t.Fatal("decode cache enabled without DecodeCacheBytes")
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dooc/internal/dag"
+	"dooc/internal/scheduler"
+	"dooc/internal/sparse"
+	"dooc/internal/storage"
+)
+
+// ExecContext is what a computing filter receives for one task.
+type ExecContext struct {
+	Node    int
+	Workers int
+	Store   *storage.Store
+	Task    *dag.Task
+
+	cache *decodeCache
+}
+
+// Matrix returns the decoded CRS block stored in `array`, consulting the
+// node's decode cache when Options.DecodeCacheBytes enabled one.
+func (c *ExecContext) Matrix(array string) (*sparse.CSR, error) {
+	return c.cache.matrix(c.Store, array)
+}
+
+// Executor runs one task kind. Implementations lease the task's inputs for
+// reading and its outputs for writing through ctx.Store.
+type Executor func(ctx *ExecContext) error
+
+// RunSpec describes one engine invocation.
+type RunSpec struct {
+	// Tasks is the task program; the DAG is derived from it.
+	Tasks []*dag.Task
+	// Executors maps task Kind to its implementation.
+	Executors map[string]Executor
+	// Locate tells the global scheduler where a datum initially lives.
+	// nil data-locality information degrades placement to load balancing.
+	Locate func(dag.Ref) (int, bool)
+	// Assignment, when non-nil, bypasses the global scheduler (used by
+	// ablations to force placements).
+	Assignment map[string]int
+	// Ephemeral lists arrays that should be deleted as soon as their last
+	// consumer task completes (dead intermediate generations). This is the
+	// memory-management dividend of immutable versioned arrays.
+	Ephemeral map[string]bool
+}
+
+// Run executes the program to completion and returns statistics.
+func (s *System) Run(spec RunSpec) (*RunStats, error) {
+	g, err := dag.Build(spec.Tasks)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range spec.Tasks {
+		if _, ok := spec.Executors[t.Kind]; !ok {
+			return nil, fmt.Errorf("core: no executor for task kind %q (task %s)", t.Kind, t.ID)
+		}
+	}
+	assign := spec.Assignment
+	if assign == nil {
+		locate := spec.Locate
+		if locate == nil {
+			locate = func(dag.Ref) (int, bool) { return 0, false }
+		}
+		assign = scheduler.Affinity(spec.Tasks, s.opts.Nodes, locate)
+	}
+	for _, t := range spec.Tasks {
+		n, ok := assign[t.ID]
+		if !ok || n < 0 || n >= s.opts.Nodes {
+			return nil, fmt.Errorf("core: task %q assigned to invalid node %d", t.ID, n)
+		}
+	}
+
+	// Remaining-consumer counts for ephemeral array reclamation.
+	consumers := make(map[string]int)
+	for _, t := range spec.Tasks {
+		seen := map[string]bool{}
+		for _, in := range t.Inputs {
+			if !seen[in.Array] {
+				seen[in.Array] = true
+				consumers[in.Array]++
+			}
+		}
+	}
+
+	run := &engineRun{
+		sys:       s,
+		graph:     g,
+		assign:    assign,
+		spec:      spec,
+		consumers: consumers,
+		policies:  make([]*scheduler.Policy, s.opts.Nodes),
+		stats: &RunStats{
+			TasksPerNode:  make([]int, s.opts.Nodes),
+			StorageBefore: make([]storage.Stats, s.opts.Nodes),
+		},
+	}
+	for i := range run.policies {
+		p := scheduler.NewPolicy()
+		p.Reorder = s.opts.Reorder
+		run.policies[i] = p
+	}
+	run.cond = sync.NewCond(&run.mu)
+	for i, st := range s.stores {
+		run.stats.StorageBefore[i] = st.Stats()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for node := 0; node < s.opts.Nodes; node++ {
+		for w := 0; w < s.opts.WorkersPerNode; w++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				run.worker(node)
+			}(node)
+		}
+	}
+	wg.Wait()
+	run.stats.Wall = time.Since(start)
+	run.stats.StorageAfter = make([]storage.Stats, s.opts.Nodes)
+	for i, st := range s.stores {
+		run.stats.StorageAfter[i] = st.Stats()
+	}
+	if len(run.errs) > 0 {
+		return run.stats, errors.Join(run.errs...)
+	}
+	return run.stats, nil
+}
+
+// engineRun is the shared state of one Run invocation.
+type engineRun struct {
+	sys    *System
+	graph  *dag.Graph
+	assign map[string]int
+	spec   RunSpec
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	errs      []error
+	aborted   bool
+	consumers map[string]int
+
+	policies []*scheduler.Policy
+	stats    *RunStats
+}
+
+// worker is one computing filter: it repeatedly asks the node's local
+// scheduler for the best ready task, executes it, and publishes completion.
+func (r *engineRun) worker(node int) {
+	store := r.sys.stores[node]
+	for {
+		r.mu.Lock()
+		var task *dag.Task
+		for {
+			if r.aborted || r.graph.Done() {
+				r.mu.Unlock()
+				r.cond.Broadcast()
+				return
+			}
+			mine := r.readyFor(node)
+			if len(mine) > 0 {
+				// Residency snapshot for the pick. The map call leaves the
+				// lock briefly cold but keeps decisions fresh.
+				resident := residencyFunc(store)
+				task = r.policies[node].Pick(mine, resident)
+				// Keep the prefetch window full with the runner-up tasks'
+				// heavy data.
+				if w := r.sys.opts.PrefetchWindow; w > 0 {
+					for _, ref := range r.policies[node].PrefetchTargets(mine, resident, w) {
+						store.PrefetchBlock(ref.Array, blockOrZero(ref))
+					}
+				}
+				break
+			}
+			r.cond.Wait()
+		}
+		r.graph.Start(task.ID)
+		r.policies[node].Touch(task.HeavyInputs())
+		r.mu.Unlock()
+
+		ev := Event{Node: node, Task: task.ID, Kind: task.Kind, Start: time.Now()}
+		err := r.spec.Executors[task.Kind](&ExecContext{
+			Node:    node,
+			Workers: r.sys.opts.WorkersPerNode,
+			Store:   store,
+			Task:    task,
+			cache:   r.sys.decode[node],
+		})
+		ev.End = time.Now()
+
+		r.mu.Lock()
+		r.stats.Events = append(r.stats.Events, ev)
+		r.stats.TasksPerNode[node]++
+		if err != nil {
+			r.errs = append(r.errs, fmt.Errorf("core: task %s on node %d: %w", task.ID, node, err))
+			r.aborted = true
+			r.mu.Unlock()
+			r.cond.Broadcast()
+			return
+		}
+		r.graph.Complete(task.ID)
+		dead := r.retireInputs(task)
+		r.mu.Unlock()
+		r.cond.Broadcast()
+
+		// Reclaim dead ephemeral arrays outside the lock.
+		for _, name := range dead {
+			r.sys.decode[node].invalidate(name)
+			// Deletion failures (e.g. a concurrent late reader) are not
+			// fatal; the array simply lives a little longer.
+			_ = store.Delete(name)
+		}
+	}
+}
+
+// readyFor returns this node's ready tasks in DAG order. Caller holds mu.
+func (r *engineRun) readyFor(node int) []*dag.Task {
+	var out []*dag.Task
+	for _, id := range r.graph.Ready() {
+		if r.assign[id] == node {
+			out = append(out, r.graph.Task(id))
+		}
+	}
+	return out
+}
+
+// retireInputs decrements consumer counts and returns ephemeral arrays with
+// no remaining consumers. Caller holds mu.
+func (r *engineRun) retireInputs(t *dag.Task) []string {
+	var dead []string
+	seen := map[string]bool{}
+	for _, in := range t.Inputs {
+		if seen[in.Array] {
+			continue
+		}
+		seen[in.Array] = true
+		r.consumers[in.Array]--
+		if r.consumers[in.Array] == 0 && r.spec.Ephemeral[in.Array] {
+			dead = append(dead, in.Array)
+		}
+	}
+	return dead
+}
+
+// residencyFunc adapts a storage residency map to the scheduler's interface.
+func residencyFunc(store *storage.Store) func(dag.Ref) bool {
+	m := store.Map()
+	return func(ref dag.Ref) bool {
+		return m.Resident(ref.Array, blockOrZero(ref))
+	}
+}
+
+func blockOrZero(ref dag.Ref) int {
+	if ref.Block == dag.Whole || ref.Block < 0 {
+		return 0
+	}
+	return ref.Block
+}

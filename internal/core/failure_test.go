@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dooc/internal/sparse"
+)
+
+// TestCorruptStagedBlockFailsCleanly: a bit-flipped CRS block must surface
+// as an error from the run — never a hang, never a silent wrong result.
+func TestCorruptStagedBlockFailsCleanly(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const dim, k = 40, 2
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	cfg := SpMVConfig{Dim: dim, K: k, Iters: 2, Nodes: 1}
+	if err := StageMatrix(root, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of one block's payload.
+	victim := filepath.Join(root, "node0", "A_001_001.arr")
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Options{Nodes: 1, ScratchRoot: root, Reorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	x0 := make([]float64, dim)
+	for i := range x0 {
+		x0[i] = rng.NormFloat64()
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunIteratedSpMV(sys, cfg, x0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run succeeded on a corrupted block")
+		}
+		if !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("error does not identify the corruption: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run hung on a corrupted block")
+	}
+}
+
+// TestTruncatedStagedBlockFailsCleanly: same contract for truncation.
+func TestTruncatedStagedBlockFailsCleanly(t *testing.T) {
+	const dim, k = 30, 2
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	cfg := SpMVConfig{Dim: dim, K: k, Iters: 1, Nodes: 1}
+	if err := StageMatrix(root, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(root, "node0", "A_000_000.arr")
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Options{Nodes: 1, ScratchRoot: root, Reorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	x0 := make([]float64, dim)
+	x0[0] = 1
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunIteratedSpMV(sys, cfg, x0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run succeeded on a truncated block")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run hung on a truncated block")
+	}
+}
+
+// TestMissingStagedBlockDetectedAtDiscovery: an incomplete staging layout
+// is reported by DiscoverStagedMatrix before any run starts.
+func TestMissingStagedBlockDetectedAtDiscovery(t *testing.T) {
+	const dim, k = 30, 3
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	cfg := SpMVConfig{Dim: dim, K: k, Iters: 1, Nodes: 2}
+	if err := StageMatrix(root, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(root, "node1", "A_001_002.arr")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiscoverStagedMatrix(root); err == nil || !strings.Contains(err.Error(), "missing block") {
+		t.Fatalf("discovery err = %v, want missing-block error", err)
+	}
+}
+
+// TestDiscoveryOnEmptyDirErrors documents the empty-layout behaviour.
+func TestDiscoveryOnEmptyDirErrors(t *testing.T) {
+	if _, err := DiscoverStagedMatrix(t.TempDir()); err == nil {
+		t.Fatal("discovery on empty directory succeeded")
+	}
+}
+
+// TestDiscoverStagedMatrixRoundTrip verifies discovery against known
+// staging parameters.
+func TestDiscoverStagedMatrixRoundTrip(t *testing.T) {
+	const dim, k, nodes = 50, 4, 3
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	cfg := SpMVConfig{Dim: dim, K: k, Iters: 1, Nodes: nodes}
+	if err := StageMatrix(root, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	info, err := DiscoverStagedMatrix(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Dim != dim || info.K != k || info.Nodes != nodes {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.NNZ != m.NNZ() {
+		t.Fatalf("NNZ = %d, want %d", info.NNZ, m.NNZ())
+	}
+}

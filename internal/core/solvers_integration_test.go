@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dooc/internal/solvers"
+	"dooc/internal/sparse"
+)
+
+// spdTestMatrix builds a symmetric positive-definite matrix (diagonally
+// dominant shift of the symmetric gap generator).
+func spdTestMatrix(t *testing.T, n int, seed int64) *sparse.CSR {
+	t.Helper()
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: n, Cols: n, D: 3, Seed: seed, Symmetric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts []sparse.Triplet
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if int(m.ColIdx[k]) != i {
+				row += math.Abs(m.Val[k])
+			}
+			ts = append(ts, sparse.Triplet{Row: i, Col: int(m.ColIdx[k]), Val: m.Val[k]})
+		}
+		ts = append(ts, sparse.Triplet{Row: i, Col: i, Val: row + 1})
+	}
+	spd, err := sparse.FromTriplets(n, n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spd
+}
+
+// TestCGOverOutOfCoreOperator solves a linear system where every matrix
+// application runs through the full DOoC stack — the paper's "more linear
+// algebra kernels" future work, executed out-of-core.
+func TestCGOverOutOfCoreOperator(t *testing.T) {
+	const dim = 48
+	m := spdTestMatrix(t, dim, 31)
+	root := t.TempDir()
+	cfg := SpMVConfig{Dim: dim, K: 3, Iters: 1, Nodes: 2}
+	if err := StageMatrix(root, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Options{
+		Nodes:          2,
+		WorkersPerNode: 2,
+		ScratchRoot:    root,
+		MemoryBudget:   1 << 16,
+		PrefetchWindow: 1,
+		Reorder:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	op := &Operator{Sys: sys, Cfg: cfg}
+
+	b := make([]float64, dim)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	x, st, err := solvers.CG(op, b, solvers.CGOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("CG over DOoC did not converge: %+v", st)
+	}
+	// Verify in-core: A x == b.
+	ax := make([]float64, dim)
+	sparse.MulVec(m, x, ax)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-7 {
+			t.Fatalf("residual at %d: %v", i, ax[i]-b[i])
+		}
+	}
+	if op.Calls() != st.SpMVs {
+		t.Errorf("operator ran %d programs, CG counted %d SpMVs", op.Calls(), st.SpMVs)
+	}
+}
+
+// TestJacobiOverOutOfCoreOperator exercises the paper's reference-[6]
+// solver (Jacobi for large Markov-style systems) over the middleware.
+func TestJacobiOverOutOfCoreOperator(t *testing.T) {
+	const dim = 36
+	m := spdTestMatrix(t, dim, 37)
+	sys, err := NewSystem(Options{Nodes: 2, Reorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cfg := SpMVConfig{Dim: dim, K: 2, Iters: 1, Nodes: 2}
+	if err := LoadMatrixInMemory(sys, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	diag := make([]float64, dim)
+	for i := range diag {
+		diag[i] = m.At(i, i)
+	}
+	b := make([]float64, dim)
+	b[0], b[dim-1] = 1, -1
+	op := &Operator{Sys: sys, Cfg: cfg}
+	x, st, err := solvers.Jacobi(op, b, solvers.JacobiOptions{Diag: diag, Tol: 1e-10, MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("Jacobi over DOoC did not converge: %+v", st)
+	}
+	ax := make([]float64, dim)
+	sparse.MulVec(m, x, ax)
+	for i := range b {
+		if math.Abs(ax[i]-b[i]) > 1e-6 {
+			t.Fatalf("residual at %d: %v", i, ax[i]-b[i])
+		}
+	}
+}

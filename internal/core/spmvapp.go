@@ -1,0 +1,525 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dooc/internal/dag"
+	"dooc/internal/sparse"
+	"dooc/internal/spmv"
+	"dooc/internal/storage"
+)
+
+// SpMVConfig describes one out-of-core iterated SpMV run (Section IV of the
+// paper): a Dim×Dim matrix partitioned into a K×K grid of sub-matrices, with
+// node OwnerOf(u) responsible for sub-matrix row u.
+type SpMVConfig struct {
+	Dim   int
+	K     int
+	Iters int
+	Nodes int
+	// Tag namespaces the run's transient arrays (vectors, partials) so
+	// successive runs over the same staged matrix do not collide.
+	Tag string
+	// SplitWays, when > 1, decomposes every multiply into that many
+	// row-range sub-tasks, each writing a disjoint interval of the shared
+	// partial array — the paper's local-scheduler task splitting
+	// demonstrated through the storage layer's interval write leases.
+	SplitWays int
+}
+
+// Validate checks the configuration.
+func (c SpMVConfig) Validate() error {
+	if c.Dim <= 0 || c.K <= 0 || c.Iters <= 0 || c.Nodes <= 0 {
+		return fmt.Errorf("core: invalid SpMV config %+v", c)
+	}
+	if c.K > c.Dim {
+		return fmt.Errorf("core: K=%d exceeds dimension %d", c.K, c.Dim)
+	}
+	return nil
+}
+
+// OwnerOf maps sub-matrix row u to its owning node.
+func (c SpMVConfig) OwnerOf(u int) int { return u % c.Nodes }
+
+// Partition returns the row/column partition.
+func (c SpMVConfig) Partition() (sparse.GridPartition, error) {
+	return sparse.NewGridPartition(c.Dim, c.K)
+}
+
+// StageMatrix writes the K×K blocks of m as CRS-encoded storage arrays in
+// each owner node's scratch directory under scratchRoot (the layout
+// NewSystem's ScratchRoot option expects). A subsequent NewSystem over the
+// same root discovers them via the storage layer's startup scan — this is
+// the out-of-core staging step, the analogue of the paper's sub-matrix
+// files on GPFS.
+func StageMatrix(scratchRoot string, m *sparse.CSR, cfg SpMVConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if m.Rows != cfg.Dim || m.Cols != cfg.Dim {
+		return fmt.Errorf("core: matrix is %dx%d, config says %d", m.Rows, m.Cols, cfg.Dim)
+	}
+	p, err := cfg.Partition()
+	if err != nil {
+		return err
+	}
+	for u := 0; u < cfg.K; u++ {
+		dir := filepath.Join(scratchRoot, fmt.Sprintf("node%d", cfg.OwnerOf(u)))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for v := 0; v < cfg.K; v++ {
+			b, err := sparse.Block(m, p, u, v)
+			if err != nil {
+				return err
+			}
+			var buf bytes.Buffer
+			if err := sparse.WriteCRS(&buf, b); err != nil {
+				return err
+			}
+			path := filepath.Join(dir, spmv.MatrixArray(u, v)+".arr")
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StagedMatrixInfo describes a staged block set discovered on disk.
+type StagedMatrixInfo struct {
+	Dim   int
+	K     int
+	Nodes int
+	// NNZ is the total nonzero count across blocks.
+	NNZ int64
+	// Bytes is the total staged size.
+	Bytes int64
+}
+
+// DiscoverStagedMatrix inspects a StageMatrix layout under scratchRoot and
+// reconstructs its dimensions from the CRS block headers — what doocrun
+// uses so callers need not repeat generator parameters.
+func DiscoverStagedMatrix(scratchRoot string) (StagedMatrixInfo, error) {
+	var info StagedMatrixInfo
+	entries, err := os.ReadDir(scratchRoot)
+	if err != nil {
+		return info, err
+	}
+	blockPath := make(map[[2]int]string)
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "node") {
+			continue
+		}
+		var node int
+		if _, err := fmt.Sscanf(e.Name(), "node%d", &node); err != nil {
+			continue
+		}
+		if node+1 > info.Nodes {
+			info.Nodes = node + 1
+		}
+		files, err := os.ReadDir(filepath.Join(scratchRoot, e.Name()))
+		if err != nil {
+			return info, err
+		}
+		for _, f := range files {
+			var u, v int
+			if _, err := fmt.Sscanf(f.Name(), "A_%d_%d.arr", &u, &v); err != nil {
+				continue
+			}
+			blockPath[[2]int{u, v}] = filepath.Join(scratchRoot, e.Name(), f.Name())
+			if u+1 > info.K {
+				info.K = u + 1
+			}
+			if v+1 > info.K {
+				info.K = v + 1
+			}
+		}
+	}
+	if info.K == 0 {
+		return info, fmt.Errorf("core: no staged blocks under %s", scratchRoot)
+	}
+	for u := 0; u < info.K; u++ {
+		for v := 0; v < info.K; v++ {
+			path, ok := blockPath[[2]int{u, v}]
+			if !ok {
+				return info, fmt.Errorf("core: staged set incomplete: missing block (%d,%d)", u, v)
+			}
+			rows, _, nnz, err := sparse.ReadCRSHeader(path)
+			if err != nil {
+				return info, err
+			}
+			if v == 0 {
+				info.Dim += rows
+			}
+			info.NNZ += nnz
+			info.Bytes += sparse.FileBytes(rows, nnz)
+		}
+	}
+	return info, nil
+}
+
+// LoadMatrixInMemory stages the blocks directly into the running system's
+// stores (for scratch-less tests and small examples).
+func LoadMatrixInMemory(sys *System, m *sparse.CSR, cfg SpMVConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	p, err := cfg.Partition()
+	if err != nil {
+		return err
+	}
+	for u := 0; u < cfg.K; u++ {
+		st := sys.Store(cfg.OwnerOf(u))
+		for v := 0; v < cfg.K; v++ {
+			b, err := sparse.Block(m, p, u, v)
+			if err != nil {
+				return err
+			}
+			var buf bytes.Buffer
+			if err := sparse.WriteCRS(&buf, b); err != nil {
+				return err
+			}
+			if err := st.WriteArray(spmv.MatrixArray(u, v), buf.Bytes(), 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SpMVResult carries the outcome of an iterated SpMV run.
+type SpMVResult struct {
+	X     []float64
+	Stats *RunStats
+}
+
+// RunIteratedSpMV executes Iters power iterations y = A x out-of-core and
+// returns the final vector. Matrix blocks must already be staged (via
+// StageMatrix + system scan, or LoadMatrixInMemory).
+func RunIteratedSpMV(sys *System, cfg SpMVConfig, x0 []float64) (*SpMVResult, error) {
+	return runIteratedSpMV(sys, cfg, x0, spmvRunOpts{})
+}
+
+// RunIteratedSpMVWithAssignment bypasses the affinity scheduler with a
+// forced task placement — the data-oblivious baseline of the placement
+// ablation.
+func RunIteratedSpMVWithAssignment(sys *System, cfg SpMVConfig, x0 []float64, assign map[string]int) error {
+	_, err := runIteratedSpMV(sys, cfg, x0, spmvRunOpts{assignment: assign})
+	return err
+}
+
+// RunIteratedSpMVKeepAll disables dead-generation reclamation — the
+// baseline of the immutable-array memory-management ablation. Transient
+// arrays are left resident; the caller inspects storage stats afterwards.
+func RunIteratedSpMVKeepAll(sys *System, cfg SpMVConfig, x0 []float64) error {
+	_, err := runIteratedSpMV(sys, cfg, x0, spmvRunOpts{keepEphemeral: true})
+	return err
+}
+
+// spmvRunOpts are the internal knobs behind the ablation and checkpoint
+// entry points.
+type spmvRunOpts struct {
+	assignment    map[string]int
+	keepEphemeral bool
+
+	// checkpoint flushes every produced iterate and records it under
+	// checkpointTag with iteration indices offset by checkpointBase.
+	checkpoint     bool
+	checkpointTag  string
+	checkpointBase int
+}
+
+func runIteratedSpMV(sys *System, cfg SpMVConfig, x0 []float64, opts spmvRunOpts) (*SpMVResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(x0) != cfg.Dim {
+		return nil, fmt.Errorf("core: x0 has %d entries, want %d", len(x0), cfg.Dim)
+	}
+	p, err := cfg.Partition()
+	if err != nil {
+		return nil, err
+	}
+
+	// Determine sub-matrix sizes for scheduling weights.
+	var subBytes int64
+	for u := 0; u < cfg.K && subBytes == 0; u++ {
+		for v := 0; v < cfg.K && subBytes == 0; v++ {
+			info, err := sys.Store(0).Info(spmv.MatrixArray(u, v))
+			if err != nil {
+				return nil, fmt.Errorf("core: matrix block %s not staged: %w", spmv.MatrixArray(u, v), err)
+			}
+			subBytes = info.Size
+		}
+	}
+	prefix := ""
+	if cfg.Tag != "" {
+		prefix = cfg.Tag + ":"
+	}
+	pcfg := spmv.ProgramConfig{
+		K:         cfg.K,
+		Iters:     cfg.Iters,
+		SubBytes:  subBytes,
+		VecBytes:  8 * int64(p.Size(0)),
+		Prefix:    prefix,
+		SplitWays: cfg.SplitWays,
+	}
+	// Never split below one row per part: an empty stripe would leave its
+	// partial array incompletely written and stall the reduction.
+	if minRows := p.Size(cfg.K - 1); pcfg.SplitWays > minRows {
+		pcfg.SplitWays = minRows
+	}
+
+	// Create the vector and partial arrays, seed x^0.
+	ephemeral := make(map[string]bool)
+	for u := 0; u < cfg.K; u++ {
+		sz := int64(8 * p.Size(u))
+		owner := sys.Store(cfg.OwnerOf(u))
+		for t := 0; t <= cfg.Iters; t++ {
+			name := prefix + spmv.VecArray(t, u)
+			if err := owner.Create(name, sz, sz); err != nil {
+				return nil, err
+			}
+			if t < cfg.Iters {
+				ephemeral[name] = true
+			}
+		}
+		for t := 1; t <= cfg.Iters; t++ {
+			for v := 0; v < cfg.K; v++ {
+				name := prefix + spmv.PartialArray(t, u, v)
+				if err := owner.Create(name, sz, sz); err != nil {
+					return nil, err
+				}
+				ephemeral[name] = true
+			}
+		}
+		w, err := owner.Request(prefix+spmv.VecArray(0, u), 0, sz, storage.PermWrite)
+		if err != nil {
+			return nil, err
+		}
+		storage.PutFloat64s(w, x0[p.Start(u):p.Start(u+1)])
+		w.Release()
+	}
+
+	tasks, err := spmv.Program(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	locate := func(r dag.Ref) (int, bool) {
+		name := strings.TrimPrefix(r.Array, prefix)
+		var u int
+		if n, _ := fmt.Sscanf(name, "A_%d_", &u); n == 1 {
+			return cfg.OwnerOf(u), true
+		}
+		var t, v int
+		if n, _ := fmt.Sscanf(name, "xp_%d_%d_%d", &t, &u, &v); n == 3 {
+			return cfg.OwnerOf(u), true
+		}
+		if n, _ := fmt.Sscanf(name, "x_%d_%d", &t, &u); n == 2 {
+			return cfg.OwnerOf(u), true
+		}
+		return 0, false
+	}
+
+	if opts.keepEphemeral {
+		ephemeral = nil
+	}
+	executors := SpMVExecutors()
+	if opts.checkpoint {
+		executors["sum"] = checkpointSumExecutor(sys, prefix, opts.checkpointTag, opts.checkpointBase, p)
+	}
+	stats, err := sys.Run(RunSpec{
+		Tasks:      tasks,
+		Executors:  executors,
+		Locate:     locate,
+		Assignment: opts.assignment,
+		Ephemeral:  ephemeral,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect the final vector, then retire it (results live in the caller's
+	// memory; keeping dead generations would defeat the reclamation story).
+	x := make([]float64, 0, cfg.Dim)
+	for u := 0; u < cfg.K; u++ {
+		name := prefix + spmv.VecArray(cfg.Iters, u)
+		st := sys.Store(cfg.OwnerOf(u))
+		raw, err := st.ReadAll(name)
+		if err != nil {
+			return nil, err
+		}
+		x = append(x, storage.DecodeFloat64s(raw)...)
+		if !opts.keepEphemeral {
+			// Best effort: a straggling lease elsewhere just delays
+			// reclamation.
+			_ = st.Delete(name)
+		}
+	}
+	return &SpMVResult{X: x, Stats: stats}, nil
+}
+
+// Operator adapts the out-of-core iterated SpMV to the lanczos.Operator
+// interface: each Apply is one full DOoC run (program build, affinity
+// placement, out-of-core execution) over the staged matrix.
+type Operator struct {
+	Sys *System
+	Cfg SpMVConfig
+
+	calls int
+}
+
+// Dim returns the operator dimension.
+func (o *Operator) Dim() int { return o.Cfg.Dim }
+
+// Apply computes A x out-of-core.
+func (o *Operator) Apply(x []float64) ([]float64, error) {
+	cfg := o.Cfg
+	cfg.Iters = 1
+	cfg.Tag = fmt.Sprintf("%s#%d", o.Cfg.Tag, o.calls)
+	o.calls++
+	res, err := RunIteratedSpMV(o.Sys, cfg, x)
+	if err != nil {
+		return nil, err
+	}
+	return res.X, nil
+}
+
+// Calls reports how many SpMV programs the operator has executed.
+func (o *Operator) Calls() int { return o.calls }
+
+// SpMVExecutors returns the computing-filter implementations for the
+// iterated SpMV program's task kinds.
+func SpMVExecutors() map[string]Executor {
+	return map[string]Executor{
+		"multiply":      execMultiply,
+		"multiply-part": execMultiplyPart,
+		"sum":           execSum,
+	}
+}
+
+// execMultiply computes xp[t][u][v] = A[u][v] * x[t-1][v].
+func execMultiply(ctx *ExecContext) error {
+	t := ctx.Task
+	if len(t.Inputs) != 2 || len(t.Outputs) != 1 {
+		return fmt.Errorf("multiply task %s has unexpected shape", t.ID)
+	}
+	aRef, xRef, outRef := t.Inputs[0], t.Inputs[1], t.Outputs[0]
+
+	a, err := ctx.Matrix(aRef.Array)
+	if err != nil {
+		return fmt.Errorf("decoding %s: %w", aRef.Array, err)
+	}
+
+	xLease, err := ctx.Store.RequestBlock(xRef.Array, 0, storage.PermRead)
+	if err != nil {
+		return err
+	}
+	xv := storage.GetFloat64s(xLease)
+	xLease.Release()
+
+	y := make([]float64, a.Rows)
+	sparse.MulVecParallel(a, xv, y, ctx.Workers)
+
+	out, err := ctx.Store.RequestBlock(outRef.Array, 0, storage.PermWrite)
+	if err != nil {
+		return err
+	}
+	storage.PutFloat64s(out, y)
+	out.Release()
+	return nil
+}
+
+// execMultiplyPart computes rows [r0, r1) of xp[t][u][v] = A[u][v]*x[t-1][v]
+// and publishes them through an interval write lease on the shared partial
+// array — disjoint sub-task outputs need no coordination beyond the
+// immutable-interval discipline.
+func execMultiplyPart(ctx *ExecContext) error {
+	t := ctx.Task
+	if len(t.Inputs) != 2 || len(t.Outputs) != 1 {
+		return fmt.Errorf("multiply-part task %s has unexpected shape", t.ID)
+	}
+	aRef, xRef, outRef := t.Inputs[0], t.Inputs[1], t.Outputs[0]
+	_, _, _, p, ways, err := spmv.ParseMultPart(t.ID)
+	if err != nil {
+		return err
+	}
+	if ways < 1 {
+		return fmt.Errorf("multiply-part task %s declares %d ways", t.ID, ways)
+	}
+
+	a, err := ctx.Matrix(aRef.Array)
+	if err != nil {
+		return fmt.Errorf("decoding %s: %w", aRef.Array, err)
+	}
+	xLease, err := ctx.Store.RequestBlock(xRef.Array, 0, storage.PermRead)
+	if err != nil {
+		return err
+	}
+	xv := storage.GetFloat64s(xLease)
+	xLease.Release()
+
+	// Row range of this part: contiguous stripes covering all rows.
+	rows := a.Rows
+	r0 := rows * p / ways
+	r1 := rows * (p + 1) / ways
+	if r0 >= r1 {
+		return nil // more parts than rows: this stripe is empty
+	}
+	y := make([]float64, r1-r0)
+	for i := r0; i < r1; i++ {
+		sum := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			sum += a.Val[k] * xv[a.ColIdx[k]]
+		}
+		y[i-r0] = sum
+	}
+	out, err := ctx.Store.Request(outRef.Array, int64(8*r0), int64(8*r1), storage.PermWrite)
+	if err != nil {
+		return err
+	}
+	storage.PutFloat64s(out, y)
+	out.Release()
+	return nil
+}
+
+// execSum computes x[t][u] = Σ_v xp[t][u][v]. Inputs may list the same
+// partial array several times (once per written part); each array is summed
+// exactly once.
+func execSum(ctx *ExecContext) error {
+	t := ctx.Task
+	if len(t.Outputs) != 1 || len(t.Inputs) == 0 {
+		return fmt.Errorf("sum task %s has unexpected shape", t.ID)
+	}
+	var acc []float64
+	seen := make(map[string]bool, len(t.Inputs))
+	for _, in := range t.Inputs {
+		if seen[in.Array] {
+			continue
+		}
+		seen[in.Array] = true
+		l, err := ctx.Store.RequestBlock(in.Array, 0, storage.PermRead)
+		if err != nil {
+			return err
+		}
+		part := storage.GetFloat64s(l)
+		l.Release()
+		if acc == nil {
+			acc = part
+			continue
+		}
+		sparse.Sum(acc, part)
+	}
+	out, err := ctx.Store.RequestBlock(t.Outputs[0].Array, 0, storage.PermWrite)
+	if err != nil {
+		return err
+	}
+	storage.PutFloat64s(out, acc)
+	out.Release()
+	return nil
+}

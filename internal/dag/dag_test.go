@@ -1,0 +1,249 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ref(name string, block int) Ref { return Ref{Array: name, Block: block, Bytes: 100} }
+
+func TestBuildDerivesDependencies(t *testing.T) {
+	// producer writes a, consumer reads a: consumer depends on producer.
+	g, err := Build([]*Task{
+		{ID: "w", Outputs: []Ref{ref("a", 0)}},
+		{ID: "r", Inputs: []Ref{ref("a", 0)}, Outputs: []Ref{ref("b", 0)}},
+		{ID: "r2", Inputs: []Ref{ref("b", 0)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Preds("r"); len(got) != 1 || got[0] != "w" {
+		t.Fatalf("Preds(r) = %v", got)
+	}
+	if got := g.Succs("r"); len(got) != 1 || got[0] != "r2" {
+		t.Fatalf("Succs(r) = %v", got)
+	}
+	if got := g.Ready(); len(got) != 1 || got[0] != "w" {
+		t.Fatalf("Ready = %v", got)
+	}
+}
+
+func TestIndependentInputsAreReady(t *testing.T) {
+	// Reading data nothing produces (seed data) yields no dependency.
+	g, err := Build([]*Task{
+		{ID: "t1", Inputs: []Ref{ref("seed", 0)}},
+		{ID: "t2", Inputs: []Ref{ref("seed", 0)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Ready(); len(got) != 2 {
+		t.Fatalf("Ready = %v", got)
+	}
+}
+
+func TestDuplicateWriterRejected(t *testing.T) {
+	_, err := Build([]*Task{
+		{ID: "w1", Outputs: []Ref{ref("a", 0)}},
+		{ID: "w2", Outputs: []Ref{ref("a", 0)}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "single writer") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	_, err := Build([]*Task{{ID: "x"}, {ID: "x"}})
+	if err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	_, err := Build([]*Task{
+		{ID: "a", Inputs: []Ref{ref("y", 0)}, Outputs: []Ref{ref("x", 0)}},
+		{ID: "b", Inputs: []Ref{ref("x", 0)}, Outputs: []Ref{ref("y", 0)}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStartCompleteProtocol(t *testing.T) {
+	g, err := Build([]*Task{
+		{ID: "w", Outputs: []Ref{ref("a", 0)}},
+		{ID: "r", Inputs: []Ref{ref("a", 0)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start("w")
+	if len(g.Ready()) != 0 {
+		t.Fatal("running task still in ready set")
+	}
+	g.Complete("w")
+	if got := g.Ready(); len(got) != 1 || got[0] != "r" {
+		t.Fatalf("Ready = %v", got)
+	}
+	g.Start("r")
+	g.Complete("r")
+	if !g.Done() {
+		t.Fatal("not done after completing all tasks")
+	}
+}
+
+func TestStartNotReadyPanics(t *testing.T) {
+	g, _ := Build([]*Task{
+		{ID: "w", Outputs: []Ref{ref("a", 0)}},
+		{ID: "r", Inputs: []Ref{ref("a", 0)}},
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic starting blocked task")
+		}
+	}()
+	g.Start("r")
+}
+
+func TestCompleteWithoutStartPanics(t *testing.T) {
+	g, _ := Build([]*Task{{ID: "w"}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic completing unstarted task")
+		}
+	}()
+	g.Complete("w")
+}
+
+func TestHeavyInputsDefault(t *testing.T) {
+	t1 := &Task{ID: "t", Inputs: []Ref{ref("a", 0), ref("b", 0)}}
+	if len(t1.HeavyInputs()) != 2 {
+		t.Fatal("HeavyInputs should default to all inputs")
+	}
+	t1.Heavy = []Ref{ref("a", 0)}
+	if len(t1.HeavyInputs()) != 1 {
+		t.Fatal("explicit Heavy not honored")
+	}
+}
+
+func TestTopoRespectsEdges(t *testing.T) {
+	g, err := Build([]*Task{
+		{ID: "c", Inputs: []Ref{ref("b", 0)}},
+		{ID: "a", Outputs: []Ref{ref("a", 0)}},
+		{ID: "b", Inputs: []Ref{ref("a", 0)}, Outputs: []Ref{ref("b", 0)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := g.Topo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, id := range topo {
+		pos[id] = i
+	}
+	if !(pos["a"] < pos["b"] && pos["b"] < pos["c"]) {
+		t.Fatalf("topo = %v", topo)
+	}
+}
+
+func TestCriticalPathLen(t *testing.T) {
+	g, _ := Build([]*Task{
+		{ID: "a", Outputs: []Ref{ref("x", 0)}},
+		{ID: "b", Inputs: []Ref{ref("x", 0)}, Outputs: []Ref{ref("y", 0)}},
+		{ID: "c", Inputs: []Ref{ref("y", 0)}},
+		{ID: "solo"},
+	})
+	if got := g.CriticalPathLen(); got != 3 {
+		t.Fatalf("CriticalPathLen = %d, want 3", got)
+	}
+}
+
+// TestRandomDAGExecutionProperty: driving random layered DAGs through
+// Ready/Start/Complete always respects dependencies and terminates.
+func TestRandomDAGExecutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		layers := 1 + rng.Intn(5)
+		perLayer := 1 + rng.Intn(5)
+		var tasks []*Task
+		for l := 0; l < layers; l++ {
+			for i := 0; i < perLayer; i++ {
+				tk := &Task{
+					ID:      fmt.Sprintf("L%d-%d", l, i),
+					Outputs: []Ref{ref(fmt.Sprintf("d%d-%d", l, i), 0)},
+				}
+				if l > 0 {
+					// Depend on a random subset of the previous layer.
+					for j := 0; j < perLayer; j++ {
+						if rng.Intn(2) == 0 {
+							tk.Inputs = append(tk.Inputs, ref(fmt.Sprintf("d%d-%d", l-1, j), 0))
+						}
+					}
+				}
+				tasks = append(tasks, tk)
+			}
+		}
+		g, err := Build(tasks)
+		if err != nil {
+			return false
+		}
+		completedSet := map[string]bool{}
+		steps := 0
+		for !g.Done() {
+			ready := g.Ready()
+			if len(ready) == 0 {
+				return false // deadlock
+			}
+			id := ready[rng.Intn(len(ready))]
+			// All predecessors must already be complete.
+			for _, p := range g.Preds(id) {
+				if !completedSet[p] {
+					return false
+				}
+			}
+			g.Start(id)
+			g.Complete(id)
+			completedSet[id] = true
+			steps++
+			if steps > len(tasks) {
+				return false
+			}
+		}
+		return steps == len(tasks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkBuildLargeDAG measures DAG derivation on a wide layered graph.
+func BenchmarkBuildLargeDAG(b *testing.B) {
+	var tasks []*Task
+	const layers, width = 20, 50
+	for l := 0; l < layers; l++ {
+		for i := 0; i < width; i++ {
+			tk := &Task{
+				ID:      fmt.Sprintf("L%d-%d", l, i),
+				Outputs: []Ref{{Array: fmt.Sprintf("d%d-%d", l, i)}},
+			}
+			if l > 0 {
+				for j := 0; j < 3; j++ {
+					tk.Inputs = append(tk.Inputs, Ref{Array: fmt.Sprintf("d%d-%d", l-1, (i+j)%width)})
+				}
+			}
+			tasks = append(tasks, tk)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tasks)), "tasks")
+}

@@ -1,0 +1,43 @@
+package datacutter
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSharedStreamThroughput measures buffers/sec through a shared
+// stream with varying consumer replication.
+func BenchmarkSharedStreamThroughput(b *testing.B) {
+	for _, copies := range []int{1, 4} {
+		b.Run(fmt.Sprintf("copies=%d", copies), func(b *testing.B) {
+			l := NewLayout()
+			n := b.N
+			l.MustAddFilter("src", func() Filter {
+				return FilterFunc(func(ctx *Context) error {
+					for i := 0; i < n; i++ {
+						ctx.Write("s", Buffer{Value: i, Bytes: 8})
+					}
+					return nil
+				})
+			})
+			l.MustAddFilter("sink", func() Filter {
+				return FilterFunc(func(ctx *Context) error {
+					for {
+						if _, ok := ctx.Read("s"); !ok {
+							return nil
+						}
+					}
+				})
+			}, Copies(copies))
+			l.MustConnect("s", "src", "sink", Depth(1024))
+			rt, err := NewRuntime(l, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if err := rt.Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,202 @@
+// Package datacutter implements a filter-stream dataflow middleware modeled
+// on DataCutter (Beynon et al., Parallel Computing 2001), the substrate the
+// DOoC paper builds on.
+//
+// Computations are expressed as a set of components, called filters, that
+// exchange data through logical streams. A stream is a uni-directional flow
+// of untyped data buffers from producer filters to consumer filters. A
+// Layout is the "filter ontology": it declares the filters, their placement
+// on cluster nodes, their replication factors, and the streams connecting
+// them. Stateless filters can be replicated ("transparent copies"): copies
+// share the input stream demand-driven, which provides data parallelism
+// without any change to filter code. Task parallelism and pipelined
+// parallelism come from filters being independent goroutines connected by
+// bounded channels (backpressure included).
+package datacutter
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Buffer is the untyped unit of data flowing through a stream.
+//
+// Data carries serialized payloads; Value is an in-process fast path that
+// avoids serialization for large numeric payloads (the middleware shares it
+// by reference, so treat transferred values as immutable — the same
+// discipline DOoC's storage layer enforces). Bytes is the accounted wire
+// size; when zero it defaults to len(Data).
+type Buffer struct {
+	Tag   string
+	Data  []byte
+	Value any
+	Bytes int64
+
+	// from is the producing instance, set by the runtime for accounting.
+	from *instance
+}
+
+// WireBytes returns the accounted size of the buffer.
+func (b Buffer) WireBytes() int64 {
+	if b.Bytes > 0 {
+		return b.Bytes
+	}
+	return int64(len(b.Data))
+}
+
+// Filter is a dataflow component. Run is invoked once per instance
+// (copy); it should loop reading input streams until they are drained,
+// writing results to output streams, and then return. A non-nil error
+// aborts the layout run.
+type Filter interface {
+	Run(ctx *Context) error
+}
+
+// FilterFunc adapts a function to the Filter interface.
+type FilterFunc func(ctx *Context) error
+
+// Run implements Filter.
+func (f FilterFunc) Run(ctx *Context) error { return f(ctx) }
+
+// StreamMode selects how buffers are distributed among consumer copies.
+type StreamMode int
+
+const (
+	// Shared: all consumer copies read from one queue, demand-driven.
+	// This is DataCutter's transparent-copy data parallelism.
+	Shared StreamMode = iota
+	// PerConsumer: each consumer copy has a private queue; producers address
+	// a specific copy with WriteTo. Used for request/reply protocols such as
+	// the storage layer's.
+	PerConsumer
+	// Broadcast: every consumer copy receives every buffer (replicated
+	// delivery), e.g. for distributing an iterate to all workers.
+	Broadcast
+)
+
+// filterDecl is a declared filter with its placement.
+type filterDecl struct {
+	name    string
+	factory func() Filter
+	copies  int
+	nodes   []int // node of each copy; len == copies
+}
+
+// streamDecl is a declared stream.
+type streamDecl struct {
+	name     string
+	from, to string
+	mode     StreamMode
+	depth    int
+}
+
+// Layout declares filters, their placement, and the streams connecting them.
+type Layout struct {
+	filters map[string]*filterDecl
+	order   []string
+	streams map[string]*streamDecl
+	sorder  []string
+}
+
+// NewLayout returns an empty layout.
+func NewLayout() *Layout {
+	return &Layout{
+		filters: make(map[string]*filterDecl),
+		streams: make(map[string]*streamDecl),
+	}
+}
+
+// FilterOption configures a declared filter.
+type FilterOption func(*filterDecl)
+
+// Copies sets the number of transparent copies (default 1).
+func Copies(n int) FilterOption {
+	return func(d *filterDecl) { d.copies = n }
+}
+
+// OnNodes pins each copy to a node; the slice is cycled if shorter than the
+// copy count. Default: all copies on node 0.
+func OnNodes(nodes ...int) FilterOption {
+	return func(d *filterDecl) { d.nodes = nodes }
+}
+
+// AddFilter declares a filter. factory is called once per copy, so per-copy
+// state is private by construction (the paper's "replicable if stateless"
+// rule applies to state shared *across* copies).
+func (l *Layout) AddFilter(name string, factory func() Filter, opts ...FilterOption) error {
+	if name == "" {
+		return errors.New("datacutter: empty filter name")
+	}
+	if _, dup := l.filters[name]; dup {
+		return fmt.Errorf("datacutter: duplicate filter %q", name)
+	}
+	d := &filterDecl{name: name, factory: factory, copies: 1}
+	for _, o := range opts {
+		o(d)
+	}
+	if d.copies <= 0 {
+		return fmt.Errorf("datacutter: filter %q needs at least one copy", name)
+	}
+	if len(d.nodes) == 0 {
+		d.nodes = []int{0}
+	}
+	// Expand node assignment to one entry per copy.
+	expanded := make([]int, d.copies)
+	for i := range expanded {
+		expanded[i] = d.nodes[i%len(d.nodes)]
+	}
+	d.nodes = expanded
+	l.filters[name] = d
+	l.order = append(l.order, name)
+	return nil
+}
+
+// StreamOption configures a declared stream.
+type StreamOption func(*streamDecl)
+
+// Mode sets the distribution mode.
+func Mode(m StreamMode) StreamOption {
+	return func(d *streamDecl) { d.mode = m }
+}
+
+// Depth sets the queue depth (default 64).
+func Depth(n int) StreamOption {
+	return func(d *streamDecl) { d.depth = n }
+}
+
+// Connect declares a stream from filter `from` to filter `to`.
+func (l *Layout) Connect(stream, from, to string, opts ...StreamOption) error {
+	if _, dup := l.streams[stream]; dup {
+		return fmt.Errorf("datacutter: duplicate stream %q", stream)
+	}
+	if _, ok := l.filters[from]; !ok {
+		return fmt.Errorf("datacutter: stream %q: unknown producer filter %q", stream, from)
+	}
+	if _, ok := l.filters[to]; !ok {
+		return fmt.Errorf("datacutter: stream %q: unknown consumer filter %q", stream, to)
+	}
+	d := &streamDecl{name: stream, from: from, to: to, mode: Shared, depth: 64}
+	for _, o := range opts {
+		o(d)
+	}
+	if d.depth <= 0 {
+		return fmt.Errorf("datacutter: stream %q depth must be positive", stream)
+	}
+	l.streams[stream] = d
+	l.sorder = append(l.sorder, stream)
+	return nil
+}
+
+// MustAddFilter is AddFilter that panics on error (setup-time convenience).
+func (l *Layout) MustAddFilter(name string, factory func() Filter, opts ...FilterOption) {
+	if err := l.AddFilter(name, factory, opts...); err != nil {
+		panic(err)
+	}
+}
+
+// MustConnect is Connect that panics on error.
+func (l *Layout) MustConnect(stream, from, to string, opts ...StreamOption) {
+	if err := l.Connect(stream, from, to, opts...); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,504 @@
+package datacutter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"dooc/internal/simnet"
+)
+
+// pipeline helper: producer emits ints 0..n-1, consumer collects them.
+func runPipeline(t *testing.T, n, consumerCopies int) []int {
+	t.Helper()
+	l := NewLayout()
+	l.MustAddFilter("src", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for i := 0; i < n; i++ {
+				ctx.Write("ints", Buffer{Value: i, Bytes: 8})
+			}
+			return nil
+		})
+	})
+	var mu sync.Mutex
+	var got []int
+	l.MustAddFilter("sink", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for {
+				b, ok := ctx.Read("ints")
+				if !ok {
+					return nil
+				}
+				mu.Lock()
+				got = append(got, b.Value.(int))
+				mu.Unlock()
+			}
+		})
+	}, Copies(consumerCopies))
+	l.MustConnect("ints", "src", "sink")
+	rt, err := NewRuntime(l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	return got
+}
+
+func TestSimplePipeline(t *testing.T) {
+	got := runPipeline(t, 100, 1)
+	if len(got) != 100 {
+		t.Fatalf("received %d buffers, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestReplicatedConsumerReceivesEverythingOnce(t *testing.T) {
+	got := runPipeline(t, 500, 4)
+	if len(got) != 500 {
+		t.Fatalf("received %d buffers, want 500 (demand-driven sharing, no dup/loss)", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d (duplicate or loss)", i, v)
+		}
+	}
+}
+
+func TestMultiStagePipelineWithFanOutFanIn(t *testing.T) {
+	// src -> (x2 squared workers) -> sink, values squared.
+	const n = 200
+	l := NewLayout()
+	l.MustAddFilter("src", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for i := 0; i < n; i++ {
+				ctx.Write("in", Buffer{Value: i})
+			}
+			return nil
+		})
+	})
+	l.MustAddFilter("worker", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for {
+				b, ok := ctx.Read("in")
+				if !ok {
+					return nil
+				}
+				v := b.Value.(int)
+				ctx.Write("out", Buffer{Value: v * v})
+			}
+		})
+	}, Copies(3))
+	var mu sync.Mutex
+	sum := 0
+	l.MustAddFilter("sink", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for {
+				b, ok := ctx.Read("out")
+				if !ok {
+					return nil
+				}
+				mu.Lock()
+				sum += b.Value.(int)
+				mu.Unlock()
+			}
+		})
+	})
+	l.MustConnect("in", "src", "worker")
+	l.MustConnect("out", "worker", "sink")
+	rt, err := NewRuntime(l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		want += i * i
+	}
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestPerConsumerUnicastRouting(t *testing.T) {
+	// Producer addresses each consumer copy explicitly; each copy must see
+	// exactly its own values.
+	const copies = 4
+	l := NewLayout()
+	l.MustAddFilter("src", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for i := 0; i < 100; i++ {
+				ctx.WriteTo("uni", i%copies, Buffer{Value: i})
+			}
+			return nil
+		})
+	})
+	var mu sync.Mutex
+	wrong := 0
+	counts := make([]int, copies)
+	l.MustAddFilter("sink", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for {
+				b, ok := ctx.Read("uni")
+				if !ok {
+					return nil
+				}
+				mu.Lock()
+				counts[ctx.CopyID()]++
+				if b.Value.(int)%copies != ctx.CopyID() {
+					wrong++
+				}
+				mu.Unlock()
+			}
+		})
+	}, Copies(copies))
+	l.MustConnect("uni", "src", "sink", Mode(PerConsumer))
+	rt, err := NewRuntime(l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wrong != 0 {
+		t.Fatalf("%d buffers routed to the wrong copy", wrong)
+	}
+	for i, c := range counts {
+		if c != 25 {
+			t.Fatalf("copy %d saw %d buffers, want 25", i, c)
+		}
+	}
+}
+
+func TestRequestReplyProtocol(t *testing.T) {
+	// Two client copies send requests carrying their copy ID; a server
+	// replies to exactly the requesting copy. This is the storage-layer
+	// communication pattern.
+	type req struct {
+		from int
+		x    int
+	}
+	l := NewLayout()
+	l.MustAddFilter("client", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for i := 0; i < 50; i++ {
+				ctx.Write("req", Buffer{Value: req{from: ctx.CopyID(), x: i}})
+				b, ok := ctx.Read("rep")
+				if !ok {
+					return fmt.Errorf("reply stream closed early")
+				}
+				if b.Value.(int) != i*10 {
+					return fmt.Errorf("copy %d got %v for %d", ctx.CopyID(), b.Value, i)
+				}
+			}
+			return nil
+		})
+	}, Copies(2))
+	l.MustAddFilter("server", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for {
+				b, ok := ctx.Read("req")
+				if !ok {
+					return nil
+				}
+				r := b.Value.(req)
+				ctx.WriteTo("rep", r.from, Buffer{Value: r.x * 10})
+			}
+		})
+	})
+	l.MustConnect("req", "client", "server")
+	l.MustConnect("rep", "server", "client", Mode(PerConsumer))
+	rt, err := NewRuntime(l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterErrorPropagates(t *testing.T) {
+	l := NewLayout()
+	l.MustAddFilter("bad", func() Filter {
+		return FilterFunc(func(ctx *Context) error { return fmt.Errorf("boom") })
+	})
+	rt, err := NewRuntime(l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestFilterPanicBecomesError(t *testing.T) {
+	l := NewLayout()
+	l.MustAddFilter("explode", func() Filter {
+		return FilterFunc(func(ctx *Context) error { panic("kaboom") })
+	})
+	rt, err := NewRuntime(l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Run()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want kaboom", err)
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	l := NewLayout()
+	if err := l.AddFilter("", nil); err == nil {
+		t.Error("expected error for empty name")
+	}
+	if err := l.AddFilter("f", func() Filter { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddFilter("f", func() Filter { return nil }); err == nil {
+		t.Error("expected duplicate filter error")
+	}
+	if err := l.AddFilter("neg", func() Filter { return nil }, Copies(0)); err == nil {
+		t.Error("expected error for zero copies")
+	}
+	if err := l.Connect("s", "f", "ghost"); err == nil {
+		t.Error("expected unknown consumer error")
+	}
+	if err := l.Connect("s", "ghost", "f"); err == nil {
+		t.Error("expected unknown producer error")
+	}
+	if err := l.Connect("s", "f", "f"); err != nil {
+		t.Errorf("self-loop should be legal (storage uses it): %v", err)
+	}
+	if err := l.Connect("s", "f", "f"); err == nil {
+		t.Error("expected duplicate stream error")
+	}
+	if err := l.Connect("s2", "f", "f", Depth(0)); err == nil {
+		t.Error("expected error for zero depth")
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	l := NewLayout()
+	l.MustAddFilter("f", func() Filter { return FilterFunc(func(*Context) error { return nil }) }, OnNodes(5))
+	cluster, _ := simnet.New(simnet.Config{Nodes: 2})
+	if _, err := NewRuntime(l, cluster); err == nil {
+		t.Fatal("expected placement error for node 5 on 2-node cluster")
+	}
+}
+
+func TestCrossNodeTrafficIsAccounted(t *testing.T) {
+	cluster, _ := simnet.New(simnet.Config{Nodes: 2})
+	l := NewLayout()
+	l.MustAddFilter("src", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for i := 0; i < 10; i++ {
+				ctx.Write("s", Buffer{Value: i, Bytes: 100})
+			}
+			return nil
+		})
+	}, OnNodes(0))
+	l.MustAddFilter("sink", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for {
+				if _, ok := ctx.Read("s"); !ok {
+					return nil
+				}
+			}
+		})
+	}, OnNodes(1))
+	l.MustConnect("s", "src", "sink")
+	rt, err := NewRuntime(l, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cluster.LinkBytes(0, 1); got != 1000 {
+		t.Fatalf("LinkBytes(0,1) = %d, want 1000", got)
+	}
+}
+
+func TestSameNodeTrafficIsFree(t *testing.T) {
+	cluster, _ := simnet.New(simnet.Config{Nodes: 2})
+	l := NewLayout()
+	l.MustAddFilter("src", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			ctx.Write("s", Buffer{Value: 1, Bytes: 4096})
+			return nil
+		})
+	}, OnNodes(1))
+	l.MustAddFilter("sink", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for {
+				if _, ok := ctx.Read("s"); !ok {
+					return nil
+				}
+			}
+		})
+	}, OnNodes(1))
+	l.MustConnect("s", "src", "sink")
+	rt, _ := NewRuntime(l, cluster)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cluster.TotalNetworkBytes(); got != 0 {
+		t.Fatalf("network bytes = %d, want 0 for co-located filters", got)
+	}
+}
+
+func TestStreamStats(t *testing.T) {
+	l := NewLayout()
+	l.MustAddFilter("src", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for i := 0; i < 7; i++ {
+				ctx.Write("s", Buffer{Data: []byte("abc")})
+			}
+			return nil
+		})
+	})
+	l.MustAddFilter("sink", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for {
+				if _, ok := ctx.Read("s"); !ok {
+					return nil
+				}
+			}
+		})
+	})
+	l.MustConnect("s", "src", "sink")
+	rt, _ := NewRuntime(l, nil)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stats := rt.Stats()
+	if len(stats) != 1 || stats[0].Buffers != 7 || stats[0].Bytes != 21 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestWireBytesDefault(t *testing.T) {
+	b := Buffer{Data: []byte("hello")}
+	if b.WireBytes() != 5 {
+		t.Fatalf("WireBytes = %d, want 5", b.WireBytes())
+	}
+	b.Bytes = 99
+	if b.WireBytes() != 99 {
+		t.Fatalf("WireBytes = %d, want 99", b.WireBytes())
+	}
+}
+
+func TestReadWrongRolePanics(t *testing.T) {
+	l := NewLayout()
+	l.MustAddFilter("src", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			defer func() {
+				if recover() == nil {
+					panic("expected role panic")
+				}
+			}()
+			ctx.Read("s") // src is the producer, not consumer
+			return nil
+		})
+	})
+	l.MustAddFilter("sink", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for {
+				if _, ok := ctx.Read("s"); !ok {
+					return nil
+				}
+			}
+		})
+	})
+	l.MustConnect("s", "src", "sink")
+	rt, _ := NewRuntime(l, nil)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastDeliversToEveryCopy(t *testing.T) {
+	const copies, n = 3, 40
+	l := NewLayout()
+	l.MustAddFilter("src", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for i := 0; i < n; i++ {
+				ctx.Write("bc", Buffer{Value: i, Bytes: 8})
+			}
+			return nil
+		})
+	})
+	var mu sync.Mutex
+	perCopy := make([]int, copies)
+	sums := make([]int, copies)
+	l.MustAddFilter("sink", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for {
+				b, ok := ctx.Read("bc")
+				if !ok {
+					return nil
+				}
+				mu.Lock()
+				perCopy[ctx.CopyID()]++
+				sums[ctx.CopyID()] += b.Value.(int)
+				mu.Unlock()
+			}
+		})
+	}, Copies(copies))
+	l.MustConnect("bc", "src", "sink", Mode(Broadcast))
+	rt, err := NewRuntime(l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantSum := n * (n - 1) / 2
+	for c := 0; c < copies; c++ {
+		if perCopy[c] != n {
+			t.Errorf("copy %d received %d buffers, want %d", c, perCopy[c], n)
+		}
+		if sums[c] != wantSum {
+			t.Errorf("copy %d sum %d, want %d", c, sums[c], wantSum)
+		}
+	}
+	// Stream stats count one entry per delivered buffer.
+	if s := rt.Stats(); s[0].Buffers != int64(copies*n) {
+		t.Errorf("stream buffers = %d, want %d", s[0].Buffers, copies*n)
+	}
+}
+
+func TestWriteToOnBroadcastPanicsBecomesError(t *testing.T) {
+	l := NewLayout()
+	l.MustAddFilter("src", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			ctx.WriteTo("bc", 0, Buffer{Value: 1})
+			return nil
+		})
+	})
+	l.MustAddFilter("sink", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for {
+				if _, ok := ctx.Read("bc"); !ok {
+					return nil
+				}
+			}
+		})
+	})
+	l.MustConnect("bc", "src", "sink", Mode(Broadcast))
+	rt, _ := NewRuntime(l, nil)
+	if err := rt.Run(); err == nil {
+		t.Fatal("WriteTo on broadcast stream did not error")
+	}
+}

@@ -1,0 +1,253 @@
+package datacutter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dooc/internal/simnet"
+)
+
+// instance is one running copy of a filter.
+type instance struct {
+	decl   *filterDecl
+	copyID int
+	node   int
+}
+
+// runtimeStream is the instantiated form of a streamDecl.
+type runtimeStream struct {
+	decl *streamDecl
+	// queues: one element for Shared mode, one per consumer copy for
+	// PerConsumer mode.
+	queues []chan Buffer
+	// producers still running; when it hits zero the queues close.
+	producers int32
+	// rr distributes plain Write calls over PerConsumer queues.
+	rr uint64
+
+	buffers int64
+	bytes   int64
+}
+
+func (s *runtimeStream) close() {
+	for _, q := range s.queues {
+		close(q)
+	}
+}
+
+// StreamStats reports traffic through one stream for a completed run.
+type StreamStats struct {
+	Stream  string
+	Buffers int64
+	Bytes   int64
+}
+
+// Runtime executes a Layout.
+type Runtime struct {
+	layout  *Layout
+	cluster *simnet.Cluster
+	streams map[string]*runtimeStream
+}
+
+// NewRuntime prepares a runtime for the layout. cluster may be nil, in which
+// case a single-node cluster is created. Filter placements must fit the
+// cluster size.
+func NewRuntime(layout *Layout, cluster *simnet.Cluster) (*Runtime, error) {
+	if cluster == nil {
+		var err error
+		cluster, err = simnet.New(simnet.Config{Nodes: 1})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range layout.order {
+		d := layout.filters[name]
+		for _, n := range d.nodes {
+			if n < 0 || n >= cluster.Size() {
+				return nil, fmt.Errorf("datacutter: filter %q placed on node %d, cluster has %d", name, n, cluster.Size())
+			}
+		}
+	}
+	return &Runtime{layout: layout, cluster: cluster}, nil
+}
+
+// Run instantiates every filter copy as a goroutine, wires the streams, and
+// blocks until all filters return. It returns the joined non-nil filter
+// errors, if any.
+func (r *Runtime) Run() error {
+	l := r.layout
+	r.streams = make(map[string]*runtimeStream, len(l.streams))
+	for _, name := range l.sorder {
+		d := l.streams[name]
+		rs := &runtimeStream{decl: d, producers: int32(l.filters[d.from].copies)}
+		switch d.mode {
+		case Shared:
+			rs.queues = []chan Buffer{make(chan Buffer, d.depth)}
+		case PerConsumer, Broadcast:
+			nc := l.filters[d.to].copies
+			rs.queues = make([]chan Buffer, nc)
+			for i := range rs.queues {
+				rs.queues[i] = make(chan Buffer, d.depth)
+			}
+		default:
+			return fmt.Errorf("datacutter: stream %q has unknown mode %d", name, d.mode)
+		}
+		r.streams[name] = rs
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []error
+	for _, name := range l.order {
+		d := l.filters[name]
+		for c := 0; c < d.copies; c++ {
+			inst := &instance{decl: d, copyID: c, node: d.nodes[c]}
+			f := d.factory()
+			ctx := &Context{rt: r, inst: inst}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer r.releaseProducer(inst)
+				defer func() {
+					if p := recover(); p != nil {
+						mu.Lock()
+						errs = append(errs, fmt.Errorf("datacutter: filter %s[%d] panicked: %v", inst.decl.name, inst.copyID, p))
+						mu.Unlock()
+					}
+				}()
+				if err := f.Run(ctx); err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("datacutter: filter %s[%d]: %w", inst.decl.name, inst.copyID, err))
+					mu.Unlock()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// releaseProducer decrements the producer count of every stream the instance
+// feeds; the last producer out closes the stream.
+func (r *Runtime) releaseProducer(inst *instance) {
+	for _, name := range r.layout.sorder {
+		rs := r.streams[name]
+		if rs.decl.from != inst.decl.name {
+			continue
+		}
+		if atomic.AddInt32(&rs.producers, -1) == 0 {
+			rs.close()
+		}
+	}
+}
+
+// Stats returns per-stream traffic for the last Run.
+func (r *Runtime) Stats() []StreamStats {
+	out := make([]StreamStats, 0, len(r.streams))
+	for _, name := range r.layout.sorder {
+		rs := r.streams[name]
+		out = append(out, StreamStats{
+			Stream:  name,
+			Buffers: atomic.LoadInt64(&rs.buffers),
+			Bytes:   atomic.LoadInt64(&rs.bytes),
+		})
+	}
+	return out
+}
+
+// Cluster returns the cluster the runtime executes on.
+func (r *Runtime) Cluster() *simnet.Cluster { return r.cluster }
+
+// Context is the API a running filter instance uses to interact with the
+// middleware.
+type Context struct {
+	rt   *Runtime
+	inst *instance
+}
+
+// Name returns the filter's declared name.
+func (c *Context) Name() string { return c.inst.decl.name }
+
+// CopyID returns this instance's index among the filter's copies.
+func (c *Context) CopyID() int { return c.inst.copyID }
+
+// Copies returns the filter's replication factor.
+func (c *Context) Copies() int { return c.inst.decl.copies }
+
+// NodeID returns the cluster node this instance is placed on.
+func (c *Context) NodeID() int { return c.inst.node }
+
+// stream looks up a runtime stream and validates the caller's role.
+func (c *Context) stream(name string, producing bool) *runtimeStream {
+	rs, ok := c.rt.streams[name]
+	if !ok {
+		panic(fmt.Sprintf("datacutter: %s[%d]: unknown stream %q", c.Name(), c.CopyID(), name))
+	}
+	if producing && rs.decl.from != c.inst.decl.name {
+		panic(fmt.Sprintf("datacutter: %s[%d] is not the producer of stream %q", c.Name(), c.CopyID(), name))
+	}
+	if !producing && rs.decl.to != c.inst.decl.name {
+		panic(fmt.Sprintf("datacutter: %s[%d] is not the consumer of stream %q", c.Name(), c.CopyID(), name))
+	}
+	return rs
+}
+
+// Write sends a buffer downstream. On a Shared stream it enqueues to the
+// common queue; on a PerConsumer stream it round-robins across consumer
+// copies; on a Broadcast stream every consumer copy receives it. Blocks
+// when a destination queue is full (backpressure).
+func (c *Context) Write(stream string, b Buffer) {
+	rs := c.stream(stream, true)
+	switch rs.decl.mode {
+	case Shared:
+		c.send(rs, rs.queues[0], b)
+	case Broadcast:
+		for _, q := range rs.queues {
+			c.send(rs, q, b)
+		}
+	default:
+		c.send(rs, rs.queues[int(atomic.AddUint64(&rs.rr, 1)-1)%len(rs.queues)], b)
+	}
+}
+
+// WriteTo sends a buffer to a specific consumer copy of a PerConsumer
+// stream. This is the unicast primitive request/reply protocols build on.
+func (c *Context) WriteTo(stream string, consumerCopy int, b Buffer) {
+	rs := c.stream(stream, true)
+	if rs.decl.mode != PerConsumer {
+		panic(fmt.Sprintf("datacutter: WriteTo on shared stream %q", stream))
+	}
+	if consumerCopy < 0 || consumerCopy >= len(rs.queues) {
+		panic(fmt.Sprintf("datacutter: stream %q consumer copy %d out of [0,%d)", stream, consumerCopy, len(rs.queues)))
+	}
+	c.send(rs, rs.queues[consumerCopy], b)
+}
+
+func (c *Context) send(rs *runtimeStream, q chan Buffer, b Buffer) {
+	b.from = c.inst
+	atomic.AddInt64(&rs.buffers, 1)
+	atomic.AddInt64(&rs.bytes, b.WireBytes())
+	q <- b
+}
+
+// Read receives the next buffer from a stream. ok is false once the stream
+// is drained and all its producers have finished. Cross-node transfers are
+// accounted against the cluster's link statistics at consumption time.
+func (c *Context) Read(stream string) (Buffer, bool) {
+	rs := c.stream(stream, false)
+	var q chan Buffer
+	if rs.decl.mode == Shared {
+		q = rs.queues[0]
+	} else {
+		q = rs.queues[c.inst.copyID]
+	}
+	b, ok := <-q
+	if ok && b.from != nil && b.from.node != c.inst.node {
+		// The payload traveled by reference; charge the wire cost (and any
+		// configured throttling) to the link at consumption time.
+		c.rt.cluster.Transfer(b.from.node, c.inst.node, b.WireBytes())
+	}
+	return b, ok
+}

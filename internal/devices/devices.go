@@ -1,0 +1,148 @@
+// Package devices catalogs the hardware the paper's experiments ran on:
+// the memory hierarchy of Fig. 1, the NERSC Carver SSD testbed of Section V,
+// and the calibrated Hopper (Cray XE6) cost model behind Table II. All
+// numbers are either taken from the paper's text or derived from its
+// published measurements; derivations are documented field by field.
+package devices
+
+import "math"
+
+// Layer is one level of the memory hierarchy (Fig. 1).
+type Layer struct {
+	Name string
+	// TypicalBytes is the order-of-magnitude capacity.
+	TypicalBytes float64
+	// LatencySeconds is the access latency.
+	LatencySeconds float64
+	// LatencyCycles is the same latency in 2.67 GHz CPU cycles.
+	LatencyCycles float64
+	// BandwidthBytes is the sustained bandwidth to the next level up.
+	BandwidthBytes float64
+}
+
+// Hierarchy returns the Fig. 1 memory hierarchy, extended with the
+// PCIe-SSD layer whose arrival motivates the paper: note the three-orders-
+// of-magnitude "latency gap" between DRAM and HDD that the SSD fills.
+func Hierarchy() []Layer {
+	const clock = 2.67e9
+	mk := func(name string, bytes, lat, bw float64) Layer {
+		return Layer{Name: name, TypicalBytes: bytes, LatencySeconds: lat, LatencyCycles: lat * clock, BandwidthBytes: bw}
+	}
+	return []Layer{
+		mk("registers", 1<<10, 0.4e-9, 1e12),
+		mk("cache", 8<<20, 4e-9, 200e9),
+		mk("DRAM", 32<<30, 40e-9, 30e9), // ~100 cycles, the paper's figure
+		mk("PCIe SSD", 1<<40, 50e-6, 1.0e9),
+		mk("HDD (SATA)", 2<<40, 5e-3, 0.15e9), // >= 10,000 cycles: the latency gap
+	}
+}
+
+// Testbed describes the experimental SSD testbed on Carver (Section V).
+type Testbed struct {
+	// ComputeNodes and IONodes: "50 nodes: 40 computational nodes and 10
+	// I/O nodes".
+	ComputeNodes, IONodes int
+	// CoresPerNode: two Xeon X5550 quad-cores, hyper-threading disabled.
+	CoresPerNode int
+	// ClockHz: 2.67 GHz.
+	ClockHz float64
+	// MemoryPerNode: 24 GB DDR3.
+	MemoryPerNode int64
+	// IBLinkBytes: 4X QDR InfiniBand, 32 Gb/s point-to-point = 4 GB/s.
+	IBLinkBytes float64
+	// SSDsPerIONode and SSDReadBytes: two Virident tachIOn cards per I/O
+	// node at 1 GB/s sustained each.
+	SSDsPerIONode int
+	SSDReadBytes  float64
+	// GPFSPeakBytes: "The maximum throughput the storage system can deliver
+	// is 20 GB/s."
+	GPFSPeakBytes float64
+	// GPFSEfficiency is the observed fraction of peak the application-level
+	// reads sustain. Derived: Tables III/IV report 18.2-18.7 GB/s at
+	// saturation, i.e. ~92-93% of the 20 GB/s peak.
+	GPFSEfficiency float64
+	// ClientReadBytes is the per-node GPFS client ceiling. Derived: the
+	// 1-node runs read at 1.4-1.5 GB/s although the fabric allows 4 GB/s.
+	ClientReadBytes float64
+	// NodeSpMVFlops is the effective per-node SpMV rate used to check that
+	// computation stays hidden behind I/O. Any value comfortably above
+	// bytes_rate * flops_per_byte works; 2.5 GF/s per 8-core node is
+	// conservative for CSR SpMV on Nehalem.
+	NodeSpMVFlops float64
+	// BWDispersion is the half-width of the per-(node, iteration) uniform
+	// load-time multiplier modeling the shared-GPFS variability the paper
+	// reports ("some noticeable variation in read bandwidth observed by
+	// individual compute nodes"). Calibrated so the simple policy's
+	// non-overlapped fraction reproduces Table III (13% -> 36%).
+	BWDispersion float64
+}
+
+// CarverSSD returns the paper's testbed.
+func CarverSSD() Testbed {
+	return Testbed{
+		ComputeNodes:    40,
+		IONodes:         10,
+		CoresPerNode:    8,
+		ClockHz:         2.67e9,
+		MemoryPerNode:   24 << 30,
+		IBLinkBytes:     4e9,
+		SSDsPerIONode:   2,
+		SSDReadBytes:    1e9,
+		GPFSPeakBytes:   20e9,
+		GPFSEfficiency:  0.925,
+		ClientReadBytes: 1.42e9,
+		NodeSpMVFlops:   2.5e9,
+		BWDispersion:    0.5,
+	}
+}
+
+// AggregateReadBytes is the effective storage-system ceiling.
+func (t Testbed) AggregateReadBytes() float64 { return t.GPFSPeakBytes * t.GPFSEfficiency }
+
+// NodeReadBytes is the effective per-node read bandwidth with n nodes
+// active: the client ceiling or the fair share of the aggregate, whichever
+// binds. This single min() reproduces the paper's scaling plateau: linear to
+// ~12 nodes, flat at ~18.5 GB/s beyond.
+func (t Testbed) NodeReadBytes(n int) float64 {
+	return math.Min(t.ClientReadBytes, t.AggregateReadBytes()/float64(n))
+}
+
+// HopperModel is the calibrated analytic cost model of MFDn on Hopper.
+//
+// Derivation from the paper's published Tables I and II:
+//
+//   - Compute: t_flop = 2*nnz / (np * rcore(np)) with a per-core rate that
+//     degrades slowly with scale, rcore(np) = R0 * np^-Gamma. Fitting the
+//     compute portions of rows test_276 and test_18336 gives R0 = 3.18e8
+//     flops/s and Gamma = 0.166; the interpolated middle rows then land
+//     within 2% of the published compute times.
+//   - Communication: t_comm = Alpha*sqrt(np) + Beta*(D/1e8): a tree-depth
+//     latency term plus a vector-volume term (Lanczos distributes and
+//     reduces vectors of dimension D each iteration). Fitting rows 1 and 4
+//     gives Alpha = 0.02175 s, Beta = 1.024 s; the middle rows land within
+//     about 30%, preserving the monotone comm-fraction growth 34% -> 86%.
+type HopperModel struct {
+	R0, Gamma   float64
+	Alpha, Beta float64
+	CoresUsed   func(np int) int
+}
+
+// Hopper returns the calibrated model.
+func Hopper() HopperModel {
+	return HopperModel{R0: 3.18e8, Gamma: 0.166, Alpha: 0.02175, Beta: 1.024}
+}
+
+// IterSeconds predicts one Lanczos iteration's compute and communication
+// seconds for a problem with nnz nonzeros and dimension dim on np cores.
+func (h HopperModel) IterSeconds(nnz, dim float64, np int) (compute, comm float64) {
+	rcore := h.R0 * math.Pow(float64(np), -h.Gamma)
+	compute = 2 * nnz / (float64(np) * rcore)
+	comm = h.Alpha*math.Sqrt(float64(np)) + h.Beta*dim/1e8
+	return compute, comm
+}
+
+// CPUHoursPerIter predicts the CPU-hour cost of one iteration.
+func (h HopperModel) CPUHoursPerIter(nnz, dim float64, np int) float64 {
+	c, m := h.IterSeconds(nnz, dim, np)
+	return float64(np) * (c + m) / 3600
+}

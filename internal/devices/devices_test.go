@@ -1,0 +1,113 @@
+package devices
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHierarchyShape(t *testing.T) {
+	layers := Hierarchy()
+	if len(layers) != 5 {
+		t.Fatalf("%d layers", len(layers))
+	}
+	// Capacity grows and latency grows monotonically down the hierarchy.
+	for i := 1; i < len(layers); i++ {
+		if layers[i].TypicalBytes <= layers[i-1].TypicalBytes {
+			t.Errorf("capacity not growing at %s", layers[i].Name)
+		}
+		if layers[i].LatencySeconds <= layers[i-1].LatencySeconds {
+			t.Errorf("latency not growing at %s", layers[i].Name)
+		}
+	}
+	// The paper's latency gap: DRAM ~100 cycles, HDD >= 10,000 cycles.
+	var dram, hdd Layer
+	for _, l := range layers {
+		if l.Name == "DRAM" {
+			dram = l
+		}
+		if l.Name == "HDD (SATA)" {
+			hdd = l
+		}
+	}
+	if dram.LatencyCycles < 50 || dram.LatencyCycles > 300 {
+		t.Errorf("DRAM latency = %v cycles", dram.LatencyCycles)
+	}
+	if hdd.LatencyCycles < 10000 {
+		t.Errorf("HDD latency = %v cycles, want the paper's >= 10,000", hdd.LatencyCycles)
+	}
+}
+
+func TestTestbedParameters(t *testing.T) {
+	tb := CarverSSD()
+	if tb.ComputeNodes != 40 || tb.IONodes != 10 || tb.CoresPerNode != 8 {
+		t.Fatalf("testbed shape %+v", tb)
+	}
+	// 10 I/O nodes x 2 SSDs x 1 GB/s = the 20 GB/s peak.
+	peak := float64(tb.IONodes*tb.SSDsPerIONode) * tb.SSDReadBytes
+	if peak != tb.GPFSPeakBytes {
+		t.Errorf("SSD aggregate %v != declared GPFS peak %v", peak, tb.GPFSPeakBytes)
+	}
+	if agg := tb.AggregateReadBytes(); agg < 18e9 || agg > 19e9 {
+		t.Errorf("effective aggregate %v outside the observed 18.2-18.7 GB/s", agg)
+	}
+}
+
+func TestNodeReadBandwidthPlateau(t *testing.T) {
+	tb := CarverSSD()
+	// Single node: client-bound around 1.4 GB/s.
+	if bw := tb.NodeReadBytes(1); math.Abs(bw-1.42e9) > 1e6 {
+		t.Errorf("1-node bw = %v", bw)
+	}
+	// 9 nodes: still client-bound (9 x 1.42 = 12.8 < 18.5).
+	if bw := tb.NodeReadBytes(9); bw != 1.42e9 {
+		t.Errorf("9-node bw = %v, want client-bound", bw)
+	}
+	// 16+: aggregate-bound; totals plateau.
+	tot16 := 16 * tb.NodeReadBytes(16)
+	tot36 := 36 * tb.NodeReadBytes(36)
+	if math.Abs(tot16-tot36) > 1 {
+		t.Errorf("aggregate not flat: %v vs %v", tot16, tot36)
+	}
+	if tot16 < 18e9 || tot16 > 19e9 {
+		t.Errorf("plateau at %v, want ~18.5 GB/s", tot16)
+	}
+}
+
+func TestHopperModelReproducesTable2Shape(t *testing.T) {
+	h := Hopper()
+	rows := []struct {
+		name     string
+		nnz, dim float64
+		np       int
+		// published values (Table II, per iteration over 99 iterations)
+		iterSec  float64
+		commFrac float64
+		cpuHours float64
+	}{
+		{"test_276", 2.81e10, 4.66e7, 276, 244.0 / 99, 0.34, 0.19},
+		{"test_1128", 1.24e11, 1.60e8, 1128, 543.0 / 99, 0.60, 1.72},
+		{"test_4560", 4.62e11, 4.82e8, 4560, 759.0 / 99, 0.67, 9.70},
+		{"test_18336", 1.51e12, 1.30e9, 18336, 1870.0 / 99, 0.86, 96.2},
+	}
+	prevFrac := 0.0
+	for _, r := range rows {
+		c, m := h.IterSeconds(r.nnz, r.dim, r.np)
+		frac := m / (c + m)
+		// Shape: comm fraction grows monotonically and brackets the
+		// published trend within 10 percentage points.
+		if frac <= prevFrac {
+			t.Errorf("%s: comm fraction %v not increasing", r.name, frac)
+		}
+		prevFrac = frac
+		if math.Abs(frac-r.commFrac) > 0.12 {
+			t.Errorf("%s: comm fraction %v vs published %v", r.name, frac, r.commFrac)
+		}
+		// Totals within 25% of published.
+		if rel := math.Abs((c+m)-r.iterSec) / r.iterSec; rel > 0.25 {
+			t.Errorf("%s: iter %vs vs published %vs (%.0f%% off)", r.name, c+m, r.iterSec, rel*100)
+		}
+		if got := h.CPUHoursPerIter(r.nnz, r.dim, r.np); math.Abs(got-r.cpuHours)/r.cpuHours > 0.25 {
+			t.Errorf("%s: CPU-hours %v vs published %v", r.name, got, r.cpuHours)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"dooc/internal/devices"
+	"dooc/internal/perfmodel"
+)
+
+func TestStudyShape(t *testing.T) {
+	reports := Study()
+	if len(reports) != 4 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	byName := map[string]Report{}
+	for _, r := range reports {
+		if r.KJPerIter <= 0 || r.PowerWatts <= 0 || r.IterSeconds <= 0 {
+			t.Fatalf("degenerate report %+v", r)
+		}
+		switch {
+		case strings.HasPrefix(r.Name, "testbed-36"):
+			byName["t36"] = r
+		case strings.HasPrefix(r.Name, "testbed-star"):
+			byName["star"] = r
+		case strings.HasPrefix(r.Name, "local-SSD"):
+			byName["local"] = r
+		case strings.HasPrefix(r.Name, "hopper"):
+			byName["hopper"] = r
+		}
+	}
+	// Section VI-B's argument, quantified: the star (9 nodes) uses less
+	// energy than the 36-node run of the same problem, and moving the SSDs
+	// onto the compute nodes cuts it further (no always-on I/O nodes, no
+	// InfiniBand hop, faster run).
+	if byName["star"].KJPerIter >= byName["t36"].KJPerIter {
+		t.Errorf("star energy %v >= 36-node %v", byName["star"].KJPerIter, byName["t36"].KJPerIter)
+	}
+	if byName["local"].KJPerIter >= byName["star"].KJPerIter {
+		t.Errorf("local-SSD energy %v >= I/O-node star %v", byName["local"].KJPerIter, byName["star"].KJPerIter)
+	}
+	// The local-SSD configuration should be in Hopper's energy league
+	// (within 2x either way) while using 9 nodes instead of 190.
+	ratio := byName["local"].KJPerIter / byName["hopper"].KJPerIter
+	if ratio > 2 || ratio < 0.1 {
+		t.Errorf("local-SSD vs Hopper energy ratio %v outside plausible band", ratio)
+	}
+}
+
+func TestCPUUtilizationIsLowOutOfCore(t *testing.T) {
+	// The transfer-bound run must bill CPUs as mostly idle: its power draw
+	// per node must be far below the all-active figure.
+	tb := devices.CarverSSD()
+	p := Default2012()
+	star := perfmodel.Star()
+	r := TestbedEnergy("star", star, tb, p)
+	perNodeActive := p.computeNodeWatts(24, 1)
+	perNodeBilled := (r.PowerWatts - float64(tb.IONodes)*(p.IONodeBase+float64(tb.SSDsPerIONode)*p.SSDActive)) / float64(star.Nodes)
+	if perNodeBilled >= perNodeActive*0.8 {
+		t.Errorf("billed %v W/node, active would be %v — utilization model broken", perNodeBilled, perNodeActive)
+	}
+}
+
+func TestLocalSSDExperimentIsFaster(t *testing.T) {
+	ioNode := perfmodel.Star()
+	local := perfmodel.Run(LocalSSDExperiment())
+	if local.TimeSeconds >= ioNode.TimeSeconds {
+		t.Fatalf("local SSDs not faster: %v vs %v", local.TimeSeconds, ioNode.TimeSeconds)
+	}
+	// 2 GB/s per node vs ~1.4 GB/s shared: expect roughly a 1.4x speedup.
+	speedup := ioNode.TimeSeconds / local.TimeSeconds
+	if speedup < 1.2 || speedup > 2.0 {
+		t.Errorf("local-SSD speedup %v outside expected band", speedup)
+	}
+	// And it beats the comparable Hopper run on CPU-hours outright.
+	if local.CPUHoursPerIter >= 9.70 {
+		t.Errorf("local-SSD star costs %v CPU-h/iter, Hopper test_4560 costs 9.70", local.CPUHoursPerIter)
+	}
+}
+
+func TestHopperEnergyScalesWithCores(t *testing.T) {
+	small := HopperEnergy("a", 276, 2.46)
+	big := HopperEnergy("b", 18336, 18.9)
+	if big.KJPerIter <= small.KJPerIter {
+		t.Fatal("energy not growing with scale")
+	}
+	// 276 cores = 11.5 nodes * 456 W * 2.46 s ≈ 12.9 kJ.
+	if small.KJPerIter < 10 || small.KJPerIter > 16 {
+		t.Errorf("test_276 energy %v kJ/iter implausible", small.KJPerIter)
+	}
+}

@@ -1,0 +1,183 @@
+// Package lanczos implements the k-step Lanczos procedure with full
+// reorthogonalization — the iterative eigensolver whose SpMV kernel the
+// paper's out-of-core middleware accelerates (Section II: MFDn applies
+// Lanczos to the nuclear Hamiltonian; the cost is dominated by SpMV plus
+// orthonormalization of Lanczos vectors).
+//
+// The package also contains the dense symmetric eigensolvers the small
+// projected problems need: an implicit-shift QL solver for the tridiagonal
+// Lanczos matrix, and a cyclic Jacobi solver used as an independent
+// reference in tests.
+package lanczos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TridiagEigen computes all eigenvalues and (optionally) eigenvectors of the
+// symmetric tridiagonal matrix with diagonal d (length n) and sub-diagonal e
+// (length n-1), using the implicit-shift QL algorithm (EISPACK tql2).
+//
+// If wantVectors is true, the returned z is column-major n×n: z[i*n+j] is
+// component i of eigenvector j. Eigenvalues are returned in ascending order
+// with eigenvectors permuted to match. Inputs are not modified.
+func TridiagEigen(d, e []float64, wantVectors bool) (vals []float64, z []float64, err error) {
+	n := len(d)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("lanczos: empty tridiagonal matrix")
+	}
+	if len(e) != n-1 {
+		return nil, nil, fmt.Errorf("lanczos: %d off-diagonals for dimension %d, want %d", len(e), n, n-1)
+	}
+	dd := append([]float64(nil), d...)
+	// Shifted copy of e with a trailing zero slot, as tql2 expects.
+	ee := make([]float64, n)
+	copy(ee, e)
+	if wantVectors {
+		z = make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			z[i*n+i] = 1
+		}
+	}
+
+	const maxIter = 50
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			// Look for a negligible sub-diagonal element to split at.
+			m := l
+			for ; m < n-1; m++ {
+				s := math.Abs(dd[m]) + math.Abs(dd[m+1])
+				if math.Abs(ee[m]) <= math.SmallestNonzeroFloat64+2.22e-16*s {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter >= maxIter {
+				return nil, nil, fmt.Errorf("lanczos: QL failed to converge for eigenvalue %d", l)
+			}
+			// Form the implicit shift.
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			g = dd[m] - dd[l] + ee[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					// Recover from underflow.
+					dd[i+1] -= p
+					ee[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+				if wantVectors {
+					for k := 0; k < n; k++ {
+						f := z[k*n+i+1]
+						z[k*n+i+1] = s*z[k*n+i] + c*f
+						z[k*n+i] = c*z[k*n+i] - s*f
+					}
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+
+	// Sort ascending, permuting eigenvectors alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return dd[idx[a]] < dd[idx[b]] })
+	vals = make([]float64, n)
+	for i, j := range idx {
+		vals[i] = dd[j]
+	}
+	if wantVectors {
+		sorted := make([]float64, n*n)
+		for col, j := range idx {
+			for row := 0; row < n; row++ {
+				sorted[row*n+col] = z[row*n+j]
+			}
+		}
+		z = sorted
+	}
+	return vals, z, nil
+}
+
+// JacobiEigen computes all eigenvalues of a dense symmetric matrix
+// (row-major n×n) by cyclic Jacobi rotations. O(n³) per sweep; intended as
+// an independent test oracle, not a production path.
+func JacobiEigen(a []float64, n int) ([]float64, error) {
+	if len(a) != n*n {
+		return nil, fmt.Errorf("lanczos: matrix length %d != %d²", len(a), n)
+	}
+	m := append([]float64(nil), a...)
+	// Verify symmetry to catch misuse.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(m[i*n+j]-m[j*n+i]) > 1e-9*(1+math.Abs(m[i*n+j])) {
+				return nil, fmt.Errorf("lanczos: matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i*n+j] * m[i*n+j]
+			}
+		}
+		if off < 1e-24 {
+			vals := make([]float64, n)
+			for i := 0; i < n; i++ {
+				vals[i] = m[i*n+i]
+			}
+			sort.Float64s(vals)
+			return vals, nil
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				theta := (m[q*n+q] - m[p*n+p]) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp := m[k*n+p]
+					akq := m[k*n+q]
+					m[k*n+p] = c*akp - s*akq
+					m[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk := m[p*n+k]
+					aqk := m[q*n+k]
+					m[p*n+k] = c*apk - s*aqk
+					m[q*n+k] = s*apk + c*aqk
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("lanczos: Jacobi did not converge in %d sweeps", maxSweeps)
+}

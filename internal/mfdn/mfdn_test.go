@@ -1,0 +1,133 @@
+package mfdn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dooc/internal/sparse"
+)
+
+func testMatrix(t *testing.T, n int, seed int64) *sparse.CSR {
+	t.Helper()
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: n, Cols: n, D: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func reference(m *sparse.CSR, x []float64, iters int) []float64 {
+	cur := append([]float64(nil), x...)
+	next := make([]float64, len(x))
+	for i := 0; i < iters; i++ {
+		sparse.MulVec(m, cur, next)
+		cur, next = next, cur
+	}
+	return cur
+}
+
+func TestInCoreCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := testMatrix(t, 200, 1)
+	x0 := make([]float64, 200)
+	for i := range x0 {
+		x0[i] = rng.NormFloat64()
+	}
+	for _, ranks := range []int{1, 2, 4, 7} {
+		res, err := RunInCore(InCoreConfig{Matrix: m, Ranks: ranks, Iters: 3, X0: x0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := reference(m, x0, 3)
+		for i := range want {
+			if math.Abs(res.X[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("ranks=%d: X[%d]=%v want %v", ranks, i, res.X[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInCoreNetworkVolumeGrowsWithRanks(t *testing.T) {
+	m := testMatrix(t, 240, 2)
+	x0 := make([]float64, 240)
+	x0[0] = 1
+	var prev int64 = -1
+	for _, ranks := range []int{2, 4, 8} {
+		res, err := RunInCore(InCoreConfig{Matrix: m, Ranks: ranks, Iters: 2, X0: x0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allgather volume: iters * sum_r (R-1)*part_r*8 = iters*(R-1)*dim*8.
+		want := int64(2 * (ranks - 1) * 240 * 8)
+		if res.NetworkBytes != want {
+			t.Fatalf("ranks=%d: network bytes %d, want %d", ranks, res.NetworkBytes, want)
+		}
+		if res.NetworkBytes <= prev {
+			t.Fatalf("network volume not growing: %d then %d", prev, res.NetworkBytes)
+		}
+		prev = res.NetworkBytes
+	}
+}
+
+func TestInCoreCommFractionGrowsWithRanks(t *testing.T) {
+	// With a throttled link, more ranks -> more comm per rank and less
+	// compute per rank: the Table II effect, executed for real.
+	m := testMatrix(t, 600, 4)
+	x0 := make([]float64, 600)
+	x0[0] = 1
+	frac := func(ranks int) float64 {
+		res, err := RunInCore(InCoreConfig{
+			Matrix: m, Ranks: ranks, Iters: 2, X0: x0,
+			LinkBandwidth: 2 << 20, // 2 MB/s: comm clearly visible
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CommFraction
+	}
+	f2, f6 := frac(2), frac(6)
+	if f6 <= f2 {
+		t.Fatalf("comm fraction did not grow: %v at 2 ranks, %v at 6", f2, f6)
+	}
+}
+
+func TestInCoreValidation(t *testing.T) {
+	m := testMatrix(t, 10, 5)
+	x := make([]float64, 10)
+	if _, err := RunInCore(InCoreConfig{Matrix: nil, Ranks: 1, Iters: 1, X0: x}); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := RunInCore(InCoreConfig{Matrix: m, Ranks: 0, Iters: 1, X0: x}); err == nil {
+		t.Error("0 ranks accepted")
+	}
+	if _, err := RunInCore(InCoreConfig{Matrix: m, Ranks: 2, Iters: 0, X0: x}); err == nil {
+		t.Error("0 iters accepted")
+	}
+	if _, err := RunInCore(InCoreConfig{Matrix: m, Ranks: 2, Iters: 1, X0: x[:5]}); err == nil {
+		t.Error("wrong x0 length accepted")
+	}
+}
+
+func TestModelTable2(t *testing.T) {
+	rows := ModelTable2()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	prev := 0.0
+	for _, r := range rows {
+		if r.CommFraction <= prev {
+			t.Errorf("%s: comm fraction %v not increasing", r.Name, r.CommFraction)
+		}
+		prev = r.CommFraction
+		if math.Abs(r.CommFraction-r.PubCommFraction) > 0.12 {
+			t.Errorf("%s: modeled comm %v vs published %v", r.Name, r.CommFraction, r.PubCommFraction)
+		}
+		if math.Abs(r.CPUHoursPerIter-r.PubCPUHours)/r.PubCPUHours > 0.25 {
+			t.Errorf("%s: modeled cpu-hours %v vs published %v", r.Name, r.CPUHoursPerIter, r.PubCPUHours)
+		}
+		if math.Abs(r.TotalSeconds99-r.PubTotalSeconds)/r.PubTotalSeconds > 0.25 {
+			t.Errorf("%s: modeled total %v vs published %v", r.Name, r.TotalSeconds99, r.PubTotalSeconds)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dooc/internal/devices"
+	"dooc/internal/simclock"
+)
+
+// TestNodeRateMatchesFlowSimulation cross-validates the model's central
+// bandwidth assumption — per-node rate = min(client ceiling, aggregate/N) —
+// against the max-min fair-share flow simulator: N symmetric flows, each
+// traversing its private GPFS-client pipe and the shared aggregate, must
+// finish exactly when the analytic rate predicts.
+func TestNodeRateMatchesFlowSimulation(t *testing.T) {
+	tb := devices.CarverSSD()
+	for _, n := range NodeCounts {
+		clock := simclock.New()
+		eng := simclock.NewEngine(clock)
+		agg := eng.NewResource("gpfs", tb.AggregateReadBytes())
+		bytes := 25 * 4.0e9
+		var last simclock.Time
+		for i := 0; i < n; i++ {
+			client := eng.NewResource(fmt.Sprintf("client%d", i), tb.ClientReadBytes)
+			eng.StartFlow(fmt.Sprintf("load%d", i), bytes,
+				[]*simclock.Resource{client, agg},
+				func(at simclock.Time) {
+					if at > last {
+						last = at
+					}
+				})
+		}
+		clock.Run()
+		want := bytes / tb.NodeReadBytes(n)
+		if math.Abs(float64(last)-want) > 1e-6*want {
+			t.Errorf("N=%d: flow simulation finished at %.2fs, analytic model says %.2fs", n, float64(last), want)
+		}
+	}
+}
+
+// TestAsymmetricLoadStillCappedByAggregate: when one node reads 4x the data
+// (the star run's layout), max-min sharing lets it use leftover aggregate
+// bandwidth, but never exceed its client ceiling — confirming the star-run
+// model's use of the client ceiling at 9 nodes.
+func TestAsymmetricLoadStillCappedByAggregate(t *testing.T) {
+	tb := devices.CarverSSD()
+	clock := simclock.New()
+	eng := simclock.NewEngine(clock)
+	agg := eng.NewResource("gpfs", tb.AggregateReadBytes())
+	done := make([]simclock.Time, 9)
+	for i := 0; i < 9; i++ {
+		client := eng.NewResource(fmt.Sprintf("client%d", i), tb.ClientReadBytes)
+		bytes := 100 * 4.0e9 // every node reads a 4-block share
+		i := i
+		eng.StartFlow("load", bytes, []*simclock.Resource{client, agg}, func(at simclock.Time) {
+			done[i] = at
+		})
+	}
+	clock.Run()
+	// 9 clients * 1.42 GB/s = 12.78 GB/s < 18.5 aggregate: client-bound.
+	want := 100 * 4.0e9 / tb.ClientReadBytes
+	for i, d := range done {
+		if math.Abs(float64(d)-want) > 1e-6*want {
+			t.Errorf("node %d finished at %.1fs, want %.1fs (client-bound)", i, float64(d), want)
+		}
+	}
+}

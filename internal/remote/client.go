@@ -1,0 +1,188 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"dooc/internal/storage"
+)
+
+// Client is a compute node's handle on a remote storage server. It is safe
+// for concurrent use; requests are multiplexed over one TCP connection and
+// matched to responses by ID, so a read blocked on an unwritten interval
+// does not stall other requests.
+type Client struct {
+	c *conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *response
+	closed  bool
+	readErr error
+
+	wg sync.WaitGroup
+}
+
+// Dial connects to a storage server.
+func Dial(addr string) (*Client, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{c: newConn(raw), pending: make(map[uint64]chan *response)}
+	cl.wg.Add(1)
+	go cl.readLoop()
+	return cl, nil
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (cl *Client) Close() {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return
+	}
+	cl.closed = true
+	cl.mu.Unlock()
+	cl.c.close()
+	cl.wg.Wait()
+}
+
+func (cl *Client) readLoop() {
+	defer cl.wg.Done()
+	for {
+		var resp response
+		if err := cl.c.dec.Decode(&resp); err != nil {
+			cl.mu.Lock()
+			cl.readErr = errClosed
+			for id, ch := range cl.pending {
+				ch <- &response{ID: id, Err: errClosed.Error()}
+				delete(cl.pending, id)
+			}
+			cl.closed = true
+			cl.mu.Unlock()
+			return
+		}
+		cl.mu.Lock()
+		ch, ok := cl.pending[resp.ID]
+		delete(cl.pending, resp.ID)
+		cl.mu.Unlock()
+		if ok {
+			ch <- &resp
+		}
+	}
+}
+
+// call performs one request/response round trip.
+func (cl *Client) call(req *request) (*response, error) {
+	ch := make(chan *response, 1)
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, errClosed
+	}
+	cl.nextID++
+	req.ID = cl.nextID
+	cl.pending[req.ID] = ch
+	cl.mu.Unlock()
+
+	if err := cl.c.sendRequest(req); err != nil {
+		cl.mu.Lock()
+		delete(cl.pending, req.ID)
+		cl.mu.Unlock()
+		return nil, fmt.Errorf("remote: send: %w", err)
+	}
+	resp := <-ch
+	if resp.Err != "" {
+		return nil, fmt.Errorf("remote %s: %s", req.Op, resp.Err)
+	}
+	return resp, nil
+}
+
+// Create declares an immutable array on the server.
+func (cl *Client) Create(name string, size, blockSize int64) error {
+	_, err := cl.call(&request{Op: opCreate, Array: name, Size: size, BlockSize: blockSize})
+	return err
+}
+
+// Delete removes an array.
+func (cl *Client) Delete(name string) error {
+	_, err := cl.call(&request{Op: opDelete, Array: name})
+	return err
+}
+
+// ReadInterval fetches [lo, hi) of an array, blocking (server-side) until
+// the interval has been written.
+func (cl *Client) ReadInterval(array string, lo, hi int64) ([]byte, error) {
+	resp, err := cl.call(&request{Op: opRead, Array: array, Lo: lo, Hi: hi})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// WriteInterval publishes [lo, hi) of an array. The interval must not have
+// been written before (immutability is enforced by the server's store).
+func (cl *Client) WriteInterval(array string, lo, hi int64, data []byte) error {
+	_, err := cl.call(&request{Op: opWrite, Array: array, Lo: lo, Hi: hi, Data: data})
+	return err
+}
+
+// Prefetch warms the server-side cache for [lo, hi).
+func (cl *Client) Prefetch(array string, lo, hi int64) error {
+	_, err := cl.call(&request{Op: opPrefetch, Array: array, Lo: lo, Hi: hi})
+	return err
+}
+
+// Flush persists the array on the server's scratch directory.
+func (cl *Client) Flush(array string) error {
+	_, err := cl.call(&request{Op: opFlush, Array: array})
+	return err
+}
+
+// Evict drops a resident block server-side.
+func (cl *Client) Evict(array string, block int) error {
+	_, err := cl.call(&request{Op: opEvict, Array: array, Block: block})
+	return err
+}
+
+// Info returns an array's metadata.
+func (cl *Client) Info(array string) (storage.ArrayInfo, error) {
+	resp, err := cl.call(&request{Op: opInfo, Array: array})
+	if err != nil {
+		return storage.ArrayInfo{}, err
+	}
+	return resp.Info, nil
+}
+
+// Stats returns the server store's counters.
+func (cl *Client) Stats() (storage.Stats, error) {
+	resp, err := cl.call(&request{Op: opStats})
+	if err != nil {
+		return storage.Stats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// ReadAll fetches an entire array block by block.
+func (cl *Client) ReadAll(array string) ([]byte, error) {
+	info, err := cl.Info(array)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, info.Size)
+	for b := 0; b < info.NumBlocks(); b++ {
+		lo := int64(b) * info.BlockSize
+		hi := lo + info.BlockSize
+		if hi > info.Size {
+			hi = info.Size
+		}
+		data, err := cl.ReadInterval(array, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}

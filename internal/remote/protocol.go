@@ -1,0 +1,113 @@
+// Package remote exposes a DOoC storage node over TCP — the paper's
+// compute-node / I/O-node separation with a real network in between
+// ("Data is streamed from the I/O nodes to the requesting compute nodes
+// using the 4X QDR InfiniBand interconnect"). A server wraps one storage
+// filter (typically scanning an I/O node's scratch directory); clients on
+// other processes read and write intervals of its immutable arrays.
+//
+// The wire protocol is deliberately interval-granular, mirroring the
+// storage layer's lease API: a read round-trip blocks server-side until the
+// interval has been written (the immutable-array discipline travels over
+// the network unchanged), and a write publishes atomically on receipt.
+package remote
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"dooc/internal/storage"
+)
+
+// opcode identifies a request type.
+type opcode uint8
+
+const (
+	opCreate opcode = iota + 1
+	opDelete
+	opRead
+	opWrite
+	opPrefetch
+	opFlush
+	opInfo
+	opEvict
+	opStats
+)
+
+func (o opcode) String() string {
+	switch o {
+	case opCreate:
+		return "create"
+	case opDelete:
+		return "delete"
+	case opRead:
+		return "read"
+	case opWrite:
+		return "write"
+	case opPrefetch:
+		return "prefetch"
+	case opFlush:
+		return "flush"
+	case opInfo:
+		return "info"
+	case opEvict:
+		return "evict"
+	case opStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("opcode(%d)", uint8(o))
+	}
+}
+
+// request is one client->server message.
+type request struct {
+	ID              uint64
+	Op              opcode
+	Array           string
+	Lo, Hi          int64
+	Size, BlockSize int64
+	Block           int
+	Data            []byte
+}
+
+// response is one server->client message.
+type response struct {
+	ID    uint64
+	Err   string
+	Data  []byte
+	Info  storage.ArrayInfo
+	Stats storage.Stats
+}
+
+// conn wraps a TCP stream with gob codecs and a write lock (responses are
+// sent from many goroutines — reads can block server-side for a long time
+// and must not stall other requests).
+type conn struct {
+	raw net.Conn
+	dec *gob.Decoder
+
+	mu  sync.Mutex
+	enc *gob.Encoder
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, dec: gob.NewDecoder(raw), enc: gob.NewEncoder(raw)}
+}
+
+func (c *conn) sendRequest(r *request) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(r)
+}
+
+func (c *conn) sendResponse(r *response) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(r)
+}
+
+func (c *conn) close() error { return c.raw.Close() }
+
+// errClosed reports connection teardown uniformly.
+var errClosed = fmt.Errorf("remote: connection closed")

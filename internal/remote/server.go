@@ -1,0 +1,183 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dooc/internal/storage"
+)
+
+// Server exposes one storage filter over TCP. It is the I/O-node role:
+// typically constructed over a store whose scratch directory holds staged
+// sub-matrix files, then serving compute-node clients.
+type Server struct {
+	store *storage.Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	requests atomic.Int64
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
+}
+
+// Serve starts serving store on the listener. It returns immediately;
+// Close shuts the server down.
+func Serve(store *storage.Store, ln net.Listener) *Server {
+	s := &Server{store: store, ln: ln, conns: make(map[*conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen is a convenience: listen on addr ("127.0.0.1:0" for tests) and
+// serve store.
+func Listen(store *storage.Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(store, ln), nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Requests returns the number of requests served.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// BytesOut returns payload bytes sent to clients.
+func (s *Server) BytesOut() int64 { return s.bytesOut.Load() }
+
+// BytesIn returns payload bytes received from clients.
+func (s *Server) BytesIn() int64 { return s.bytesIn.Load() }
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for c := range s.conns {
+		c.close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		raw, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := newConn(raw)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+func (s *Server) handleConn(c *conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.close()
+	}()
+	// Handlers may block (reads wait for writers), so each request runs in
+	// its own goroutine; the per-connection write lock serializes replies.
+	// Handlers are deliberately NOT waited for on teardown: a read parked on
+	// a never-written interval unblocks only when the interval is written or
+	// the underlying store closes (ErrClosed), at which point the handler's
+	// reply to the dead connection is a no-op. Waiting here would deadlock
+	// Server.Close against the storage layer's read-blocks-until-written
+	// semantics.
+	for {
+		var req request
+		if err := c.dec.Decode(&req); err != nil {
+			return
+		}
+		s.requests.Add(1)
+		s.bytesIn.Add(int64(len(req.Data)))
+		go func(req request) {
+			resp := s.dispatch(&req)
+			resp.ID = req.ID
+			s.bytesOut.Add(int64(len(resp.Data)))
+			// A failed send means the connection died; the decode loop will
+			// notice and tear down.
+			_ = c.sendResponse(resp)
+		}(req)
+	}
+}
+
+// dispatch executes one request against the wrapped store.
+func (s *Server) dispatch(req *request) *response {
+	fail := func(err error) *response { return &response{Err: err.Error()} }
+	switch req.Op {
+	case opCreate:
+		if err := s.store.Create(req.Array, req.Size, req.BlockSize); err != nil {
+			return fail(err)
+		}
+	case opDelete:
+		if err := s.store.Delete(req.Array); err != nil {
+			return fail(err)
+		}
+	case opRead:
+		lease, err := s.store.Request(req.Array, req.Lo, req.Hi, storage.PermRead)
+		if err != nil {
+			return fail(err)
+		}
+		data := append([]byte(nil), lease.Data...)
+		lease.Release()
+		return &response{Data: data}
+	case opWrite:
+		if int64(len(req.Data)) != req.Hi-req.Lo {
+			return fail(fmt.Errorf("remote: write payload %d bytes for interval [%d,%d)", len(req.Data), req.Lo, req.Hi))
+		}
+		lease, err := s.store.Request(req.Array, req.Lo, req.Hi, storage.PermWrite)
+		if err != nil {
+			return fail(err)
+		}
+		copy(lease.Data, req.Data)
+		lease.Release()
+	case opPrefetch:
+		s.store.Prefetch(req.Array, req.Lo, req.Hi)
+	case opFlush:
+		if err := s.store.Flush(req.Array); err != nil {
+			return fail(err)
+		}
+	case opInfo:
+		info, err := s.store.Info(req.Array)
+		if err != nil {
+			return fail(err)
+		}
+		return &response{Info: info}
+	case opEvict:
+		if err := s.store.Evict(req.Array, req.Block); err != nil {
+			return fail(err)
+		}
+	case opStats:
+		return &response{Stats: s.store.Stats()}
+	default:
+		return fail(fmt.Errorf("remote: unknown opcode %v", req.Op))
+	}
+	return &response{}
+}

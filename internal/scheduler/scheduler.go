@@ -1,0 +1,213 @@
+// Package scheduler implements DOoC's hierarchical data-aware task
+// scheduler (Section III-C of the paper).
+//
+// The *global* scheduler distributes tasks across nodes with an affinity
+// heuristic: "Tasks are sent to the compute nodes which host most of the
+// data required to process them."
+//
+// The *local* scheduler reorders each node's ready tasks to minimize
+// expensive data loads. The policy here scores ready tasks by (1) how many
+// heavy input bytes are already resident, then (2) how recently their heavy
+// inputs were used (most-recent first). On an iterated SpMV this MRU-first
+// rule reproduces the paper's Fig. 5(b) "back and forth" traversal exactly:
+// each iteration walks the sub-matrices in the reverse order of the
+// previous one, saving the boundary load.
+package scheduler
+
+import (
+	"sort"
+
+	"dooc/internal/dag"
+)
+
+// Affinity assigns each task to the node hosting the most input bytes.
+// locate reports where a datum currently lives (ok=false if nowhere yet).
+// Ties and unlocatable tasks go to the least-loaded node (by assigned input
+// bytes), which doubles as round-robin on empty state.
+func Affinity(tasks []*dag.Task, nodes int, locate func(dag.Ref) (int, bool)) map[string]int {
+	assign := make(map[string]int, len(tasks))
+	load := make([]int64, nodes)
+	for _, t := range tasks {
+		byNode := make([]int64, nodes)
+		var located bool
+		for _, in := range t.Inputs {
+			if n, ok := locate(in); ok && n >= 0 && n < nodes {
+				byNode[n] += in.Bytes
+				located = true
+			}
+		}
+		best := -1
+		if located {
+			for n, b := range byNode {
+				if b == 0 {
+					continue
+				}
+				if best == -1 || b > byNode[best] || (b == byNode[best] && load[n] < load[best]) {
+					best = n
+				}
+			}
+		}
+		if best == -1 {
+			// Least-loaded placement for data-free tasks.
+			best = 0
+			for n := 1; n < nodes; n++ {
+				if load[n] < load[best] {
+					best = n
+				}
+			}
+		}
+		assign[t.ID] = best
+		var bytes int64
+		for _, in := range t.Inputs {
+			bytes += in.Bytes
+		}
+		if bytes < 1 {
+			bytes = 1 // data-free tasks still occupy a node
+		}
+		load[best] += bytes
+	}
+	return assign
+}
+
+// RoundRobin is the affinity-free baseline placement used by the ablation
+// benchmarks.
+func RoundRobin(tasks []*dag.Task, nodes int) map[string]int {
+	assign := make(map[string]int, len(tasks))
+	for i, t := range tasks {
+		assign[t.ID] = i % nodes
+	}
+	return assign
+}
+
+// Policy is one node's local-scheduler task selection state.
+type Policy struct {
+	lastUse map[string]int64
+	tick    int64
+	// Reorder enables the data-aware reordering; false degrades to FIFO
+	// (the ablation baseline).
+	Reorder bool
+}
+
+// NewPolicy returns a reordering policy.
+func NewPolicy() *Policy {
+	return &Policy{lastUse: make(map[string]int64), Reorder: true}
+}
+
+// Touch records that the given data were just used (called when a task's
+// inputs are consumed).
+func (p *Policy) Touch(refs []dag.Ref) {
+	p.tick++
+	for _, r := range refs {
+		p.lastUse[r.Key()] = p.tick
+	}
+}
+
+// score summarizes a task's desirability: tasks with no heavy inputs run
+// eagerly (the paper: reductions "can be performed as soon as intermediate
+// results become available" — delaying them would stall successors); then
+// resident heavy bytes; then recency of heavy inputs (MRU-first).
+type score struct {
+	eager         bool
+	residentBytes int64
+	recency       int64
+	pos           int
+}
+
+func (p *Policy) scoreOf(t *dag.Task, pos int, resident func(dag.Ref) bool) score {
+	s := score{pos: pos}
+	heavy := t.HeavyInputs()
+	if len(heavy) == 0 {
+		s.eager = true
+		return s
+	}
+	for _, r := range heavy {
+		if resident(r) {
+			s.residentBytes += r.Bytes
+		}
+		if lu := p.lastUse[r.Key()]; lu > s.recency {
+			s.recency = lu
+		}
+	}
+	return s
+}
+
+func better(a, b score) bool {
+	if a.eager != b.eager {
+		return a.eager
+	}
+	if a.residentBytes != b.residentBytes {
+		return a.residentBytes > b.residentBytes
+	}
+	if a.recency != b.recency {
+		return a.recency > b.recency
+	}
+	return a.pos < b.pos
+}
+
+// Pick selects the next task to run from the node's ready tasks. resident
+// reports whether a datum is in this node's memory (typically a closure over
+// the storage layer's residency map). Returns nil when ready is empty.
+func (p *Policy) Pick(ready []*dag.Task, resident func(dag.Ref) bool) *dag.Task {
+	if len(ready) == 0 {
+		return nil
+	}
+	if !p.Reorder {
+		return ready[0]
+	}
+	best := 0
+	bestScore := p.scoreOf(ready[0], 0, resident)
+	for i := 1; i < len(ready); i++ {
+		if s := p.scoreOf(ready[i], i, resident); better(s, bestScore) {
+			best, bestScore = i, s
+		}
+	}
+	return ready[best]
+}
+
+// Order returns the ready tasks sorted by descending desirability; the
+// prefix of this order is what the prefetcher warms.
+func (p *Policy) Order(ready []*dag.Task, resident func(dag.Ref) bool) []*dag.Task {
+	out := append([]*dag.Task(nil), ready...)
+	if !p.Reorder {
+		return out
+	}
+	scores := make([]score, len(out))
+	for i, t := range out {
+		scores[i] = p.scoreOf(t, i, resident)
+	}
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return better(scores[idx[a]], scores[idx[b]]) })
+	sorted := make([]*dag.Task, len(out))
+	for i, j := range idx {
+		sorted[i] = out[j]
+	}
+	return sorted
+}
+
+// PrefetchTargets returns up to `window` heavy, non-resident data refs from
+// the most desirable ready tasks, in the order the prefetcher should issue
+// them. This is how the local scheduler keeps "a given number of ready
+// tasks whose data are in memory".
+func (p *Policy) PrefetchTargets(ready []*dag.Task, resident func(dag.Ref) bool, window int) []dag.Ref {
+	if window <= 0 {
+		return nil
+	}
+	var out []dag.Ref
+	seen := make(map[string]bool)
+	for _, t := range p.Order(ready, resident) {
+		for _, r := range t.HeavyInputs() {
+			if resident(r) || seen[r.Key()] {
+				continue
+			}
+			seen[r.Key()] = true
+			out = append(out, r)
+			if len(out) == window {
+				return out
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"dooc/internal/dag"
+)
+
+// SimCache models one node's block cache for plan simulation: LRU over
+// heavy data refs with a byte capacity, counting loads.
+type SimCache struct {
+	capacity int64
+	used     int64
+	resident map[string]int64
+	lastUse  map[string]int64
+	tick     int64
+
+	Loads       int
+	LoadedBytes int64
+}
+
+// NewSimCache returns a cache with the given byte capacity.
+func NewSimCache(capacity int64) *SimCache {
+	return &SimCache{
+		capacity: capacity,
+		resident: make(map[string]int64),
+		lastUse:  make(map[string]int64),
+	}
+}
+
+// Resident reports whether ref is cached.
+func (c *SimCache) Resident(r dag.Ref) bool {
+	_, ok := c.resident[r.Key()]
+	return ok
+}
+
+// Use touches ref, loading (and LRU-evicting) as needed. It reports whether
+// a load was required.
+func (c *SimCache) Use(r dag.Ref) bool {
+	c.tick++
+	k := r.Key()
+	if _, ok := c.resident[k]; ok {
+		c.lastUse[k] = c.tick
+		return false
+	}
+	c.Loads++
+	c.LoadedBytes += r.Bytes
+	c.resident[k] = r.Bytes
+	c.lastUse[k] = c.tick
+	c.used += r.Bytes
+	for c.used > c.capacity && len(c.resident) > 1 {
+		// Evict the least recently used entry other than k.
+		victim := ""
+		var vt int64
+		for key := range c.resident {
+			if key == k {
+				continue
+			}
+			if victim == "" || c.lastUse[key] < vt || (c.lastUse[key] == vt && key < victim) {
+				victim, vt = key, c.lastUse[key]
+			}
+		}
+		if victim == "" {
+			break
+		}
+		c.used -= c.resident[victim]
+		delete(c.resident, victim)
+		delete(c.lastUse, victim)
+	}
+	return true
+}
+
+// OpKind labels simulated schedule events.
+type OpKind int
+
+const (
+	// OpLoad is an expensive data load (a matrix block from storage).
+	OpLoad OpKind = iota
+	// OpRun is the task's execution.
+	OpRun
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpRun:
+		return "run"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one simulated schedule event.
+type Op struct {
+	Node  int
+	Kind  OpKind
+	Task  string  // task ID (for OpRun) or the loading task's ID (OpLoad)
+	Ref   dag.Ref // datum loaded (OpLoad only)
+	Start float64
+	End   float64
+}
+
+// Costs parameterizes simulated durations. Zero values are legal: ordering
+// and load counting still work, only the time axis degenerates.
+type Costs struct {
+	// LoadSecondsPerByte converts a heavy ref's bytes to load seconds.
+	LoadSecondsPerByte float64
+	// RunSeconds returns a task's execution duration.
+	RunSeconds func(t *dag.Task) float64
+}
+
+// Plan is the result of simulating a schedule.
+type Plan struct {
+	Ops []Op
+	// LoadsPerNode counts expensive loads by node.
+	LoadsPerNode []int
+	// LoadsPerIterPerNode[iter][node], populated when tasks carry an
+	// iteration convention in their Kind metadata via IterOf.
+	Makespan float64
+	// TaskFinish records each task's completion time.
+	TaskFinish map[string]float64
+}
+
+// NodeOps returns the ops of one node in time order.
+func (p *Plan) NodeOps(node int) []Op {
+	var out []Op
+	for _, op := range p.Ops {
+		if op.Node == node {
+			out = append(out, op)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// TotalLoads sums loads across nodes.
+func (p *Plan) TotalLoads() int {
+	n := 0
+	for _, l := range p.LoadsPerNode {
+		n += l
+	}
+	return n
+}
+
+// Simulate list-schedules the DAG over `nodes` single-worker nodes with
+// per-node caches of cacheBytes, using the local policy's data-aware
+// reordering (or FIFO when reorder is false). assign maps every task to its
+// node (from Affinity or RoundRobin). The returned plan records the exact
+// op sequence — this is what the Fig. 5 Gantt charts and the load-count
+// ablations are generated from.
+func Simulate(g *dag.Graph, assign map[string]int, nodes int, cacheBytes int64, reorder bool, costs Costs) (*Plan, error) {
+	for _, t := range g.Tasks() {
+		n, ok := assign[t.ID]
+		if !ok || n < 0 || n >= nodes {
+			return nil, fmt.Errorf("scheduler: task %q has no valid assignment (got %d over %d nodes)", t.ID, n, nodes)
+		}
+	}
+	caches := make([]*SimCache, nodes)
+	policies := make([]*Policy, nodes)
+	cursors := make([]float64, nodes)
+	for i := range caches {
+		caches[i] = NewSimCache(cacheBytes)
+		p := NewPolicy()
+		p.Reorder = reorder
+		policies[i] = p
+	}
+	plan := &Plan{LoadsPerNode: make([]int, nodes), TaskFinish: make(map[string]float64)}
+
+	runSeconds := costs.RunSeconds
+	if runSeconds == nil {
+		runSeconds = func(*dag.Task) float64 { return 1 }
+	}
+
+	for !g.Done() {
+		ready := g.Ready()
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("scheduler: no ready tasks but DAG incomplete")
+		}
+		// Group ready tasks by node; each node's policy nominates one.
+		byNode := make(map[int][]*dag.Task)
+		for _, id := range ready {
+			t := g.Task(id)
+			byNode[assign[id]] = append(byNode[assign[id]], t)
+		}
+		// Among nominating nodes, run the one that can start earliest.
+		bestNode, bestStart := -1, 0.0
+		var bestTask *dag.Task
+		for n := 0; n < nodes; n++ {
+			cand := policies[n].Pick(byNode[n], caches[n].Resident)
+			if cand == nil {
+				continue
+			}
+			start := cursors[n]
+			for _, p := range g.Preds(cand.ID) {
+				if f := plan.TaskFinish[p]; f > start {
+					start = f
+				}
+			}
+			if bestNode == -1 || start < bestStart || (start == bestStart && n < bestNode) {
+				bestNode, bestStart, bestTask = n, start, cand
+			}
+		}
+		if bestNode == -1 {
+			return nil, fmt.Errorf("scheduler: ready tasks exist but none nominated")
+		}
+		n, t := bestNode, bestTask
+		now := bestStart
+		// Load missing heavy inputs.
+		for _, r := range t.HeavyInputs() {
+			if caches[n].Use(r) {
+				d := float64(r.Bytes) * costs.LoadSecondsPerByte
+				plan.Ops = append(plan.Ops, Op{Node: n, Kind: OpLoad, Task: t.ID, Ref: r, Start: now, End: now + d})
+				plan.LoadsPerNode[n]++
+				now += d
+			}
+		}
+		d := runSeconds(t)
+		plan.Ops = append(plan.Ops, Op{Node: n, Kind: OpRun, Task: t.ID, Start: now, End: now + d})
+		now += d
+		cursors[n] = now
+		plan.TaskFinish[t.ID] = now
+		policies[n].Touch(t.HeavyInputs())
+		if now > plan.Makespan {
+			plan.Makespan = now
+		}
+		g.Start(t.ID)
+		g.Complete(t.ID)
+	}
+	return plan, nil
+}

@@ -1,0 +1,166 @@
+// Package simclock provides a deterministic discrete-event virtual clock and
+// a flow-level, max-min fair-shared resource model.
+//
+// The clock advances only when events fire; there is no wall-clock dependency,
+// which makes large-scale performance experiments (terabyte transfers, hours
+// of simulated machine time) reproducible and instantaneous to run.
+//
+// Resources model bandwidth-like capacities (disk throughput, NIC links, an
+// aggregate parallel-filesystem cap, CPU flop rates). A Flow consumes one or
+// more resources simultaneously; its instantaneous rate is the max-min fair
+// share across every resource it traverses, recomputed whenever any flow
+// starts or finishes. This is the standard flow-level approximation used to
+// study transfer-bound systems, and it is the regime the DOoC paper's
+// out-of-core SpMV operates in.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual time in seconds.
+type Time float64
+
+// event is a scheduled callback. Events with equal times fire in scheduling
+// order (seq) so runs are fully deterministic.
+type event struct {
+	at       Time
+	seq      int64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is a discrete-event simulator. The zero value is not usable; call New.
+type Clock struct {
+	now    Time
+	events eventHeap
+	seq    int64
+}
+
+// New returns a clock positioned at virtual time zero with no pending events.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Pending reports the number of scheduled (non-canceled) events.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, e := range c.events {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Handle identifies a scheduled event so it can be canceled.
+type Handle struct{ e *event }
+
+// Cancel removes the event from the schedule. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (h Handle) Cancel() {
+	if h.e != nil {
+		h.e.canceled = true
+	}
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (c *Clock) At(t Time, fn func()) Handle {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: schedule at %v before now %v", t, c.now))
+	}
+	e := &event{at: t, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.events, e)
+	return Handle{e}
+}
+
+// After schedules fn to run d seconds from now.
+func (c *Clock) After(d Time, fn func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative delay %v", d))
+	}
+	return c.At(c.now+d, fn)
+}
+
+// Step fires the next pending event, advancing the clock to its time.
+// It reports whether an event fired.
+func (c *Clock) Step() bool {
+	for len(c.events) > 0 {
+		e := heap.Pop(&c.events).(*event)
+		if e.canceled {
+			continue
+		}
+		c.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then advances the clock to t.
+func (c *Clock) RunUntil(t Time) {
+	for len(c.events) > 0 {
+		// Peek.
+		next := c.events[0]
+		if next.canceled {
+			heap.Pop(&c.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		c.Step()
+	}
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// epsilon used when comparing remaining work and rates.
+const eps = 1e-9
+
+// almostZero reports whether v is indistinguishable from zero at model scale.
+func almostZero(v float64) bool { return math.Abs(v) < eps }

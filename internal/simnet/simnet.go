@@ -1,0 +1,232 @@
+// Package simnet provides an in-process "distributed" cluster substrate:
+// a set of nodes exchanging messages through ports, with per-link byte
+// accounting and optional bandwidth/latency throttling.
+//
+// The paper runs DataCutter over MPI on real nodes; here every node is a set
+// of goroutines inside one process and every link is a channel. This keeps
+// the programming model (explicit messages, no shared mutable state between
+// nodes) while making tests hermetic. Byte accounting feeds the network-
+// volume statistics used by the scheduler-affinity ablation and the in-core
+// baseline comparison; throttling (off by default) lets examples exhibit
+// communication/computation overlap on a human scale.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Message is one unit of inter-node traffic.
+type Message struct {
+	From, To int
+	Port     string
+	Payload  any
+	// Bytes is the accounted wire size. The payload is shared by reference
+	// (same process), so the sender declares what the message would cost on
+	// a real interconnect.
+	Bytes int64
+}
+
+// Config tunes the cluster substrate.
+type Config struct {
+	// Nodes is the number of nodes; must be positive.
+	Nodes int
+	// QueueDepth is the per-port mailbox depth (default 1024).
+	QueueDepth int
+	// LinkBandwidth, if positive, throttles each send to Bytes/LinkBandwidth
+	// seconds of real time (bytes per second).
+	LinkBandwidth float64
+	// Latency, if positive, is added to every send as real time.
+	Latency time.Duration
+}
+
+// Cluster is a set of in-process nodes.
+type Cluster struct {
+	cfg   Config
+	nodes []*Node
+
+	mu        sync.Mutex
+	linkBytes map[[2]int]int64
+}
+
+// New creates a cluster of cfg.Nodes nodes.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("simnet: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	c := &Cluster{cfg: cfg, linkBytes: make(map[[2]int]int64)}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.nodes = append(c.nodes, &Node{
+			id:      i,
+			cluster: c,
+			ports:   make(map[string]chan Message),
+		})
+	}
+	return c, nil
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node {
+	if i < 0 || i >= len(c.nodes) {
+		panic(fmt.Sprintf("simnet: node %d out of [0,%d)", i, len(c.nodes)))
+	}
+	return c.nodes[i]
+}
+
+// LinkBytes returns the bytes sent from node a to node b so far.
+func (c *Cluster) LinkBytes(a, b int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.linkBytes[[2]int{a, b}]
+}
+
+// TotalNetworkBytes returns bytes that crossed node boundaries (a != b).
+func (c *Cluster) TotalNetworkBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for k, v := range c.linkBytes {
+		if k[0] != k[1] {
+			total += v
+		}
+	}
+	return total
+}
+
+// ResetStats zeroes the traffic counters.
+func (c *Cluster) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.linkBytes = make(map[[2]int]int64)
+}
+
+// Transfer accounts (and, if configured, throttles) a point-to-point
+// transfer without delivering a message. It is the ledger entry used by
+// higher layers that move payloads by reference within the process.
+func (c *Cluster) Transfer(from, to int, bytes int64) {
+	if from != to {
+		if c.cfg.Latency > 0 {
+			time.Sleep(c.cfg.Latency)
+		}
+		if c.cfg.LinkBandwidth > 0 && bytes > 0 {
+			time.Sleep(time.Duration(float64(bytes) / c.cfg.LinkBandwidth * float64(time.Second)))
+		}
+	}
+	c.account(from, to, bytes)
+}
+
+func (c *Cluster) account(from, to int, bytes int64) {
+	c.mu.Lock()
+	c.linkBytes[[2]int{from, to}] += bytes
+	c.mu.Unlock()
+}
+
+// Node is one member of the cluster. Ports must be opened before use;
+// opening is typically done during setup, before any goroutines send.
+type Node struct {
+	id      int
+	cluster *Cluster
+
+	mu    sync.Mutex
+	ports map[string]chan Message
+}
+
+// ID returns the node's index.
+func (n *Node) ID() int { return n.id }
+
+// Cluster returns the owning cluster.
+func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// Open creates (or returns) the mailbox for a named port.
+func (n *Node) Open(port string) chan Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ch, ok := n.ports[port]
+	if !ok {
+		ch = make(chan Message, n.cluster.cfg.QueueDepth)
+		n.ports[port] = ch
+	}
+	return ch
+}
+
+// Close closes a port's mailbox, releasing receivers blocked on it.
+func (n *Node) Close(port string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ch, ok := n.ports[port]; ok {
+		close(ch)
+		delete(n.ports, port)
+	}
+}
+
+// Send delivers a message to (to, port). It blocks if the destination
+// mailbox is full — this models finite network buffering and provides
+// backpressure, exactly the property filter-stream pipelines rely on.
+func (n *Node) Send(to int, port string, payload any, bytes int64) {
+	dst := n.cluster.Node(to)
+	ch := dst.Open(port)
+	cfg := n.cluster.cfg
+	if to != n.id {
+		if cfg.Latency > 0 {
+			time.Sleep(cfg.Latency)
+		}
+		if cfg.LinkBandwidth > 0 && bytes > 0 {
+			time.Sleep(time.Duration(float64(bytes) / cfg.LinkBandwidth * float64(time.Second)))
+		}
+	}
+	n.cluster.account(n.id, to, bytes)
+	ch <- Message{From: n.id, To: to, Port: port, Payload: payload, Bytes: bytes}
+}
+
+// Recv blocks until a message arrives on port. ok is false if the port was
+// closed and drained.
+func (n *Node) Recv(port string) (Message, bool) {
+	ch := n.Open(port)
+	m, ok := <-ch
+	return m, ok
+}
+
+// Barrier is a reusable synchronization point for a fixed set of parties.
+type Barrier struct {
+	n  int
+	mu sync.Mutex
+	c  *sync.Cond
+	// count of arrived parties in the current generation.
+	count int
+	gen   int
+}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("simnet: barrier size %d", n))
+	}
+	b := &Barrier{n: n}
+	b.c = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n parties have called Wait for this generation.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.c.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.c.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,178 @@
+package simnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSendRecv(t *testing.T) {
+	c, err := New(Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Node(0).Send(1, "data", "hello", 5)
+	m, ok := c.Node(1).Recv("data")
+	if !ok {
+		t.Fatal("port closed unexpectedly")
+	}
+	if m.Payload.(string) != "hello" || m.From != 0 || m.To != 1 || m.Bytes != 5 {
+		t.Fatalf("message = %+v", m)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0}); err == nil {
+		t.Fatal("expected error for 0 nodes")
+	}
+}
+
+func TestPortsAreIndependent(t *testing.T) {
+	c, _ := New(Config{Nodes: 1})
+	n := c.Node(0)
+	n.Send(0, "a", 1, 0)
+	n.Send(0, "b", 2, 0)
+	mb, _ := n.Recv("b")
+	ma, _ := n.Recv("a")
+	if ma.Payload.(int) != 1 || mb.Payload.(int) != 2 {
+		t.Fatalf("got %v %v", ma.Payload, mb.Payload)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	c, _ := New(Config{Nodes: 3})
+	c.Node(0).Send(1, "p", nil, 100)
+	c.Node(0).Send(1, "p", nil, 50)
+	c.Node(1).Send(2, "p", nil, 10)
+	c.Node(0).Send(0, "p", nil, 999) // local, not network traffic
+	if got := c.LinkBytes(0, 1); got != 150 {
+		t.Errorf("LinkBytes(0,1) = %d, want 150", got)
+	}
+	if got := c.TotalNetworkBytes(); got != 160 {
+		t.Errorf("TotalNetworkBytes = %d, want 160", got)
+	}
+	c.ResetStats()
+	if got := c.TotalNetworkBytes(); got != 0 {
+		t.Errorf("after reset: %d", got)
+	}
+}
+
+func TestCloseReleasesReceiver(t *testing.T) {
+	c, _ := New(Config{Nodes: 1})
+	n := c.Node(0)
+	n.Open("p")
+	done := make(chan bool)
+	go func() {
+		_, ok := n.Recv("p")
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	n.Close("p")
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Recv returned ok=true on closed port")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+func TestManySendersOneReceiver(t *testing.T) {
+	const nodes, perSender = 8, 100
+	c, _ := New(Config{Nodes: nodes})
+	var wg sync.WaitGroup
+	for i := 1; i < nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perSender; j++ {
+				c.Node(i).Send(0, "sink", j, 8)
+			}
+		}(i)
+	}
+	var got int64
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for k := 0; k < (nodes-1)*perSender; k++ {
+			if _, ok := c.Node(0).Recv("sink"); ok {
+				atomic.AddInt64(&got, 1)
+			}
+		}
+	}()
+	wg.Wait()
+	rg.Wait()
+	if got != (nodes-1)*perSender {
+		t.Fatalf("received %d, want %d", got, (nodes-1)*perSender)
+	}
+	if c.TotalNetworkBytes() != int64((nodes-1)*perSender*8) {
+		t.Fatalf("network bytes = %d", c.TotalNetworkBytes())
+	}
+}
+
+func TestBandwidthThrottleSlowsTransfers(t *testing.T) {
+	// 1 MB at 10 MB/s should take ~100ms. Allow broad margins for CI noise.
+	c, _ := New(Config{Nodes: 2, LinkBandwidth: 10 << 20})
+	start := time.Now()
+	c.Node(0).Send(1, "p", nil, 1<<20)
+	elapsed := time.Since(start)
+	if elapsed < 50*time.Millisecond {
+		t.Fatalf("throttled send took %v, want >= ~100ms", elapsed)
+	}
+}
+
+func TestLocalSendsAreNotThrottled(t *testing.T) {
+	c, _ := New(Config{Nodes: 1, LinkBandwidth: 1, Latency: time.Hour})
+	start := time.Now()
+	c.Node(0).Send(0, "p", nil, 1<<30)
+	if time.Since(start) > time.Second {
+		t.Fatal("local send was throttled")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 5
+	b := NewBarrier(n)
+	var phase int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := int32(1); p <= 3; p++ {
+				b.Wait()
+				// After the barrier, every party must observe phase >= p-1
+				// having been fully published by the slowest party.
+				atomic.CompareAndSwapInt32(&phase, p-1, p)
+				b.Wait()
+				if got := atomic.LoadInt32(&phase); got != p {
+					t.Errorf("phase = %d, want %d", got, p)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBarrierSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for barrier size 0")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestNodeOutOfRangePanics(t *testing.T) {
+	c, _ := New(Config{Nodes: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range node")
+		}
+	}()
+	c.Node(2)
+}

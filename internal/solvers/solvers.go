@@ -1,0 +1,305 @@
+// Package solvers implements the iterative linear-algebra kernels the paper
+// positions DOoC under. Beyond the Lanczos eigensolver (internal/lanczos),
+// the paper's conclusion names this as the path forward: "Developing more
+// linear algebra kernels will lower the bar for the application scientists
+// to use our proposed paradigm" — and its related work runs Jacobi and
+// Conjugate Gradient out-of-core for large Markov models (reference [6]).
+//
+// Every solver works over the same Operator abstraction as Lanczos, so each
+// runs equally over an in-core matrix or DOoC's out-of-core SpMV
+// (internal/core.Operator). One operator application per iteration is the
+// design target: that is the unit the middleware optimizes.
+package solvers
+
+import (
+	"fmt"
+	"math"
+
+	"dooc/internal/lanczos"
+	"dooc/internal/sparse"
+)
+
+// Operator re-exports the shared operator contract.
+type Operator = lanczos.Operator
+
+// Stats reports a solve's work and convergence.
+type Stats struct {
+	Iterations int
+	SpMVs      int
+	// Residual is the final residual norm (solver-specific definition).
+	Residual float64
+	// Converged reports whether the tolerance was met before the
+	// iteration cap.
+	Converged bool
+}
+
+// CGOptions tunes the Conjugate Gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual tolerance ‖r‖/‖b‖ (default 1e-10).
+	Tol float64
+	// MaxIter caps iterations (default 10·dim).
+	MaxIter int
+	// X0 is the starting guess (default zero).
+	X0 []float64
+}
+
+// CG solves A x = b for symmetric positive-definite A by the Conjugate
+// Gradient method.
+func CG(op Operator, b []float64, opts CGOptions) ([]float64, Stats, error) {
+	n := op.Dim()
+	if len(b) != n {
+		return nil, Stats{}, fmt.Errorf("solvers: b has %d entries, want %d", len(b), n)
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 10 * n
+	}
+	x := make([]float64, n)
+	if opts.X0 != nil {
+		if len(opts.X0) != n {
+			return nil, Stats{}, fmt.Errorf("solvers: x0 has %d entries, want %d", len(opts.X0), n)
+		}
+		copy(x, opts.X0)
+	}
+	bnorm := sparse.Norm2(b)
+	if bnorm == 0 {
+		return x, Stats{Converged: true}, nil
+	}
+	var st Stats
+	// r = b - A x.
+	r := append([]float64(nil), b...)
+	if sparse.Norm2(x) > 0 {
+		ax, err := op.Apply(x)
+		if err != nil {
+			return nil, st, err
+		}
+		st.SpMVs++
+		sparse.Axpy(-1, ax, r)
+	}
+	p := append([]float64(nil), r...)
+	rs := sparse.Dot(r, r)
+	for st.Iterations = 0; st.Iterations < opts.MaxIter; st.Iterations++ {
+		st.Residual = math.Sqrt(rs) / bnorm
+		if st.Residual <= opts.Tol {
+			st.Converged = true
+			return x, st, nil
+		}
+		ap, err := op.Apply(p)
+		if err != nil {
+			return nil, st, err
+		}
+		st.SpMVs++
+		pap := sparse.Dot(p, ap)
+		if pap <= 0 {
+			return nil, st, fmt.Errorf("solvers: CG broke down (pᵀAp = %v <= 0): operator not SPD", pap)
+		}
+		alpha := rs / pap
+		sparse.Axpy(alpha, p, x)
+		sparse.Axpy(-alpha, ap, r)
+		rsNew := sparse.Dot(r, r)
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	st.Residual = math.Sqrt(rs) / bnorm
+	return x, st, nil
+}
+
+// JacobiOptions tunes the Jacobi iteration.
+type JacobiOptions struct {
+	// Diag is the diagonal of A (required: the operator abstraction hides
+	// entries, so the caller supplies D).
+	Diag []float64
+	// Tol is the relative update tolerance (default 1e-10).
+	Tol float64
+	// MaxIter caps iterations (default 10·dim).
+	MaxIter int
+}
+
+// Jacobi solves A x = b by the Jacobi iteration
+// x ← x + D⁻¹ (b − A x), converging for diagonally dominant A. This is the
+// distributed out-of-core Markov solver of the paper's reference [6].
+func Jacobi(op Operator, b []float64, opts JacobiOptions) ([]float64, Stats, error) {
+	n := op.Dim()
+	if len(b) != n {
+		return nil, Stats{}, fmt.Errorf("solvers: b has %d entries, want %d", len(b), n)
+	}
+	if len(opts.Diag) != n {
+		return nil, Stats{}, fmt.Errorf("solvers: Diag has %d entries, want %d", len(opts.Diag), n)
+	}
+	for i, d := range opts.Diag {
+		if d == 0 {
+			return nil, Stats{}, fmt.Errorf("solvers: zero diagonal at %d", i)
+		}
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 10 * n
+	}
+	x := make([]float64, n)
+	bnorm := sparse.Norm2(b)
+	if bnorm == 0 {
+		return x, Stats{Converged: true}, nil
+	}
+	var st Stats
+	for st.Iterations = 0; st.Iterations < opts.MaxIter; st.Iterations++ {
+		ax, err := op.Apply(x)
+		if err != nil {
+			return nil, st, err
+		}
+		st.SpMVs++
+		delta := 0.0
+		for i := range x {
+			step := (b[i] - ax[i]) / opts.Diag[i]
+			x[i] += step
+			delta += step * step
+		}
+		st.Residual = math.Sqrt(delta) / bnorm
+		if st.Residual <= opts.Tol {
+			st.Converged = true
+			st.Iterations++
+			return x, st, nil
+		}
+	}
+	return x, st, nil
+}
+
+// PowerOptions tunes the power method.
+type PowerOptions struct {
+	// Tol is the eigenvalue-change tolerance (default 1e-12).
+	Tol float64
+	// MaxIter caps iterations (default 1000).
+	MaxIter int
+	// X0 is the starting vector (default e_1 + noise-free ones).
+	X0 []float64
+}
+
+// Power computes the dominant eigenvalue and eigenvector of op by the
+// power method — the simplest of the paper's iterated-SpMV clients.
+func Power(op Operator, opts PowerOptions) (lambda float64, vec []float64, st Stats, err error) {
+	n := op.Dim()
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-12
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 1000
+	}
+	x := make([]float64, n)
+	if opts.X0 != nil {
+		if len(opts.X0) != n {
+			return 0, nil, st, fmt.Errorf("solvers: x0 has %d entries, want %d", len(opts.X0), n)
+		}
+		copy(x, opts.X0)
+	} else {
+		for i := range x {
+			x[i] = 1 / math.Sqrt(float64(n))
+		}
+	}
+	nrm := sparse.Norm2(x)
+	if nrm == 0 {
+		return 0, nil, st, fmt.Errorf("solvers: zero starting vector")
+	}
+	sparse.Scale(1/nrm, x)
+	prev := math.Inf(1)
+	for st.Iterations = 0; st.Iterations < opts.MaxIter; st.Iterations++ {
+		y, err := op.Apply(x)
+		if err != nil {
+			return 0, nil, st, err
+		}
+		st.SpMVs++
+		lambda = sparse.Dot(x, y)
+		ynorm := sparse.Norm2(y)
+		if ynorm == 0 {
+			return 0, x, st, fmt.Errorf("solvers: operator annihilated the iterate")
+		}
+		sparse.Scale(1/ynorm, y)
+		x = y
+		st.Residual = math.Abs(lambda - prev)
+		if st.Residual <= opts.Tol*(1+math.Abs(lambda)) {
+			st.Converged = true
+			st.Iterations++
+			return lambda, x, st, nil
+		}
+		prev = lambda
+	}
+	return lambda, x, st, nil
+}
+
+// ChebyshevOptions tunes the Chebyshev semi-iteration.
+type ChebyshevOptions struct {
+	// LMin and LMax bound the operator's spectrum (required, 0 < LMin < LMax).
+	LMin, LMax float64
+	// Tol is the relative residual tolerance (default 1e-10).
+	Tol float64
+	// MaxIter caps iterations (default 10·dim).
+	MaxIter int
+}
+
+// Chebyshev solves A x = b for SPD A with known spectral bounds, without
+// inner products — attractive out-of-core because it removes the global
+// reductions that the paper identifies as the synchronization cost.
+func Chebyshev(op Operator, b []float64, opts ChebyshevOptions) ([]float64, Stats, error) {
+	n := op.Dim()
+	if len(b) != n {
+		return nil, Stats{}, fmt.Errorf("solvers: b has %d entries, want %d", len(b), n)
+	}
+	if !(opts.LMin > 0 && opts.LMax > opts.LMin) {
+		return nil, Stats{}, fmt.Errorf("solvers: need 0 < LMin < LMax, got [%v, %v]", opts.LMin, opts.LMax)
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 10 * n
+	}
+	bnorm := sparse.Norm2(b)
+	if bnorm == 0 {
+		return make([]float64, n), Stats{Converged: true}, nil
+	}
+	theta := (opts.LMax + opts.LMin) / 2
+	delta := (opts.LMax - opts.LMin) / 2
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	var p []float64
+	var alpha, beta float64
+	var st Stats
+	for st.Iterations = 0; st.Iterations < opts.MaxIter; st.Iterations++ {
+		st.Residual = sparse.Norm2(r) / bnorm
+		if st.Residual <= opts.Tol {
+			st.Converged = true
+			return x, st, nil
+		}
+		switch st.Iterations {
+		case 0:
+			p = append([]float64(nil), r...)
+			alpha = 1 / theta
+		case 1:
+			beta = 0.5 * (delta * alpha) * (delta * alpha)
+			alpha = 1 / (theta - beta/alpha)
+			for i := range p {
+				p[i] = r[i] + beta*p[i]
+			}
+		default:
+			beta = (delta * alpha / 2) * (delta * alpha / 2)
+			alpha = 1 / (theta - beta/alpha)
+			for i := range p {
+				p[i] = r[i] + beta*p[i]
+			}
+		}
+		sparse.Axpy(alpha, p, x)
+		ap, err := op.Apply(p)
+		if err != nil {
+			return nil, st, err
+		}
+		st.SpMVs++
+		sparse.Axpy(-alpha, ap, r)
+	}
+	st.Residual = sparse.Norm2(r) / bnorm
+	return x, st, nil
+}

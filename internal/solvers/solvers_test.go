@@ -1,0 +1,261 @@
+package solvers
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dooc/internal/lanczos"
+	"dooc/internal/sparse"
+)
+
+// spdMatrix builds a random symmetric positive-definite sparse matrix:
+// the symmetric gap matrix plus a diagonal shift dominating its row sums.
+func spdMatrix(t testing.TB, n int, seed int64) *sparse.CSR {
+	t.Helper()
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: n, Cols: n, D: 3, Seed: seed, Symmetric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift the diagonal to guarantee strict diagonal dominance.
+	var ts []sparse.Triplet
+	for i := 0; i < n; i++ {
+		row := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if int(m.ColIdx[k]) != i {
+				row += math.Abs(m.Val[k])
+			}
+			ts = append(ts, sparse.Triplet{Row: i, Col: int(m.ColIdx[k]), Val: m.Val[k]})
+		}
+		ts = append(ts, sparse.Triplet{Row: i, Col: i, Val: row + 1})
+	}
+	spd, err := sparse.FromTriplets(n, n, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spd
+}
+
+func residualNorm(m *sparse.CSR, x, b []float64) float64 {
+	ax := make([]float64, len(b))
+	sparse.MulVec(m, x, ax)
+	worst := 0.0
+	for i := range b {
+		if d := math.Abs(ax[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestCGSolvesSPDSystem(t *testing.T) {
+	n := 80
+	m := spdMatrix(t, n, 1)
+	rng := rand.New(rand.NewSource(2))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, st, err := CG(lanczos.MatrixOperator{M: m}, b, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("CG did not converge: %+v", st)
+	}
+	if r := residualNorm(m, x, b); r > 1e-7 {
+		t.Fatalf("residual %v", r)
+	}
+	if st.SpMVs != st.Iterations+0 && st.SpMVs != st.Iterations {
+		t.Errorf("SpMVs %d vs iterations %d", st.SpMVs, st.Iterations)
+	}
+}
+
+func TestCGWithWarmStart(t *testing.T) {
+	n := 40
+	m := spdMatrix(t, n, 3)
+	b := make([]float64, n)
+	b[0] = 1
+	// Solve once, then restart from the solution: should converge instantly.
+	x, _, err := CG(lanczos.MatrixOperator{M: m}, b, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := CG(lanczos.MatrixOperator{M: m}, b, CGOptions{X0: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations > 2 {
+		t.Fatalf("warm start took %d iterations", st.Iterations)
+	}
+}
+
+func TestCGRejectsNonSPD(t *testing.T) {
+	// A negative-definite matrix must trigger the breakdown guard.
+	var ts []sparse.Triplet
+	for i := 0; i < 10; i++ {
+		ts = append(ts, sparse.Triplet{Row: i, Col: i, Val: -1})
+	}
+	m, err := sparse.FromTriplets(10, 10, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 10)
+	b[0] = 1
+	if _, _, err := CG(lanczos.MatrixOperator{M: m}, b, CGOptions{}); err == nil {
+		t.Fatal("CG accepted a non-SPD operator")
+	}
+}
+
+func TestCGValidation(t *testing.T) {
+	m := spdMatrix(t, 8, 5)
+	op := lanczos.MatrixOperator{M: m}
+	if _, _, err := CG(op, make([]float64, 3), CGOptions{}); err == nil {
+		t.Error("wrong b length accepted")
+	}
+	if _, _, err := CG(op, make([]float64, 8), CGOptions{X0: make([]float64, 2)}); err == nil {
+		t.Error("wrong x0 length accepted")
+	}
+	// Zero RHS: trivially converged.
+	x, st, err := CG(op, make([]float64, 8), CGOptions{})
+	if err != nil || !st.Converged {
+		t.Fatalf("zero RHS: %v %+v", err, st)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("zero RHS must give zero solution")
+		}
+	}
+}
+
+func TestJacobiSolvesDominantSystem(t *testing.T) {
+	n := 60
+	m := spdMatrix(t, n, 7)
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = m.At(i, i)
+	}
+	rng := rand.New(rand.NewSource(8))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, st, err := Jacobi(lanczos.MatrixOperator{M: m}, b, JacobiOptions{Diag: diag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("Jacobi did not converge: %+v", st)
+	}
+	if r := residualNorm(m, x, b); r > 1e-7 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestJacobiValidation(t *testing.T) {
+	m := spdMatrix(t, 6, 9)
+	op := lanczos.MatrixOperator{M: m}
+	if _, _, err := Jacobi(op, make([]float64, 6), JacobiOptions{Diag: make([]float64, 2)}); err == nil {
+		t.Error("wrong diag length accepted")
+	}
+	if _, _, err := Jacobi(op, make([]float64, 6), JacobiOptions{Diag: make([]float64, 6)}); err == nil {
+		t.Error("zero diagonal accepted")
+	}
+}
+
+func TestPowerFindsDominantEigenpair(t *testing.T) {
+	n := 50
+	m := spdMatrix(t, n, 11)
+	lambda, v, st, err := Power(lanczos.MatrixOperator{M: m}, PowerOptions{MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("power method did not converge: %+v", st)
+	}
+	// Check A v ≈ λ v.
+	av := make([]float64, n)
+	sparse.MulVec(m, v, av)
+	for i := range av {
+		if math.Abs(av[i]-lambda*v[i]) > 1e-6*(1+math.Abs(lambda)) {
+			t.Fatalf("not an eigenpair at %d: %v vs %v", i, av[i], lambda*v[i])
+		}
+	}
+	// Cross-check against the full spectrum.
+	want, err := lanczos.JacobiEigen(m.Dense(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lambda-want[n-1]) > 1e-6*(1+math.Abs(want[n-1])) {
+		t.Fatalf("dominant eigenvalue %v, dense says %v", lambda, want[n-1])
+	}
+}
+
+func TestChebyshevSolvesWithSpectralBounds(t *testing.T) {
+	n := 60
+	m := spdMatrix(t, n, 13)
+	vals, err := lanczos.JacobiEigen(m.Dense(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, st, err := Chebyshev(lanczos.MatrixOperator{M: m}, b, ChebyshevOptions{
+		LMin: vals[0] * 0.9, LMax: vals[n-1] * 1.1, Tol: 1e-9, MaxIter: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("Chebyshev did not converge: %+v", st)
+	}
+	if r := residualNorm(m, x, b); r > 1e-6 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestChebyshevValidation(t *testing.T) {
+	m := spdMatrix(t, 6, 15)
+	op := lanczos.MatrixOperator{M: m}
+	if _, _, err := Chebyshev(op, make([]float64, 6), ChebyshevOptions{LMin: 2, LMax: 1}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, _, err := Chebyshev(op, make([]float64, 6), ChebyshevOptions{LMin: 0, LMax: 1}); err == nil {
+		t.Error("zero LMin accepted")
+	}
+}
+
+// TestCGBeatsJacobiOnIterations: on the same SPD system, CG must converge
+// in no more iterations than Jacobi (it is optimal in the Krylov space).
+func TestCGBeatsJacobiOnIterations(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 30
+		m := spdMatrix(t, n, seed)
+		diag := make([]float64, n)
+		for i := 0; i < n; i++ {
+			diag[i] = m.At(i, i)
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		op := lanczos.MatrixOperator{M: m}
+		_, cgStats, err := CG(op, b, CGOptions{Tol: 1e-8})
+		if err != nil {
+			return false
+		}
+		_, jStats, err := Jacobi(op, b, JacobiOptions{Diag: diag, Tol: 1e-8})
+		if err != nil {
+			return false
+		}
+		return cgStats.Converged && (!jStats.Converged || cgStats.Iterations <= jStats.Iterations)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRSRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 20)
+		var buf bytes.Buffer
+		if err := WriteCRS(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadCRS(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Rows != m.Rows || got.Cols != m.Cols || got.NNZ() != m.NNZ() {
+			return false
+		}
+		for i := range m.RowPtr {
+			if got.RowPtr[i] != m.RowPtr[i] {
+				return false
+			}
+		}
+		for i := range m.Val {
+			if got.ColIdx[i] != m.ColIdx[i] || got.Val[i] != m.Val[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRSFileBytesMatchesActualSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomCSR(rng, 30)
+	var buf bytes.Buffer
+	if err := WriteCRS(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	want := FileBytes(m.Rows, m.NNZ())
+	if int64(buf.Len()) != want {
+		t.Fatalf("encoded %d bytes, FileBytes predicts %d", buf.Len(), want)
+	}
+}
+
+func TestCRSDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomCSR(rng, 20)
+	var buf bytes.Buffer
+	if err := WriteCRS(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a bit in the middle of the payload.
+	data[len(data)/2] ^= 0x40
+	if _, err := ReadCRS(bytes.NewReader(data)); err == nil {
+		t.Fatal("expected checksum error on corrupted payload")
+	}
+}
+
+func TestCRSDetectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randomCSR(rng, 20)
+	var buf bytes.Buffer
+	if err := WriteCRS(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{4, HeaderBytes - 1, len(data) / 2, len(data) - 2} {
+		if _, err := ReadCRS(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("expected error reading %d of %d bytes", cut, len(data))
+		}
+	}
+}
+
+func TestCRSRejectsBadMagic(t *testing.T) {
+	data := append([]byte("NOTACRS!"), make([]byte, 64)...)
+	if _, err := ReadCRS(bytes.NewReader(data)); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+}
+
+func TestCRSFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.crs")
+	rng := rand.New(rand.NewSource(8))
+	m := randomCSR(rng, 25)
+	if err := WriteCRSFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	got, err := ReadCRSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != m.NNZ() {
+		t.Fatalf("NNZ = %d, want %d", got.NNZ(), m.NNZ())
+	}
+	rows, cols, nnz, err := ReadCRSHeader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != m.Rows || cols != m.Cols || nnz != m.NNZ() {
+		t.Fatalf("header = (%d,%d,%d), want (%d,%d,%d)", rows, cols, nnz, m.Rows, m.Cols, m.NNZ())
+	}
+}
+
+func TestReadCRSFileMissing(t *testing.T) {
+	if _, err := ReadCRSFile(filepath.Join(t.TempDir(), "nope.crs")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestWriteCRSRejectsInvalid(t *testing.T) {
+	m := FromDense(2, 2, []float64{1, 2, 3, 4})
+	m.ColIdx[0] = 99
+	var buf bytes.Buffer
+	if err := WriteCRS(&buf, m); err == nil {
+		t.Fatal("expected error writing invalid matrix")
+	}
+}

@@ -1,0 +1,214 @@
+// Package sparse provides the sparse linear-algebra substrate of the DOoC
+// reproduction: CSR matrices, the binary CRS on-disk format used by the
+// paper's out-of-core SpMV, the paper's random-gap matrix generator, a K×K
+// grid partitioner, and parallel SpMV kernels.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a sparse matrix in Compressed Sparse Row format.
+//
+// RowPtr has Rows+1 entries; the column indices and values of row i live in
+// ColIdx[RowPtr[i]:RowPtr[i+1]] and Val[RowPtr[i]:RowPtr[i+1]]. Column
+// indices within a row are strictly increasing.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int64
+	ColIdx     []int32
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int64 {
+	if len(m.RowPtr) == 0 {
+		return 0
+	}
+	return m.RowPtr[m.Rows]
+}
+
+// Bytes returns the in-memory footprint of the matrix payload
+// (row pointers + column indices + values).
+func (m *CSR) Bytes() int64 {
+	return int64(len(m.RowPtr))*8 + int64(len(m.ColIdx))*4 + int64(len(m.Val))*8
+}
+
+// Validate checks structural invariants and returns a descriptive error on
+// the first violation.
+func (m *CSR) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("sparse: negative dimensions %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("sparse: len(RowPtr)=%d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: RowPtr[0]=%d, want 0", m.RowPtr[0])
+	}
+	nnz := m.RowPtr[m.Rows]
+	if int64(len(m.ColIdx)) != nnz || int64(len(m.Val)) != nnz {
+		return fmt.Errorf("sparse: len(ColIdx)=%d len(Val)=%d, want %d", len(m.ColIdx), len(m.Val), nnz)
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("sparse: RowPtr not monotone at row %d: %d > %d", i, m.RowPtr[i], m.RowPtr[i+1])
+		}
+		prev := int32(-1)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			c := m.ColIdx[k]
+			if c < 0 || int(c) >= m.Cols {
+				return fmt.Errorf("sparse: row %d col %d out of range [0,%d)", i, c, m.Cols)
+			}
+			if c <= prev {
+				return fmt.Errorf("sparse: row %d columns not strictly increasing at %d", i, c)
+			}
+			prev = c
+		}
+	}
+	return nil
+}
+
+// Triplet is one (row, col, value) entry, used to assemble matrices.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// FromTriplets assembles a CSR matrix from unordered triplets. Duplicate
+// (row, col) entries are summed, matching standard assembly semantics.
+func FromTriplets(rows, cols int, ts []Triplet) (*CSR, error) {
+	for _, t := range ts {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			return nil, fmt.Errorf("sparse: triplet (%d,%d) out of %dx%d", t.Row, t.Col, rows, cols)
+		}
+	}
+	sorted := append([]Triplet(nil), ts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		v := 0.0
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			v += sorted[j].Val
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, int32(sorted[i].Col))
+		m.Val = append(m.Val, v)
+		m.RowPtr[sorted[i].Row+1]++
+		i = j
+	}
+	for i := 0; i < rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m, nil
+}
+
+// FromDense builds a CSR matrix from a dense row-major matrix, storing
+// entries with |v| > 0.
+func FromDense(rows, cols int, dense []float64) *CSR {
+	if len(dense) != rows*cols {
+		panic(fmt.Sprintf("sparse: dense length %d != %d*%d", len(dense), rows, cols))
+	}
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := dense[i*cols+j]
+			if v != 0 {
+				m.ColIdx = append(m.ColIdx, int32(j))
+				m.Val = append(m.Val, v)
+			}
+		}
+		m.RowPtr[i+1] = int64(len(m.Val))
+	}
+	return m
+}
+
+// Dense expands the matrix into a dense row-major slice (test/debug helper;
+// do not call on large matrices).
+func (m *CSR) Dense() []float64 {
+	out := make([]float64, m.Rows*m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			out[i*m.Cols+int(m.ColIdx[k])] = m.Val[k]
+		}
+	}
+	return out
+}
+
+// At returns the entry at (i, j), zero if not stored. Binary search per row.
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch c := int(m.ColIdx[mid]); {
+		case c == j:
+			return m.Val[mid]
+		case c < j:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0
+}
+
+// Transpose returns the transpose of m, also in CSR.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		RowPtr: make([]int64, m.Cols+1),
+		ColIdx: make([]int32, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < m.Cols; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := append([]int64(nil), t.RowPtr[:m.Cols]...)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			c := m.ColIdx[k]
+			p := next[c]
+			t.ColIdx[p] = int32(i)
+			t.Val[p] = m.Val[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// IsSymmetric reports whether the matrix equals its transpose within tol.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	t := m.Transpose()
+	if t.NNZ() != m.NNZ() {
+		return false
+	}
+	for i := range m.Val {
+		if t.ColIdx[i] != m.ColIdx[i] {
+			return false
+		}
+		if math.Abs(t.Val[i]-m.Val[i]) > tol {
+			return false
+		}
+	}
+	for i := range m.RowPtr {
+		if t.RowPtr[i] != m.RowPtr[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,271 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomCSR builds a random valid matrix for property tests.
+func randomCSR(rng *rand.Rand, maxDim int) *CSR {
+	rows := 1 + rng.Intn(maxDim)
+	cols := 1 + rng.Intn(maxDim)
+	var ts []Triplet
+	n := rng.Intn(rows * cols)
+	for i := 0; i < n; i++ {
+		ts = append(ts, Triplet{rng.Intn(rows), rng.Intn(cols), rng.NormFloat64()})
+	}
+	m, err := FromTriplets(rows, cols, ts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestFromTripletsBasic(t *testing.T) {
+	m, err := FromTriplets(2, 3, []Triplet{{0, 1, 2.5}, {1, 0, -1}, {0, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(0, 1); got != 2.5 {
+		t.Errorf("At(0,1) = %v, want 2.5", got)
+	}
+	if got := m.At(1, 0); got != -1 {
+		t.Errorf("At(1,0) = %v, want -1", got)
+	}
+	if got := m.At(1, 2); got != 0 {
+		t.Errorf("At(1,2) = %v, want 0", got)
+	}
+	if m.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", m.NNZ())
+	}
+}
+
+func TestFromTripletsSumsDuplicates(t *testing.T) {
+	m, err := FromTriplets(1, 1, []Triplet{{0, 0, 1}, {0, 0, 2}, {0, 0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(0, 0); got != 6 {
+		t.Errorf("At(0,0) = %v, want 6", got)
+	}
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1", m.NNZ())
+	}
+}
+
+func TestFromTripletsRejectsOutOfRange(t *testing.T) {
+	if _, err := FromTriplets(2, 2, []Triplet{{2, 0, 1}}); err == nil {
+		t.Fatal("expected error for out-of-range row")
+	}
+	if _, err := FromTriplets(2, 2, []Triplet{{0, -1, 1}}); err == nil {
+		t.Fatal("expected error for negative col")
+	}
+}
+
+func TestDenseRoundTrip(t *testing.T) {
+	d := []float64{1, 0, 2, 0, 0, 3}
+	m := FromDense(2, 3, d)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Dense()
+	for i := range d {
+		if got[i] != d[i] {
+			t.Fatalf("Dense()[%d] = %v, want %v", i, got[i], d[i])
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := FromDense(2, 2, []float64{1, 2, 3, 4})
+	m.ColIdx[1] = 9 // out of range
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected validation error for out-of-range column")
+	}
+	m = FromDense(2, 2, []float64{1, 2, 3, 4})
+	m.RowPtr[1] = 5 // non-monotone
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected validation error for non-monotone RowPtr")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 12)
+		tt := m.Transpose().Transpose()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols || tt.NNZ() != m.NNZ() {
+			return false
+		}
+		for i := range m.Val {
+			if tt.ColIdx[i] != m.ColIdx[i] || tt.Val[i] != m.Val[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomCSR(rng, 10)
+	tr := m.Transpose()
+	d := m.Dense()
+	td := tr.Dense()
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if d[i*m.Cols+j] != td[j*tr.Cols+i] {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	sym, err := FromTriplets(3, 3, []Triplet{{0, 1, 2}, {1, 0, 2}, {2, 2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sym.IsSymmetric(0) {
+		t.Error("symmetric matrix reported as asymmetric")
+	}
+	asym, err := FromTriplets(3, 3, []Triplet{{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asym.IsSymmetric(0) {
+		t.Error("asymmetric matrix reported as symmetric")
+	}
+	rect := FromDense(2, 3, make([]float64, 6))
+	if rect.IsSymmetric(0) {
+		t.Error("rectangular matrix reported as symmetric")
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 15)
+		x := make([]float64, m.Cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := make([]float64, m.Rows)
+		MulVec(m, x, y)
+		d := m.Dense()
+		for i := 0; i < m.Rows; i++ {
+			want := 0.0
+			for j := 0; j < m.Cols; j++ {
+				want += d[i*m.Cols+j] * x[j]
+			}
+			if math.Abs(y[i]-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		m := randomCSR(rng, 200)
+		x := make([]float64, m.Cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		seq := make([]float64, m.Rows)
+		par := make([]float64, m.Rows)
+		MulVec(m, x, seq)
+		MulVecParallel(m, x, par, workers)
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("workers=%d: par[%d]=%v seq=%v", workers, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestMulVecAdd(t *testing.T) {
+	m := FromDense(2, 2, []float64{1, 2, 3, 4})
+	x := []float64{1, 1}
+	y := []float64{10, 20}
+	MulVecAdd(m, x, y)
+	if y[0] != 13 || y[1] != 27 {
+		t.Fatalf("y = %v, want [13 27]", y)
+	}
+}
+
+func TestMulVecShapePanics(t *testing.T) {
+	m := FromDense(2, 2, []float64{1, 2, 3, 4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	MulVec(m, make([]float64, 3), make([]float64, 2))
+}
+
+func TestNNZBalancedStripesCoverAllRows(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 50)
+		w := 1 + rng.Intn(8)
+		b := nnzBalancedStripes(m, w)
+		if b[0] != 0 || b[w] != m.Rows {
+			return false
+		}
+		for i := 0; i < w; i++ {
+			if b[i] > b[i+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[1] != 9 || y[2] != 12 {
+		t.Fatalf("Axpy: y = %v", y)
+	}
+	if got := Dot(x, []float64{1, 1, 1}); got != 6 {
+		t.Fatalf("Dot = %v, want 6", got)
+	}
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	Scale(0.5, x)
+	if x[0] != 0.5 || x[2] != 1.5 {
+		t.Fatalf("Scale: x = %v", x)
+	}
+	dst := []float64{1, 1}
+	Sum(dst, []float64{2, 3})
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("Sum: dst = %v", dst)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	m := FromDense(2, 2, []float64{1, 0, 0, 2})
+	// RowPtr: 3*8 + ColIdx: 2*4 + Val: 2*8 = 48.
+	if got := m.Bytes(); got != 48 {
+		t.Fatalf("Bytes = %d, want 48", got)
+	}
+}

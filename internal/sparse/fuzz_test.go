@@ -1,0 +1,57 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCRS: arbitrary bytes must never panic the binary CRS reader —
+// they either decode to a valid matrix or return an error. (The storage
+// layer feeds file contents straight into this path.)
+func FuzzReadCRS(f *testing.F) {
+	// Seed with a valid encoding and some corruptions of it.
+	m := FromDense(3, 3, []float64{1, 0, 2, 0, 3, 0, 4, 0, 5})
+	var buf bytes.Buffer
+	if err := WriteCRS(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{0, 8, len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 0xff
+	f.Add(mut)
+	f.Add([]byte("DOOCCRS1 garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadCRS(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be structurally valid.
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("accepted invalid matrix: %v", verr)
+		}
+	})
+}
+
+// FuzzReadMatrixMarket: arbitrary text must never panic the .mtx parser.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 5 2\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		got, err := ReadMatrixMarket(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("accepted invalid matrix: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GapGenConfig configures the paper's synthetic matrix generator
+// (Section V): within each row, the separation between two consecutive
+// nonzero entries is uniformly distributed in [1:2d], so a row of length
+// `cols` carries about cols/(d+0.5) nonzeros in expectation. d is chosen to
+// yield a target nnz count.
+type GapGenConfig struct {
+	Rows, Cols int
+	// D is the gap parameter d. Gaps are uniform on [1, 2d].
+	D int
+	// Seed makes generation deterministic and reproducible.
+	Seed int64
+	// Symmetric, when set and Rows==Cols, mirrors the strictly-upper pattern
+	// into the lower triangle so the result is symmetric (as the nuclear
+	// Hamiltonians in the paper are). The diagonal is fully populated to keep
+	// the matrix well conditioned for iterative solvers.
+	Symmetric bool
+}
+
+// ExpectedNNZ estimates the nonzero count the generator will produce.
+func (c GapGenConfig) ExpectedNNZ() int64 {
+	perRow := float64(c.Cols) / (float64(c.D) + 0.5)
+	return int64(perRow * float64(c.Rows))
+}
+
+// DForTargetNNZ returns the gap parameter d that yields approximately
+// `target` nonzeros in a rows×cols matrix, the paper's calibration rule
+// ("d is chosen to yield a certain number of total non-zero elements").
+func DForTargetNNZ(rows, cols int, target int64) int {
+	if target <= 0 {
+		return cols // effectively empty rows
+	}
+	perRow := float64(target) / float64(rows)
+	d := int(float64(cols)/perRow - 0.5)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// GapMatrix generates a random sparse matrix using the gap scheme. Values
+// are uniform on [-1, 1).
+func GapMatrix(cfg GapGenConfig) (*CSR, error) {
+	if cfg.Rows <= 0 || cfg.Cols <= 0 {
+		return nil, fmt.Errorf("sparse: gap generator needs positive dims, got %dx%d", cfg.Rows, cfg.Cols)
+	}
+	if cfg.D < 1 {
+		return nil, fmt.Errorf("sparse: gap parameter d=%d must be >= 1", cfg.D)
+	}
+	if cfg.Symmetric && cfg.Rows != cfg.Cols {
+		return nil, fmt.Errorf("sparse: symmetric generation needs a square matrix, got %dx%d", cfg.Rows, cfg.Cols)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if !cfg.Symmetric {
+		m := &CSR{Rows: cfg.Rows, Cols: cfg.Cols, RowPtr: make([]int64, cfg.Rows+1)}
+		for i := 0; i < cfg.Rows; i++ {
+			// First nonzero lands after a random offset so column coverage is
+			// uniform; subsequent gaps are uniform on [1, 2d].
+			col := rng.Intn(cfg.D) // offset in [0, d)
+			for col < cfg.Cols {
+				m.ColIdx = append(m.ColIdx, int32(col))
+				m.Val = append(m.Val, 2*rng.Float64()-1)
+				col += 1 + rng.Intn(2*cfg.D)
+			}
+			m.RowPtr[i+1] = int64(len(m.Val))
+		}
+		return m, nil
+	}
+	// Symmetric: generate strictly-upper entries by the gap scheme, mirror,
+	// and add a diagonal.
+	var ts []Triplet
+	for i := 0; i < cfg.Rows; i++ {
+		ts = append(ts, Triplet{i, i, 2 + rng.Float64()}) // diagonally dominant-ish
+		col := i + 1 + rng.Intn(cfg.D)
+		for col < cfg.Cols {
+			v := 2*rng.Float64() - 1
+			ts = append(ts, Triplet{i, col, v}, Triplet{col, i, v})
+			col += 1 + rng.Intn(2*cfg.D)
+		}
+	}
+	return FromTriplets(cfg.Rows, cfg.Cols, ts)
+}
+
+// Stats summarizes a matrix for reporting.
+type Stats struct {
+	Rows, Cols int
+	NNZ        int64
+	AvgPerRow  float64
+	MinPerRow  int64
+	MaxPerRow  int64
+	Bytes      int64
+}
+
+// Summarize computes row-population statistics for m.
+func Summarize(m *CSR) Stats {
+	s := Stats{Rows: m.Rows, Cols: m.Cols, NNZ: m.NNZ(), Bytes: m.Bytes()}
+	if m.Rows == 0 {
+		return s
+	}
+	s.MinPerRow = int64(m.Cols) + 1
+	for i := 0; i < m.Rows; i++ {
+		n := m.RowPtr[i+1] - m.RowPtr[i]
+		if n < s.MinPerRow {
+			s.MinPerRow = n
+		}
+		if n > s.MaxPerRow {
+			s.MaxPerRow = n
+		}
+	}
+	s.AvgPerRow = float64(s.NNZ) / float64(m.Rows)
+	return s
+}

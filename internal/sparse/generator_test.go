@@ -1,0 +1,117 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGapMatrixDeterministic(t *testing.T) {
+	cfg := GapGenConfig{Rows: 50, Cols: 80, D: 4, Seed: 123}
+	a, err := GapMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GapMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("same seed produced different nnz: %d vs %d", a.NNZ(), b.NNZ())
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] || a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatal("same seed produced different matrices")
+		}
+	}
+}
+
+func TestGapMatrixValid(t *testing.T) {
+	for _, d := range []int{1, 2, 5, 20} {
+		m, err := GapMatrix(GapGenConfig{Rows: 40, Cols: 100, D: d, Seed: int64(d)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+	}
+}
+
+func TestGapMatrixDensityMatchesExpectation(t *testing.T) {
+	// With gaps uniform on [1, 2d], mean gap is d+0.5, so a row of C columns
+	// carries about C/(d+0.5) nonzeros. Check within 10% on a large matrix.
+	cfg := GapGenConfig{Rows: 400, Cols: 2000, D: 7, Seed: 99}
+	m, err := GapMatrix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(cfg.ExpectedNNZ())
+	got := float64(m.NNZ())
+	if math.Abs(got-want)/want > 0.10 {
+		t.Fatalf("nnz = %v, expected about %v", got, want)
+	}
+}
+
+func TestDForTargetNNZInvertsExpectation(t *testing.T) {
+	rows, cols := 300, 3000
+	for _, target := range []int64{5000, 20000, 90000} {
+		d := DForTargetNNZ(rows, cols, target)
+		if d < 1 {
+			t.Fatalf("d = %d", d)
+		}
+		m, err := GapMatrix(GapGenConfig{Rows: rows, Cols: cols, D: d, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(m.NNZ())
+		if math.Abs(got-float64(target))/float64(target) > 0.25 {
+			t.Errorf("target %d, d=%d produced %v nnz", target, d, got)
+		}
+	}
+}
+
+func TestGapMatrixSymmetric(t *testing.T) {
+	m, err := GapMatrix(GapGenConfig{Rows: 60, Cols: 60, D: 3, Seed: 11, Symmetric: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsSymmetric(0) {
+		t.Fatal("symmetric generator produced asymmetric matrix")
+	}
+	// Diagonal fully populated.
+	for i := 0; i < m.Rows; i++ {
+		if m.At(i, i) == 0 {
+			t.Fatalf("zero diagonal at %d", i)
+		}
+	}
+}
+
+func TestGapMatrixValidation(t *testing.T) {
+	if _, err := GapMatrix(GapGenConfig{Rows: 0, Cols: 5, D: 1}); err == nil {
+		t.Error("expected error for zero rows")
+	}
+	if _, err := GapMatrix(GapGenConfig{Rows: 5, Cols: 5, D: 0}); err == nil {
+		t.Error("expected error for d=0")
+	}
+	if _, err := GapMatrix(GapGenConfig{Rows: 4, Cols: 5, D: 1, Symmetric: true}); err == nil {
+		t.Error("expected error for non-square symmetric request")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m := FromDense(3, 3, []float64{
+		1, 1, 1,
+		0, 0, 0,
+		1, 0, 0,
+	})
+	s := Summarize(m)
+	if s.NNZ != 4 || s.MinPerRow != 0 || s.MaxPerRow != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if math.Abs(s.AvgPerRow-4.0/3.0) > 1e-15 {
+		t.Fatalf("avg = %v", s.AvgPerRow)
+	}
+}

@@ -1,0 +1,142 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCSR(rng, 20)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Rows != m.Rows || got.Cols != m.Cols || got.NNZ() != m.NNZ() {
+			return false
+		}
+		for i := range m.Val {
+			if got.Val[i] != m.Val[i] || got.ColIdx[i] != m.ColIdx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixMarketSymmetricExpansion(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+3 2 0.5
+3 3 4.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 6 { // 2 diagonal + 2 mirrored pairs
+		t.Fatalf("nnz = %d, want 6", m.NNZ())
+	}
+	if m.At(0, 1) != -1 || m.At(1, 0) != -1 {
+		t.Fatal("symmetric expansion missing")
+	}
+	if !m.IsSymmetric(0) {
+		t.Fatal("not symmetric after expansion")
+	}
+}
+
+func TestMatrixMarketSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 || m.At(0, 1) != -3 {
+		t.Fatalf("skew expansion wrong: %v %v", m.At(1, 0), m.At(0, 1))
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 3 2
+1 3
+2 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 2) != 1 || m.At(1, 0) != 1 {
+		t.Fatal("pattern values should be 1")
+	}
+}
+
+func TestMatrixMarketIntegerField(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate integer general
+2 2 1
+1 2 7
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 7 {
+		t.Fatalf("At(0,1) = %v", m.At(0, 1))
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad banner":     "hello world\n1 1 1\n1 1 1\n",
+		"array format":   "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"complex field":  "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad size":       "%%MatrixMarket matrix coordinate real general\nnope\n",
+		"short entries":  "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5\n",
+		"out of range":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5\n",
+		"bad value":      "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 x\n",
+		"zero dimension": "%%MatrixMarket matrix coordinate real general\n0 2 0\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMatrixMarketFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/m.mtx"
+	rng := rand.New(rand.NewSource(4))
+	m := randomCSR(rng, 15)
+	if err := WriteMatrixMarketFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixMarketFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != m.NNZ() {
+		t.Fatalf("nnz = %d, want %d", got.NNZ(), m.NNZ())
+	}
+	if _, err := ReadMatrixMarketFile(dir + "/missing.mtx"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Package spmv builds the iterated sparse matrix-vector multiplication task
+// program of the paper's Section IV: the matrix is partitioned into a K×K
+// grid of sub-matrices; iteration t computes intermediate products
+// x[t][u][v] = A[u][v] * x[t-1][v] followed by reductions
+// x[t][u] = Σ_v x[t][u][v]. The resulting task list (Fig. 3) and its derived
+// dependency DAG (Fig. 4) are consumed by the DOoC engine for real
+// execution and by the schedule simulator for plan studies.
+package spmv
+
+import (
+	"fmt"
+
+	"dooc/internal/dag"
+)
+
+// ProgramConfig sizes the generated task program.
+type ProgramConfig struct {
+	// K is the grid order: K×K sub-matrices, K sub-vector parts.
+	K int
+	// Iters is the number of SpMV iterations.
+	Iters int
+	// SubBytes is the size of one sub-matrix block (the heavy, cache-driving
+	// datum).
+	SubBytes int64
+	// VecBytes is the size of one sub-vector part.
+	VecBytes int64
+	// FlopsPerMult estimates one sub-matrix multiply (2*nnz of the block).
+	FlopsPerMult float64
+	// Prefix namespaces the vector and partial arrays of this program run,
+	// so repeated programs (e.g. successive Lanczos steps) over the same
+	// matrix never collide. Matrix array names are never prefixed: the
+	// matrix is shared across runs.
+	Prefix string
+	// SplitWays, when > 1, splits every multiply into that many sub-tasks
+	// over disjoint row ranges of its output — the paper's local-scheduler
+	// task decomposition ("splits them (if possible) to match the
+	// parallelism available on the node"). Each sub-task writes its row
+	// range through an interval write lease on the shared partial array.
+	SplitWays int
+}
+
+// Naming helpers shared by the engine, the simulator, and the benches.
+
+// MatrixRef returns the heavy datum for sub-matrix A[u][v].
+func (c ProgramConfig) MatrixRef(u, v int) dag.Ref {
+	return dag.Ref{Array: MatrixArray(u, v), Block: 0, Bytes: c.SubBytes}
+}
+
+// VecRef returns the datum for sub-vector part u of iteration t
+// (t == 0 is the seed vector).
+func (c ProgramConfig) VecRef(t, u int) dag.Ref {
+	return dag.Ref{Array: c.Prefix + VecArray(t, u), Block: 0, Bytes: c.VecBytes}
+}
+
+// PartialRef returns the datum for intermediate product x[t][u][v].
+func (c ProgramConfig) PartialRef(t, u, v int) dag.Ref {
+	return dag.Ref{Array: c.Prefix + PartialArray(t, u, v), Block: 0, Bytes: c.VecBytes}
+}
+
+// MatrixArray names the storage array holding A[u][v].
+func MatrixArray(u, v int) string { return fmt.Sprintf("A_%03d_%03d", u, v) }
+
+// VecArray names the storage array holding x[t][u].
+func VecArray(t, u int) string { return fmt.Sprintf("x_%d_%d", t, u) }
+
+// PartialArray names the storage array holding x[t][u][v].
+func PartialArray(t, u, v int) string { return fmt.Sprintf("xp_%d_%d_%d", t, u, v) }
+
+// PartialPartRef returns the datum for row-part p of intermediate product
+// x[t][u][v] under a ways-way split.
+func (c ProgramConfig) PartialPartRef(t, u, v, p, ways int) dag.Ref {
+	return dag.Ref{
+		Array: c.Prefix + PartialArray(t, u, v),
+		Block: 0,
+		Part:  p + 1, // Part 0 means "undivided"
+		Bytes: c.VecBytes / int64(ways),
+	}
+}
+
+// MultTaskID and ReduceTaskID name the generated tasks.
+func MultTaskID(t, u, v int) string { return fmt.Sprintf("mult:%d:%d:%d", t, u, v) }
+
+// MultPartTaskID names row-part p (of `ways`) of a split multiply.
+func MultPartTaskID(t, u, v, p, ways int) string {
+	return fmt.Sprintf("mult:%d:%d:%d:part%d/%d", t, u, v, p, ways)
+}
+
+// ParseMultPart recovers (t, u, v, p, ways) from a split-multiply task ID.
+func ParseMultPart(id string) (t, u, v, p, ways int, err error) {
+	if _, err = fmt.Sscanf(id, "mult:%d:%d:%d:part%d/%d", &t, &u, &v, &p, &ways); err != nil {
+		return 0, 0, 0, 0, 0, fmt.Errorf("spmv: bad split-multiply id %q: %w", id, err)
+	}
+	return t, u, v, p, ways, nil
+}
+
+// ReduceTaskID names the reduction producing x[t][u].
+func ReduceTaskID(t, u int) string { return fmt.Sprintf("reduce:%d:%d", t, u) }
+
+// Program emits the task list for cfg: K*K multiplies and K reductions per
+// iteration. At K=3 this is the paper's Fig. 3 command list — 9 sub-matrix
+// multiplications per iteration plus the reductions (the paper counts "6
+// sub-vector additions" because each K-way reduction is K-1 binary adds).
+func Program(cfg ProgramConfig) ([]*dag.Task, error) {
+	if cfg.K <= 0 || cfg.Iters <= 0 {
+		return nil, fmt.Errorf("spmv: invalid program K=%d iters=%d", cfg.K, cfg.Iters)
+	}
+	ways := cfg.SplitWays
+	if ways < 1 {
+		ways = 1
+	}
+	var tasks []*dag.Task
+	for t := 1; t <= cfg.Iters; t++ {
+		for u := 0; u < cfg.K; u++ {
+			for v := 0; v < cfg.K; v++ {
+				if ways == 1 {
+					tasks = append(tasks, &dag.Task{
+						ID:      MultTaskID(t, u, v),
+						Kind:    "multiply",
+						Inputs:  []dag.Ref{cfg.MatrixRef(u, v), cfg.VecRef(t-1, v)},
+						Outputs: []dag.Ref{cfg.PartialRef(t, u, v)},
+						Heavy:   []dag.Ref{cfg.MatrixRef(u, v)},
+						Flops:   cfg.FlopsPerMult,
+					})
+					continue
+				}
+				for p := 0; p < ways; p++ {
+					tasks = append(tasks, &dag.Task{
+						ID:      MultPartTaskID(t, u, v, p, ways),
+						Kind:    "multiply-part",
+						Inputs:  []dag.Ref{cfg.MatrixRef(u, v), cfg.VecRef(t-1, v)},
+						Outputs: []dag.Ref{cfg.PartialPartRef(t, u, v, p, ways)},
+						Heavy:   []dag.Ref{cfg.MatrixRef(u, v)},
+						Flops:   cfg.FlopsPerMult / float64(ways),
+					})
+				}
+			}
+		}
+		for u := 0; u < cfg.K; u++ {
+			var in []dag.Ref
+			for v := 0; v < cfg.K; v++ {
+				if ways == 1 {
+					in = append(in, cfg.PartialRef(t, u, v))
+					continue
+				}
+				for p := 0; p < ways; p++ {
+					in = append(in, cfg.PartialPartRef(t, u, v, p, ways))
+				}
+			}
+			tasks = append(tasks, &dag.Task{
+				ID:      ReduceTaskID(t, u),
+				Kind:    "sum",
+				Inputs:  in,
+				Outputs: []dag.Ref{cfg.VecRef(t, u)},
+				Heavy:   []dag.Ref{}, // vector parts should not drive cache policy
+				Flops:   float64(cfg.K) * float64(cfg.VecBytes) / 8,
+			})
+		}
+	}
+	return tasks, nil
+}
+
+// RowAssignment places mult(t,u,v) and reduce(t,u) on node u — the paper's
+// Fig. 5 ownership, where node u hosts sub-matrix row u and reduces its own
+// output part. K must equal the node count.
+func RowAssignment(cfg ProgramConfig) map[string]int {
+	assign := make(map[string]int)
+	ways := cfg.SplitWays
+	if ways < 1 {
+		ways = 1
+	}
+	for t := 1; t <= cfg.Iters; t++ {
+		for u := 0; u < cfg.K; u++ {
+			for v := 0; v < cfg.K; v++ {
+				if ways == 1 {
+					assign[MultTaskID(t, u, v)] = u
+					continue
+				}
+				for p := 0; p < ways; p++ {
+					assign[MultPartTaskID(t, u, v, p, ways)] = u
+				}
+			}
+			assign[ReduceTaskID(t, u)] = u
+		}
+	}
+	return assign
+}
+
+// Graph builds the derived DAG for cfg (convenience).
+func Graph(cfg ProgramConfig) (*dag.Graph, error) {
+	tasks, err := Program(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return dag.Build(tasks)
+}

@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkLeaseHit measures the request/release round-trip for resident
+// data — the storage layer's hot path under the engine.
+func BenchmarkLeaseHit(b *testing.B) {
+	s, err := NewLocal(Config{MemoryBudget: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.WriteArray("hot", bytes.Repeat([]byte("h"), 4096), 4096); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := s.Request("hot", 0, 4096, PermRead)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l.Release()
+	}
+}
+
+// BenchmarkPeerFetch measures a cross-node block fetch (probe or directory
+// redirect included), with re-eviction between fetches.
+func BenchmarkPeerFetch(b *testing.B) {
+	stores, err := NewNetwork(2, func(node int, cfg *Config) {
+		cfg.MemoryBudget = 1 << 20
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+	const size = 64 << 10
+	if err := stores[0].WriteArray("remote", bytes.Repeat([]byte("r"), size), size); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := stores[1].Request("remote", 0, size, PermRead)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l.Release()
+		b.StopTimer()
+		if err := stores[1].Evict("remote", 0); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkOOCReadThrough measures implicit disk reads through the I/O
+// filters, evicting between iterations.
+func BenchmarkOOCReadThrough(b *testing.B) {
+	s, err := NewLocal(Config{MemoryBudget: 1 << 20, ScratchDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const size = 256 << 10
+	if err := s.WriteArray("disk", bytes.Repeat([]byte("d"), size), size); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Flush("disk"); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := s.Request("disk", 0, size, PermRead)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l.Release()
+		b.StopTimer()
+		if err := s.Evict("disk", 0); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkCreateDelete measures array lifecycle overhead across a network.
+func BenchmarkCreateDelete(b *testing.B) {
+	stores, err := NewNetwork(4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("tmp%d", i)
+		if err := stores[0].Create(name, 1024, 1024); err != nil {
+			b.Fatal(err)
+		}
+		if err := stores[0].Delete(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

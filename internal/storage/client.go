@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file is the blocking client API wrapped around the storage filter's
+// asynchronous message protocol. Any goroutine may call these methods.
+
+// Create declares a new immutable array across the whole storage network.
+// Every byte of the array starts unwritten.
+func (s *Store) Create(name string, size, blockSize int64) error {
+	acks := make([]chan error, len(s.peers))
+	for i, p := range s.peers {
+		acks[i] = make(chan error, 1)
+		p.post(msgCreateArr{info: ArrayInfo{Name: name, Size: size, BlockSize: blockSize}, ack: acks[i]})
+	}
+	var first error
+	for _, ack := range acks {
+		if err := <-ack; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Delete removes an array from every node. It fails if any node still holds
+// leases on it.
+func (s *Store) Delete(name string) error {
+	acks := make([]chan error, len(s.peers))
+	for i, p := range s.peers {
+		acks[i] = make(chan error, 1)
+		p.post(msgDeleteArr{name: name, ack: acks[i]})
+	}
+	var first error
+	for _, ack := range acks {
+		if err := <-ack; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Request leases the interval [lo, hi) of an array with the given
+// permission, blocking until it can be granted. Read leases block until the
+// interval has been written and is resident; write leases fail on any
+// overlap with already-written data (immutability).
+func (s *Store) Request(array string, lo, hi int64, perm Perm) (*Lease, error) {
+	reply := make(chan leaseResult, 1)
+	s.post(cmdRequest{array: array, lo: lo, hi: hi, perm: perm, reply: reply})
+	res := <-reply
+	return res.lease, res.err
+}
+
+// RequestBlock leases a whole block by index.
+func (s *Store) RequestBlock(array string, block int, perm Perm) (*Lease, error) {
+	info, err := s.Info(array)
+	if err != nil {
+		return nil, err
+	}
+	bs := info.BlockSpan(block)
+	if bs.empty() {
+		return nil, fmt.Errorf("storage: block %d out of array %q", block, array)
+	}
+	return s.Request(array, bs.Lo, bs.Hi, perm)
+}
+
+// Prefetch asynchronously pulls the blocks covering [lo, hi) toward this
+// node's memory. It never blocks and never fails; a later Request reaps the
+// benefit.
+func (s *Store) Prefetch(array string, lo, hi int64) {
+	s.post(cmdPrefetch{array: array, lo: lo, hi: hi})
+}
+
+// PrefetchBlock prefetches one block by index.
+func (s *Store) PrefetchBlock(array string, block int) {
+	if info, err := s.Info(array); err == nil {
+		bs := info.BlockSpan(block)
+		if !bs.empty() {
+			s.Prefetch(array, bs.Lo, bs.Hi)
+		}
+	}
+}
+
+// Flush writes this node's fully-written, not-yet-persisted resident blocks
+// of the array to the scratch directory (the paper's explicit write-back),
+// blocking until the I/O filters finish.
+func (s *Store) Flush(array string) error {
+	reply := make(chan error, 1)
+	s.post(cmdFlush{array: array, reply: reply})
+	return <-reply
+}
+
+// Evict explicitly drops a resident block from this node's memory — the
+// paper's programmer-driven memory management. It fails if the block is
+// leased, has I/O in flight, or is the only copy anywhere (flush first).
+// Evicting a non-resident block succeeds (idempotent).
+func (s *Store) Evict(array string, block int) error {
+	reply := make(chan error, 1)
+	s.post(cmdEvict{array: array, block: block, reply: reply})
+	return <-reply
+}
+
+// Map returns the residency snapshot local schedulers poll.
+func (s *Store) Map() ResidencyMap {
+	reply := make(chan ResidencyMap, 1)
+	s.post(cmdMap{reply: reply})
+	return <-reply
+}
+
+// Stats returns cumulative counters.
+func (s *Store) Stats() Stats {
+	reply := make(chan Stats, 1)
+	s.post(cmdStats{reply: reply})
+	return <-reply
+}
+
+// Info returns the metadata of an array.
+func (s *Store) Info(array string) (ArrayInfo, error) {
+	reply := make(chan infoResult, 1)
+	s.post(cmdInfo{array: array, reply: reply})
+	res := <-reply
+	return res.info, res.err
+}
+
+// Close shuts the store down. Outstanding requests fail with ErrClosed.
+func (s *Store) Close() {
+	s.inbox.close()
+	<-s.done
+	s.io.stop()
+}
+
+// ---- typed helpers ----
+
+// PutFloat64s encodes vals into a write lease's data (little endian).
+// The lease must span exactly 8*len(vals) bytes.
+func PutFloat64s(l *Lease, vals []float64) {
+	if len(l.Data) != 8*len(vals) {
+		panic(fmt.Sprintf("storage: PutFloat64s: lease %d bytes, %d values", len(l.Data), len(vals)))
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(l.Data[8*i:], math.Float64bits(v))
+	}
+}
+
+// GetFloat64s decodes a lease's data as float64s.
+func GetFloat64s(l *Lease) []float64 { return DecodeFloat64s(l.Data) }
+
+// DecodeFloat64s decodes little-endian float64s from raw bytes.
+func DecodeFloat64s(data []byte) []float64 {
+	if len(data)%8 != 0 {
+		panic(fmt.Sprintf("storage: DecodeFloat64s: %d bytes not a multiple of 8", len(data)))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out
+}
+
+// WriteArray is a convenience that creates an array (blockSize == len(data)
+// if bs <= 0), writes it block by block, and releases.
+func (s *Store) WriteArray(name string, data []byte, blockSize int64) error {
+	if blockSize <= 0 {
+		blockSize = int64(len(data))
+	}
+	if err := s.Create(name, int64(len(data)), blockSize); err != nil {
+		return err
+	}
+	info := ArrayInfo{Name: name, Size: int64(len(data)), BlockSize: blockSize}
+	for b := 0; b < info.NumBlocks(); b++ {
+		bs := info.BlockSpan(b)
+		l, err := s.Request(name, bs.Lo, bs.Hi, PermWrite)
+		if err != nil {
+			return err
+		}
+		copy(l.Data, data[bs.Lo:bs.Hi])
+		l.Release()
+	}
+	return nil
+}
+
+// ReadAll is a convenience that reads an entire array into a fresh slice.
+func (s *Store) ReadAll(name string) ([]byte, error) {
+	info, err := s.Info(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, info.Size)
+	for b := 0; b < info.NumBlocks(); b++ {
+		lease, err := s.RequestBlock(name, b, PermRead)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lease.Data...)
+		lease.Release()
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+// Package storage implements DOoC's distributed data storage layer
+// (Section III-B of the paper): immutable, block-structured one-dimensional
+// arrays exposed to filters through interval leases with read or write
+// permission, with prefetching, reference-counted LRU memory reclamation,
+// an out-of-core scratch directory serviced by asynchronous I/O filters,
+// and a partitioned (non-replicated) global map with random-peer lookup.
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// span is a half-open byte range [Lo, Hi).
+type span struct {
+	Lo, Hi int64
+}
+
+func (s span) empty() bool { return s.Lo >= s.Hi }
+
+func (s span) overlaps(o span) bool { return s.Lo < o.Hi && o.Lo < s.Hi }
+
+// intervalSet is a set of disjoint, sorted, merged spans. It tracks which
+// byte ranges of a block have been written (the immutable-array bookkeeping:
+// every location is written at most once and cannot be read before written).
+type intervalSet struct {
+	spans []span
+}
+
+// add inserts s, returning an error if it overlaps an existing span —
+// that is a double-write, which immutability forbids.
+func (is *intervalSet) add(s span) error {
+	if s.empty() {
+		return fmt.Errorf("storage: empty interval [%d,%d)", s.Lo, s.Hi)
+	}
+	i := sort.Search(len(is.spans), func(i int) bool { return is.spans[i].Hi > s.Lo })
+	if i < len(is.spans) && is.spans[i].overlaps(s) {
+		return fmt.Errorf("storage: interval [%d,%d) overlaps already-written [%d,%d)",
+			s.Lo, s.Hi, is.spans[i].Lo, is.spans[i].Hi)
+	}
+	// Insert at i, then merge with touching neighbors.
+	is.spans = append(is.spans, span{})
+	copy(is.spans[i+1:], is.spans[i:])
+	is.spans[i] = s
+	is.mergeAround(i)
+	return nil
+}
+
+// mergeAround coalesces spans touching index i.
+func (is *intervalSet) mergeAround(i int) {
+	// Merge left.
+	for i > 0 && is.spans[i-1].Hi == is.spans[i].Lo {
+		is.spans[i-1].Hi = is.spans[i].Hi
+		is.spans = append(is.spans[:i], is.spans[i+1:]...)
+		i--
+	}
+	// Merge right.
+	for i+1 < len(is.spans) && is.spans[i].Hi == is.spans[i+1].Lo {
+		is.spans[i].Hi = is.spans[i+1].Hi
+		is.spans = append(is.spans[:i+1], is.spans[i+2:]...)
+	}
+}
+
+// covers reports whether [s.Lo, s.Hi) is entirely contained in the set.
+func (is *intervalSet) covers(s span) bool {
+	if s.empty() {
+		return true
+	}
+	i := sort.Search(len(is.spans), func(i int) bool { return is.spans[i].Hi > s.Lo })
+	return i < len(is.spans) && is.spans[i].Lo <= s.Lo && s.Hi <= is.spans[i].Hi
+}
+
+// coveredBytes returns the total number of bytes in the set.
+func (is *intervalSet) coveredBytes() int64 {
+	var n int64
+	for _, s := range is.spans {
+		n += s.Hi - s.Lo
+	}
+	return n
+}
+
+// full reports whether the set covers exactly [0, size).
+func (is *intervalSet) full(size int64) bool {
+	return len(is.spans) == 1 && is.spans[0].Lo == 0 && is.spans[0].Hi == size
+}

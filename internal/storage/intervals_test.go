@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalAddAndCovers(t *testing.T) {
+	var is intervalSet
+	if err := is.add(span{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := is.add(span{30, 40}); err != nil {
+		t.Fatal(err)
+	}
+	if !is.covers(span{10, 20}) || !is.covers(span{12, 18}) {
+		t.Error("covers failed on contained span")
+	}
+	if is.covers(span{10, 25}) || is.covers(span{25, 30}) || is.covers(span{5, 15}) {
+		t.Error("covers succeeded on uncovered span")
+	}
+	if is.coveredBytes() != 20 {
+		t.Errorf("coveredBytes = %d, want 20", is.coveredBytes())
+	}
+}
+
+func TestIntervalOverlapRejected(t *testing.T) {
+	var is intervalSet
+	if err := is.add(span{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []span{{10, 20}, {5, 11}, {19, 25}, {12, 15}, {0, 100}} {
+		if err := is.add(bad); err == nil {
+			t.Errorf("add(%v) succeeded, want overlap error", bad)
+		}
+	}
+	if err := is.add(span{5, 5}); err == nil {
+		t.Error("empty span accepted")
+	}
+}
+
+func TestIntervalMerging(t *testing.T) {
+	var is intervalSet
+	for _, s := range []span{{0, 10}, {20, 30}, {10, 20}} {
+		if err := is.add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(is.spans) != 1 {
+		t.Fatalf("spans = %v, want single merged span", is.spans)
+	}
+	if !is.full(30) {
+		t.Error("full(30) = false after covering [0,30)")
+	}
+	if is.full(31) {
+		t.Error("full(31) = true")
+	}
+}
+
+// TestIntervalSetProperty: adding a random permutation of disjoint tiles
+// always succeeds, covers each tile, and merges adjacent tiles.
+func TestIntervalSetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		// Build disjoint tiles with random gaps.
+		type tile struct{ s span }
+		var tiles []tile
+		pos := int64(0)
+		for i := 0; i < n; i++ {
+			pos += int64(rng.Intn(3)) // gap 0..2
+			l := int64(1 + rng.Intn(10))
+			tiles = append(tiles, tile{span{pos, pos + l}})
+			pos += l
+		}
+		perm := rng.Perm(n)
+		var is intervalSet
+		for _, i := range perm {
+			if err := is.add(tiles[i].s); err != nil {
+				return false
+			}
+		}
+		var want int64
+		for _, tl := range tiles {
+			if !is.covers(tl.s) {
+				return false
+			}
+			want += tl.s.Hi - tl.s.Lo
+		}
+		if is.coveredBytes() != want {
+			return false
+		}
+		// Spans are sorted, disjoint, and non-touching (fully merged).
+		for i := 1; i < len(is.spans); i++ {
+			if is.spans[i-1].Hi >= is.spans[i].Lo {
+				return false
+			}
+		}
+		// Re-adding any tile must fail.
+		for _, tl := range tiles {
+			if err := is.add(tl.s); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ioJob is one unit of file-system work for the asynchronous I/O filters.
+type ioJob struct {
+	write bool
+	array string
+	block int
+	path  string
+	off   int64
+	// read: length of the block; write: payload.
+	length int64
+	data   []byte
+}
+
+// ioPool is the set of I/O filter goroutines attached to one storage
+// filter. The paper: "Interactions with the filesystem (both read and
+// write) are performed by a separate I/O filter ... There should be as many
+// I/O filters as is necessary to efficiently use the parallelism contained
+// in the I/O subsystem of the machine."
+type ioPool struct {
+	store   *Store
+	workers int
+	jobs    *mailbox
+	wg      sync.WaitGroup
+}
+
+func newIOPool(workers int, s *Store) *ioPool {
+	return &ioPool{store: s, workers: workers, jobs: newMailbox()}
+}
+
+func (p *ioPool) start() {
+	for i := 0; i < p.workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+func (p *ioPool) stop() {
+	p.jobs.close()
+	p.wg.Wait()
+}
+
+// read schedules an asynchronous block read; completion posts ioDone.
+func (p *ioPool) read(array string, block int, path string, off, length int64) {
+	p.jobs.put(ioJob{array: array, block: block, path: path, off: off, length: length})
+}
+
+// write schedules an asynchronous block write-back; completion posts ioWrote.
+func (p *ioPool) write(array string, block int, path string, off int64, data []byte) {
+	p.jobs.put(ioJob{write: true, array: array, block: block, path: path, off: off, data: data})
+}
+
+func (p *ioPool) worker() {
+	defer p.wg.Done()
+	for {
+		item, ok := p.jobs.get()
+		if !ok {
+			return
+		}
+		j := item.(ioJob)
+		if j.write {
+			err := writeAt(j.path, j.off, j.data)
+			p.store.post(ioWrote{array: j.array, block: j.block, err: err})
+		} else {
+			data, err := readAt(j.path, j.off, j.length)
+			p.store.post(ioDone{array: j.array, block: j.block, data: data, err: err})
+		}
+	}
+}
+
+func readAt(path string, off, length int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data := make([]byte, length)
+	n, err := f.ReadAt(data, off)
+	if err != nil && !(err == io.EOF && int64(n) == length) {
+		return nil, fmt.Errorf("read %d bytes at %d: %w", length, off, err)
+	}
+	return data, nil
+}
+
+func writeAt(path string, off int64, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(data, off); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

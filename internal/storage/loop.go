@@ -1,0 +1,1037 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ErrClosed is returned for requests outstanding when the store shuts down.
+var ErrClosed = errors.New("storage: store closed")
+
+// ---- message types ----
+
+type leaseResult struct {
+	lease *Lease
+	err   error
+}
+
+type cmdRequest struct {
+	array  string
+	lo, hi int64
+	perm   Perm
+	reply  chan leaseResult
+}
+
+type cmdRelease struct{ lease *Lease }
+
+type cmdPrefetch struct {
+	array  string
+	lo, hi int64
+}
+
+type cmdFlush struct {
+	array string
+	reply chan error
+}
+
+type cmdMap struct{ reply chan ResidencyMap }
+
+type cmdStats struct{ reply chan Stats }
+
+type infoResult struct {
+	info ArrayInfo
+	err  error
+}
+
+type cmdInfo struct {
+	array string
+	reply chan infoResult
+}
+
+type cmdEvict struct {
+	array string
+	block int
+	reply chan error
+}
+
+// msgCreateArr registers array metadata (broadcast by Create).
+type msgCreateArr struct {
+	info ArrayInfo
+	ack  chan error
+}
+
+// msgDeleteArr removes an array everywhere (broadcast by Delete).
+type msgDeleteArr struct {
+	name string
+	ack  chan error
+}
+
+// msgAnnounce registers a pre-existing on-disk array found by the startup
+// scan of diskNode's scratch directory.
+type msgAnnounce struct {
+	info     ArrayInfo
+	diskNode int
+}
+
+type queryKind int
+
+const (
+	// queryProbe is the random-peer probe: "do you happen to hold this?"
+	queryProbe queryKind = iota
+	// queryHome asks the block's directory owner where the block lives.
+	queryHome
+	// queryFetch asks a specific node believed to hold the block.
+	queryFetch
+)
+
+// msgQuery travels between stores to locate and fetch blocks.
+type msgQuery struct {
+	array string
+	block int
+	from  int
+	kind  queryKind
+}
+
+type replyOutcome int
+
+const (
+	replyData replyOutcome = iota
+	replyMiss
+	replyRedirect
+)
+
+// msgQueryReply answers a msgQuery.
+type msgQueryReply struct {
+	array   string
+	block   int
+	from    int
+	kind    queryKind // the kind of the query being answered
+	outcome replyOutcome
+	data    []byte
+	holder  int // for replyRedirect
+}
+
+// msgNotify updates the block's home directory: node now holds (or no
+// longer holds) the block; onDisk distinguishes a durable copy.
+type msgNotify struct {
+	array  string
+	block  int
+	node   int
+	onDisk bool
+	gone   bool
+}
+
+// ioDone delivers an asynchronous block read.
+type ioDone struct {
+	array string
+	block int
+	data  []byte
+	err   error
+}
+
+// ioWrote delivers an asynchronous block write-back.
+type ioWrote struct {
+	array string
+	block int
+	err   error
+}
+
+// ---- in-loop state ----
+
+type readWaiter struct {
+	lo, hi int64
+	reply  chan leaseResult
+}
+
+type blockState struct {
+	buf []byte
+	// written is the immutability record: every byte range ever written.
+	// It never shrinks while the array exists — in particular it survives
+	// eviction, so a rewrite of evicted-but-durable data is still rejected.
+	written intervalSet
+	// resident is the coverage of buf: which ranges currently hold valid
+	// data in memory. Equal to written until an eviction clears it; a
+	// refetch restores it to full.
+	resident       intervalSet
+	writing        []span
+	refcnt         int
+	persistedLocal bool
+	remoteBacked   bool
+	fetching       bool // disk read or directed fetch in flight
+	probing        bool // random-peer probe in flight
+	flushing       bool
+	waiters        []readWaiter
+	lastUse        int64
+	loadTick       int64 // when buf was (re)allocated, for FIFO eviction
+}
+
+type arrayState struct {
+	info      ArrayInfo
+	blocks    map[int]*blockState
+	diskNodes map[int]bool // nodes holding the full array on disk
+}
+
+type blockKey struct {
+	array string
+	block int
+}
+
+// dirEntry is the home node's directory record for one block.
+type dirEntry struct {
+	mem     map[int]bool
+	disk    map[int]bool
+	pending []int // requester nodes awaiting any holder
+}
+
+type flushState struct {
+	pending int
+	err     error
+	reply   chan error
+}
+
+type loopState struct {
+	arrays  map[string]*arrayState
+	dir     map[blockKey]*dirEntry
+	flushes map[string]*flushState
+	stats   Stats
+	tick    int64
+}
+
+// loop is the store's actor: it owns all state and processes messages one
+// at a time. No other goroutine touches loopState.
+func (s *Store) loop() {
+	st := &loopState{
+		arrays:  make(map[string]*arrayState),
+		dir:     make(map[blockKey]*dirEntry),
+		flushes: make(map[string]*flushState),
+	}
+	defer close(s.done)
+	for {
+		m, ok := s.inbox.get()
+		if !ok {
+			s.teardown(st)
+			return
+		}
+		switch m := m.(type) {
+		case cmdRequest:
+			s.handleRequest(st, m)
+		case cmdRelease:
+			s.handleRelease(st, m)
+		case cmdPrefetch:
+			s.handlePrefetch(st, m)
+		case cmdFlush:
+			s.handleFlush(st, m)
+		case cmdMap:
+			m.reply <- s.buildMap(st)
+		case cmdInfo:
+			if ast, ok := st.arrays[m.array]; ok {
+				m.reply <- infoResult{info: ast.info}
+			} else {
+				m.reply <- infoResult{err: fmt.Errorf("storage: unknown array %q", m.array)}
+			}
+		case cmdEvict:
+			m.reply <- s.handleEvict(st, m)
+		case cmdStats:
+			st.stats.MemUsed = s.memUsed(st)
+			m.reply <- st.stats
+		case msgCreateArr:
+			m.ack <- s.handleCreate(st, m.info)
+		case msgDeleteArr:
+			m.ack <- s.handleDelete(st, m.name)
+		case msgAnnounce:
+			s.handleAnnounce(st, m)
+		case msgQuery:
+			s.handleQuery(st, m)
+		case msgQueryReply:
+			s.handleQueryReply(st, m)
+		case msgNotify:
+			s.handleNotify(st, m)
+		case ioDone:
+			s.handleIODone(st, m)
+		case ioWrote:
+			s.handleIOWrote(st, m)
+		default:
+			panic(fmt.Sprintf("storage: unknown message %T", m))
+		}
+	}
+}
+
+// teardown fails outstanding waiters when the store closes.
+func (s *Store) teardown(st *loopState) {
+	for _, ast := range st.arrays {
+		for _, b := range ast.blocks {
+			for _, w := range b.waiters {
+				w.reply <- leaseResult{err: ErrClosed}
+			}
+			b.waiters = nil
+		}
+	}
+	for _, f := range st.flushes {
+		if f.reply != nil {
+			f.reply <- ErrClosed
+		}
+	}
+}
+
+func (s *Store) memUsed(st *loopState) int64 {
+	var n int64
+	for _, ast := range st.arrays {
+		for _, b := range ast.blocks {
+			n += int64(len(b.buf))
+		}
+	}
+	return n
+}
+
+func (s *Store) getBlock(ast *arrayState, idx int) *blockState {
+	b, ok := ast.blocks[idx]
+	if !ok {
+		b = &blockState{}
+		ast.blocks[idx] = b
+	}
+	return b
+}
+
+// ---- array lifecycle ----
+
+func (s *Store) handleCreate(st *loopState, info ArrayInfo) error {
+	if info.Name == "" || info.Size <= 0 || info.BlockSize <= 0 {
+		return fmt.Errorf("storage: invalid array %q size=%d blockSize=%d", info.Name, info.Size, info.BlockSize)
+	}
+	if _, dup := st.arrays[info.Name]; dup {
+		return fmt.Errorf("storage: array %q already exists", info.Name)
+	}
+	st.arrays[info.Name] = &arrayState{
+		info:      info,
+		blocks:    make(map[int]*blockState),
+		diskNodes: make(map[int]bool),
+	}
+	return nil
+}
+
+func (s *Store) handleDelete(st *loopState, name string) error {
+	ast, ok := st.arrays[name]
+	if !ok {
+		return fmt.Errorf("storage: array %q does not exist", name)
+	}
+	for idx, b := range ast.blocks {
+		if b.refcnt > 0 {
+			return fmt.Errorf("storage: array %q block %d still leased", name, idx)
+		}
+		if b.fetching || b.flushing {
+			return fmt.Errorf("storage: array %q block %d has I/O in flight", name, idx)
+		}
+	}
+	// Fail any read waiters (data will never arrive).
+	for _, b := range ast.blocks {
+		for _, w := range b.waiters {
+			w.reply <- leaseResult{err: fmt.Errorf("storage: array %q deleted", name)}
+		}
+	}
+	delete(st.arrays, name)
+	for k := range st.dir {
+		if k.array == name {
+			delete(st.dir, k)
+		}
+	}
+	if s.cfg.ScratchDir != "" {
+		// Local durable copies go away with the array.
+		removeIfExists(s.arrayPath(name))
+		removeIfExists(s.metaPath(name))
+	}
+	return nil
+}
+
+func (s *Store) handleAnnounce(st *loopState, m msgAnnounce) {
+	ast, ok := st.arrays[m.info.Name]
+	if !ok {
+		ast = &arrayState{
+			info:      m.info,
+			blocks:    make(map[int]*blockState),
+			diskNodes: make(map[int]bool),
+		}
+		st.arrays[m.info.Name] = ast
+	}
+	ast.diskNodes[m.diskNode] = true
+	// Register the disk copy in the directory entries this node owns.
+	for idx := 0; idx < m.info.NumBlocks(); idx++ {
+		if s.homeOf(m.info.Name, idx) == s.cfg.NodeID {
+			de := s.dirOf(st, blockKey{m.info.Name, idx})
+			de.disk[m.diskNode] = true
+			s.wakePending(st, blockKey{m.info.Name, idx}, de)
+		}
+	}
+}
+
+func (s *Store) dirOf(st *loopState, k blockKey) *dirEntry {
+	de, ok := st.dir[k]
+	if !ok {
+		de = &dirEntry{mem: make(map[int]bool), disk: make(map[int]bool)}
+		st.dir[k] = de
+	}
+	return de
+}
+
+// ---- leases ----
+
+func (s *Store) handleRequest(st *loopState, c cmdRequest) {
+	ast, ok := st.arrays[c.array]
+	if !ok {
+		c.reply <- leaseResult{err: fmt.Errorf("storage: unknown array %q", c.array)}
+		return
+	}
+	if c.lo < 0 || c.hi > ast.info.Size || c.lo >= c.hi {
+		c.reply <- leaseResult{err: fmt.Errorf("storage: interval [%d,%d) out of array %q size %d", c.lo, c.hi, c.array, ast.info.Size)}
+		return
+	}
+	bi := ast.info.BlockOf(c.lo)
+	if ast.info.BlockOf(c.hi-1) != bi {
+		c.reply <- leaseResult{err: fmt.Errorf("storage: interval [%d,%d) spans blocks (block size %d); use one interval per block", c.lo, c.hi, ast.info.BlockSize)}
+		return
+	}
+	b := s.getBlock(ast, bi)
+	want := span{c.lo, c.hi}
+	switch c.perm {
+	case PermWrite:
+		s.grantWrite(st, ast, bi, b, want, c.reply)
+	case PermRead:
+		if b.buf != nil && b.resident.covers(relSpan(ast.info, bi, want)) {
+			st.stats.Hits++
+			c.reply <- leaseResult{lease: s.makeLease(st, c.array, bi, ast, b, want, PermRead)}
+			return
+		}
+		st.stats.Misses++
+		b.waiters = append(b.waiters, readWaiter{lo: c.lo, hi: c.hi, reply: c.reply})
+		s.ensureBlockData(st, ast, bi, b)
+	default:
+		c.reply <- leaseResult{err: fmt.Errorf("storage: invalid permission %v", c.perm)}
+	}
+}
+
+// relSpan converts a global interval to block-relative coordinates.
+func relSpan(info ArrayInfo, bi int, gs span) span {
+	base := info.BlockSpan(bi).Lo
+	return span{gs.Lo - base, gs.Hi - base}
+}
+
+func (s *Store) grantWrite(st *loopState, ast *arrayState, bi int, b *blockState, want span, reply chan leaseResult) {
+	rs := relSpan(ast.info, bi, want)
+	if b.written.covers(rs) || b.overlapsAny(rs) {
+		reply <- leaseResult{err: fmt.Errorf("storage: immutable violation: %q[%d,%d) already written or being written", ast.info.Name, want.Lo, want.Hi)}
+		return
+	}
+	// Also reject partial overlap with written spans.
+	for _, w := range b.written.spans {
+		if w.overlaps(rs) {
+			reply <- leaseResult{err: fmt.Errorf("storage: immutable violation: %q[%d,%d) overlaps written data", ast.info.Name, want.Lo, want.Hi)}
+			return
+		}
+	}
+	if b.buf == nil {
+		bs := ast.info.BlockSpan(bi)
+		b.buf = make([]byte, bs.Hi-bs.Lo)
+		st.tick++
+		b.loadTick = st.tick
+		s.reclaim(st, ast.info.Name, bi)
+	}
+	b.writing = append(b.writing, rs)
+	reply <- leaseResult{lease: s.makeLease(st, ast.info.Name, bi, ast, b, want, PermWrite)}
+}
+
+func (b *blockState) overlapsAny(rs span) bool {
+	for _, w := range b.writing {
+		if w.overlaps(rs) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Store) makeLease(st *loopState, array string, bi int, ast *arrayState, b *blockState, want span, perm Perm) *Lease {
+	rs := relSpan(ast.info, bi, want)
+	b.refcnt++
+	st.tick++
+	b.lastUse = st.tick
+	return &Lease{
+		store: s,
+		Array: array,
+		Perm:  perm,
+		Lo:    want.Lo,
+		Hi:    want.Hi,
+		Data:  b.buf[rs.Lo:rs.Hi],
+		block: bi,
+	}
+}
+
+func (s *Store) handleRelease(st *loopState, c cmdRelease) {
+	l := c.lease
+	ast, ok := st.arrays[l.Array]
+	if !ok {
+		return // array deleted with lease outstanding; nothing to update
+	}
+	b, ok := ast.blocks[l.block]
+	if !ok {
+		return
+	}
+	b.refcnt--
+	st.tick++
+	b.lastUse = st.tick
+	if l.Perm == PermWrite {
+		rs := relSpan(ast.info, l.block, span{l.Lo, l.Hi})
+		for i, w := range b.writing {
+			if w == rs {
+				b.writing = append(b.writing[:i], b.writing[i+1:]...)
+				break
+			}
+		}
+		if err := b.written.add(rs); err != nil {
+			// Cannot happen: the span was validated at grant time.
+			panic(fmt.Sprintf("storage: release bookkeeping: %v", err))
+		}
+		if err := b.resident.add(rs); err != nil {
+			panic(fmt.Sprintf("storage: residency bookkeeping: %v", err))
+		}
+		s.wakeWaiters(st, ast, l.block, b)
+		bs := ast.info.BlockSpan(l.block)
+		if b.resident.full(bs.Hi-bs.Lo) && s.homeOf(l.Array, l.block) != s.cfg.NodeID {
+			s.peers[s.homeOf(l.Array, l.block)].post(msgNotify{array: l.Array, block: l.block, node: s.cfg.NodeID})
+		} else if b.resident.full(bs.Hi - bs.Lo) {
+			de := s.dirOf(st, blockKey{l.Array, l.block})
+			de.mem[s.cfg.NodeID] = true
+			s.wakePending(st, blockKey{l.Array, l.block}, de)
+		}
+	}
+	s.reclaim(st, "", -1)
+}
+
+// wakeWaiters grants read waiters whose intervals are now covered.
+func (s *Store) wakeWaiters(st *loopState, ast *arrayState, bi int, b *blockState) {
+	if b.buf == nil {
+		return
+	}
+	var rest []readWaiter
+	for _, w := range b.waiters {
+		ws := span{w.lo, w.hi}
+		if b.resident.covers(relSpan(ast.info, bi, ws)) {
+			w.reply <- leaseResult{lease: s.makeLease(st, ast.info.Name, bi, ast, b, ws, PermRead)}
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	b.waiters = rest
+}
+
+// ---- data movement ----
+
+// ensureBlockData starts whatever fetch gets block bi's data here, if one is
+// not already in flight and no local writer will produce it.
+func (s *Store) ensureBlockData(st *loopState, ast *arrayState, bi int, b *blockState) {
+	if b.fetching || b.probing {
+		return
+	}
+	// A local writer holds an unreleased lease covering part of this block;
+	// the release will wake waiters. (If the writer never covers the waited
+	// interval the request legitimately blocks forever — same semantics as
+	// the paper's "can not be read before being written".)
+	if len(b.writing) > 0 {
+		return
+	}
+	name := ast.info.Name
+	if b.persistedLocal || ast.diskNodes[s.cfg.NodeID] {
+		b.fetching = true
+		st.stats.ImplicitDiskReads++
+		bs := ast.info.BlockSpan(bi)
+		s.io.read(name, bi, s.arrayPath(name), bs.Lo, bs.Hi-bs.Lo)
+		return
+	}
+	home := s.homeOf(name, bi)
+	if home == s.cfg.NodeID {
+		de := s.dirOf(st, blockKey{name, bi})
+		if holder, ok := pickHolder(de, s.cfg.NodeID); ok {
+			b.fetching = true
+			s.peers[holder].post(msgQuery{array: name, block: bi, from: s.cfg.NodeID, kind: queryFetch})
+			return
+		}
+		de.pending = append(de.pending, s.cfg.NodeID)
+		return
+	}
+	// Random-peer probe, the paper's lookup opener.
+	b.probing = true
+	st.stats.PeerProbes++
+	peer := s.randomPeer()
+	s.peers[peer].post(msgQuery{array: name, block: bi, from: s.cfg.NodeID, kind: queryProbe})
+}
+
+// randomPeer picks a peer other than self (requires >= 2 nodes).
+func (s *Store) randomPeer() int {
+	p := s.rng.Intn(len(s.peers) - 1)
+	if p >= s.cfg.NodeID {
+		p++
+	}
+	return p
+}
+
+// pickHolder chooses a node to fetch from: memory copies first, then disk.
+func pickHolder(de *dirEntry, exclude int) (int, bool) {
+	best := -1
+	for n := range de.mem {
+		if n != exclude && (best == -1 || n < best) {
+			best = n
+		}
+	}
+	if best >= 0 {
+		return best, true
+	}
+	for n := range de.disk {
+		if n != exclude && (best == -1 || n < best) {
+			best = n
+		}
+	}
+	return best, best >= 0
+}
+
+func (s *Store) handleQuery(st *loopState, m msgQuery) {
+	ast, ok := st.arrays[m.array]
+	reply := msgQueryReply{array: m.array, block: m.block, from: s.cfg.NodeID, kind: m.kind}
+	if ok {
+		if b, has := ast.blocks[m.block]; has && b.buf != nil {
+			bs := ast.info.BlockSpan(m.block)
+			if b.resident.full(bs.Hi - bs.Lo) {
+				reply.outcome = replyData
+				reply.data = append([]byte(nil), b.buf...)
+				st.tick++
+				b.lastUse = st.tick
+				s.ledger(s.cfg.NodeID, m.from, int64(len(reply.data)))
+				s.peers[m.from].post(reply)
+				return
+			}
+		}
+		// Not resident but durable here: serve via an implicit disk read,
+		// then forward (the paper's storage reads from its file system
+		// implicitly when a non-resident interval is requested).
+		if ast.diskNodes[s.cfg.NodeID] || blockPersisted(ast, m.block) {
+			b := s.getBlock(ast, m.block)
+			b.waiters = append(b.waiters, readWaiter{lo: ast.info.BlockSpan(m.block).Lo, hi: ast.info.BlockSpan(m.block).Hi, reply: s.forwardOnLoad(m)})
+			s.ensureBlockData(st, ast, m.block, b)
+			return
+		}
+	}
+	switch m.kind {
+	case queryProbe, queryFetch:
+		reply.outcome = replyMiss
+		s.peers[m.from].post(reply)
+		if m.kind == queryFetch {
+			// The directory believed we held it; tell home it is gone.
+			s.peers[s.homeOf(m.array, m.block)].post(msgNotify{array: m.array, block: m.block, node: s.cfg.NodeID, gone: true})
+		}
+	case queryHome:
+		de := s.dirOf(st, blockKey{m.array, m.block})
+		if holder, ok := pickHolder(de, m.from); ok {
+			reply.outcome = replyRedirect
+			reply.holder = holder
+			s.peers[m.from].post(reply)
+			return
+		}
+		de.pending = append(de.pending, m.from)
+	}
+}
+
+// blockPersisted reports whether block bi has a durable local copy.
+func blockPersisted(ast *arrayState, bi int) bool {
+	b, ok := ast.blocks[bi]
+	return ok && b.persistedLocal
+}
+
+// forwardOnLoad builds a one-shot waiter reply channel that, when the local
+// disk read completes and a read lease is granted, ships the block to the
+// remote requester and releases the lease.
+func (s *Store) forwardOnLoad(m msgQuery) chan leaseResult {
+	ch := make(chan leaseResult, 1)
+	go func() {
+		res := <-ch
+		reply := msgQueryReply{array: m.array, block: m.block, from: s.cfg.NodeID, kind: m.kind}
+		if res.err != nil || res.lease == nil {
+			reply.outcome = replyMiss
+		} else {
+			reply.outcome = replyData
+			reply.data = append([]byte(nil), res.lease.Data...)
+			res.lease.Release()
+			s.ledger(s.cfg.NodeID, m.from, int64(len(reply.data)))
+		}
+		s.peers[m.from].post(reply)
+	}()
+	return ch
+}
+
+func (s *Store) handleQueryReply(st *loopState, m msgQueryReply) {
+	ast, ok := st.arrays[m.array]
+	if !ok {
+		return
+	}
+	b := s.getBlock(ast, m.block)
+	switch m.outcome {
+	case replyData:
+		b.fetching = false
+		b.probing = false
+		s.installBlock(st, ast, m.block, b, m.data, true, false)
+		st.stats.BytesFetchedPeer += int64(len(m.data))
+	case replyMiss:
+		st.stats.PeerProbeMisses++
+		if !b.fetching && !b.probing {
+			return
+		}
+		// Escalate to the directory owner.
+		b.fetching = false
+		b.probing = true
+		s.peers[s.homeOf(m.array, m.block)].post(msgQuery{array: m.array, block: m.block, from: s.cfg.NodeID, kind: queryHome})
+	case replyRedirect:
+		b.probing = false
+		b.fetching = true
+		s.peers[m.holder].post(msgQuery{array: m.array, block: m.block, from: s.cfg.NodeID, kind: queryFetch})
+	}
+}
+
+func (s *Store) handleNotify(st *loopState, m msgNotify) {
+	k := blockKey{m.array, m.block}
+	de := s.dirOf(st, k)
+	if m.gone {
+		delete(de.mem, m.node)
+		// A gone notice may strand pending requesters; re-resolve them.
+		s.wakePending(st, k, de)
+		return
+	}
+	if m.onDisk {
+		de.disk[m.node] = true
+	} else {
+		de.mem[m.node] = true
+	}
+	s.wakePending(st, k, de)
+}
+
+// wakePending redirects requesters queued at the home directory once a
+// holder exists.
+func (s *Store) wakePending(st *loopState, k blockKey, de *dirEntry) {
+	if len(de.pending) == 0 {
+		return
+	}
+	var still []int
+	for _, node := range de.pending {
+		holder, ok := pickHolder(de, node)
+		if !ok {
+			still = append(still, node)
+			continue
+		}
+		if node == s.cfg.NodeID {
+			// We are both home and requester: fetch directly.
+			if ast, ok := st.arrays[k.array]; ok {
+				b := s.getBlock(ast, k.block)
+				if b.buf == nil && !b.fetching {
+					b.fetching = true
+					s.peers[holder].post(msgQuery{array: k.array, block: k.block, from: s.cfg.NodeID, kind: queryFetch})
+				}
+			}
+			continue
+		}
+		s.peers[node].post(msgQueryReply{array: k.array, block: k.block, from: s.cfg.NodeID, kind: queryHome, outcome: replyRedirect, holder: holder})
+	}
+	de.pending = still
+}
+
+// installBlock adopts a complete block buffer that arrived from disk or a
+// peer, wakes waiters, and registers this node as a holder.
+func (s *Store) installBlock(st *loopState, ast *arrayState, bi int, b *blockState, data []byte, remoteBacked, persisted bool) {
+	bs := ast.info.BlockSpan(bi)
+	if int64(len(data)) != bs.Hi-bs.Lo {
+		for _, w := range b.waiters {
+			w.reply <- leaseResult{err: fmt.Errorf("storage: block %s[%d] has %d bytes, want %d", ast.info.Name, bi, len(data), bs.Hi-bs.Lo)}
+		}
+		b.waiters = nil
+		return
+	}
+	b.buf = data
+	st.tick++
+	b.loadTick = st.tick
+	// A durable or remote copy is by definition fully written; restore both
+	// the residency coverage and the immutability record to full.
+	b.resident = intervalSet{}
+	if err := b.resident.add(span{0, int64(len(data))}); err != nil {
+		panic(err)
+	}
+	b.written = intervalSet{}
+	if err := b.written.add(span{0, int64(len(data))}); err != nil {
+		panic(err)
+	}
+	b.remoteBacked = b.remoteBacked || remoteBacked
+	b.persistedLocal = b.persistedLocal || persisted
+	s.wakeWaiters(st, ast, bi, b)
+	home := s.homeOf(ast.info.Name, bi)
+	if home == s.cfg.NodeID {
+		de := s.dirOf(st, blockKey{ast.info.Name, bi})
+		de.mem[s.cfg.NodeID] = true
+		s.wakePending(st, blockKey{ast.info.Name, bi}, de)
+	} else {
+		s.peers[home].post(msgNotify{array: ast.info.Name, block: bi, node: s.cfg.NodeID})
+	}
+	s.reclaim(st, ast.info.Name, bi)
+}
+
+// ---- memory reclamation ----
+
+// reclaim enforces the memory budget with LRU eviction. Blocks are
+// reclaimable only when unpinned and backed by a durable or remote copy —
+// the paper's rule ("reclaims blocks that are stored on the disk of any node
+// and which are not currently used"). protect identifies a block that must
+// survive this pass (typically the one just installed).
+func (s *Store) reclaim(st *loopState, protectArray string, protectBlock int) {
+	used := s.memUsed(st)
+	if used <= s.cfg.MemoryBudget {
+		return
+	}
+	type victim struct {
+		ast  *arrayState
+		name string
+		idx  int
+		b    *blockState
+		key  int64
+	}
+	var victims []victim
+	for name, ast := range st.arrays {
+		for idx, b := range ast.blocks {
+			if name == protectArray && idx == protectBlock {
+				continue
+			}
+			if b.buf == nil || b.refcnt > 0 || b.fetching || b.flushing || len(b.waiters) > 0 || len(b.writing) > 0 {
+				continue
+			}
+			if !(b.persistedLocal || b.remoteBacked || ast.diskNodes[s.cfg.NodeID]) {
+				continue
+			}
+			var key int64
+			switch s.cfg.Eviction {
+			case EvictFIFO:
+				key = b.loadTick
+			case EvictMRU:
+				key = -b.lastUse
+			default: // EvictLRU
+				key = b.lastUse
+			}
+			victims = append(victims, victim{ast, name, idx, b, key})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].key != victims[j].key {
+			return victims[i].key < victims[j].key
+		}
+		if victims[i].name != victims[j].name {
+			return victims[i].name < victims[j].name
+		}
+		return victims[i].idx < victims[j].idx
+	})
+	for _, v := range victims {
+		if used <= s.cfg.MemoryBudget {
+			return
+		}
+		used -= int64(len(v.b.buf))
+		v.b.buf = nil
+		v.b.resident = intervalSet{}
+		st.stats.Evictions++
+		home := s.homeOf(v.name, v.idx)
+		if home == s.cfg.NodeID {
+			delete(s.dirOf(st, blockKey{v.name, v.idx}).mem, s.cfg.NodeID)
+		} else {
+			s.peers[home].post(msgNotify{array: v.name, block: v.idx, node: s.cfg.NodeID, gone: true})
+		}
+	}
+	if used > s.cfg.MemoryBudget {
+		st.stats.OverBudgetAllocs++
+	}
+}
+
+// handleEvict implements the programmer-driven eviction (the paper:
+// "explicit memory management can also be directly provided by the
+// programmer"), under the same safety rules as automatic reclamation.
+func (s *Store) handleEvict(st *loopState, m cmdEvict) error {
+	ast, ok := st.arrays[m.array]
+	if !ok {
+		return fmt.Errorf("storage: unknown array %q", m.array)
+	}
+	b, ok := ast.blocks[m.block]
+	if !ok || b.buf == nil {
+		return nil // not resident: idempotent success
+	}
+	if b.refcnt > 0 {
+		return fmt.Errorf("storage: %q block %d is leased", m.array, m.block)
+	}
+	if b.fetching || b.flushing || len(b.waiters) > 0 || len(b.writing) > 0 {
+		return fmt.Errorf("storage: %q block %d has activity in flight", m.array, m.block)
+	}
+	if !(b.persistedLocal || b.remoteBacked || ast.diskNodes[s.cfg.NodeID]) {
+		return fmt.Errorf("storage: %q block %d is the only copy (flush it first)", m.array, m.block)
+	}
+	b.buf = nil
+	b.resident = intervalSet{}
+	st.stats.Evictions++
+	home := s.homeOf(m.array, m.block)
+	if home == s.cfg.NodeID {
+		delete(s.dirOf(st, blockKey{m.array, m.block}).mem, s.cfg.NodeID)
+	} else {
+		s.peers[home].post(msgNotify{array: m.array, block: m.block, node: s.cfg.NodeID, gone: true})
+	}
+	return nil
+}
+
+// ---- prefetch, flush, map ----
+
+func (s *Store) handlePrefetch(st *loopState, c cmdPrefetch) {
+	ast, ok := st.arrays[c.array]
+	if !ok {
+		return
+	}
+	if c.lo < 0 || c.hi > ast.info.Size || c.lo >= c.hi {
+		return
+	}
+	st.stats.PrefetchIssued++
+	first := ast.info.BlockOf(c.lo)
+	last := ast.info.BlockOf(c.hi - 1)
+	for bi := first; bi <= last; bi++ {
+		b := s.getBlock(ast, bi)
+		bs := ast.info.BlockSpan(bi)
+		if b.buf != nil && b.resident.full(bs.Hi-bs.Lo) {
+			continue
+		}
+		s.ensureBlockData(st, ast, bi, b)
+	}
+}
+
+func (s *Store) handleFlush(st *loopState, c cmdFlush) {
+	ast, ok := st.arrays[c.array]
+	if !ok {
+		c.reply <- fmt.Errorf("storage: unknown array %q", c.array)
+		return
+	}
+	if s.cfg.ScratchDir == "" {
+		c.reply <- fmt.Errorf("storage: flush of %q: store has no scratch directory", c.array)
+		return
+	}
+	if f, inFlight := st.flushes[c.array]; inFlight {
+		prev := f.reply
+		f.reply = mergeErrChans(prev, c.reply)
+		return
+	}
+	fs := &flushState{reply: c.reply}
+	for idx, b := range ast.blocks {
+		bs := ast.info.BlockSpan(idx)
+		if b.buf == nil || b.persistedLocal || !b.resident.full(bs.Hi-bs.Lo) {
+			continue
+		}
+		b.flushing = true
+		fs.pending++
+		s.io.write(c.array, idx, s.arrayPath(c.array), bs.Lo, b.buf)
+	}
+	if fs.pending == 0 {
+		c.reply <- nil
+		return
+	}
+	st.flushes[c.array] = fs
+	s.writeSidecar(ast.info)
+}
+
+// mergeErrChans fans one error out to two waiters.
+func mergeErrChans(a, b chan error) chan error {
+	ch := make(chan error, 1)
+	go func() {
+		err := <-ch
+		a <- err
+		b <- err
+	}()
+	return ch
+}
+
+func (s *Store) writeSidecar(info ArrayInfo) {
+	raw, err := json.MarshalIndent(sidecar{Size: info.Size, BlockSize: info.BlockSize}, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(s.metaPath(info.Name), raw, 0o644)
+}
+
+func (s *Store) metaPath(name string) string {
+	return filepath.Join(s.cfg.ScratchDir, name+metaFileSuffix)
+}
+
+func (s *Store) handleIODone(st *loopState, m ioDone) {
+	ast, ok := st.arrays[m.array]
+	if !ok {
+		return
+	}
+	b := s.getBlock(ast, m.block)
+	b.fetching = false
+	if m.err != nil {
+		for _, w := range b.waiters {
+			w.reply <- leaseResult{err: fmt.Errorf("storage: reading %q block %d: %w", m.array, m.block, m.err)}
+		}
+		b.waiters = nil
+		return
+	}
+	s.installBlock(st, ast, m.block, b, m.data, false, true)
+	st.stats.BytesReadDisk += int64(len(m.data))
+}
+
+func (s *Store) handleIOWrote(st *loopState, m ioWrote) {
+	ast, ok := st.arrays[m.array]
+	if ok {
+		b := s.getBlock(ast, m.block)
+		b.flushing = false
+		if m.err == nil {
+			b.persistedLocal = true
+			st.stats.BytesWrittenDisk += ast.info.BlockSpan(m.block).Hi - ast.info.BlockSpan(m.block).Lo
+			home := s.homeOf(m.array, m.block)
+			if home == s.cfg.NodeID {
+				s.dirOf(st, blockKey{m.array, m.block}).disk[s.cfg.NodeID] = true
+			} else {
+				s.peers[home].post(msgNotify{array: m.array, block: m.block, node: s.cfg.NodeID, onDisk: true})
+			}
+		}
+	}
+	f, inFlight := st.flushes[m.array]
+	if !inFlight {
+		return
+	}
+	f.pending--
+	if m.err != nil && f.err == nil {
+		f.err = m.err
+	}
+	if f.pending == 0 {
+		delete(st.flushes, m.array)
+		f.reply <- f.err
+	}
+}
+
+func (s *Store) buildMap(st *loopState) ResidencyMap {
+	rm := ResidencyMap{Blocks: make(map[string][]int), Budget: s.cfg.MemoryBudget}
+	for name, ast := range st.arrays {
+		var idxs []int
+		for idx, b := range ast.blocks {
+			bs := ast.info.BlockSpan(idx)
+			if b.buf != nil && b.resident.full(bs.Hi-bs.Lo) {
+				idxs = append(idxs, idx)
+			}
+			rm.MemUsed += int64(len(b.buf))
+		}
+		if len(idxs) > 0 {
+			sort.Ints(idxs)
+			rm.Blocks[name] = idxs
+		}
+	}
+	return rm
+}
+
+func removeIfExists(path string) {
+	if _, err := os.Stat(path); err == nil {
+		os.Remove(path)
+	}
+}

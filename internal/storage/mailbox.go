@@ -1,0 +1,55 @@
+package storage
+
+import "sync"
+
+// mailbox is an unbounded MPSC queue. Stores post messages to each other
+// from within their actor loops; an unbounded queue guarantees posting never
+// blocks, which rules out distributed send-cycle deadlocks by construction.
+// (Data-plane backpressure exists at the lease/memory-budget level instead.)
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []any
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues an item. Posting to a closed mailbox is a silent no-op:
+// shutdown races (e.g. a late I/O completion) are benign.
+func (m *mailbox) put(item any) {
+	m.mu.Lock()
+	if !m.closed {
+		m.items = append(m.items, item)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
+// get dequeues the next item, blocking while empty. ok is false once the
+// mailbox is closed and drained.
+func (m *mailbox) get() (any, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.items) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.items) == 0 {
+		return nil, false
+	}
+	item := m.items[0]
+	m.items = m.items[1:]
+	return item, true
+}
+
+// close marks the mailbox closed and wakes the consumer.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

@@ -1,0 +1,180 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Model-based property test: a random sequence of storage operations is
+// checked against a trivial in-memory oracle. The storage layer may cache,
+// evict, flush, and fetch however it likes — every read must still return
+// exactly the bytes the oracle says were written.
+
+// cellBytes is the granularity of the modeled intervals.
+const cellBytes = 16
+
+// modelArray is the oracle's view of one array.
+type modelArray struct {
+	info    ArrayInfo
+	data    []byte
+	written []bool // per cell
+}
+
+func (ma *modelArray) cellsPerBlock() int { return int(ma.info.BlockSize) / cellBytes }
+
+// randomUnwrittenRun picks a run of unwritten cells inside one block.
+func (ma *modelArray) randomUnwrittenRun(rng *rand.Rand) (lo, hi int64, ok bool) {
+	blocks := ma.info.NumBlocks()
+	for attempt := 0; attempt < 8; attempt++ {
+		b := rng.Intn(blocks)
+		cpb := ma.cellsPerBlock()
+		start := b*cpb + rng.Intn(cpb)
+		if ma.written[start] {
+			continue
+		}
+		end := start
+		maxEnd := (b + 1) * cpb
+		for end+1 < maxEnd && !ma.written[end+1] && rng.Intn(3) > 0 {
+			end++
+		}
+		return int64(start) * cellBytes, int64(end+1) * cellBytes, true
+	}
+	return 0, 0, false
+}
+
+// randomWrittenRun picks a run of written cells inside one block.
+func (ma *modelArray) randomWrittenRun(rng *rand.Rand) (lo, hi int64, ok bool) {
+	blocks := ma.info.NumBlocks()
+	for attempt := 0; attempt < 8; attempt++ {
+		b := rng.Intn(blocks)
+		cpb := ma.cellsPerBlock()
+		start := b*cpb + rng.Intn(cpb)
+		if !ma.written[start] {
+			continue
+		}
+		end := start
+		maxEnd := (b + 1) * cpb
+		for end+1 < maxEnd && ma.written[end+1] && rng.Intn(3) > 0 {
+			end++
+		}
+		return int64(start) * cellBytes, int64(end+1) * cellBytes, true
+	}
+	return 0, 0, false
+}
+
+func TestStorageAgainstOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		s, err := NewLocal(Config{
+			MemoryBudget: 512, // tiny: constant eviction churn
+			ScratchDir:   dir,
+			Seed:         seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+
+		oracle := map[string]*modelArray{}
+		names := []string{}
+		const ops = 120
+		for op := 0; op < ops; op++ {
+			switch choice := rng.Intn(10); {
+			case choice == 0 || len(names) == 0: // create
+				name := fmt.Sprintf("m%d", len(names))
+				blocks := 1 + rng.Intn(3)
+				blockSize := int64(cellBytes * (1 + rng.Intn(4)))
+				size := blockSize * int64(blocks)
+				if err := s.Create(name, size, blockSize); err != nil {
+					t.Fatalf("create %s: %v", name, err)
+				}
+				oracle[name] = &modelArray{
+					info:    ArrayInfo{Name: name, Size: size, BlockSize: blockSize},
+					data:    make([]byte, size),
+					written: make([]bool, size/cellBytes),
+				}
+				names = append(names, name)
+			case choice <= 3: // write an unwritten interval
+				ma := oracle[names[rng.Intn(len(names))]]
+				lo, hi, ok := ma.randomUnwrittenRun(rng)
+				if !ok {
+					continue
+				}
+				l, err := s.Request(ma.info.Name, lo, hi, PermWrite)
+				if err != nil {
+					t.Fatalf("write %s [%d,%d): %v", ma.info.Name, lo, hi, err)
+				}
+				rng.Read(l.Data)
+				copy(ma.data[lo:hi], l.Data)
+				for c := lo / cellBytes; c < hi/cellBytes; c++ {
+					ma.written[c] = true
+				}
+				l.Release()
+			case choice <= 6: // read a written interval
+				ma := oracle[names[rng.Intn(len(names))]]
+				lo, hi, ok := ma.randomWrittenRun(rng)
+				if !ok {
+					continue
+				}
+				l, err := s.Request(ma.info.Name, lo, hi, PermRead)
+				if err != nil {
+					t.Fatalf("read %s [%d,%d): %v", ma.info.Name, lo, hi, err)
+				}
+				if !bytes.Equal(l.Data, ma.data[lo:hi]) {
+					t.Fatalf("seed %d: %s [%d,%d) mismatch", seed, ma.info.Name, lo, hi)
+				}
+				l.Release()
+			case choice == 7: // flush
+				name := names[rng.Intn(len(names))]
+				if err := s.Flush(name); err != nil {
+					t.Fatalf("flush %s: %v", name, err)
+				}
+			case choice == 8: // double-write attempt must fail
+				ma := oracle[names[rng.Intn(len(names))]]
+				lo, hi, ok := ma.randomWrittenRun(rng)
+				if !ok {
+					continue
+				}
+				if _, err := s.Request(ma.info.Name, lo, hi, PermWrite); err == nil {
+					t.Fatalf("double write of %s [%d,%d) accepted", ma.info.Name, lo, hi)
+				}
+			case choice == 9: // explicit evict of a random block (best effort)
+				ma := oracle[names[rng.Intn(len(names))]]
+				_ = s.Evict(ma.info.Name, rng.Intn(ma.info.NumBlocks()))
+			}
+		}
+		// Final sweep: every fully-written block must read back verbatim.
+		for _, name := range names {
+			ma := oracle[name]
+			for b := 0; b < ma.info.NumBlocks(); b++ {
+				bs := ma.info.BlockSpan(b)
+				full := true
+				for c := bs.Lo / cellBytes; c < bs.Hi/cellBytes; c++ {
+					if !ma.written[c] {
+						full = false
+						break
+					}
+				}
+				if !full {
+					continue
+				}
+				l, err := s.Request(name, bs.Lo, bs.Hi, PermRead)
+				if err != nil {
+					t.Fatalf("final read %s block %d: %v", name, b, err)
+				}
+				if !bytes.Equal(l.Data, ma.data[bs.Lo:bs.Hi]) {
+					t.Fatalf("seed %d: final sweep mismatch %s block %d", seed, name, b)
+				}
+				l.Release()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,359 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Perm is the access permission of a lease.
+type Perm int
+
+const (
+	// PermRead grants read access; the data is guaranteed resident until the
+	// lease is released.
+	PermRead Perm = iota + 1
+	// PermWrite grants write access to a not-yet-written interval; the data
+	// becomes readable by others only after the lease is released.
+	PermWrite
+)
+
+func (p Perm) String() string {
+	switch p {
+	case PermRead:
+		return "read"
+	case PermWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("Perm(%d)", int(p))
+	}
+}
+
+// EvictionPolicy selects the reclamation victim order.
+type EvictionPolicy int
+
+const (
+	// EvictLRU drops the least recently used safe block (the paper's
+	// policy, and the default).
+	EvictLRU EvictionPolicy = iota
+	// EvictFIFO drops the earliest-loaded safe block.
+	EvictFIFO
+	// EvictMRU drops the most recently used safe block — the theoretical
+	// optimum for cyclic scans larger than memory, used by the eviction
+	// ablation to quantify how far back-and-forth reordering closes the
+	// gap for plain LRU.
+	EvictMRU
+)
+
+func (p EvictionPolicy) String() string {
+	switch p {
+	case EvictLRU:
+		return "lru"
+	case EvictFIFO:
+		return "fifo"
+	case EvictMRU:
+		return "mru"
+	default:
+		return fmt.Sprintf("EvictionPolicy(%d)", int(p))
+	}
+}
+
+// Config configures one node's local storage filter.
+type Config struct {
+	// NodeID is this store's index within its network.
+	NodeID int
+	// MemoryBudget is the soft cap on resident block bytes. Exceeding it
+	// triggers reclamation of unpinned, disk- or remote-backed blocks.
+	MemoryBudget int64
+	// Eviction selects the reclamation victim order (default EvictLRU).
+	Eviction EvictionPolicy
+	// ScratchDir enables out-of-core operation: existing files are scanned
+	// as arrays at startup and explicit flushes write arrays back.
+	// Empty disables the out-of-core mode.
+	ScratchDir string
+	// IOWorkers is the number of asynchronous I/O filters (default 2;
+	// the paper sizes this to the machine's I/O parallelism).
+	IOWorkers int
+	// Seed drives random peer probing deterministically in tests.
+	Seed int64
+	// Ledger, when non-nil, is invoked for every cross-node data transfer
+	// (typically (*simnet.Cluster).Transfer).
+	Ledger func(from, to int, bytes int64)
+}
+
+// ArrayInfo describes an array known to the storage layer.
+type ArrayInfo struct {
+	Name      string
+	Size      int64
+	BlockSize int64
+}
+
+// NumBlocks returns the number of blocks in the array.
+func (a ArrayInfo) NumBlocks() int {
+	if a.Size == 0 {
+		return 0
+	}
+	return int((a.Size + a.BlockSize - 1) / a.BlockSize)
+}
+
+// BlockSpan returns the global byte range of block idx.
+func (a ArrayInfo) BlockSpan(idx int) span {
+	lo := int64(idx) * a.BlockSize
+	hi := lo + a.BlockSize
+	if hi > a.Size {
+		hi = a.Size
+	}
+	return span{lo, hi}
+}
+
+// BlockOf returns the block index containing global offset off.
+func (a ArrayInfo) BlockOf(off int64) int { return int(off / a.BlockSize) }
+
+// Lease is a granted interval access. Release it exactly once. The Data
+// slice aliases the block buffer and must not be used after release.
+type Lease struct {
+	store *Store
+	Array string
+	Perm  Perm
+	// Lo and Hi are the global byte offsets of the interval.
+	Lo, Hi int64
+	// Data is the interval's bytes: len(Data) == Hi-Lo.
+	Data []byte
+
+	block    int
+	released bool
+}
+
+// Release returns the lease to the store. For write leases this publishes
+// the interval: it becomes readable by other filters. Releasing twice
+// panics, as it would corrupt reference counts.
+func (l *Lease) Release() {
+	if l.released {
+		panic(fmt.Sprintf("storage: double release of %s lease on %s[%d,%d)", l.Perm, l.Array, l.Lo, l.Hi))
+	}
+	l.released = true
+	l.store.post(cmdRelease{lease: l})
+}
+
+// Stats are cumulative counters for one store.
+type Stats struct {
+	MemUsed           int64
+	Hits              int64 // read requests served from resident memory
+	Misses            int64 // read requests that had to fetch
+	Evictions         int64
+	BytesReadDisk     int64
+	BytesWrittenDisk  int64
+	BytesFetchedPeer  int64
+	PeerProbes        int64 // random-peer probe messages sent
+	PeerProbeMisses   int64 // probes answered "not here"
+	OverBudgetAllocs  int64 // allocations granted above the memory budget
+	PrefetchIssued    int64
+	ImplicitDiskReads int64
+}
+
+// ResidencyMap reports which blocks of which arrays are resident in memory,
+// the paper's "map of which part of the arrays are currently available".
+type ResidencyMap struct {
+	// Blocks maps array name to the sorted indices of fully readable
+	// resident blocks.
+	Blocks map[string][]int
+	// MemUsed is the resident byte total.
+	MemUsed int64
+	// Budget echoes the configured memory budget.
+	Budget int64
+}
+
+// Resident reports whether the map shows array's block idx resident.
+func (m ResidencyMap) Resident(array string, idx int) bool {
+	for _, b := range m.Blocks[array] {
+		if b == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// Store is one node's storage filter: an actor goroutine owning all local
+// state, a pool of asynchronous I/O filter goroutines, and links to peers.
+type Store struct {
+	cfg   Config
+	inbox *mailbox
+	io    *ioPool
+	rng   *rand.Rand
+
+	peers []*Store // includes self at cfg.NodeID
+
+	done chan struct{}
+}
+
+// metaFileSuffix marks sidecar files describing flushed arrays.
+const metaFileSuffix = ".meta"
+
+// arrayFileSuffix is the on-disk extension of array payload files.
+const arrayFileSuffix = ".arr"
+
+// sidecar is the JSON sidecar describing a flushed array's block structure.
+type sidecar struct {
+	Size      int64 `json:"size"`
+	BlockSize int64 `json:"block_size"`
+}
+
+// NewNetwork creates n interconnected stores. The configure callback can
+// customize each node's Config (its NodeID field is pre-set).
+func NewNetwork(n int, configure func(node int, cfg *Config)) ([]*Store, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("storage: need at least one store, got %d", n)
+	}
+	stores := make([]*Store, n)
+	for i := range stores {
+		cfg := Config{NodeID: i, MemoryBudget: 1 << 30, IOWorkers: 2, Seed: int64(i + 1)}
+		if configure != nil {
+			configure(i, &cfg)
+		}
+		cfg.NodeID = i
+		s, err := newStore(cfg)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				stores[j].Close()
+			}
+			return nil, err
+		}
+		stores[i] = s
+	}
+	for _, s := range stores {
+		s.peers = stores
+	}
+	for _, s := range stores {
+		s.start()
+	}
+	// Announce scanned on-disk arrays across the network so any node can
+	// resolve them (the paper's startup scan records names and sizes).
+	for _, s := range stores {
+		s.announceScanned()
+	}
+	return stores, nil
+}
+
+// NewLocal creates a single-node store (the common library entry point).
+func NewLocal(cfg Config) (*Store, error) {
+	cfg.NodeID = 0
+	s, err := newStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.peers = []*Store{s}
+	s.start()
+	s.announceScanned()
+	return s, nil
+}
+
+func newStore(cfg Config) (*Store, error) {
+	if cfg.MemoryBudget <= 0 {
+		return nil, fmt.Errorf("storage: memory budget must be positive, got %d", cfg.MemoryBudget)
+	}
+	if cfg.IOWorkers <= 0 {
+		cfg.IOWorkers = 2
+	}
+	if cfg.ScratchDir != "" {
+		if err := os.MkdirAll(cfg.ScratchDir, 0o755); err != nil {
+			return nil, fmt.Errorf("storage: scratch dir: %w", err)
+		}
+	}
+	s := &Store{
+		cfg:   cfg,
+		inbox: newMailbox(),
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		done:  make(chan struct{}),
+	}
+	s.io = newIOPool(cfg.IOWorkers, s)
+	return s, nil
+}
+
+// start launches the actor loop and I/O workers.
+func (s *Store) start() {
+	s.io.start()
+	go s.loop()
+}
+
+// NodeID returns the store's node index.
+func (s *Store) NodeID() int { return s.cfg.NodeID }
+
+// scanScratch enumerates pre-existing arrays in the scratch directory.
+// Returns the discovered array infos.
+func (s *Store) scanScratch() ([]ArrayInfo, error) {
+	if s.cfg.ScratchDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.cfg.ScratchDir)
+	if err != nil {
+		return nil, err
+	}
+	var found []ArrayInfo
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), arrayFileSuffix) {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), arrayFileSuffix)
+		fi, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		info := ArrayInfo{Name: name, Size: fi.Size(), BlockSize: fi.Size()}
+		if info.Size == 0 {
+			continue
+		}
+		// A sidecar refines the block structure.
+		if raw, err := os.ReadFile(filepath.Join(s.cfg.ScratchDir, name+metaFileSuffix)); err == nil {
+			var sc sidecar
+			if err := json.Unmarshal(raw, &sc); err == nil && sc.Size > 0 && sc.BlockSize > 0 {
+				info.Size = sc.Size
+				info.BlockSize = sc.BlockSize
+			}
+		}
+		found = append(found, info)
+	}
+	return found, nil
+}
+
+// announceScanned registers this node's on-disk arrays with every store.
+func (s *Store) announceScanned() {
+	infos, err := s.scanScratch()
+	if err != nil {
+		// Scan failures surface on first access attempt; the scratch dir was
+		// already validated at construction.
+		return
+	}
+	for _, info := range infos {
+		for _, p := range s.peers {
+			p.post(msgAnnounce{info: info, diskNode: s.cfg.NodeID})
+		}
+	}
+}
+
+// arrayPath returns the payload file path for an array on this node.
+func (s *Store) arrayPath(name string) string {
+	return filepath.Join(s.cfg.ScratchDir, name+arrayFileSuffix)
+}
+
+// homeOf returns the node owning the directory entry for (array, block):
+// the partitioned global map of the paper.
+func (s *Store) homeOf(array string, block int) int {
+	h := fnv.New32a()
+	h.Write([]byte(array))
+	fmt.Fprintf(h, "/%d", block)
+	return int(h.Sum32() % uint32(len(s.peers)))
+}
+
+// post enqueues a message for the actor loop.
+func (s *Store) post(m any) { s.inbox.put(m) }
+
+// ledger records a cross-node transfer if configured.
+func (s *Store) ledger(from, to int, bytes int64) {
+	if s.cfg.Ledger != nil && from != to {
+		s.cfg.Ledger(from, to, bytes)
+	}
+}

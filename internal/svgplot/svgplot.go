@@ -1,0 +1,291 @@
+// Package svgplot is a minimal, dependency-free SVG chart writer used to
+// regenerate the paper's figures as image files (doocplot). It supports the
+// two shapes the evaluation needs: multi-series line/scatter charts with
+// log or linear axes (Figs. 6 and 7) and horizontal Gantt lanes (Fig. 5).
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+	// Dashed draws a dashed line; Marker draws point markers.
+	Dashed bool
+	Marker bool
+	// Color is an SVG color (assigned from a palette when empty).
+	Color string
+}
+
+// Chart is a line/scatter chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogY uses a log10 y-axis.
+	LogY bool
+	// Width and Height in pixels (defaults 720x480).
+	Width, Height int
+	// Annotations are (x, y, text) callouts.
+	Annotations []Annotation
+}
+
+// Annotation is a labeled point.
+type Annotation struct {
+	X, Y float64
+	Text string
+}
+
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// Render writes the chart as a standalone SVG document.
+func (c Chart) Render(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("svgplot: chart %q has no series", c.Title)
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 480
+	}
+	const marginL, marginR, marginT, marginB = 70, 160, 40, 50
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	// Data ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("svgplot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	for _, a := range c.Annotations {
+		xmin, xmax = math.Min(xmin, a.X), math.Max(xmax, a.X)
+		ymin, ymax = math.Min(ymin, a.Y), math.Max(ymax, a.Y)
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("svgplot: chart %q has no points", c.Title)
+	}
+	if c.LogY {
+		if ymin <= 0 {
+			return fmt.Errorf("svgplot: log axis needs positive y, got %v", ymin)
+		}
+		ymin, ymax = math.Log10(ymin), math.Log10(ymax)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad y range 5%.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	tx := func(x float64) float64 { return float64(marginL) + (x-xmin)/(xmax-xmin)*plotW }
+	ty := func(y float64) float64 {
+		if c.LogY {
+			y = math.Log10(y)
+		}
+		return float64(marginT) + (1-(y-ymin)/(ymax-ymin))*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<text x="%f" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		float64(marginL)+plotW/2, height-10, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%f" font-size="12" text-anchor="middle" transform="rotate(-90 16 %f)">%s</text>`+"\n",
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2, esc(c.YLabel))
+
+	// Ticks.
+	for _, xt := range ticks(xmin, xmax, 6) {
+		px := tx(xt)
+		fmt.Fprintf(&b, `<line x1="%f" y1="%d" x2="%f" y2="%d" stroke="#ccc"/>`+"\n", px, marginT, px, height-marginB)
+		fmt.Fprintf(&b, `<text x="%f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n", px, height-marginB+16, fmtTick(xt))
+	}
+	for _, yt := range ticks(ymin, ymax, 6) {
+		val := yt
+		if c.LogY {
+			val = math.Pow(10, yt)
+		}
+		py := float64(marginT) + (1-(yt-ymin)/(ymax-ymin))*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%f" x2="%d" y2="%f" stroke="#ccc"/>`+"\n", marginL, py, width-marginR, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%f" font-size="10" text-anchor="end">%s</text>`+"\n", marginL-6, py+4, fmtTick(val))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = palette[si%len(palette)]
+		}
+		if len(s.X) > 1 {
+			var pts []string
+			idx := make([]int, len(s.X))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+			for _, i := range idx {
+				pts = append(pts, fmt.Sprintf("%.2f,%.2f", tx(s.X[i]), ty(s.Y[i])))
+			}
+			dash := ""
+			if s.Dashed {
+				dash = ` stroke-dasharray="6,4"`
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`+"\n",
+				strings.Join(pts, " "), color, dash)
+		}
+		if s.Marker || len(s.X) == 1 {
+			for i := range s.X {
+				fmt.Fprintf(&b, `<circle cx="%f" cy="%f" r="4" fill="%s"/>`+"\n", tx(s.X[i]), ty(s.Y[i]), color)
+			}
+		}
+		// Legend.
+		ly := marginT + 18*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			width-marginR+10, ly+8, width-marginR+34, ly+8, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", width-marginR+40, ly+12, esc(s.Name))
+	}
+
+	// Annotations.
+	for _, a := range c.Annotations {
+		fmt.Fprintf(&b, `<text x="%f" y="%f" font-size="16" fill="#d62728" text-anchor="middle">★</text>`+"\n", tx(a.X), ty(a.Y)+5)
+		fmt.Fprintf(&b, `<text x="%f" y="%f" font-size="10" fill="#d62728">%s</text>`+"\n", tx(a.X)+8, ty(a.Y)-6, esc(a.Text))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// GanttOp is one bar in a Gantt lane.
+type GanttOp struct {
+	Lane       int
+	Start, End float64
+	Label      string
+	// Bold marks expensive operations (the paper's bold load cells).
+	Bold bool
+}
+
+// Gantt is a per-lane schedule chart.
+type Gantt struct {
+	Title string
+	Lanes []string
+	Ops   []GanttOp
+	Width int
+}
+
+// Render writes the Gantt as a standalone SVG document.
+func (g Gantt) Render(w io.Writer) error {
+	if len(g.Lanes) == 0 {
+		return fmt.Errorf("svgplot: gantt %q has no lanes", g.Title)
+	}
+	width := g.Width
+	if width <= 0 {
+		width = 900
+	}
+	const marginL, marginT, laneH, laneGap = 60, 40, 34, 10
+	height := marginT + len(g.Lanes)*(laneH+laneGap) + 30
+	tmax := 0.0
+	for _, op := range g.Ops {
+		if op.Lane < 0 || op.Lane >= len(g.Lanes) {
+			return fmt.Errorf("svgplot: op %q on lane %d of %d", op.Label, op.Lane, len(g.Lanes))
+		}
+		tmax = math.Max(tmax, op.End)
+	}
+	if tmax == 0 {
+		tmax = 1
+	}
+	plotW := float64(width - marginL - 20)
+	tx := func(t float64) float64 { return float64(marginL) + t/tmax*plotW }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(g.Title))
+	for i, lane := range g.Lanes {
+		y := marginT + i*(laneH+laneGap)
+		fmt.Fprintf(&b, `<text x="8" y="%d" font-size="12">%s</text>`+"\n", y+laneH/2+4, esc(lane))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#eee"/>`+"\n", marginL, y+laneH, width-20, y+laneH)
+	}
+	for _, op := range g.Ops {
+		y := marginT + op.Lane*(laneH+laneGap)
+		x0, x1 := tx(op.Start), tx(op.End)
+		fill := "#9ecae1"
+		if op.Bold {
+			fill = "#3182bd"
+		}
+		fmt.Fprintf(&b, `<rect x="%f" y="%d" width="%f" height="%d" fill="%s" stroke="white"/>`+"\n",
+			x0, y, math.Max(x1-x0, 1), laneH, fill)
+		if x1-x0 > 24 {
+			fmt.Fprintf(&b, `<text x="%f" y="%d" font-size="9" text-anchor="middle" fill="white">%s</text>`+"\n",
+				(x0+x1)/2, y+laneH/2+3, esc(op.Label))
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ticks returns ~n round tick values spanning [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if hi <= lo || n < 2 {
+		return []float64{lo, hi}
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+1e-12; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e5 || (a < 1e-3 && a > 0):
+		return fmt.Sprintf("%.0e", v)
+	case a >= 100 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

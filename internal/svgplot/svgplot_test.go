@@ -1,0 +1,106 @@
+package svgplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartRenders(t *testing.T) {
+	c := Chart{
+		Title:  "test <chart>",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+			{Name: "b", X: []float64{1, 2, 3}, Y: []float64{2, 2, 2}, Dashed: true, Marker: true},
+		},
+		Annotations: []Annotation{{X: 2, Y: 4, Text: "star"}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "test &lt;chart&gt;", "star", "circle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Error("non-finite coordinates in output")
+	}
+}
+
+func TestChartLogAxis(t *testing.T) {
+	c := Chart{
+		Title:  "log",
+		Series: []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{0.1, 10, 1000}}},
+		LogY:   true,
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Non-positive y under log must error.
+	c.Series[0].Y[0] = 0
+	if err := c.Render(&buf); err == nil {
+		t.Fatal("log axis accepted non-positive value")
+	}
+}
+
+func TestChartValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Chart{Title: "empty"}).Render(&buf); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := Chart{Series: []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.Render(&buf); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestGanttRenders(t *testing.T) {
+	g := Gantt{
+		Title: "schedule",
+		Lanes: []string{"P1", "P2"},
+		Ops: []GanttOp{
+			{Lane: 0, Start: 0, End: 3, Label: "L(A00)", Bold: true},
+			{Lane: 0, Start: 3, End: 4, Label: "m00"},
+			{Lane: 1, Start: 0, End: 2, Label: "L(A10)", Bold: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := g.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"P1", "P2", "rect", "m00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestGanttValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Gantt{Title: "x"}).Render(&buf); err == nil {
+		t.Error("laneless gantt accepted")
+	}
+	g := Gantt{Lanes: []string{"a"}, Ops: []GanttOp{{Lane: 5}}}
+	if err := g.Render(&buf); err == nil {
+		t.Error("out-of-range lane accepted")
+	}
+}
+
+func TestTicksAreRound(t *testing.T) {
+	ts := ticks(0, 100, 6)
+	if len(ts) < 3 {
+		t.Fatalf("ticks = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+	}
+}
