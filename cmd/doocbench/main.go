@@ -24,6 +24,7 @@ import (
 	"dooc/internal/dag"
 	"dooc/internal/devices"
 	"dooc/internal/energy"
+	"dooc/internal/faults"
 	"dooc/internal/mfdn"
 	"dooc/internal/perfmodel"
 	"dooc/internal/remote"
@@ -52,12 +53,19 @@ var experiments = []struct {
 	{"remote", "I/O-node separation over real TCP on this machine", remoteRun},
 	{"localssd", "EXTENSION (paper §VI-A): SSDs on compute nodes, what-if", localSSD},
 	{"energy", "EXTENSION (paper §VI-B): energy per iteration, testbed vs Hopper", energyStudy},
+	{"faults", "EXTENSION: fault injection — recovery overhead and node-failure re-execution", faultsRun},
 }
+
+// faultRate is the -faults flag: when > 0, the `real` experiment also runs
+// under a seeded injector at that I/O-error rate so the recovery overhead is
+// visible next to the clean numbers.
+var faultRate float64
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("doocbench: ")
-	exp := flag.String("exp", "all", "experiment to run (all, table1..4, fig1, fig34, fig5..7, real)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..4, fig1, fig34, fig5..7, real, faults)")
+	flag.Float64Var(&faultRate, "faults", 0, "transient I/O fault rate injected into the `real` experiment (0 disables; try 0.1)")
 	flag.Parse()
 	if *exp == "all" {
 		for _, e := range experiments {
@@ -376,6 +384,101 @@ func energyStudy() error {
 	return nil
 }
 
+// faultsRun quantifies the self-healing runtime: the same out-of-core
+// workload is run clean, under a bounded budget of injected transient I/O
+// errors and stalls, and through the death of a compute node mid-run. All
+// three runs must produce identical iterates; the interesting numbers are
+// the wall-clock overhead and the retry counters.
+func faultsRun() error {
+	const dim, k, nodes, iters = 3000, 4, 2, 3
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 6, Seed: 13})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(2))
+	x0 := make([]float64, dim)
+	for i := range x0 {
+		x0[i] = rng.NormFloat64()
+	}
+	fmt.Printf("matrix: %dx%d, %d nnz; %d nodes, %d iterations, K=%d\n", dim, dim, m.NNZ(), nodes, iters, k)
+
+	run := func(inj *faults.Injector, killNode int) (*core.SpMVResult, time.Duration, error) {
+		root, err := os.MkdirTemp("", "doocbench-faults")
+		if err != nil {
+			return nil, 0, err
+		}
+		defer os.RemoveAll(root)
+		cfg := core.SpMVConfig{Dim: dim, K: k, Iters: iters, Nodes: nodes}
+		if err := core.StageMatrix(root, m, cfg); err != nil {
+			return nil, 0, err
+		}
+		sys, err := core.NewSystem(core.Options{
+			Nodes:          nodes,
+			WorkersPerNode: 2,
+			MemoryBudget:   1 << 26,
+			ScratchRoot:    root,
+			Reorder:        true,
+			Faults:         inj,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		defer sys.Close()
+		if killNode >= 0 {
+			// Let the run get going, then fail one node under it.
+			go func() {
+				time.Sleep(5 * time.Millisecond)
+				_ = sys.FailNode(killNode)
+			}()
+		}
+		start := time.Now()
+		res, err := core.RunIteratedSpMV(sys, cfg, x0)
+		return res, time.Since(start), err
+	}
+
+	clean, cleanWall, err := run(nil, -1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-28s %-12v\n", "clean baseline", cleanWall.Round(time.Millisecond))
+
+	inj := faults.New(faults.Config{
+		Seed: 5, IOErrorRate: 0.2, IOStallRate: 0.1,
+		StallDuration: 2 * time.Millisecond, MaxInjections: 64,
+	})
+	faulty, faultyWall, err := run(inj, -1)
+	if err != nil {
+		return fmt.Errorf("run under injected I/O faults failed: %w", err)
+	}
+	var retries int64
+	for i := range faulty.Stats.StorageAfter {
+		retries += faulty.Stats.StorageAfter[i].IORetries - faulty.Stats.StorageBefore[i].IORetries
+	}
+	fmt.Printf("  %-28s %-12v %d errors + %d stalls injected, %d ioPool retries, %d task retries, overhead %+.0f%%\n",
+		"injected I/O faults", faultyWall.Round(time.Millisecond),
+		inj.Counts().IOErrors, inj.Counts().IOStalls, retries, faulty.Stats.TaskRetries,
+		100*(faultyWall.Seconds()/cleanWall.Seconds()-1))
+
+	killed, killedWall, err := run(nil, 1)
+	if err != nil {
+		return fmt.Errorf("run with a killed node failed: %w", err)
+	}
+	fmt.Printf("  %-28s %-12v %d node(s) failed, %d task re-executions, overhead %+.0f%%\n",
+		"node 1 killed mid-run", killedWall.Round(time.Millisecond),
+		killed.Stats.NodesFailed, killed.Stats.TaskRetries,
+		100*(killedWall.Seconds()/cleanWall.Seconds()-1))
+
+	for _, other := range []*core.SpMVResult{faulty, killed} {
+		for i := range clean.X {
+			if clean.X[i] != other.X[i] {
+				return fmt.Errorf("recovered run diverged from clean run at entry %d", i)
+			}
+		}
+	}
+	fmt.Println("  all three runs produced bit-identical iterates")
+	return nil
+}
+
 func realRun() error {
 	// A miniature end-to-end version of the testbed experiment on the local
 	// machine: generate, stage, run out-of-core with both policies.
@@ -408,6 +511,10 @@ func realRun() error {
 		// across iterations, large enough that the back-and-forth boundary
 		// block survives next to the in-flight prefetch.
 		blockBytes := info.Bytes / int64(k*k)
+		var inj *faults.Injector
+		if faultRate > 0 {
+			inj = faults.New(faults.Config{Seed: 3, IOErrorRate: faultRate, MaxInjections: 64})
+		}
 		sys, err := core.NewSystem(core.Options{
 			Nodes:          nodes,
 			WorkersPerNode: 1,
@@ -415,6 +522,7 @@ func realRun() error {
 			ScratchRoot:    root,
 			PrefetchWindow: 1,
 			Reorder:        reorder,
+			Faults:         inj,
 		})
 		if err != nil {
 			return err
@@ -428,10 +536,14 @@ func realRun() error {
 		if reorder {
 			label = "back-and-forth"
 		}
-		fmt.Printf("  %-16s time %-12v disk-read %8.1f MB  network %6.2f MB\n",
+		line := fmt.Sprintf("  %-16s time %-12v disk-read %8.1f MB  network %6.2f MB",
 			label, res.Stats.Wall.Round(1000000),
 			float64(res.Stats.BytesReadDisk())/1e6,
 			float64(sys.Cluster().TotalNetworkBytes())/1e6)
+		if inj != nil {
+			line += fmt.Sprintf("  (%d faults injected, %d task retries)", inj.Counts().Total(), res.Stats.TaskRetries)
+		}
+		fmt.Println(line)
 		sys.Close()
 	}
 	// The in-core baseline's comm growth, executed for real.

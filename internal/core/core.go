@@ -17,8 +17,10 @@ package core
 import (
 	"fmt"
 	"path/filepath"
+	"sync"
 	"time"
 
+	"dooc/internal/faults"
 	"dooc/internal/simnet"
 	"dooc/internal/storage"
 )
@@ -53,6 +55,14 @@ type Options struct {
 	// Eviction selects the storage reclamation policy (default LRU, the
 	// paper's; the eviction ablation sweeps FIFO and MRU).
 	Eviction storage.EvictionPolicy
+	// TaskRetries is how many times a failed task is re-executed before its
+	// error aborts the run (default 2, i.e. up to 3 executions). Negative
+	// disables re-execution. Re-executions forced by node failure do not
+	// count against this budget.
+	TaskRetries int
+	// Faults, when non-nil, injects I/O errors and stalls into every node's
+	// storage filter (fault-injection harness; see internal/faults).
+	Faults *faults.Injector
 }
 
 func (o *Options) fill() {
@@ -68,6 +78,11 @@ func (o *Options) fill() {
 	if o.IOWorkers <= 0 {
 		o.IOWorkers = 2
 	}
+	if o.TaskRetries == 0 {
+		o.TaskRetries = 2
+	} else if o.TaskRetries < 0 {
+		o.TaskRetries = 0
+	}
 }
 
 // System is a running DOoC instance: an in-process cluster of nodes, each
@@ -77,6 +92,13 @@ type System struct {
 	cluster *simnet.Cluster
 	stores  []*storage.Store
 	decode  []*decodeCache // per node; nil entries when disabled
+
+	// Failure registry. FailNode marks a node dead: active runs stop its
+	// workers and reassign its incomplete tasks; runs started afterwards
+	// never schedule onto it.
+	runMu       sync.Mutex
+	runs        map[*engineRun]struct{}
+	failedNodes map[int]bool
 }
 
 // NewSystem builds and starts a system.
@@ -92,6 +114,7 @@ func NewSystem(opts Options) (*System, error) {
 		cfg.Seed = opts.Seed + int64(node)
 		cfg.Ledger = cluster.Transfer
 		cfg.Eviction = opts.Eviction
+		cfg.Faults = opts.Faults
 		if opts.ScratchRoot != "" {
 			cfg.ScratchDir = filepath.Join(opts.ScratchRoot, fmt.Sprintf("node%d", node))
 		}
@@ -99,7 +122,13 @@ func NewSystem(opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := &System{opts: opts, cluster: cluster, stores: stores}
+	sys := &System{
+		opts:        opts,
+		cluster:     cluster,
+		stores:      stores,
+		runs:        make(map[*engineRun]struct{}),
+		failedNodes: make(map[int]bool),
+	}
 	sys.decode = make([]*decodeCache, opts.Nodes)
 	for i := range sys.decode {
 		sys.decode[i] = newDecodeCache(opts.DecodeCacheBytes)
@@ -115,6 +144,43 @@ func (s *System) Store(i int) *storage.Store { return s.stores[i] }
 
 // Cluster returns the interconnect ledger.
 func (s *System) Cluster() *simnet.Cluster { return s.cluster }
+
+// FailNode simulates the death of a compute node: its workers stop picking
+// tasks, its running tasks are re-executed on surviving nodes, and future
+// runs never schedule onto it. The node's storage filter stays reachable —
+// this models a crashed computing filter, not lost disks (the paper's
+// storage filters are backed by the shared file system). Returns an error
+// if node is out of range.
+func (s *System) FailNode(node int) error {
+	if node < 0 || node >= s.opts.Nodes {
+		return fmt.Errorf("core: fail of invalid node %d", node)
+	}
+	s.runMu.Lock()
+	s.failedNodes[node] = true
+	active := make([]*engineRun, 0, len(s.runs))
+	for r := range s.runs {
+		active = append(active, r)
+	}
+	s.runMu.Unlock()
+	for _, r := range active {
+		r.mu.Lock()
+		r.failNode(node)
+		r.mu.Unlock()
+		r.cond.Broadcast()
+	}
+	return nil
+}
+
+// FailedNodes returns the indices of nodes marked dead via FailNode.
+func (s *System) FailedNodes() []int {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	var out []int
+	for n := range s.failedNodes {
+		out = append(out, n)
+	}
+	return out
+}
 
 // Close shuts all nodes down.
 func (s *System) Close() {
@@ -140,6 +206,10 @@ type RunStats struct {
 	Events        []Event
 	StorageBefore []storage.Stats
 	StorageAfter  []storage.Stats
+	// TaskRetries counts task re-executions after executor failures.
+	TaskRetries int
+	// NodesFailed counts nodes that died (FailNode) during the run.
+	NodesFailed int
 }
 
 // BytesReadDisk sums disk reads across nodes during the run.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -20,12 +21,56 @@ type ExecContext struct {
 	Task    *dag.Task
 
 	cache *decodeCache
+
+	mu     sync.Mutex
+	leases []*storage.Lease
 }
 
 // Matrix returns the decoded CRS block stored in `array`, consulting the
 // node's decode cache when Options.DecodeCacheBytes enabled one.
 func (c *ExecContext) Matrix(array string) (*sparse.CSR, error) {
 	return c.cache.matrix(c.Store, array)
+}
+
+// Request leases an interval through the task's lease tracker. Executors
+// should prefer this over ctx.Store.Request: if the executor errors or
+// panics before releasing, the engine abandons the lease — read leases are
+// returned, unpublished write intervals revert to unwritten — so a
+// re-execution of the task can acquire them again.
+func (c *ExecContext) Request(array string, lo, hi int64, perm storage.Perm) (*storage.Lease, error) {
+	l, err := c.Store.Request(array, lo, hi, perm)
+	if err != nil {
+		return nil, err
+	}
+	c.track(l)
+	return l, nil
+}
+
+// RequestBlock is the tracked variant of ctx.Store.RequestBlock.
+func (c *ExecContext) RequestBlock(array string, block int, perm storage.Perm) (*storage.Lease, error) {
+	l, err := c.Store.RequestBlock(array, block, perm)
+	if err != nil {
+		return nil, err
+	}
+	c.track(l)
+	return l, nil
+}
+
+func (c *ExecContext) track(l *storage.Lease) {
+	c.mu.Lock()
+	c.leases = append(c.leases, l)
+	c.mu.Unlock()
+}
+
+// reclaim abandons every tracked lease the executor left unreleased
+// (Abandon is a no-op on released leases).
+func (c *ExecContext) reclaim() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, l := range c.leases {
+		l.Abandon()
+	}
+	c.leases = nil
 }
 
 // Executor runs one task kind. Implementations lease the task's inputs for
@@ -94,6 +139,8 @@ func (s *System) Run(spec RunSpec) (*RunStats, error) {
 		assign:    assign,
 		spec:      spec,
 		consumers: consumers,
+		dead:      make(map[int]bool),
+		retries:   make(map[string]int),
 		policies:  make([]*scheduler.Policy, s.opts.Nodes),
 		stats: &RunStats{
 			TasksPerNode:  make([]int, s.opts.Nodes),
@@ -110,6 +157,21 @@ func (s *System) Run(spec RunSpec) (*RunStats, error) {
 		run.stats.StorageBefore[i] = st.Stats()
 	}
 
+	// Register with the failure registry and apply nodes that died before
+	// this run started.
+	s.runMu.Lock()
+	s.runs[run] = struct{}{}
+	preFailed := make([]int, 0, len(s.failedNodes))
+	for n := range s.failedNodes {
+		preFailed = append(preFailed, n)
+	}
+	s.runMu.Unlock()
+	run.mu.Lock()
+	for _, n := range preFailed {
+		run.failNode(n)
+	}
+	run.mu.Unlock()
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for node := 0; node < s.opts.Nodes; node++ {
@@ -122,10 +184,20 @@ func (s *System) Run(spec RunSpec) (*RunStats, error) {
 		}
 	}
 	wg.Wait()
+	s.runMu.Lock()
+	delete(s.runs, run)
+	s.runMu.Unlock()
 	run.stats.Wall = time.Since(start)
 	run.stats.StorageAfter = make([]storage.Stats, s.opts.Nodes)
 	for i, st := range s.stores {
 		run.stats.StorageAfter[i] = st.Stats()
+	}
+	// Safety net: a run must never report success with an incomplete graph
+	// (e.g. every surviving worker exited because all remaining tasks were
+	// pinned to dead nodes — impossible after reassignment, but cheap to
+	// assert).
+	if len(run.errs) == 0 && !run.graph.Done() {
+		run.errs = append(run.errs, fmt.Errorf("core: run stalled with incomplete task graph"))
 	}
 	if len(run.errs) > 0 {
 		return run.stats, errors.Join(run.errs...)
@@ -145,6 +217,8 @@ type engineRun struct {
 	errs      []error
 	aborted   bool
 	consumers map[string]int
+	dead      map[int]bool   // nodes that failed during (or before) the run
+	retries   map[string]int // per-task re-executions charged to the budget
 
 	policies []*scheduler.Policy
 	stats    *RunStats
@@ -158,7 +232,7 @@ func (r *engineRun) worker(node int) {
 		r.mu.Lock()
 		var task *dag.Task
 		for {
-			if r.aborted || r.graph.Done() {
+			if r.aborted || r.graph.Done() || r.dead[node] {
 				r.mu.Unlock()
 				r.cond.Broadcast()
 				return
@@ -185,24 +259,30 @@ func (r *engineRun) worker(node int) {
 		r.mu.Unlock()
 
 		ev := Event{Node: node, Task: task.ID, Kind: task.Kind, Start: time.Now()}
-		err := r.spec.Executors[task.Kind](&ExecContext{
+		ctx := &ExecContext{
 			Node:    node,
 			Workers: r.sys.opts.WorkersPerNode,
 			Store:   store,
 			Task:    task,
 			cache:   r.sys.decode[node],
-		})
+		}
+		err := executeTask(r.spec.Executors[task.Kind], ctx)
 		ev.End = time.Now()
 
 		r.mu.Lock()
 		r.stats.Events = append(r.stats.Events, ev)
 		r.stats.TasksPerNode[node]++
 		if err != nil {
-			r.errs = append(r.errs, fmt.Errorf("core: task %s on node %d: %w", task.ID, node, err))
-			r.aborted = true
+			// Return the task's unreleased leases before re-execution:
+			// abandoned write intervals revert to unwritten so the retry can
+			// publish them itself.
+			r.mu.Unlock()
+			ctx.reclaim()
+			r.mu.Lock()
+			r.recoverTask(node, task, err)
 			r.mu.Unlock()
 			r.cond.Broadcast()
-			return
+			continue
 		}
 		r.graph.Complete(task.ID)
 		dead := r.retireInputs(task)
@@ -215,6 +295,75 @@ func (r *engineRun) worker(node int) {
 			// Deletion failures (e.g. a concurrent late reader) are not
 			// fatal; the array simply lives a little longer.
 			_ = store.Delete(name)
+		}
+	}
+}
+
+// executeTask runs one executor, converting panics into task errors so a
+// buggy or fault-tripped computing filter cannot take the whole process
+// down — it is recovered, charged to the task's retry budget, and retried
+// like any other failure.
+func executeTask(exec Executor, ctx *ExecContext) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("executor panic: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return exec(ctx)
+}
+
+// recoverTask decides the fate of a failed task execution. Caller holds mu.
+func (r *engineRun) recoverTask(node int, task *dag.Task, err error) {
+	// The task is still marked running in the graph; always return it to the
+	// ready set first so bookkeeping stays consistent on every path.
+	r.graph.Requeue(task.ID)
+	if r.aborted {
+		// Another failure already aborted the run; don't pile on.
+		return
+	}
+	if r.dead[node] {
+		// The node died under the task: re-execution on a survivor is the
+		// recovery contract, not a task defect — no budget charge. failNode
+		// already reassigned the node's incomplete tasks (including this one).
+		r.stats.TaskRetries++
+		return
+	}
+	if r.retries[task.ID] < r.sys.opts.TaskRetries {
+		r.retries[task.ID]++
+		r.stats.TaskRetries++
+		return
+	}
+	r.errs = append(r.errs, fmt.Errorf("core: task %s on node %d (after %d executions): %w",
+		task.ID, node, r.retries[task.ID]+1, err))
+	r.aborted = true
+}
+
+// failNode marks a node dead and moves its incomplete tasks to surviving
+// nodes round-robin. Caller holds mu.
+func (r *engineRun) failNode(node int) {
+	if r.dead[node] {
+		return
+	}
+	r.dead[node] = true
+	r.stats.NodesFailed++
+	var survivors []int
+	for n := 0; n < r.sys.opts.Nodes; n++ {
+		if !r.dead[n] {
+			survivors = append(survivors, n)
+		}
+	}
+	if len(survivors) == 0 {
+		if !r.aborted {
+			r.errs = append(r.errs, fmt.Errorf("core: no nodes survive; cannot recover"))
+			r.aborted = true
+		}
+		return
+	}
+	i := 0
+	for _, t := range r.graph.Tasks() {
+		if r.assign[t.ID] == node && !r.graph.Completed(t.ID) {
+			r.assign[t.ID] = survivors[i%len(survivors)]
+			i++
 		}
 	}
 }

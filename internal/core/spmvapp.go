@@ -416,7 +416,7 @@ func execMultiply(ctx *ExecContext) error {
 		return fmt.Errorf("decoding %s: %w", aRef.Array, err)
 	}
 
-	xLease, err := ctx.Store.RequestBlock(xRef.Array, 0, storage.PermRead)
+	xLease, err := ctx.RequestBlock(xRef.Array, 0, storage.PermRead)
 	if err != nil {
 		return err
 	}
@@ -426,7 +426,7 @@ func execMultiply(ctx *ExecContext) error {
 	y := make([]float64, a.Rows)
 	sparse.MulVecParallel(a, xv, y, ctx.Workers)
 
-	out, err := ctx.Store.RequestBlock(outRef.Array, 0, storage.PermWrite)
+	out, err := ctx.RequestBlock(outRef.Array, 0, storage.PermWrite)
 	if err != nil {
 		return err
 	}
@@ -457,7 +457,7 @@ func execMultiplyPart(ctx *ExecContext) error {
 	if err != nil {
 		return fmt.Errorf("decoding %s: %w", aRef.Array, err)
 	}
-	xLease, err := ctx.Store.RequestBlock(xRef.Array, 0, storage.PermRead)
+	xLease, err := ctx.RequestBlock(xRef.Array, 0, storage.PermRead)
 	if err != nil {
 		return err
 	}
@@ -479,7 +479,7 @@ func execMultiplyPart(ctx *ExecContext) error {
 		}
 		y[i-r0] = sum
 	}
-	out, err := ctx.Store.Request(outRef.Array, int64(8*r0), int64(8*r1), storage.PermWrite)
+	out, err := ctx.Request(outRef.Array, int64(8*r0), int64(8*r1), storage.PermWrite)
 	if err != nil {
 		return err
 	}
@@ -503,7 +503,7 @@ func execSum(ctx *ExecContext) error {
 			continue
 		}
 		seen[in.Array] = true
-		l, err := ctx.Store.RequestBlock(in.Array, 0, storage.PermRead)
+		l, err := ctx.RequestBlock(in.Array, 0, storage.PermRead)
 		if err != nil {
 			return err
 		}
@@ -515,7 +515,7 @@ func execSum(ctx *ExecContext) error {
 		}
 		sparse.Sum(acc, part)
 	}
-	out, err := ctx.Store.RequestBlock(t.Outputs[0].Array, 0, storage.PermWrite)
+	out, err := ctx.RequestBlock(t.Outputs[0].Array, 0, storage.PermWrite)
 	if err != nil {
 		return err
 	}

@@ -168,6 +168,17 @@ func (g *Graph) Start(id string) {
 	g.running[id] = true
 }
 
+// Requeue returns a running task to the ready set — the recovery path when
+// its executor failed or its node died before completion. Successor
+// indegrees were not touched by Start, so clearing the running mark is
+// sufficient; the task becomes pickable again immediately.
+func (g *Graph) Requeue(id string) {
+	if !g.running[id] {
+		panic(fmt.Sprintf("dag: requeue of task %q that is not running", id))
+	}
+	delete(g.running, id)
+}
+
 // Complete marks a running task finished, unlocking its successors.
 func (g *Graph) Complete(id string) {
 	if !g.running[id] {

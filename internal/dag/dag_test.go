@@ -95,6 +95,37 @@ func TestStartCompleteProtocol(t *testing.T) {
 	}
 }
 
+func TestRequeueReturnsTaskToReadySet(t *testing.T) {
+	g, err := Build([]*Task{
+		{ID: "w", Outputs: []Ref{ref("a", 0)}},
+		{ID: "r", Inputs: []Ref{ref("a", 0)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start("w")
+	g.Requeue("w")
+	if got := g.Ready(); len(got) != 1 || got[0] != "w" {
+		t.Fatalf("Ready after requeue = %v, want [w]", got)
+	}
+	// Successor bookkeeping survives a requeue cycle.
+	g.Start("w")
+	g.Complete("w")
+	if got := g.Ready(); len(got) != 1 || got[0] != "r" {
+		t.Fatalf("Ready after complete = %v, want [r]", got)
+	}
+}
+
+func TestRequeueNotRunningPanics(t *testing.T) {
+	g, _ := Build([]*Task{{ID: "w"}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic requeueing unstarted task")
+		}
+	}()
+	g.Requeue("w")
+}
+
 func TestStartNotReadyPanics(t *testing.T) {
 	g, _ := Build([]*Task{
 		{ID: "w", Outputs: []Ref{ref("a", 0)}},

@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var inj *Injector
+	if err := inj.IO("read", "x"); err != nil {
+		t.Fatalf("nil injector returned %v", err)
+	}
+	if inj.Drop() {
+		t.Fatal("nil injector dropped")
+	}
+	if inj.Corrupt([]byte{1, 2, 3}) {
+		t.Fatal("nil injector corrupted")
+	}
+	if inj.Counts().Total() != 0 {
+		t.Fatal("nil injector counted")
+	}
+}
+
+func TestZeroRatesInjectNothing(t *testing.T) {
+	inj := New(Config{Seed: 7})
+	for i := 0; i < 100; i++ {
+		if err := inj.IO("write", "p"); err != nil {
+			t.Fatalf("zero-rate IO error: %v", err)
+		}
+		if inj.Drop() || inj.Corrupt([]byte{0xff}) {
+			t.Fatal("zero-rate fault injected")
+		}
+	}
+	if inj.Counts().Total() != 0 {
+		t.Fatal("zero-rate injector counted faults")
+	}
+}
+
+func TestIOErrorsAreInjectedAndMarked(t *testing.T) {
+	inj := New(Config{Seed: 1, IOErrorRate: 1})
+	err := inj.IO("read", "/scratch/a.arr")
+	if err == nil {
+		t.Fatal("rate-1 injector produced no error")
+	}
+	if !IsInjected(err) {
+		t.Fatalf("injected error not marked: %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("errors.Is(ErrInjected) false")
+	}
+	if got := inj.Counts().IOErrors; got != 1 {
+		t.Fatalf("IOErrors = %d", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []bool {
+		inj := New(Config{Seed: 42, IOErrorRate: 0.5, DropRate: 0.5})
+		var out []bool
+		for i := 0; i < 50; i++ {
+			out = append(out, inj.IO("read", "p") != nil)
+			out = append(out, inj.Drop())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+}
+
+func TestMaxInjectionsBudget(t *testing.T) {
+	inj := New(Config{Seed: 3, IOErrorRate: 1, MaxInjections: 5})
+	fails := 0
+	for i := 0; i < 100; i++ {
+		if inj.IO("read", "p") != nil {
+			fails++
+		}
+	}
+	if fails != 5 {
+		t.Fatalf("budget 5, injected %d", fails)
+	}
+	if inj.Counts().Total() != 5 {
+		t.Fatalf("counts %d", inj.Counts().Total())
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	inj := New(Config{Seed: 9, CorruptRate: 1})
+	orig := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	data := append([]byte(nil), orig...)
+	if !inj.Corrupt(data) {
+		t.Fatal("rate-1 corrupt did nothing")
+	}
+	diff := 0
+	for i := range data {
+		if data[i] != orig[i] {
+			diff++
+			if x := data[i] ^ orig[i]; x&(x-1) != 0 {
+				t.Fatalf("byte %d changed by more than one bit: %02x -> %02x", i, orig[i], data[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes changed", diff)
+	}
+	if inj.Corrupt(nil) {
+		t.Fatal("corrupted empty payload")
+	}
+	if !bytes.Equal(orig, []byte{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestStallDelays(t *testing.T) {
+	inj := New(Config{Seed: 2, IOStallRate: 1, StallDuration: 5 * time.Millisecond})
+	start := time.Now()
+	if err := inj.IO("read", "p"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 4*time.Millisecond {
+		t.Fatalf("stall too short: %v", d)
+	}
+	if got := inj.Counts().IOStalls; got != 1 {
+		t.Fatalf("IOStalls = %d", got)
+	}
+}

@@ -1,42 +1,118 @@
 package remote
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
+	"time"
 
+	"dooc/internal/faults"
 	"dooc/internal/storage"
 )
+
+// Options tunes a Client's recovery behavior.
+type Options struct {
+	// Timeout bounds each request round trip. Zero disables deadlines —
+	// the default, because a read of a not-yet-written interval legally
+	// blocks server-side for as long as the producer takes.
+	Timeout time.Duration
+	// MaxRetries is how many reconnect-and-replay attempts follow a lost
+	// connection or expired deadline (default 3; negative disables retries).
+	MaxRetries int
+	// ReconnectBackoff is the delay before the first reconnect attempt; it
+	// doubles per attempt (default 20ms).
+	ReconnectBackoff time.Duration
+	// Faults, when non-nil, injects connection drops and payload corruption
+	// into this client's outgoing frames.
+	Faults *faults.Injector
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 20 * time.Millisecond
+	}
+	return o
+}
+
+// errDeadline reports an expired per-request deadline.
+var errDeadline = errors.New("remote: request deadline exceeded")
+
+// serverError is an error the server returned for a dispatched request; it
+// is terminal (the connection is fine), but a replayed mutation may map it
+// back to success — see resolveReplay.
+type serverError struct {
+	op  opcode
+	msg string
+}
+
+func (e *serverError) Error() string { return fmt.Sprintf("remote %s: %s", e.op, e.msg) }
+
+type callResult struct {
+	resp *response
+	err  error
+}
+
+// pendingCall ties an in-flight request to the connection generation that
+// carries it, so a dead connection fails exactly its own calls.
+type pendingCall struct {
+	ch  chan callResult
+	gen int
+}
 
 // Client is a compute node's handle on a remote storage server. It is safe
 // for concurrent use; requests are multiplexed over one TCP connection and
 // matched to responses by ID, so a read blocked on an unwritten interval
-// does not stall other requests.
+// does not stall other requests. When the connection is lost the client
+// reconnects with backoff and replays in-flight calls: reads are idempotent,
+// and mutations are resolved against the server's immutable-array state
+// (a write that already landed verifies by read-back instead of failing).
 type Client struct {
-	c *conn
+	addr string
+	opts Options
 
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan *response
-	closed  bool
-	readErr error
+	// reconnMu single-flights reconnection attempts.
+	reconnMu sync.Mutex
+
+	mu         sync.Mutex
+	c          *conn // nil between a lost connection and its replacement
+	gen        int
+	nextID     uint64
+	pending    map[uint64]*pendingCall
+	closed     bool
+	reconnects int64
 
 	wg sync.WaitGroup
 }
 
-// Dial connects to a storage server.
-func Dial(addr string) (*Client, error) {
+// Dial connects to a storage server with default options.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions connects to a storage server.
+func DialOptions(addr string, opts Options) (*Client, error) {
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	cl := &Client{c: newConn(raw), pending: make(map[uint64]chan *response)}
+	cl := &Client{
+		addr:    addr,
+		opts:    opts.withDefaults(),
+		pending: make(map[uint64]*pendingCall),
+	}
+	cl.c = newFaultyConn(raw, cl.opts.Faults)
 	cl.wg.Add(1)
-	go cl.readLoop()
+	go cl.readLoop(cl.c, cl.gen)
 	return cl, nil
 }
 
-// Close tears the connection down; in-flight calls fail.
+// Close tears the connection down; in-flight calls fail terminally.
 func (cl *Client) Close() {
 	cl.mu.Lock()
 	if cl.closed {
@@ -44,60 +120,269 @@ func (cl *Client) Close() {
 		return
 	}
 	cl.closed = true
+	c := cl.c
 	cl.mu.Unlock()
-	cl.c.close()
+	if c != nil {
+		c.close()
+	}
 	cl.wg.Wait()
 }
 
-func (cl *Client) readLoop() {
+// Reconnects returns how many times the client re-established its
+// connection after an unexpected loss.
+func (cl *Client) Reconnects() int64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.reconnects
+}
+
+func (cl *Client) readLoop(c *conn, gen int) {
 	defer cl.wg.Done()
 	for {
 		var resp response
-		if err := cl.c.dec.Decode(&resp); err != nil {
-			cl.mu.Lock()
-			cl.readErr = errClosed
-			for id, ch := range cl.pending {
-				ch <- &response{ID: id, Err: errClosed.Error()}
-				delete(cl.pending, id)
-			}
-			cl.closed = true
-			cl.mu.Unlock()
+		if err := c.dec.Decode(&resp); err != nil {
+			cl.failGeneration(gen)
 			return
 		}
 		cl.mu.Lock()
-		ch, ok := cl.pending[resp.ID]
-		delete(cl.pending, resp.ID)
+		pc, ok := cl.pending[resp.ID]
+		if ok && pc.gen == gen {
+			delete(cl.pending, resp.ID)
+		} else {
+			ok = false
+		}
 		cl.mu.Unlock()
 		if ok {
-			ch <- &resp
+			pc.ch <- callResult{resp: &resp}
 		}
 	}
 }
 
-// call performs one request/response round trip.
-func (cl *Client) call(req *request) (*response, error) {
-	ch := make(chan *response, 1)
+// failGeneration fails every pending call carried by generation gen: with
+// errClosed after a deliberate Close (terminal), with errConnLost otherwise
+// (eligible for replay).
+func (cl *Client) failGeneration(gen int) {
+	cl.mu.Lock()
+	if cl.gen == gen && cl.c != nil {
+		cl.c.close()
+		cl.c = nil
+	}
+	err := errConnLost
+	if cl.closed {
+		err = errClosed
+	}
+	for id, pc := range cl.pending {
+		if pc.gen != gen {
+			continue
+		}
+		delete(cl.pending, id)
+		pc.ch <- callResult{err: err}
+	}
+	cl.mu.Unlock()
+}
+
+// reconnect re-establishes the connection if it is currently down.
+func (cl *Client) reconnect() error {
+	cl.reconnMu.Lock()
+	defer cl.reconnMu.Unlock()
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return errClosed
+	}
+	if cl.c != nil { // another caller already reconnected
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.mu.Unlock()
+	raw, err := net.Dial("tcp", cl.addr)
+	if err != nil {
+		return fmt.Errorf("%w: reconnect to %s: %v", errConnLost, cl.addr, err)
+	}
+	c := newFaultyConn(raw, cl.opts.Faults)
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		raw.Close()
+		return errClosed
+	}
+	cl.gen++
+	cl.c = c
+	cl.reconnects++
+	gen := cl.gen
+	cl.wg.Add(1)
+	cl.mu.Unlock()
+	go cl.readLoop(c, gen)
+	return nil
+}
+
+// roundTrip performs one attempt of a request over the current connection,
+// applying the deadline. It never retries.
+func (cl *Client) roundTrip(req *request, timeout time.Duration) (*response, error) {
 	cl.mu.Lock()
 	if cl.closed {
 		cl.mu.Unlock()
 		return nil, errClosed
 	}
+	c := cl.c
+	if c == nil {
+		cl.mu.Unlock()
+		return nil, errConnLost
+	}
+	gen := cl.gen
 	cl.nextID++
-	req.ID = cl.nextID
-	cl.pending[req.ID] = ch
+	id := cl.nextID
+	req.ID = id
+	pc := &pendingCall{ch: make(chan callResult, 1), gen: gen}
+	cl.pending[id] = pc
 	cl.mu.Unlock()
 
-	if err := cl.c.sendRequest(req); err != nil {
+	if err := c.sendRequest(req); err != nil {
 		cl.mu.Lock()
-		delete(cl.pending, req.ID)
+		delete(cl.pending, id)
+		if cl.gen == gen && cl.c == c {
+			cl.c.close()
+			cl.c = nil
+		}
 		cl.mu.Unlock()
-		return nil, fmt.Errorf("remote: send: %w", err)
+		return nil, fmt.Errorf("%w: send %s: %v", errConnLost, req.Op, err)
 	}
-	resp := <-ch
-	if resp.Err != "" {
-		return nil, fmt.Errorf("remote %s: %s", req.Op, resp.Err)
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
 	}
-	return resp, nil
+	select {
+	case res := <-pc.ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.resp.Err != "" {
+			return nil, &serverError{op: req.Op, msg: res.resp.Err}
+		}
+		if err := verifyResponse(req, res.resp); err != nil {
+			return nil, err
+		}
+		return res.resp, nil
+	case <-timer:
+		cl.mu.Lock()
+		delete(cl.pending, id)
+		cl.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s %q after %v", errDeadline, req.Op, req.Array, timeout)
+	}
+}
+
+// retryable reports whether a failed attempt is worth a reconnect-and-replay.
+// Server-side errors and checksum mismatches are terminal; only transport
+// losses and deadlines are transient.
+func retryable(err error) bool {
+	return errors.Is(err, errConnLost) || errors.Is(err, errDeadline)
+}
+
+// call performs a request with the full recovery policy: per-attempt
+// deadline, reconnect with exponential backoff, and idempotent replay.
+func (cl *Client) call(req *request) (*response, error) {
+	backoff := cl.opts.ReconnectBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if err := cl.reconnect(); err != nil {
+				if errors.Is(err, errClosed) {
+					return nil, err
+				}
+				lastErr = err
+				if attempt >= cl.opts.MaxRetries {
+					break
+				}
+				time.Sleep(backoff)
+				backoff *= 2
+				continue
+			}
+		}
+		resp, err := cl.roundTrip(req, cl.opts.Timeout)
+		if err == nil {
+			return resp, nil
+		}
+		if attempt > 0 {
+			// A replayed mutation may fail precisely because the original
+			// attempt landed before the connection died; resolve against the
+			// server's state before trusting the error.
+			resolved, inconclusive := cl.resolveReplay(req, err)
+			if resolved {
+				return &response{}, nil
+			}
+			if inconclusive && attempt < cl.opts.MaxRetries {
+				// The verification itself hit a transport fault; replay the
+				// whole mutation — it will re-verify if it collides again.
+				lastErr = err
+				time.Sleep(backoff)
+				backoff *= 2
+				continue
+			}
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt >= cl.opts.MaxRetries {
+			break
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	return nil, fmt.Errorf("remote: %s %q failed after %d retries: %w", req.Op, req.Array, cl.opts.MaxRetries, lastErr)
+}
+
+// resolveReplay decides whether a replayed mutation's failure actually means
+// the original attempt succeeded. Arrays are immutable, so the checks are
+// exact: a write that landed is byte-identical on read-back, a create that
+// landed left matching metadata, a delete that landed left nothing.
+// inconclusive means the verification itself hit a transport fault (or
+// found the interval unwritten) and the caller should replay the mutation.
+func (cl *Client) resolveReplay(req *request, err error) (resolved, inconclusive bool) {
+	var se *serverError
+	if !errors.As(err, &se) {
+		return false, false
+	}
+	switch req.Op {
+	case opWrite:
+		if !strings.Contains(se.msg, "immutable") {
+			return false, false
+		}
+		// Bound the read-back: if the interval is not fully written the
+		// verification read would park server-side forever.
+		verifyTimeout := cl.opts.Timeout
+		if verifyTimeout <= 0 {
+			verifyTimeout = 500 * time.Millisecond
+		}
+		resp, rerr := cl.roundTrip(&request{Op: opRead, Array: req.Array, Lo: req.Lo, Hi: req.Hi}, verifyTimeout)
+		if rerr != nil {
+			return false, retryable(rerr)
+		}
+		if bytes.Equal(resp.Data, req.Data) {
+			return true, false // the original write landed
+		}
+		return false, false // genuinely conflicting data
+	case opCreate:
+		if !strings.Contains(se.msg, "already exists") {
+			return false, false
+		}
+		resp, rerr := cl.roundTrip(&request{Op: opInfo, Array: req.Array}, cl.opts.Timeout)
+		if rerr != nil {
+			return false, retryable(rerr)
+		}
+		if resp.Info.Size == req.Size && resp.Info.BlockSize == req.BlockSize {
+			return true, false
+		}
+		return false, false
+	case opDelete:
+		if strings.Contains(se.msg, "does not exist") {
+			return true, false
+		}
+	}
+	return false, false
 }
 
 // Create declares an immutable array on the server.

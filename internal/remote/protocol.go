@@ -9,14 +9,18 @@
 // storage layer's lease API: a read round-trip blocks server-side until the
 // interval has been written (the immutable-array discipline travels over
 // the network unchanged), and a write publishes atomically on receipt.
+// Payload frames carry a CRC32 checksum so wire corruption is detected at
+// the protocol layer instead of surfacing as a wrong eigenvalue.
 package remote
 
 import (
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"sync"
 
+	"dooc/internal/faults"
 	"dooc/internal/storage"
 )
 
@@ -60,7 +64,8 @@ func (o opcode) String() string {
 	}
 }
 
-// request is one client->server message.
+// request is one client->server message. Sum is the CRC32 (IEEE) of Data,
+// set by the sender and verified by the receiver.
 type request struct {
 	ID              uint64
 	Op              opcode
@@ -69,45 +74,110 @@ type request struct {
 	Size, BlockSize int64
 	Block           int
 	Data            []byte
+	Sum             uint32
 }
 
-// response is one server->client message.
+// response is one server->client message. Sum covers Data.
 type response struct {
 	ID    uint64
 	Err   string
 	Data  []byte
 	Info  storage.ArrayInfo
 	Stats storage.Stats
+	Sum   uint32
+}
+
+// payloadSum is the wire checksum of a payload (CRC32/IEEE; 0 for empty).
+func payloadSum(data []byte) uint32 {
+	if len(data) == 0 {
+		return 0
+	}
+	return crc32.ChecksumIEEE(data)
+}
+
+// verifyRequest checks a received request's payload against its checksum.
+func verifyRequest(r *request) error {
+	if got := payloadSum(r.Data); got != r.Sum {
+		return fmt.Errorf("remote: %s %q [%d,%d): payload checksum mismatch (crc %08x, frame says %08x): corrupted in flight",
+			r.Op, r.Array, r.Lo, r.Hi, got, r.Sum)
+	}
+	return nil
+}
+
+// verifyResponse checks a received response's payload against its checksum.
+// The request provides attribution.
+func verifyResponse(req *request, r *response) error {
+	if got := payloadSum(r.Data); got != r.Sum {
+		return fmt.Errorf("remote: %s %q [%d,%d): response payload checksum mismatch (crc %08x, frame says %08x): corrupted in flight",
+			req.Op, req.Array, req.Lo, req.Hi, got, r.Sum)
+	}
+	return nil
 }
 
 // conn wraps a TCP stream with gob codecs and a write lock (responses are
 // sent from many goroutines — reads can block server-side for a long time
-// and must not stall other requests).
+// and must not stall other requests). An optional fault injector can drop
+// the connection or corrupt outgoing payloads after their checksum is
+// computed, emulating a flaky wire.
 type conn struct {
-	raw net.Conn
-	dec *gob.Decoder
+	raw    net.Conn
+	dec    *gob.Decoder
+	faults *faults.Injector
 
 	mu  sync.Mutex
 	enc *gob.Encoder
 }
 
-func newConn(raw net.Conn) *conn {
-	return &conn{raw: raw, dec: gob.NewDecoder(raw), enc: gob.NewEncoder(raw)}
+func newConn(raw net.Conn) *conn { return newFaultyConn(raw, nil) }
+
+func newFaultyConn(raw net.Conn, inj *faults.Injector) *conn {
+	return &conn{raw: raw, dec: gob.NewDecoder(raw), enc: gob.NewEncoder(raw), faults: inj}
+}
+
+// corruptCopy returns data, or a bit-flipped copy if the injector fires.
+// The copy keeps the sender's buffer (and any lease it aliases) intact.
+func (c *conn) corruptCopy(data []byte) []byte {
+	if c.faults == nil || len(data) == 0 {
+		return data
+	}
+	cp := append([]byte(nil), data...)
+	if c.faults.Corrupt(cp) {
+		return cp
+	}
+	return data
 }
 
 func (c *conn) sendRequest(r *request) error {
+	r.Sum = payloadSum(r.Data)
+	if c.faults.Drop() {
+		c.raw.Close()
+		return fmt.Errorf("remote: send %s: %w: connection dropped", r.Op, faults.ErrInjected)
+	}
+	out := *r
+	out.Data = c.corruptCopy(r.Data)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.enc.Encode(r)
+	return c.enc.Encode(&out)
 }
 
 func (c *conn) sendResponse(r *response) error {
+	r.Sum = payloadSum(r.Data)
+	if c.faults.Drop() {
+		c.raw.Close()
+		return fmt.Errorf("remote: send response: %w: connection dropped", faults.ErrInjected)
+	}
+	out := *r
+	out.Data = c.corruptCopy(r.Data)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.enc.Encode(r)
+	return c.enc.Encode(&out)
 }
 
 func (c *conn) close() error { return c.raw.Close() }
 
-// errClosed reports connection teardown uniformly.
+// errClosed reports a deliberate local Close; it is terminal.
 var errClosed = fmt.Errorf("remote: connection closed")
+
+// errConnLost reports an unexpected connection teardown; calls failing with
+// it are eligible for reconnect-and-replay.
+var errConnLost = fmt.Errorf("remote: connection lost")

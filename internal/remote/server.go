@@ -6,8 +6,16 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dooc/internal/faults"
 	"dooc/internal/storage"
 )
+
+// ServerOptions tunes a Server.
+type ServerOptions struct {
+	// Faults, when non-nil, injects connection drops and payload corruption
+	// into the server's outgoing frames.
+	Faults *faults.Injector
+}
 
 // Server exposes one storage filter over TCP. It is the I/O-node role:
 // typically constructed over a store whose scratch directory holds staged
@@ -15,6 +23,7 @@ import (
 type Server struct {
 	store *storage.Store
 	ln    net.Listener
+	opts  ServerOptions
 
 	mu     sync.Mutex
 	conns  map[*conn]struct{}
@@ -29,7 +38,12 @@ type Server struct {
 // Serve starts serving store on the listener. It returns immediately;
 // Close shuts the server down.
 func Serve(store *storage.Store, ln net.Listener) *Server {
-	s := &Server{store: store, ln: ln, conns: make(map[*conn]struct{})}
+	return ServeOptions(store, ln, ServerOptions{})
+}
+
+// ServeOptions starts serving store on the listener with explicit options.
+func ServeOptions(store *storage.Store, ln net.Listener, opts ServerOptions) *Server {
+	s := &Server{store: store, ln: ln, opts: opts, conns: make(map[*conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -38,11 +52,16 @@ func Serve(store *storage.Store, ln net.Listener) *Server {
 // Listen is a convenience: listen on addr ("127.0.0.1:0" for tests) and
 // serve store.
 func Listen(store *storage.Store, addr string) (*Server, error) {
+	return ListenOptions(store, addr, ServerOptions{})
+}
+
+// ListenOptions listens on addr and serves store with explicit options.
+func ListenOptions(store *storage.Store, addr string, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return Serve(store, ln), nil
+	return ServeOptions(store, ln, opts), nil
 }
 
 // Addr returns the listening address.
@@ -80,7 +99,7 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		c := newConn(raw)
+		c := newFaultyConn(raw, s.opts.Faults)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -118,7 +137,14 @@ func (s *Server) handleConn(c *conn) {
 		s.requests.Add(1)
 		s.bytesIn.Add(int64(len(req.Data)))
 		go func(req request) {
-			resp := s.dispatch(&req)
+			var resp *response
+			if err := verifyRequest(&req); err != nil {
+				// A corrupted payload must never reach the store: reject it
+				// with the attributed checksum error instead of dispatching.
+				resp = &response{Err: err.Error()}
+			} else {
+				resp = s.dispatch(&req)
+			}
 			resp.ID = req.ID
 			s.bytesOut.Add(int64(len(resp.Data)))
 			// A failed send means the connection died; the decode loop will

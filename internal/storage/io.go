@@ -1,10 +1,12 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // ioJob is one unit of file-system work for the asynchronous I/O filters.
@@ -66,13 +68,71 @@ func (p *ioPool) worker() {
 		}
 		j := item.(ioJob)
 		if j.write {
-			err := writeAt(j.path, j.off, j.data)
-			p.store.post(ioWrote{array: j.array, block: j.block, err: err})
+			err, retries := p.attempt(j)
+			p.store.post(ioWrote{array: j.array, block: j.block, err: err, retries: retries})
 		} else {
-			data, err := readAt(j.path, j.off, j.length)
-			p.store.post(ioDone{array: j.array, block: j.block, data: data, err: err})
+			var data []byte
+			readJob := j
+			err, retries := p.attemptRead(readJob, &data)
+			p.store.post(ioDone{array: j.array, block: j.block, data: data, err: err, retries: retries})
 		}
 	}
+}
+
+// attempt runs one write job under the retry policy.
+func (p *ioPool) attempt(j ioJob) (error, int) {
+	var err error
+	retries := 0
+	for try := 0; ; try++ {
+		err = p.store.cfg.Faults.IO("write", j.path)
+		if err == nil {
+			err = writeAt(j.path, j.off, j.data)
+		}
+		if err == nil {
+			return nil, retries
+		}
+		if try >= p.store.cfg.IORetries || !transientIOErr(err) {
+			return fmt.Errorf("storage: writing %q block %d to %s at offset %d (%d attempt(s)): %w",
+				j.array, j.block, j.path, j.off, try+1, err), retries
+		}
+		retries++
+		time.Sleep(p.store.cfg.IORetryBackoff << uint(try))
+	}
+}
+
+// attemptRead runs one read job under the retry policy.
+func (p *ioPool) attemptRead(j ioJob, out *[]byte) (error, int) {
+	var err error
+	retries := 0
+	for try := 0; ; try++ {
+		err = p.store.cfg.Faults.IO("read", j.path)
+		if err == nil {
+			*out, err = readAt(j.path, j.off, j.length)
+		}
+		if err == nil {
+			return nil, retries
+		}
+		if try >= p.store.cfg.IORetries || !transientIOErr(err) {
+			return fmt.Errorf("storage: reading %q block %d from %s at offset %d (%d attempt(s)): %w",
+				j.array, j.block, j.path, j.off, try+1, err), retries
+		}
+		retries++
+		time.Sleep(p.store.cfg.IORetryBackoff << uint(try))
+	}
+}
+
+// transientIOErr classifies an I/O failure for the retry policy. A missing
+// file or a short read is a fact about the data, not a flaky device —
+// retrying would only delay the inevitable. Everything else (injected
+// faults, EIO-style device errors) is worth another attempt.
+func transientIOErr(err error) bool {
+	switch {
+	case errors.Is(err, os.ErrNotExist),
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF):
+		return false
+	}
+	return true
 }
 
 func readAt(path string, off, length int64) ([]byte, error) {

@@ -26,7 +26,12 @@ type cmdRequest struct {
 	reply  chan leaseResult
 }
 
-type cmdRelease struct{ lease *Lease }
+type cmdRelease struct {
+	lease *Lease
+	// abandon skips publication of a write lease: the interval reverts to
+	// unwritten instead of becoming readable.
+	abandon bool
+}
 
 type cmdPrefetch struct {
 	array  string
@@ -125,19 +130,22 @@ type msgNotify struct {
 	gone   bool
 }
 
-// ioDone delivers an asynchronous block read.
+// ioDone delivers an asynchronous block read. retries counts transient
+// failures the I/O filter survived before succeeding (or giving up).
 type ioDone struct {
-	array string
-	block int
-	data  []byte
-	err   error
+	array   string
+	block   int
+	data    []byte
+	err     error
+	retries int
 }
 
 // ioWrote delivers an asynchronous block write-back.
 type ioWrote struct {
-	array string
-	block int
-	err   error
+	array   string
+	block   int
+	err     error
+	retries int
 }
 
 // ---- in-loop state ----
@@ -487,6 +495,17 @@ func (s *Store) handleRelease(st *loopState, c cmdRelease) {
 				b.writing = append(b.writing[:i], b.writing[i+1:]...)
 				break
 			}
+		}
+		if c.abandon {
+			// The writer failed before filling the interval: leave it
+			// unwritten so a re-executed task can lease it again. Clear the
+			// buffer bytes — the next writer starts from zeroes, and waiters
+			// keep blocking until a successful write publishes.
+			for i := rs.Lo; i < rs.Hi; i++ {
+				b.buf[i] = 0
+			}
+			s.reclaim(st, "", -1)
+			return
 		}
 		if err := b.written.add(rs); err != nil {
 			// Cannot happen: the span was validated at grant time.
@@ -970,9 +989,12 @@ func (s *Store) handleIODone(st *loopState, m ioDone) {
 	}
 	b := s.getBlock(ast, m.block)
 	b.fetching = false
+	st.stats.IORetries += int64(m.retries)
 	if m.err != nil {
+		// The I/O filter already attributed the error (array, block, path,
+		// offset, attempts); pass it through.
 		for _, w := range b.waiters {
-			w.reply <- leaseResult{err: fmt.Errorf("storage: reading %q block %d: %w", m.array, m.block, m.err)}
+			w.reply <- leaseResult{err: m.err}
 		}
 		b.waiters = nil
 		return
@@ -983,6 +1005,7 @@ func (s *Store) handleIODone(st *loopState, m ioDone) {
 
 func (s *Store) handleIOWrote(st *loopState, m ioWrote) {
 	ast, ok := st.arrays[m.array]
+	st.stats.IORetries += int64(m.retries)
 	if ok {
 		b := s.getBlock(ast, m.block)
 		b.flushing = false

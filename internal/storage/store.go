@@ -8,6 +8,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
+
+	"dooc/internal/faults"
 )
 
 // Perm is the access permission of a lease.
@@ -83,6 +86,15 @@ type Config struct {
 	// Ledger, when non-nil, is invoked for every cross-node data transfer
 	// (typically (*simnet.Cluster).Transfer).
 	Ledger func(from, to int, bytes int64)
+	// IORetries is how many times a transient disk read/write failure is
+	// retried before the error becomes terminal (default 2, so 3 attempts).
+	IORetries int
+	// IORetryBackoff is the first retry's delay; it doubles per attempt
+	// (default 1ms).
+	IORetryBackoff time.Duration
+	// Faults, when non-nil, injects disk errors and stalls into the I/O
+	// filters for recovery testing.
+	Faults *faults.Injector
 }
 
 // ArrayInfo describes an array known to the storage layer.
@@ -139,6 +151,23 @@ func (l *Lease) Release() {
 	l.store.post(cmdRelease{lease: l})
 }
 
+// Abandon returns the lease without publishing. For a write lease the
+// interval stays unwritten and may be leased again — the recovery path for
+// an executor that failed mid-write, since publishing a half-filled buffer
+// would poison every downstream reader. For a read lease Abandon equals
+// Release. Abandoning an already-released lease is a no-op, so cleanup code
+// can abandon unconditionally.
+func (l *Lease) Abandon() {
+	if l.released {
+		return
+	}
+	l.released = true
+	l.store.post(cmdRelease{lease: l, abandon: true})
+}
+
+// Released reports whether the lease has been released or abandoned.
+func (l *Lease) Released() bool { return l.released }
+
 // Stats are cumulative counters for one store.
 type Stats struct {
 	MemUsed           int64
@@ -153,6 +182,7 @@ type Stats struct {
 	OverBudgetAllocs  int64 // allocations granted above the memory budget
 	PrefetchIssued    int64
 	ImplicitDiskReads int64
+	IORetries         int64 // transient disk errors survived by the retry policy
 }
 
 // ResidencyMap reports which blocks of which arrays are resident in memory,
@@ -257,6 +287,14 @@ func newStore(cfg Config) (*Store, error) {
 	}
 	if cfg.IOWorkers <= 0 {
 		cfg.IOWorkers = 2
+	}
+	if cfg.IORetries < 0 {
+		cfg.IORetries = 0
+	} else if cfg.IORetries == 0 {
+		cfg.IORetries = 2
+	}
+	if cfg.IORetryBackoff <= 0 {
+		cfg.IORetryBackoff = time.Millisecond
 	}
 	if cfg.ScratchDir != "" {
 		if err := os.MkdirAll(cfg.ScratchDir, 0o755); err != nil {
