@@ -22,10 +22,12 @@ import (
 	"dooc/internal/ci"
 	"dooc/internal/core"
 	"dooc/internal/dag"
+	"dooc/internal/datacutter"
 	"dooc/internal/devices"
 	"dooc/internal/energy"
 	"dooc/internal/faults"
 	"dooc/internal/mfdn"
+	"dooc/internal/obs"
 	"dooc/internal/perfmodel"
 	"dooc/internal/remote"
 	"dooc/internal/scheduler"
@@ -54,6 +56,7 @@ var experiments = []struct {
 	{"localssd", "EXTENSION (paper §VI-A): SSDs on compute nodes, what-if", localSSD},
 	{"energy", "EXTENSION (paper §VI-B): energy per iteration, testbed vs Hopper", energyStudy},
 	{"faults", "EXTENSION: fault injection — recovery overhead and node-failure re-execution", faultsRun},
+	{"streams", "filter-stream middleware traffic (DataCutter substrate)", streamsRun},
 }
 
 // faultRate is the -faults flag: when > 0, the `real` experiment also runs
@@ -61,31 +64,97 @@ var experiments = []struct {
 // visible next to the clean numbers.
 var faultRate float64
 
+// benchObs collects every layer's counters for the -metrics snapshot; it is
+// always live (the registry is cheap), printed only when asked.
+var benchObs = obs.NewRegistry()
+
+// benchTrace is non-nil when -trace is set; instrumented experiments record
+// task spans into it and main writes the Chrome trace JSON on exit.
+var benchTrace *obs.Tracer
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("doocbench: ")
-	exp := flag.String("exp", "all", "experiment to run (all, table1..4, fig1, fig34, fig5..7, real, faults)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1..4, fig1, fig34, fig5..7, real, faults, streams)")
 	flag.Float64Var(&faultRate, "faults", 0, "transient I/O fault rate injected into the `real` experiment (0 disables; try 0.1)")
+	metrics := flag.Bool("metrics", false, "print a metrics snapshot (Prometheus text format) after the run")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (load in perfetto or chrome://tracing)")
 	flag.Parse()
+	if *tracePath != "" {
+		benchTrace = obs.NewTracer()
+	}
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
 	if *exp == "all" {
 		for _, e := range experiments {
 			fmt.Printf("\n============ %s — %s ============\n\n", e.name, e.desc)
-			if err := e.run(); err != nil {
-				log.Fatalf("%s: %v", e.name, err)
+			run(e.name, e.run)
+		}
+	} else {
+		found := false
+		for _, e := range experiments {
+			if e.name == *exp {
+				run(e.name, e.run)
+				found = true
+				break
 			}
 		}
-		return
-	}
-	for _, e := range experiments {
-		if e.name == *exp {
-			if err := e.run(); err != nil {
-				log.Fatalf("%s: %v", e.name, err)
-			}
-			return
+		if !found {
+			log.Printf("unknown experiment %q", *exp)
+			os.Exit(2)
 		}
 	}
-	log.Printf("unknown experiment %q", *exp)
-	os.Exit(2)
+	if *metrics {
+		printMetricsSnapshot(benchObs)
+	}
+	if *tracePath != "" {
+		if err := benchTrace.WriteFile(*tracePath); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		log.Printf("wrote %d trace events to %s", benchTrace.Len(), *tracePath)
+	}
+}
+
+// printMetricsSnapshot summarizes the registry (cache and prefetch hit
+// rates, per-node task counts) and then dumps the full exposition.
+func printMetricsSnapshot(reg *obs.Registry) {
+	fmt.Println("\n============ metrics snapshot ============")
+	hits := reg.Sum("dooc_storage_cache_hits_total")
+	misses := reg.Sum("dooc_storage_cache_misses_total")
+	if total := hits + misses; total > 0 {
+		fmt.Printf("storage cache hit rate: %.1f%% (%d hits, %d misses)\n",
+			100*float64(hits)/float64(total), hits, misses)
+	}
+	loads := reg.Sum("dooc_storage_prefetch_loads_total")
+	phits := reg.Sum("dooc_storage_prefetch_hits_total")
+	if loads > 0 {
+		fmt.Printf("prefetch hit rate: %.1f%% (%d of %d prefetched blocks were hit)\n",
+			100*float64(phits)/float64(loads), phits, loads)
+	}
+	var taskLines []string
+	for _, s := range reg.Snapshot() {
+		if s.Name != "dooc_engine_tasks_completed_total" {
+			continue
+		}
+		node := "?"
+		for _, l := range s.Labels {
+			if l.Key == "node" {
+				node = l.Value
+			}
+		}
+		taskLines = append(taskLines, fmt.Sprintf("node %s: %d", node, s.Value))
+	}
+	if len(taskLines) > 0 {
+		sort.Strings(taskLines)
+		fmt.Printf("tasks completed per node: %s\n", strings.Join(taskLines, ", "))
+	}
+	fmt.Println("\nfull exposition:")
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		log.Printf("metrics: %v", err)
+	}
 }
 
 func table1() error {
@@ -419,6 +488,8 @@ func faultsRun() error {
 			ScratchRoot:    root,
 			Reorder:        true,
 			Faults:         inj,
+			Obs:            benchObs,
+			Trace:          benchTrace,
 		})
 		if err != nil {
 			return nil, 0, err
@@ -450,13 +521,9 @@ func faultsRun() error {
 	if err != nil {
 		return fmt.Errorf("run under injected I/O faults failed: %w", err)
 	}
-	var retries int64
-	for i := range faulty.Stats.StorageAfter {
-		retries += faulty.Stats.StorageAfter[i].IORetries - faulty.Stats.StorageBefore[i].IORetries
-	}
 	fmt.Printf("  %-28s %-12v %d errors + %d stalls injected, %d ioPool retries, %d task retries, overhead %+.0f%%\n",
 		"injected I/O faults", faultyWall.Round(time.Millisecond),
-		inj.Counts().IOErrors, inj.Counts().IOStalls, retries, faulty.Stats.TaskRetries,
+		inj.Counts().IOErrors, inj.Counts().IOStalls, faulty.Stats.IORetries(), faulty.Stats.TaskRetries,
 		100*(faultyWall.Seconds()/cleanWall.Seconds()-1))
 
 	killed, killedWall, err := run(nil, 1)
@@ -467,6 +534,9 @@ func faultsRun() error {
 		"node 1 killed mid-run", killedWall.Round(time.Millisecond),
 		killed.Stats.NodesFailed, killed.Stats.TaskRetries,
 		100*(killedWall.Seconds()/cleanWall.Seconds()-1))
+	fmt.Printf("  %-28s hits %d misses %d evictions %d block loads %d\n",
+		"storage during faulty run", faulty.Stats.CacheHits(), faulty.Stats.CacheMisses(),
+		faulty.Stats.Evictions(), faulty.Stats.BlockLoads())
 
 	for _, other := range []*core.SpMVResult{faulty, killed} {
 		for i := range clean.X {
@@ -523,6 +593,8 @@ func realRun() error {
 			PrefetchWindow: 1,
 			Reorder:        reorder,
 			Faults:         inj,
+			Obs:            benchObs,
+			Trace:          benchTrace,
 		})
 		if err != nil {
 			return err
@@ -544,6 +616,14 @@ func realRun() error {
 			line += fmt.Sprintf("  (%d faults injected, %d task retries)", inj.Counts().Total(), res.Stats.TaskRetries)
 		}
 		fmt.Println(line)
+		hits, miss := res.Stats.CacheHits(), res.Stats.CacheMisses()
+		hitRate := 0.0
+		if hits+miss > 0 {
+			hitRate = 100 * float64(hits) / float64(hits+miss)
+		}
+		fmt.Printf("  %-16s cache %d/%d hits (%.0f%%)  evictions %d  prefetch %d loads / %d hits  block loads %d\n",
+			"", hits, hits+miss, hitRate, res.Stats.Evictions(),
+			res.Stats.PrefetchLoads(), res.Stats.PrefetchHits(), res.Stats.BlockLoads())
 		sys.Close()
 	}
 	// The in-core baseline's comm growth, executed for real.
@@ -566,6 +646,61 @@ func realRun() error {
 	}
 	if !sort.Float64sAreSorted(fracs) {
 		fmt.Println("    (non-monotone on this machine; rerun for a cleaner signal)")
+	}
+	return nil
+}
+
+// streamsRun drives the DataCutter-style filter-stream substrate directly and
+// surfaces Runtime.Stats() — the per-stream traffic the middleware accounts
+// for each logical stream — alongside the dooc_stream_* counters.
+func streamsRun() error {
+	const buffers, payload = 256, 1 << 12
+	l := datacutter.NewLayout()
+	l.MustAddFilter("source", func() datacutter.Filter {
+		return datacutter.FilterFunc(func(ctx *datacutter.Context) error {
+			data := make([]byte, payload)
+			for i := 0; i < buffers; i++ {
+				ctx.Write("work", datacutter.Buffer{Tag: fmt.Sprint(i), Data: data})
+			}
+			return nil
+		})
+	})
+	l.MustAddFilter("scale", func() datacutter.Filter {
+		return datacutter.FilterFunc(func(ctx *datacutter.Context) error {
+			for {
+				b, ok := ctx.Read("work")
+				if !ok {
+					return nil
+				}
+				ctx.Write("done", b)
+			}
+		})
+	}, datacutter.Copies(3))
+	l.MustAddFilter("sink", func() datacutter.Filter {
+		return datacutter.FilterFunc(func(ctx *datacutter.Context) error {
+			for {
+				if _, ok := ctx.Read("done"); !ok {
+					return nil
+				}
+			}
+		})
+	})
+	l.MustConnect("work", "source", "scale", datacutter.Depth(8))
+	l.MustConnect("done", "scale", "sink", datacutter.Depth(8))
+	rt, err := datacutter.NewRuntime(l, nil)
+	if err != nil {
+		return err
+	}
+	rt.Obs = benchObs
+	start := time.Now()
+	if err := rt.Run(); err != nil {
+		return err
+	}
+	fmt.Printf("pipeline source -> scale(x3, transparent copies) -> sink: %d buffers of %d B in %v\n",
+		buffers, payload, time.Since(start).Round(time.Millisecond))
+	fmt.Println("  stream   buffers   bytes")
+	for _, s := range rt.Stats() {
+		fmt.Printf("  %-7s  %-8d  %d\n", s.Stream, s.Buffers, s.Bytes)
 	}
 	return nil
 }

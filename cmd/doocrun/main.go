@@ -17,22 +17,37 @@ import (
 	"strings"
 
 	"dooc/internal/core"
+	"dooc/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("doocrun: ")
 	var (
-		dir      = flag.String("dir", "", "staged matrix directory (required)")
-		iters    = flag.Int("iters", 4, "SpMV iterations")
-		workers  = flag.Int("workers", 2, "computing filters per node")
-		mem      = flag.Int64("mem", 1<<30, "per-node memory budget in bytes")
-		prefetch = flag.Int("prefetch", 2, "prefetch window (heavy blocks)")
-		reorder  = flag.Bool("reorder", true, "enable data-aware task reordering")
-		seed     = flag.Int64("seed", 1, "starting-vector seed")
-		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt of the execution")
+		dir       = flag.String("dir", "", "staged matrix directory (required)")
+		iters     = flag.Int("iters", 4, "SpMV iterations")
+		workers   = flag.Int("workers", 2, "computing filters per node")
+		mem       = flag.Int64("mem", 1<<30, "per-node memory budget in bytes")
+		prefetch  = flag.Int("prefetch", 2, "prefetch window (heavy blocks)")
+		reorder   = flag.Bool("reorder", true, "enable data-aware task reordering")
+		seed      = flag.Int64("seed", 1, "starting-vector seed")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt of the execution")
+		metrics   = flag.Bool("metrics", false, "print a metrics snapshot after the run")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+		validate  = flag.String("validate-trace", "", "validate a Chrome trace-event JSON file and exit (CI smoke mode)")
 	)
 	flag.Parse()
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.ValidateTrace(data); err != nil {
+			log.Fatalf("%s: %v", *validate, err)
+		}
+		fmt.Printf("%s: valid Chrome trace\n", *validate)
+		return
+	}
 	if *dir == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -44,6 +59,11 @@ func main() {
 	log.Printf("staged matrix: dim=%d K=%d nodes=%d nnz=%d (%.1f MB)",
 		info.Dim, info.K, info.Nodes, info.NNZ, float64(info.Bytes)/1e6)
 
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
 	sys, err := core.NewSystem(core.Options{
 		Nodes:          info.Nodes,
 		WorkersPerNode: *workers,
@@ -52,6 +72,8 @@ func main() {
 		PrefetchWindow: *prefetch,
 		Reorder:        *reorder,
 		Seed:           *seed,
+		Obs:            reg,
+		Trace:          tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -81,6 +103,37 @@ func main() {
 	}
 	if *gantt {
 		printGantt(st)
+	}
+	if *metrics {
+		printMetrics(reg)
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*tracePath); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", tracer.Len(), *tracePath)
+	}
+}
+
+// printMetrics summarizes the registry's headline series and then dumps the
+// full Prometheus exposition.
+func printMetrics(reg *obs.Registry) {
+	fmt.Println("\n============ metrics snapshot ============")
+	hits := reg.Sum("dooc_storage_cache_hits_total")
+	misses := reg.Sum("dooc_storage_cache_misses_total")
+	if total := hits + misses; total > 0 {
+		fmt.Printf("storage cache hit rate: %.1f%% (%d hits, %d misses)\n",
+			100*float64(hits)/float64(total), hits, misses)
+	}
+	loads := reg.Sum("dooc_storage_prefetch_loads_total")
+	phits := reg.Sum("dooc_storage_prefetch_hits_total")
+	if loads > 0 {
+		fmt.Printf("prefetch hit rate: %.1f%% (%d of %d prefetched blocks were hit)\n",
+			100*float64(phits)/float64(loads), phits, loads)
+	}
+	fmt.Println("\nfull exposition:")
+	if err := reg.WritePrometheus(os.Stdout); err != nil {
+		log.Printf("metrics: %v", err)
 	}
 }
 

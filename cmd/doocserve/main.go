@@ -11,16 +11,25 @@
 //
 // Then, from another process, dial 127.0.0.1:7777 with remote.Dial and
 // ReadAll("A_000_000") etc.
+//
+// With -http, the server also exposes Prometheus-style metrics on
+// GET /metrics (dooc_storage_* and dooc_remote_server_* series) and the
+// standard net/http/pprof profiling endpoints under /debug/pprof/.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
+	"dooc/internal/obs"
 	"dooc/internal/remote"
 	"dooc/internal/storage"
 )
@@ -29,27 +38,43 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("doocserve: ")
 	var (
-		scratch = flag.String("scratch", "", "scratch directory to serve (required)")
-		listen  = flag.String("listen", "127.0.0.1:7777", "listen address")
-		mem     = flag.Int64("mem", 1<<30, "server-side memory budget in bytes")
-		stats   = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+		scratch  = flag.String("scratch", "", "scratch directory to serve (required)")
+		listen   = flag.String("listen", "127.0.0.1:7777", "listen address")
+		mem      = flag.Int64("mem", 1<<30, "server-side memory budget in bytes")
+		stats    = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+		httpAddr = flag.String("http", "", "HTTP address for /metrics and /debug/pprof (empty = off)")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 	if *scratch == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	st, err := storage.NewLocal(storage.Config{MemoryBudget: *mem, ScratchDir: *scratch, IOWorkers: 4})
+	reg := obs.NewRegistry()
+	st, err := storage.NewLocal(storage.Config{MemoryBudget: *mem, ScratchDir: *scratch, IOWorkers: 4, Obs: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer st.Close()
-	srv, err := remote.Listen(st, *listen)
+	srv, err := remote.ListenOptions(st, *listen, remote.ServerOptions{Obs: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
 	log.Printf("serving %s on %s", *scratch, srv.Addr())
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		// net/http/pprof registered its handlers on DefaultServeMux at
+		// import; add /metrics beside them.
+		http.Handle("/metrics", obs.Handler(reg))
+		httpSrv = &http.Server{Addr: *httpAddr}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("http: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics, pprof on http://%s/debug/pprof/", *httpAddr, *httpAddr)
+	}
 
 	if *stats > 0 {
 		go func() {
@@ -63,7 +88,14 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("shutting down after %d requests", srv.Requests())
+	log.Printf("draining (up to %v) after %d requests", *drain, srv.Requests())
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		_ = httpSrv.Shutdown(ctx)
+		cancel()
+	}
+	srv.Shutdown(*drain)
+	log.Printf("shut down after %d requests", srv.Requests())
 }

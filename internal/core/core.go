@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dooc/internal/faults"
+	"dooc/internal/obs"
 	"dooc/internal/simnet"
 	"dooc/internal/storage"
 )
@@ -63,6 +64,12 @@ type Options struct {
 	// Faults, when non-nil, injects I/O errors and stalls into every node's
 	// storage filter (fault-injection harness; see internal/faults).
 	Faults *faults.Injector
+	// Obs, when non-nil, collects metrics from every layer (storage,
+	// scheduler, engine) into one registry for Prometheus-style export.
+	Obs *obs.Registry
+	// Trace, when non-nil, records task lifecycle spans and engine events
+	// in Chrome trace-event form (pid = node, tid = worker lane).
+	Trace *obs.Tracer
 }
 
 func (o *Options) fill() {
@@ -115,6 +122,7 @@ func NewSystem(opts Options) (*System, error) {
 		cfg.Ledger = cluster.Transfer
 		cfg.Eviction = opts.Eviction
 		cfg.Faults = opts.Faults
+		cfg.Obs = opts.Obs
 		if opts.ScratchRoot != "" {
 			cfg.ScratchDir = filepath.Join(opts.ScratchRoot, fmt.Sprintf("node%d", node))
 		}
@@ -212,20 +220,56 @@ type RunStats struct {
 	NodesFailed int
 }
 
-// BytesReadDisk sums disk reads across nodes during the run.
-func (r *RunStats) BytesReadDisk() int64 {
+// storageDelta sums one storage counter's growth across nodes during the run.
+func (r *RunStats) storageDelta(field func(*storage.Stats) int64) int64 {
 	var n int64
 	for i := range r.StorageAfter {
-		n += r.StorageAfter[i].BytesReadDisk - r.StorageBefore[i].BytesReadDisk
+		n += field(&r.StorageAfter[i]) - field(&r.StorageBefore[i])
 	}
 	return n
 }
 
+// BytesReadDisk sums disk reads across nodes during the run.
+func (r *RunStats) BytesReadDisk() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.BytesReadDisk })
+}
+
 // PeerBytes sums cross-node block fetches during the run.
 func (r *RunStats) PeerBytes() int64 {
-	var n int64
-	for i := range r.StorageAfter {
-		n += r.StorageAfter[i].BytesFetchedPeer - r.StorageBefore[i].BytesFetchedPeer
-	}
-	return n
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.BytesFetchedPeer })
+}
+
+// CacheHits sums read requests served from resident memory during the run.
+func (r *RunStats) CacheHits() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.Hits })
+}
+
+// CacheMisses sums read requests that had to fetch during the run.
+func (r *RunStats) CacheMisses() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.Misses })
+}
+
+// Evictions sums blocks reclaimed from memory during the run.
+func (r *RunStats) Evictions() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.Evictions })
+}
+
+// PrefetchHits sums cache hits on prefetched blocks during the run.
+func (r *RunStats) PrefetchHits() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.PrefetchHits })
+}
+
+// PrefetchLoads sums block fetches initiated by prefetch during the run.
+func (r *RunStats) PrefetchLoads() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.PrefetchLoads })
+}
+
+// BlockLoads sums complete block installs (disk or peer) during the run.
+func (r *RunStats) BlockLoads() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.BlockLoads })
+}
+
+// IORetries sums transient disk errors survived during the run.
+func (r *RunStats) IORetries() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.IORetries })
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dooc/internal/dag"
+	"dooc/internal/obs"
 	"dooc/internal/scheduler"
 	"dooc/internal/sparse"
 	"dooc/internal/storage"
@@ -141,7 +142,10 @@ func (s *System) Run(spec RunSpec) (*RunStats, error) {
 		consumers: consumers,
 		dead:      make(map[int]bool),
 		retries:   make(map[string]int),
+		queuedAt:  make(map[string]time.Time),
 		policies:  make([]*scheduler.Policy, s.opts.Nodes),
+		metrics:   newEngineMetrics(s.opts.Obs, s.opts.Nodes),
+		trace:     s.opts.Trace,
 		stats: &RunStats{
 			TasksPerNode:  make([]int, s.opts.Nodes),
 			StorageBefore: make([]storage.Stats, s.opts.Nodes),
@@ -150,6 +154,10 @@ func (s *System) Run(spec RunSpec) (*RunStats, error) {
 	for i := range run.policies {
 		p := scheduler.NewPolicy()
 		p.Reorder = s.opts.Reorder
+		node := obs.L("node", fmt.Sprint(i))
+		p.Picks = s.opts.Obs.Counter("dooc_sched_picks_total", "local-scheduler task selections", node)
+		p.Reorders = s.opts.Obs.Counter("dooc_sched_reorders_total", "picks where the data-aware score overrode FIFO order", node)
+		p.PrefetchRefs = s.opts.Obs.Counter("dooc_sched_prefetch_refs_total", "data refs handed to the prefetcher", node)
 		run.policies[i] = p
 	}
 	run.cond = sync.NewCond(&run.mu)
@@ -177,10 +185,10 @@ func (s *System) Run(spec RunSpec) (*RunStats, error) {
 	for node := 0; node < s.opts.Nodes; node++ {
 		for w := 0; w < s.opts.WorkersPerNode; w++ {
 			wg.Add(1)
-			go func(node int) {
+			go func(node, lane int) {
 				defer wg.Done()
-				run.worker(node)
-			}(node)
+				run.worker(node, lane)
+			}(node, w)
 		}
 	}
 	wg.Wait()
@@ -219,14 +227,42 @@ type engineRun struct {
 	consumers map[string]int
 	dead      map[int]bool   // nodes that failed during (or before) the run
 	retries   map[string]int // per-task re-executions charged to the budget
+	// queuedAt stamps when a task first appeared in a ready set, for the
+	// queued→running span in the trace.
+	queuedAt map[string]time.Time
 
 	policies []*scheduler.Policy
+	metrics  engineMetrics
+	trace    *obs.Tracer
 	stats    *RunStats
+}
+
+// engineMetrics are the engine's series in the shared obs registry. With a
+// nil registry every field is nil and every operation a no-op.
+type engineMetrics struct {
+	tasksDone  []*obs.Counter // per node
+	retries    *obs.Counter
+	nodeDeaths *obs.Counter
+	queueWait  *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry, nodes int) engineMetrics {
+	m := engineMetrics{
+		retries:    reg.Counter("dooc_engine_task_retries_total", "task re-executions after executor failures"),
+		nodeDeaths: reg.Counter("dooc_engine_node_deaths_total", "compute nodes marked dead during runs"),
+		queueWait:  reg.Histogram("dooc_engine_queue_wait_seconds", "time from task ready to task start", nil),
+		tasksDone:  make([]*obs.Counter, nodes),
+	}
+	for i := range m.tasksDone {
+		m.tasksDone[i] = reg.Counter("dooc_engine_tasks_completed_total", "tasks completed", obs.L("node", fmt.Sprint(i)))
+	}
+	return m
 }
 
 // worker is one computing filter: it repeatedly asks the node's local
 // scheduler for the best ready task, executes it, and publishes completion.
-func (r *engineRun) worker(node int) {
+// lane identifies the worker within its node (the trace's tid).
+func (r *engineRun) worker(node, lane int) {
 	store := r.sys.stores[node]
 	for {
 		r.mu.Lock()
@@ -256,9 +292,15 @@ func (r *engineRun) worker(node int) {
 		}
 		r.graph.Start(task.ID)
 		r.policies[node].Touch(task.HeavyInputs())
+		queued, hasQueued := r.queuedAt[task.ID]
+		delete(r.queuedAt, task.ID)
 		r.mu.Unlock()
 
 		ev := Event{Node: node, Task: task.ID, Kind: task.Kind, Start: time.Now()}
+		if hasQueued {
+			r.metrics.queueWait.Observe(ev.Start.Sub(queued).Seconds())
+			r.trace.Span(task.ID, "queued", node, lane, queued, ev.Start, map[string]any{"kind": task.Kind})
+		}
 		ctx := &ExecContext{
 			Node:    node,
 			Workers: r.sys.opts.WorkersPerNode,
@@ -268,6 +310,8 @@ func (r *engineRun) worker(node int) {
 		}
 		err := executeTask(r.spec.Executors[task.Kind], ctx)
 		ev.End = time.Now()
+		r.trace.Span(task.ID, task.Kind, node, lane, ev.Start, ev.End,
+			map[string]any{"kind": task.Kind, "ok": err == nil})
 
 		r.mu.Lock()
 		r.stats.Events = append(r.stats.Events, ev)
@@ -278,6 +322,8 @@ func (r *engineRun) worker(node int) {
 			// publish them itself.
 			r.mu.Unlock()
 			ctx.reclaim()
+			r.trace.Instant("retry:"+task.ID, "engine", node, lane, time.Now(),
+				map[string]any{"error": err.Error()})
 			r.mu.Lock()
 			r.recoverTask(node, task, err)
 			r.mu.Unlock()
@@ -285,6 +331,7 @@ func (r *engineRun) worker(node int) {
 			continue
 		}
 		r.graph.Complete(task.ID)
+		r.metrics.tasksDone[node].Inc()
 		dead := r.retireInputs(task)
 		r.mu.Unlock()
 		r.cond.Broadcast()
@@ -326,11 +373,13 @@ func (r *engineRun) recoverTask(node int, task *dag.Task, err error) {
 		// recovery contract, not a task defect — no budget charge. failNode
 		// already reassigned the node's incomplete tasks (including this one).
 		r.stats.TaskRetries++
+		r.metrics.retries.Inc()
 		return
 	}
 	if r.retries[task.ID] < r.sys.opts.TaskRetries {
 		r.retries[task.ID]++
 		r.stats.TaskRetries++
+		r.metrics.retries.Inc()
 		return
 	}
 	r.errs = append(r.errs, fmt.Errorf("core: task %s on node %d (after %d executions): %w",
@@ -346,6 +395,8 @@ func (r *engineRun) failNode(node int) {
 	}
 	r.dead[node] = true
 	r.stats.NodesFailed++
+	r.metrics.nodeDeaths.Inc()
+	r.trace.Instant(fmt.Sprintf("node-death:%d", node), "engine", node, 0, time.Now(), nil)
 	var survivors []int
 	for n := 0; n < r.sys.opts.Nodes; n++ {
 		if !r.dead[n] {
@@ -373,6 +424,9 @@ func (r *engineRun) readyFor(node int) []*dag.Task {
 	var out []*dag.Task
 	for _, id := range r.graph.Ready() {
 		if r.assign[id] == node {
+			if _, ok := r.queuedAt[id]; !ok {
+				r.queuedAt[id] = time.Now()
+			}
 			out = append(out, r.graph.Task(id))
 		}
 	}

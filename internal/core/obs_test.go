@@ -1,0 +1,210 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"dooc/internal/obs"
+	"dooc/internal/sparse"
+)
+
+// obsSeriesValue extracts one labeled series value from a snapshot; node < 0
+// matches unlabeled series.
+func obsSeriesValue(snap []obs.SeriesSnapshot, name string, node int) int64 {
+	want := strconv.Itoa(node)
+	for _, s := range snap {
+		if s.Name != name {
+			continue
+		}
+		if node < 0 && len(s.Labels) == 0 {
+			return s.Value
+		}
+		for _, l := range s.Labels {
+			if l.Key == "node" && l.Value == want {
+				return s.Value
+			}
+		}
+	}
+	return 0
+}
+
+// TestObsReconcilesAcrossLayers runs a multi-node iterated SpMV with the full
+// observability stack attached and asserts the cross-layer invariants the
+// paper's accounting depends on: engine task counters match RunStats, storage
+// series match each store's Stats, scheduler picks match executions, the
+// queue-wait histogram saw every task, and the emitted trace is valid Chrome
+// trace-event JSON. Run under -race this also proves the instrumentation
+// introduces no data races into the hot path.
+func TestObsReconcilesAcrossLayers(t *testing.T) {
+	const (
+		nodes = 3
+		dim   = 45
+		iters = 3
+	)
+	rng := rand.New(rand.NewSource(7))
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	sys, err := NewSystem(Options{
+		Nodes:          nodes,
+		WorkersPerNode: 2,
+		Reorder:        true,
+		PrefetchWindow: 2,
+		Obs:            reg,
+		Trace:          tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cfg := SpMVConfig{Dim: dim, K: 3, Iters: iters, Nodes: nodes}
+	if err := LoadMatrixInMemory(sys, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	x0 := randVec(rng, dim)
+	res, err := RunIteratedSpMV(sys, cfg, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(res.X, referenceIterate(m, x0, iters)); d > 1e-9 {
+		t.Fatalf("instrumented run diverges from in-core reference by %v", d)
+	}
+
+	snap := reg.Snapshot()
+	st := res.Stats
+
+	// Engine layer: per-node completion counters mirror RunStats exactly,
+	// and in a failure-free run executions == completions == picks.
+	var totalTasks int64
+	for n := 0; n < nodes; n++ {
+		got := obsSeriesValue(snap, "dooc_engine_tasks_completed_total", n)
+		if got != int64(st.TasksPerNode[n]) {
+			t.Errorf("node %d: tasks_completed = %d, RunStats says %d", n, got, st.TasksPerNode[n])
+		}
+		totalTasks += int64(st.TasksPerNode[n])
+	}
+	if totalTasks == 0 {
+		t.Fatal("run completed no tasks")
+	}
+	if retries := reg.Sum("dooc_engine_task_retries_total"); retries != int64(st.TaskRetries) {
+		t.Errorf("task_retries = %d, RunStats says %d", retries, st.TaskRetries)
+	}
+	if picks := reg.Sum("dooc_sched_picks_total"); picks != totalTasks {
+		t.Errorf("scheduler picks = %d, executions = %d (must be 1:1 in a clean run)", picks, totalTasks)
+	}
+	if qw := reg.Sum("dooc_engine_queue_wait_seconds"); qw != totalTasks {
+		t.Errorf("queue-wait observations = %d, want one per execution = %d", qw, totalTasks)
+	}
+	if len(st.Events) != int(totalTasks) {
+		t.Errorf("event log has %d entries, want %d", len(st.Events), totalTasks)
+	}
+
+	// Storage layer: registry series are cumulative since system creation,
+	// exactly like each store's own Stats.
+	for n := 0; n < nodes; n++ {
+		ss := sys.Store(n).Stats()
+		pairs := []struct {
+			name string
+			want int64
+		}{
+			{"dooc_storage_read_requests_total", ss.ReadRequests},
+			{"dooc_storage_write_requests_total", ss.WriteRequests},
+			{"dooc_storage_cache_hits_total", ss.Hits},
+			{"dooc_storage_cache_misses_total", ss.Misses},
+			{"dooc_storage_evictions_total", ss.Evictions},
+			{"dooc_storage_block_loads_total", ss.BlockLoads},
+			{"dooc_storage_prefetch_loads_total", ss.PrefetchLoads},
+			{"dooc_storage_prefetch_hits_total", ss.PrefetchHits},
+		}
+		for _, p := range pairs {
+			if got := obsSeriesValue(snap, p.name, n); got != p.want {
+				t.Errorf("node %d: %s = %d, Stats says %d", n, p.name, got, p.want)
+			}
+		}
+		if ss.Hits+ss.Misses != ss.ReadRequests {
+			t.Errorf("node %d: hits(%d)+misses(%d) != reads(%d)", n, ss.Hits, ss.Misses, ss.ReadRequests)
+		}
+		if ss.PrefetchHits > ss.PrefetchLoads {
+			t.Errorf("node %d: prefetch hits(%d) > loads(%d)", n, ss.PrefetchHits, ss.PrefetchLoads)
+		}
+	}
+	if got := reg.Sum("dooc_storage_lease_wait_seconds"); got != reg.Sum("dooc_storage_read_requests_total")+reg.Sum("dooc_storage_write_requests_total") {
+		t.Errorf("lease-wait observations (%d) != total requests", got)
+	}
+
+	// RunStats deltas derived from the same counters must agree with a
+	// direct before/after subtraction.
+	var wantHits int64
+	for i := range st.StorageAfter {
+		wantHits += st.StorageAfter[i].Hits - st.StorageBefore[i].Hits
+	}
+	if st.CacheHits() != wantHits {
+		t.Errorf("RunStats.CacheHits() = %d, manual delta %d", st.CacheHits(), wantHits)
+	}
+
+	// Trace layer: exactly two spans (queued + execution) per task execution,
+	// and the serialized form must be loadable Chrome trace-event JSON.
+	if tracer.Len() != int(2*totalTasks) {
+		t.Errorf("trace has %d events, want %d (2 per task)", tracer.Len(), 2*totalTasks)
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTrace(buf.Bytes()); err != nil {
+		t.Errorf("emitted trace is invalid: %v", err)
+	}
+}
+
+// TestObsCountsNodeDeathRecovery reconciles the recovery counters: killing a
+// node mid-fleet must surface in dooc_engine_node_deaths_total and the
+// re-execution counter must match RunStats.TaskRetries.
+func TestObsCountsNodeDeathRecovery(t *testing.T) {
+	const (
+		nodes = 3
+		dim   = 45
+	)
+	rng := rand.New(rand.NewSource(3))
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sys, err := NewSystem(Options{Nodes: nodes, WorkersPerNode: 2, Reorder: true, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cfg := SpMVConfig{Dim: dim, K: 3, Iters: 2, Nodes: nodes}
+	if err := LoadMatrixInMemory(sys, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FailNode(2); err != nil {
+		t.Fatal(err)
+	}
+	x0 := randVec(rng, dim)
+	res, err := RunIteratedSpMV(sys, cfg, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(res.X, referenceIterate(m, x0, 2)); d > 1e-9 {
+		t.Fatalf("post-failure result diverges by %v", d)
+	}
+	if deaths := reg.Sum("dooc_engine_node_deaths_total"); deaths != int64(res.Stats.NodesFailed) {
+		t.Errorf("node_deaths = %d, RunStats says %d", deaths, res.Stats.NodesFailed)
+	}
+	if res.Stats.NodesFailed != 1 {
+		t.Errorf("NodesFailed = %d, want 1", res.Stats.NodesFailed)
+	}
+	if retries := reg.Sum("dooc_engine_task_retries_total"); retries != int64(res.Stats.TaskRetries) {
+		t.Errorf("task_retries = %d, RunStats says %d", retries, res.Stats.TaskRetries)
+	}
+	if done := obsSeriesValue(reg.Snapshot(), "dooc_engine_tasks_completed_total", 2); done != 0 {
+		t.Errorf("dead node 2 completed %d tasks", done)
+	}
+}

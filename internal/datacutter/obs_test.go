@@ -1,0 +1,81 @@
+package datacutter
+
+import (
+	"testing"
+
+	"dooc/internal/obs"
+)
+
+// TestStreamMetricsReconcileWithStats runs a fan-out pipeline with a registry
+// attached and checks that the dooc_stream_* series match Runtime.Stats()
+// exactly — both are incremented at the same send site, so any divergence is
+// an instrumentation bug. Broadcast streams count one buffer per consumer
+// copy delivered, which the test pins down too.
+func TestStreamMetricsReconcileWithStats(t *testing.T) {
+	const n, copies = 64, 3
+	reg := obs.NewRegistry()
+	l := NewLayout()
+	l.MustAddFilter("src", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for i := 0; i < n; i++ {
+				ctx.Write("work", Buffer{Value: i, Bytes: 16})
+			}
+			return nil
+		})
+	})
+	l.MustAddFilter("sink", func() Filter {
+		return FilterFunc(func(ctx *Context) error {
+			for {
+				if _, ok := ctx.Read("work"); !ok {
+					return nil
+				}
+			}
+		})
+	}, Copies(copies))
+	l.MustConnect("work", "src", "sink", Mode(Broadcast), Depth(4))
+
+	rt, err := NewRuntime(l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Obs = reg
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := rt.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("got %d streams, want 1", len(stats))
+	}
+	ss := stats[0]
+	if ss.Buffers != n*copies {
+		t.Errorf("broadcast delivered %d buffers, want %d (one per consumer copy)", ss.Buffers, n*copies)
+	}
+	if ss.Bytes != int64(n*copies*16) {
+		t.Errorf("broadcast delivered %d bytes, want %d", ss.Bytes, n*copies*16)
+	}
+	for _, s := range reg.Snapshot() {
+		switch s.Name {
+		case "dooc_stream_buffers_total":
+			if s.Value != ss.Buffers {
+				t.Errorf("registry buffers = %d, Stats says %d", s.Value, ss.Buffers)
+			}
+		case "dooc_stream_bytes_total":
+			if s.Value != ss.Bytes {
+				t.Errorf("registry bytes = %d, Stats says %d", s.Value, ss.Bytes)
+			}
+		}
+	}
+	if got := reg.Sum("dooc_stream_buffers_total"); got != ss.Buffers {
+		t.Errorf("Sum(buffers) = %d, want %d", got, ss.Buffers)
+	}
+}
+
+// TestStreamMetricsNilRegistry: a runtime without a registry must run
+// unchanged — the nil-safe obs API is what keeps instrumentation branch-free.
+func TestStreamMetricsNilRegistry(t *testing.T) {
+	got := runPipeline(t, 50, 2)
+	if len(got) != 50 {
+		t.Fatalf("received %d buffers, want 50", len(got))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dooc/internal/obs"
 	"dooc/internal/simnet"
 )
 
@@ -29,6 +30,10 @@ type runtimeStream struct {
 
 	buffers int64
 	bytes   int64
+
+	// Registry series mirroring the atomics above; nil when Runtime.Obs is.
+	obsBuffers *obs.Counter
+	obsBytes   *obs.Counter
 }
 
 func (s *runtimeStream) close() {
@@ -49,6 +54,11 @@ type Runtime struct {
 	layout  *Layout
 	cluster *simnet.Cluster
 	streams map[string]*runtimeStream
+
+	// Obs, when set before Run, receives per-stream traffic counters
+	// (dooc_stream_buffers_total / dooc_stream_bytes_total, labeled by
+	// stream name).
+	Obs *obs.Registry
 }
 
 // NewRuntime prepares a runtime for the layout. cluster may be nil, in which
@@ -81,7 +91,12 @@ func (r *Runtime) Run() error {
 	r.streams = make(map[string]*runtimeStream, len(l.streams))
 	for _, name := range l.sorder {
 		d := l.streams[name]
-		rs := &runtimeStream{decl: d, producers: int32(l.filters[d.from].copies)}
+		rs := &runtimeStream{
+			decl:       d,
+			producers:  int32(l.filters[d.from].copies),
+			obsBuffers: r.Obs.Counter("dooc_stream_buffers_total", "buffers written to the stream", obs.L("stream", name)),
+			obsBytes:   r.Obs.Counter("dooc_stream_bytes_total", "payload bytes written to the stream", obs.L("stream", name)),
+		}
 		switch d.mode {
 		case Shared:
 			rs.queues = []chan Buffer{make(chan Buffer, d.depth)}
@@ -229,6 +244,8 @@ func (c *Context) send(rs *runtimeStream, q chan Buffer, b Buffer) {
 	b.from = c.inst
 	atomic.AddInt64(&rs.buffers, 1)
 	atomic.AddInt64(&rs.bytes, b.WireBytes())
+	rs.obsBuffers.Inc()
+	rs.obsBytes.Add(b.WireBytes())
 	q <- b
 }
 

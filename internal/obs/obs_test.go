@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("dooc_test_ops_total", "ops", L("node", "0"))
+	g := reg.Gauge("dooc_test_depth", "depth")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Re-resolving the series must return the same storage.
+			c2 := reg.Counter("dooc_test_ops_total", "ops", L("node", "0"))
+			for i := 0; i < per; i++ {
+				c2.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}
+
+func TestSeriesIdentityAndSum(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dooc_x_total", "x", L("node", "0"))
+	b := reg.Counter("dooc_x_total", "x", L("node", "1"))
+	if a == b {
+		t.Fatal("distinct labels must produce distinct series")
+	}
+	// Label order must not split a series.
+	c1 := reg.Counter("dooc_y_total", "y", L("a", "1"), L("b", "2"))
+	c2 := reg.Counter("dooc_y_total", "y", L("b", "2"), L("a", "1"))
+	if c1 != c2 {
+		t.Fatal("label order split a series")
+	}
+	a.Add(3)
+	b.Add(4)
+	if got := reg.Sum("dooc_x_total"); got != 7 {
+		t.Fatalf("Sum = %d, want 7", got)
+	}
+	if got := reg.Sum("dooc_missing_total"); got != 0 {
+		t.Fatalf("Sum of unknown family = %d, want 0", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dooc_z_total", "z")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	reg.Gauge("dooc_z_total", "z")
+}
+
+func TestHistogramInvariants(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("dooc_test_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	var wg sync.WaitGroup
+	vals := []float64{0.0001, 0.005, 0.05, 0.5, 2}
+	const loops = 500
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < loops; i++ {
+				for _, v := range vals {
+					h.Observe(v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(4 * loops * len(vals))
+	if got := h.Count(); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	var bucketSum int64
+	for _, c := range h.BucketCounts() {
+		bucketSum += c
+	}
+	if bucketSum != want {
+		t.Fatalf("sum of bucket counts = %d, want %d (histogram must not lose observations)", bucketSum, want)
+	}
+	// 0.5 and 2 both exceed the last bound: +Inf bucket holds 2/5 of them.
+	counts := h.BucketCounts()
+	if counts[len(counts)-1] != int64(4*loops*2) {
+		t.Fatalf("+Inf bucket = %d, want %d", counts[len(counts)-1], 4*loops*2)
+	}
+	if h.Sum() <= 0 {
+		t.Fatalf("histogram sum = %g, want > 0", h.Sum())
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dooc_a_total", "a help", L("node", "0")).Add(5)
+	reg.Gauge("dooc_b", "b help").Set(-2)
+	h := reg.Histogram("dooc_c_seconds", "c help", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP dooc_a_total a help",
+		"# TYPE dooc_a_total counter",
+		`dooc_a_total{node="0"} 5`,
+		"# TYPE dooc_b gauge",
+		"dooc_b -2",
+		"# TYPE dooc_c_seconds histogram",
+		`dooc_c_seconds_bucket{le="0.01"} 1`,
+		`dooc_c_seconds_bucket{le="0.1"} 2`,
+		`dooc_c_seconds_bucket{le="+Inf"} 3`,
+		"dooc_c_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dooc_s_total", "s", L("node", "1")).Add(9)
+	snap := reg.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d series, want 1", len(snap))
+	}
+	s := snap[0]
+	if s.Name != "dooc_s_total" || s.Kind != "counter" || s.Value != 9 {
+		t.Fatalf("unexpected snapshot %+v", s)
+	}
+	if s.ID() != `dooc_s_total{node="1"}` {
+		t.Fatalf("unexpected series ID %q", s.ID())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", "")
+	g := reg.Gauge("x", "")
+	h := reg.Histogram("x", "", nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if reg.Sum("x") != 0 || reg.Snapshot() != nil {
+		t.Fatal("nil registry must read empty")
+	}
+	if err := reg.WritePrometheus(nil); err != nil {
+		t.Fatal("nil registry WritePrometheus must be a no-op")
+	}
+	var tr *Tracer
+	tr.Span("a", "b", 0, 0, timeZero(), timeZero(), nil)
+	tr.Instant("a", "b", 0, 0, timeZero(), nil)
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer must record nothing")
+	}
+}

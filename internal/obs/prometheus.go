@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SeriesSnapshot is one metric series at a point in time — the programmatic
+// form the reconciliation tests and CLI snapshot printers consume.
+type SeriesSnapshot struct {
+	Name   string
+	Labels []Label
+	Kind   string // "counter", "gauge", "histogram"
+	Value  int64  // counter/gauge value; histogram observation count
+	Sum    float64
+	// Bounds/Buckets are the histogram's bucket upper bounds and raw
+	// (non-cumulative) counts; the final bucket is +Inf.
+	Bounds  []float64
+	Buckets []int64
+}
+
+// ID renders the series identity (name plus sorted labels).
+func (s SeriesSnapshot) ID() string { return seriesID(s.Name, s.Labels) }
+
+// Snapshot returns every series, families in registration order, series
+// within a family sorted by label identity.
+func (r *Registry) Snapshot() []SeriesSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type fam struct {
+		kind   metricKind
+		series []*series
+	}
+	fams := make([]fam, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		fams = append(fams, fam{kind: f.kind, series: append([]*series(nil), f.series...)})
+	}
+	r.mu.Unlock()
+
+	var out []SeriesSnapshot
+	for _, f := range fams {
+		sort.Slice(f.series, func(i, j int) bool {
+			return seriesID(f.series[i].name, f.series[i].labels) < seriesID(f.series[j].name, f.series[j].labels)
+		})
+		for _, s := range f.series {
+			ss := SeriesSnapshot{
+				Name:   s.name,
+				Labels: append([]Label(nil), s.labels...),
+				Kind:   s.kind.String(),
+			}
+			switch s.kind {
+			case counterKind:
+				ss.Value = s.counter.Value()
+			case gaugeKind:
+				ss.Value = s.gauge.Value()
+			case histogramKind:
+				ss.Value = s.hist.Count()
+				ss.Sum = s.hist.Sum()
+				ss.Bounds = s.hist.Bounds()
+				ss.Buckets = s.hist.BucketCounts()
+			}
+			out = append(out, ss)
+		}
+	}
+	return out
+}
+
+// formatFloat renders a float the way Prometheus expects.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// renderLabels renders {k="v",...} for exposition, with an optional extra
+// label appended (used for histogram `le`).
+func renderLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE per family, one line per series, histograms as
+// cumulative `_bucket{le=...}` plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, ss := range r.snapshotByFamily() {
+		if ss.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", ss.name, ss.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", ss.name, ss.kind); err != nil {
+			return err
+		}
+		for _, s := range ss.series {
+			switch s.Kind {
+			case "histogram":
+				cum := int64(0)
+				for i, c := range s.Buckets {
+					cum += c
+					le := "+Inf"
+					if i < len(s.Bounds) {
+						le = formatFloat(s.Bounds[i])
+					}
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+						s.Name, renderLabels(s.Labels, Label{Key: "le", Value: le}), cum); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, renderLabels(s.Labels), formatFloat(s.Sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, renderLabels(s.Labels), s.Value); err != nil {
+					return err
+				}
+			default:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, renderLabels(s.Labels), s.Value); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type familySnapshot struct {
+	name   string
+	help   string
+	kind   string
+	series []SeriesSnapshot
+}
+
+func (r *Registry) snapshotByFamily() []familySnapshot {
+	r.mu.Lock()
+	metaByName := make(map[string]*family, len(r.families))
+	order := append([]string(nil), r.order...)
+	for name, f := range r.families {
+		metaByName[name] = f
+	}
+	r.mu.Unlock()
+
+	byName := make(map[string][]SeriesSnapshot)
+	for _, s := range r.Snapshot() {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	out := make([]familySnapshot, 0, len(order))
+	for _, name := range order {
+		f := metaByName[name]
+		out = append(out, familySnapshot{
+			name:   name,
+			help:   f.help,
+			kind:   f.kind.String(),
+			series: byName[name],
+		})
+	}
+	return out
+}
+
+// Handler returns an HTTP handler serving the registry in Prometheus text
+// exposition format — mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

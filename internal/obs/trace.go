@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one Chrome trace-event record. Phases used here: "X"
+// (complete event with a duration) and "i" (instant). pid maps to the
+// cluster node, tid to the worker lane within the node.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object format perfetto and chrome://tracing load.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// Tracer collects trace events. Safe for concurrent use; a nil *Tracer
+// discards everything, so call sites need no gating.
+type Tracer struct {
+	mu     sync.Mutex
+	epoch  time.Time
+	events []TraceEvent
+}
+
+// NewTracer returns a tracer whose timebase starts now.
+func NewTracer() *Tracer { return &Tracer{epoch: time.Now()} }
+
+// us converts a wall time to trace microseconds.
+func (t *Tracer) us(at time.Time) float64 {
+	return float64(at.Sub(t.epoch)) / float64(time.Microsecond)
+}
+
+// Span records a complete event covering [start, end).
+func (t *Tracer) Span(name, cat string, pid, tid int, start, end time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	ev := TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Ts: t.us(start), Dur: float64(end.Sub(start)) / float64(time.Microsecond),
+		Pid: pid, Tid: tid, Args: args,
+	}
+	if ev.Dur < 0 {
+		ev.Dur = 0
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Instant records a point-in-time event.
+func (t *Tracer) Instant(name, cat string, pid, tid int, at time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	ev := TraceEvent{Name: name, Cat: cat, Ph: "i", Ts: t.us(at), Pid: pid, Tid: tid, S: "t", Args: args}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON emits the trace in Chrome trace-event JSON object format.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil tracer")
+	}
+	t.mu.Lock()
+	events := append([]TraceEvent(nil), t.events...)
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteFile writes the trace to path and validates what it wrote, so a
+// corrupt emitter fails loudly instead of producing an unloadable file.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return ValidateTrace(data)
+}
+
+// ValidateTrace checks that data is non-empty, well-formed Chrome
+// trace-event JSON: either an object with a traceEvents array or a bare
+// array, every event carrying the required name/ph/ts/pid/tid fields with
+// the right types, and "X" events a non-negative duration.
+func ValidateTrace(data []byte) error {
+	var wrapper struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &wrapper); err == nil && wrapper.TraceEvents != nil {
+		events = wrapper.TraceEvents
+	} else if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("obs: not trace-event JSON (neither {\"traceEvents\":[...]} nor a bare array): %w", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("obs: trace contains no events")
+	}
+	for i, ev := range events {
+		if _, ok := ev["name"].(string); !ok {
+			return fmt.Errorf("obs: event %d: missing or non-string \"name\"", i)
+		}
+		ph, ok := ev["ph"].(string)
+		if !ok || ph == "" {
+			return fmt.Errorf("obs: event %d: missing or non-string \"ph\"", i)
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok {
+			return fmt.Errorf("obs: event %d: missing or non-numeric \"ts\"", i)
+		}
+		if ts < 0 {
+			return fmt.Errorf("obs: event %d: negative ts %g", i, ts)
+		}
+		for _, key := range []string{"pid", "tid"} {
+			if _, ok := ev[key].(float64); !ok {
+				return fmt.Errorf("obs: event %d: missing or non-numeric %q", i, key)
+			}
+		}
+		if ph == "X" {
+			if dur, present := ev["dur"]; present {
+				d, ok := dur.(float64)
+				if !ok || d < 0 {
+					return fmt.Errorf("obs: event %d: complete event with invalid \"dur\"", i)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func timeZero() time.Time { return time.Time{} }
+
+func TestTracerRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Span("task", "multiply", w, 0, start, start.Add(time.Millisecond), map[string]any{"i": i})
+				tr.Instant("retry", "engine", w, 0, start, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 4*50*2 {
+		t.Fatalf("tracer holds %d events, want %d", tr.Len(), 4*50*2)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("emitted trace failed validation: %v", err)
+	}
+	// The wrapper must carry the traceEvents key perfetto looks for.
+	var wrapper map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &wrapper); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wrapper["traceEvents"]; !ok {
+		t.Fatal("trace JSON missing traceEvents key")
+	}
+}
+
+func TestTracerWriteFile(t *testing.T) {
+	tr := NewTracer()
+	now := time.Now()
+	tr.Span("t0", "kind", 0, 0, now, now.Add(time.Millisecond), nil)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerSpanClampsNegativeDuration(t *testing.T) {
+	tr := NewTracer()
+	now := time.Now()
+	tr.Span("backwards", "", 0, 0, now, now.Add(-time.Second), nil)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("clamped span failed validation: %v", err)
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "nope{",
+		"empty object":    `{}`,
+		"empty array":     `[]`,
+		"empty events":    `{"traceEvents":[]}`,
+		"missing name":    `{"traceEvents":[{"ph":"X","ts":0,"pid":0,"tid":0}]}`,
+		"missing ph":      `{"traceEvents":[{"name":"a","ts":0,"pid":0,"tid":0}]}`,
+		"non-numeric ts":  `{"traceEvents":[{"name":"a","ph":"X","ts":"0","pid":0,"tid":0}]}`,
+		"negative ts":     `{"traceEvents":[{"name":"a","ph":"X","ts":-1,"pid":0,"tid":0}]}`,
+		"missing pid":     `{"traceEvents":[{"name":"a","ph":"X","ts":0,"tid":0}]}`,
+		"negative dur":    `{"traceEvents":[{"name":"a","ph":"X","ts":0,"dur":-5,"pid":0,"tid":0}]}`,
+		"non-numeric tid": `{"traceEvents":[{"name":"a","ph":"i","ts":0,"pid":0,"tid":"x"}]}`,
+	}
+	for label, data := range cases {
+		if err := ValidateTrace([]byte(data)); err == nil {
+			t.Errorf("%s: ValidateTrace accepted %q", label, data)
+		}
+	}
+	// Bare-array form is accepted.
+	ok := `[{"name":"a","ph":"i","ts":1.5,"pid":0,"tid":0}]`
+	if err := ValidateTrace([]byte(ok)); err != nil {
+		t.Errorf("bare array rejected: %v", err)
+	}
+}

@@ -1,0 +1,27 @@
+package perfmodel
+
+// Closed forms for the Fig. 5 load-count ablation: K sub-matrices per node,
+// per-node memory holding a single sub-matrix at a time, `iters` SpMV
+// iterations. These are the analytic predictions the scheduler simulator and
+// the dooc_storage_block_loads_total counters reconcile against.
+
+// RegularLoadsPerNode is the Fig. 5(a) FIFO traversal cost: every iteration
+// visits the sub-matrices in the same order, so nothing survives in cache
+// between iterations and all k are reloaded each time.
+func RegularLoadsPerNode(k, iters int) int {
+	if k <= 0 || iters <= 0 {
+		return 0
+	}
+	return k * iters
+}
+
+// BackAndForthLoadsPerNode is the Fig. 5(b) reordered traversal cost: the
+// first iteration loads all k sub-matrices, and every later iteration starts
+// from the boundary sub-matrix the previous one ended on, reusing it and
+// loading only the remaining k-1.
+func BackAndForthLoadsPerNode(k, iters int) int {
+	if k <= 0 || iters <= 0 {
+		return 0
+	}
+	return k + (iters-1)*(k-1)
+}

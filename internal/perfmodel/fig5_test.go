@@ -1,0 +1,76 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"dooc/internal/dag"
+	"dooc/internal/scheduler"
+	"dooc/internal/spmv"
+)
+
+// simulateLoads list-schedules the K-node SpMV DAG with single-sub-matrix
+// caches and returns per-node load counts.
+func simulateLoads(t *testing.T, k, iters int, reorder bool) []int {
+	t.Helper()
+	cfg := spmv.ProgramConfig{K: k, Iters: iters, SubBytes: 1000, VecBytes: 8, FlopsPerMult: 1}
+	g, err := spmv.Graph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := scheduler.Simulate(g, spmv.RowAssignment(cfg), k, cfg.SubBytes, reorder, scheduler.Costs{
+		LoadSecondsPerByte: 0.003,
+		RunSeconds:         func(*dag.Task) float64 { return 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan.LoadsPerNode
+}
+
+// TestClosedFormsMatchSimulator reconciles the analytic Fig. 5 load counts
+// against the scheduler's list simulation across problem shapes: the model's
+// prediction must equal the simulated per-node load count exactly, for both
+// the FIFO and the back-and-forth policy.
+func TestClosedFormsMatchSimulator(t *testing.T) {
+	for k := 2; k <= 4; k++ {
+		for iters := 1; iters <= 4; iters++ {
+			regular := simulateLoads(t, k, iters, false)
+			baf := simulateLoads(t, k, iters, true)
+			wantReg := RegularLoadsPerNode(k, iters)
+			wantBaf := BackAndForthLoadsPerNode(k, iters)
+			for n := 0; n < k; n++ {
+				if regular[n] != wantReg {
+					t.Errorf("K=%d iters=%d node %d: FIFO simulated %d loads, closed form says %d",
+						k, iters, n, regular[n], wantReg)
+				}
+				if baf[n] != wantBaf {
+					t.Errorf("K=%d iters=%d node %d: back-and-forth simulated %d loads, closed form says %d",
+						k, iters, n, baf[n], wantBaf)
+				}
+			}
+		}
+	}
+}
+
+// TestFig5HeadlineNumbers pins the paper's Fig. 5 scenario (K=3, 2
+// iterations): 18 total loads under FIFO vs. 15 with reordering — the three
+// boundary reuses that motivate the back-and-forth traversal.
+func TestFig5HeadlineNumbers(t *testing.T) {
+	const k, iters = 3, 2
+	if got := k * RegularLoadsPerNode(k, iters); got != 18 {
+		t.Errorf("regular total = %d, want 18", got)
+	}
+	if got := k * BackAndForthLoadsPerNode(k, iters); got != 15 {
+		t.Errorf("back-and-forth total = %d, want 15", got)
+	}
+	var regTotal, bafTotal int
+	for _, l := range simulateLoads(t, k, iters, false) {
+		regTotal += l
+	}
+	for _, l := range simulateLoads(t, k, iters, true) {
+		bafTotal += l
+	}
+	if regTotal != 18 || bafTotal != 15 {
+		t.Errorf("simulator totals regular=%d back-and-forth=%d, want 18 and 15", regTotal, bafTotal)
+	}
+}

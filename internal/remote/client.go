@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dooc/internal/faults"
+	"dooc/internal/obs"
 	"dooc/internal/storage"
 )
 
@@ -28,6 +29,9 @@ type Options struct {
 	// Faults, when non-nil, injects connection drops and payload corruption
 	// into this client's outgoing frames.
 	Faults *faults.Injector
+	// Obs, when non-nil, receives the client's RPC metrics
+	// (dooc_remote_client_*).
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +93,8 @@ type Client struct {
 	closed     bool
 	reconnects int64
 
+	metrics clientMetrics
+
 	wg sync.WaitGroup
 }
 
@@ -105,6 +111,7 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		addr:    addr,
 		opts:    opts.withDefaults(),
 		pending: make(map[uint64]*pendingCall),
+		metrics: newClientMetrics(opts.Obs),
 	}
 	cl.c = newFaultyConn(raw, cl.opts.Faults)
 	cl.wg.Add(1)
@@ -209,6 +216,7 @@ func (cl *Client) reconnect() error {
 	cl.gen++
 	cl.c = c
 	cl.reconnects++
+	cl.metrics.reconnects.Inc()
 	gen := cl.gen
 	cl.wg.Add(1)
 	cl.mu.Unlock()
@@ -219,6 +227,8 @@ func (cl *Client) reconnect() error {
 // roundTrip performs one attempt of a request over the current connection,
 // applying the deadline. It never retries.
 func (cl *Client) roundTrip(req *request, timeout time.Duration) (*response, error) {
+	started := time.Now()
+	defer func() { cl.metrics.rpcSeconds.Observe(time.Since(started).Seconds()) }()
 	cl.mu.Lock()
 	if cl.closed {
 		cl.mu.Unlock()
@@ -237,6 +247,7 @@ func (cl *Client) roundTrip(req *request, timeout time.Duration) (*response, err
 	cl.pending[id] = pc
 	cl.mu.Unlock()
 
+	cl.metrics.bytesOut.Add(int64(len(req.Data)))
 	if err := c.sendRequest(req); err != nil {
 		cl.mu.Lock()
 		delete(cl.pending, id)
@@ -263,8 +274,10 @@ func (cl *Client) roundTrip(req *request, timeout time.Duration) (*response, err
 			return nil, &serverError{op: req.Op, msg: res.resp.Err}
 		}
 		if err := verifyResponse(req, res.resp); err != nil {
+			cl.metrics.checksumFails.Inc()
 			return nil, err
 		}
+		cl.metrics.bytesIn.Add(int64(len(res.resp.Data)))
 		return res.resp, nil
 	case <-timer:
 		cl.mu.Lock()

@@ -1,0 +1,44 @@
+package remote
+
+import (
+	"dooc/internal/obs"
+)
+
+// serverMetrics are one server's series in the shared obs registry. With a
+// nil registry every field is nil and every operation a no-op.
+type serverMetrics struct {
+	requests      *obs.Counter
+	bytesIn       *obs.Counter
+	bytesOut      *obs.Counter
+	checksumFails *obs.Counter
+	active        *obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	return serverMetrics{
+		requests:      reg.Counter("dooc_remote_server_requests_total", "RPC requests received"),
+		bytesIn:       reg.Counter("dooc_remote_server_bytes_in_total", "payload bytes received from clients"),
+		bytesOut:      reg.Counter("dooc_remote_server_bytes_out_total", "payload bytes sent to clients"),
+		checksumFails: reg.Counter("dooc_remote_server_checksum_failures_total", "request payloads rejected by CRC32 verification"),
+		active:        reg.Gauge("dooc_remote_server_active_requests", "requests currently being handled"),
+	}
+}
+
+// clientMetrics are one client's series in the shared obs registry.
+type clientMetrics struct {
+	reconnects    *obs.Counter
+	checksumFails *obs.Counter
+	bytesIn       *obs.Counter
+	bytesOut      *obs.Counter
+	rpcSeconds    *obs.Histogram
+}
+
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	return clientMetrics{
+		reconnects:    reg.Counter("dooc_remote_client_reconnects_total", "connections re-established after unexpected loss"),
+		checksumFails: reg.Counter("dooc_remote_client_checksum_failures_total", "response payloads rejected by CRC32 verification"),
+		bytesIn:       reg.Counter("dooc_remote_client_bytes_in_total", "payload bytes received from the server"),
+		bytesOut:      reg.Counter("dooc_remote_client_bytes_out_total", "payload bytes sent to the server"),
+		rpcSeconds:    reg.Histogram("dooc_remote_client_rpc_seconds", "RPC round-trip latency per attempt", nil),
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dooc/internal/faults"
+	"dooc/internal/obs"
 	"dooc/internal/storage"
 )
 
@@ -15,6 +17,9 @@ type ServerOptions struct {
 	// Faults, when non-nil, injects connection drops and payload corruption
 	// into the server's outgoing frames.
 	Faults *faults.Injector
+	// Obs, when non-nil, receives the server's RPC metrics
+	// (dooc_remote_server_*).
+	Obs *obs.Registry
 }
 
 // Server exposes one storage filter over TCP. It is the I/O-node role:
@@ -33,6 +38,9 @@ type Server struct {
 	requests atomic.Int64
 	bytesOut atomic.Int64
 	bytesIn  atomic.Int64
+	active   atomic.Int64 // requests decoded but not yet answered
+
+	metrics serverMetrics
 }
 
 // Serve starts serving store on the listener. It returns immediately;
@@ -43,7 +51,7 @@ func Serve(store *storage.Store, ln net.Listener) *Server {
 
 // ServeOptions starts serving store on the listener with explicit options.
 func ServeOptions(store *storage.Store, ln net.Listener, opts ServerOptions) *Server {
-	s := &Server{store: store, ln: ln, opts: opts, conns: make(map[*conn]struct{})}
+	s := &Server{store: store, ln: ln, opts: opts, conns: make(map[*conn]struct{}), metrics: newServerMetrics(opts.Obs)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -85,6 +93,34 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.ln.Close()
+	for c := range s.conns {
+		c.close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Shutdown drains the server gracefully: it stops accepting, waits up to
+// timeout for in-flight requests to finish, then closes the connections.
+// Requests parked on unwritten intervals cannot finish on their own, so the
+// drain is bounded; whatever is still active when the timeout expires is cut
+// off exactly as Close would.
+func (s *Server) Shutdown(timeout time.Duration) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	s.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	for s.active.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	s.mu.Lock()
 	for c := range s.conns {
 		c.close()
 	}
@@ -135,18 +171,28 @@ func (s *Server) handleConn(c *conn) {
 			return
 		}
 		s.requests.Add(1)
+		s.metrics.requests.Inc()
 		s.bytesIn.Add(int64(len(req.Data)))
+		s.metrics.bytesIn.Add(int64(len(req.Data)))
+		s.active.Add(1)
+		s.metrics.active.Add(1)
 		go func(req request) {
+			defer func() {
+				s.active.Add(-1)
+				s.metrics.active.Add(-1)
+			}()
 			var resp *response
 			if err := verifyRequest(&req); err != nil {
 				// A corrupted payload must never reach the store: reject it
 				// with the attributed checksum error instead of dispatching.
+				s.metrics.checksumFails.Inc()
 				resp = &response{Err: err.Error()}
 			} else {
 				resp = s.dispatch(&req)
 			}
 			resp.ID = req.ID
 			s.bytesOut.Add(int64(len(resp.Data)))
+			s.metrics.bytesOut.Add(int64(len(resp.Data)))
 			// A failed send means the connection died; the decode loop will
 			// notice and tear down.
 			_ = c.sendResponse(resp)

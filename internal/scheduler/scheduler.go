@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"dooc/internal/dag"
+	"dooc/internal/obs"
 )
 
 // Affinity assigns each task to the node hosting the most input bytes.
@@ -86,6 +87,13 @@ type Policy struct {
 	// Reorder enables the data-aware reordering; false degrades to FIFO
 	// (the ablation baseline).
 	Reorder bool
+	// Optional observability hooks (nil counters are no-ops):
+	// Picks counts Pick decisions, Reorders the picks where the data-aware
+	// score overrode FIFO order, PrefetchRefs the data refs handed to the
+	// prefetcher.
+	Picks        *obs.Counter
+	Reorders     *obs.Counter
+	PrefetchRefs *obs.Counter
 }
 
 // NewPolicy returns a reordering policy.
@@ -151,6 +159,7 @@ func (p *Policy) Pick(ready []*dag.Task, resident func(dag.Ref) bool) *dag.Task 
 	if len(ready) == 0 {
 		return nil
 	}
+	p.Picks.Inc()
 	if !p.Reorder {
 		return ready[0]
 	}
@@ -160,6 +169,9 @@ func (p *Policy) Pick(ready []*dag.Task, resident func(dag.Ref) bool) *dag.Task 
 		if s := p.scoreOf(ready[i], i, resident); better(s, bestScore) {
 			best, bestScore = i, s
 		}
+	}
+	if best != 0 {
+		p.Reorders.Inc()
 	}
 	return ready[best]
 }
@@ -205,9 +217,11 @@ func (p *Policy) PrefetchTargets(ready []*dag.Task, resident func(dag.Ref) bool,
 			seen[r.Key()] = true
 			out = append(out, r)
 			if len(out) == window {
+				p.PrefetchRefs.Add(int64(len(out)))
 				return out
 			}
 		}
 	}
+	p.PrefetchRefs.Add(int64(len(out)))
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 )
 
 // This file is the blocking client API wrapped around the storage filter's
@@ -49,8 +50,10 @@ func (s *Store) Delete(name string) error {
 // overlap with already-written data (immutability).
 func (s *Store) Request(array string, lo, hi int64, perm Perm) (*Lease, error) {
 	reply := make(chan leaseResult, 1)
+	start := time.Now()
 	s.post(cmdRequest{array: array, lo: lo, hi: hi, perm: perm, reply: reply})
 	res := <-reply
+	s.metrics.leaseWait.Observe(time.Since(start).Seconds())
 	return res.lease, res.err
 }
 

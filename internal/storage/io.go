@@ -51,11 +51,13 @@ func (p *ioPool) stop() {
 
 // read schedules an asynchronous block read; completion posts ioDone.
 func (p *ioPool) read(array string, block int, path string, off, length int64) {
+	p.store.metrics.ioQueueDepth.Add(1)
 	p.jobs.put(ioJob{array: array, block: block, path: path, off: off, length: length})
 }
 
 // write schedules an asynchronous block write-back; completion posts ioWrote.
 func (p *ioPool) write(array string, block int, path string, off int64, data []byte) {
+	p.store.metrics.ioQueueDepth.Add(1)
 	p.jobs.put(ioJob{write: true, array: array, block: block, path: path, off: off, data: data})
 }
 
@@ -67,13 +69,17 @@ func (p *ioPool) worker() {
 			return
 		}
 		j := item.(ioJob)
+		p.store.metrics.ioQueueDepth.Add(-1)
+		start := time.Now()
 		if j.write {
 			err, retries := p.attempt(j)
+			p.store.metrics.ioWriteSeconds.Observe(time.Since(start).Seconds())
 			p.store.post(ioWrote{array: j.array, block: j.block, err: err, retries: retries})
 		} else {
 			var data []byte
 			readJob := j
 			err, retries := p.attemptRead(readJob, &data)
+			p.store.metrics.ioReadSeconds.Observe(time.Since(start).Seconds())
 			p.store.post(ioDone{array: j.array, block: j.block, data: data, err: err, retries: retries})
 		}
 	}

@@ -172,9 +172,12 @@ type blockState struct {
 	fetching       bool // disk read or directed fetch in flight
 	probing        bool // random-peer probe in flight
 	flushing       bool
-	waiters        []readWaiter
-	lastUse        int64
-	loadTick       int64 // when buf was (re)allocated, for FIFO eviction
+	// prefetched marks a block whose in-flight fetch was initiated by a
+	// prefetch; the first resident read hit consumes it (a prefetch hit).
+	prefetched bool
+	waiters    []readWaiter
+	lastUse    int64
+	loadTick   int64 // when buf was (re)allocated, for FIFO eviction
 }
 
 type arrayState struct {
@@ -245,6 +248,7 @@ func (s *Store) loop() {
 			m.reply <- s.handleEvict(st, m)
 		case cmdStats:
 			st.stats.MemUsed = s.memUsed(st)
+			s.metrics.memUsed.Set(st.stats.MemUsed)
 			m.reply <- st.stats
 		case msgCreateArr:
 			m.ack <- s.handleCreate(st, m.info)
@@ -387,6 +391,13 @@ func (s *Store) dirOf(st *loopState, k blockKey) *dirEntry {
 // ---- leases ----
 
 func (s *Store) handleRequest(st *loopState, c cmdRequest) {
+	if c.perm == PermWrite {
+		st.stats.WriteRequests++
+		s.metrics.writeReqs.Inc()
+	} else {
+		st.stats.ReadRequests++
+		s.metrics.readReqs.Inc()
+	}
 	ast, ok := st.arrays[c.array]
 	if !ok {
 		c.reply <- leaseResult{err: fmt.Errorf("storage: unknown array %q", c.array)}
@@ -409,10 +420,17 @@ func (s *Store) handleRequest(st *loopState, c cmdRequest) {
 	case PermRead:
 		if b.buf != nil && b.resident.covers(relSpan(ast.info, bi, want)) {
 			st.stats.Hits++
+			s.metrics.hits.Inc()
+			if b.prefetched {
+				b.prefetched = false
+				st.stats.PrefetchHits++
+				s.metrics.prefetchHits.Inc()
+			}
 			c.reply <- leaseResult{lease: s.makeLease(st, c.array, bi, ast, b, want, PermRead)}
 			return
 		}
 		st.stats.Misses++
+		s.metrics.misses.Inc()
 		b.waiters = append(b.waiters, readWaiter{lo: c.lo, hi: c.hi, reply: c.reply})
 		s.ensureBlockData(st, ast, bi, b)
 	default:
@@ -581,6 +599,7 @@ func (s *Store) ensureBlockData(st *loopState, ast *arrayState, bi int, b *block
 	// Random-peer probe, the paper's lookup opener.
 	b.probing = true
 	st.stats.PeerProbes++
+	s.metrics.peerProbes.Inc()
 	peer := s.randomPeer()
 	s.peers[peer].post(msgQuery{array: name, block: bi, from: s.cfg.NodeID, kind: queryProbe})
 }
@@ -698,8 +717,10 @@ func (s *Store) handleQueryReply(st *loopState, m msgQueryReply) {
 		b.probing = false
 		s.installBlock(st, ast, m.block, b, m.data, true, false)
 		st.stats.BytesFetchedPeer += int64(len(m.data))
+		s.metrics.peerBytes.Add(int64(len(m.data)))
 	case replyMiss:
 		st.stats.PeerProbeMisses++
+		s.metrics.peerProbeMisses.Inc()
 		if !b.fetching && !b.probing {
 			return
 		}
@@ -774,6 +795,8 @@ func (s *Store) installBlock(st *loopState, ast *arrayState, bi int, b *blockSta
 	b.buf = data
 	st.tick++
 	b.loadTick = st.tick
+	st.stats.BlockLoads++
+	s.metrics.blockLoads.Inc()
 	// A durable or remote copy is by definition fully written; restore both
 	// the residency coverage and the immutability record to full.
 	b.resident = intervalSet{}
@@ -807,6 +830,7 @@ func (s *Store) installBlock(st *loopState, ast *arrayState, bi int, b *blockSta
 // survive this pass (typically the one just installed).
 func (s *Store) reclaim(st *loopState, protectArray string, protectBlock int) {
 	used := s.memUsed(st)
+	s.metrics.memUsed.Set(used)
 	if used <= s.cfg.MemoryBudget {
 		return
 	}
@@ -852,12 +876,15 @@ func (s *Store) reclaim(st *loopState, protectArray string, protectBlock int) {
 	})
 	for _, v := range victims {
 		if used <= s.cfg.MemoryBudget {
+			s.metrics.memUsed.Set(used)
 			return
 		}
 		used -= int64(len(v.b.buf))
 		v.b.buf = nil
 		v.b.resident = intervalSet{}
+		v.b.prefetched = false
 		st.stats.Evictions++
+		s.metrics.evictions.Inc()
 		home := s.homeOf(v.name, v.idx)
 		if home == s.cfg.NodeID {
 			delete(s.dirOf(st, blockKey{v.name, v.idx}).mem, s.cfg.NodeID)
@@ -865,6 +892,7 @@ func (s *Store) reclaim(st *loopState, protectArray string, protectBlock int) {
 			s.peers[home].post(msgNotify{array: v.name, block: v.idx, node: s.cfg.NodeID, gone: true})
 		}
 	}
+	s.metrics.memUsed.Set(used)
 	if used > s.cfg.MemoryBudget {
 		st.stats.OverBudgetAllocs++
 	}
@@ -893,7 +921,9 @@ func (s *Store) handleEvict(st *loopState, m cmdEvict) error {
 	}
 	b.buf = nil
 	b.resident = intervalSet{}
+	b.prefetched = false
 	st.stats.Evictions++
+	s.metrics.evictions.Inc()
 	home := s.homeOf(m.array, m.block)
 	if home == s.cfg.NodeID {
 		delete(s.dirOf(st, blockKey{m.array, m.block}).mem, s.cfg.NodeID)
@@ -914,6 +944,7 @@ func (s *Store) handlePrefetch(st *loopState, c cmdPrefetch) {
 		return
 	}
 	st.stats.PrefetchIssued++
+	s.metrics.prefetchIssued.Inc()
 	first := ast.info.BlockOf(c.lo)
 	last := ast.info.BlockOf(c.hi - 1)
 	for bi := first; bi <= last; bi++ {
@@ -922,7 +953,15 @@ func (s *Store) handlePrefetch(st *loopState, c cmdPrefetch) {
 		if b.buf != nil && b.resident.full(bs.Hi-bs.Lo) {
 			continue
 		}
+		wasInFlight := b.fetching || b.probing
 		s.ensureBlockData(st, ast, bi, b)
+		// Credit this prefetch only when it initiated the fetch; a block
+		// already in flight from a demand miss stays a plain miss.
+		if !wasInFlight && (b.fetching || b.probing) && !b.prefetched {
+			b.prefetched = true
+			st.stats.PrefetchLoads++
+			s.metrics.prefetchLoads.Inc()
+		}
 	}
 }
 
@@ -990,6 +1029,7 @@ func (s *Store) handleIODone(st *loopState, m ioDone) {
 	b := s.getBlock(ast, m.block)
 	b.fetching = false
 	st.stats.IORetries += int64(m.retries)
+	s.metrics.ioRetries.Add(int64(m.retries))
 	if m.err != nil {
 		// The I/O filter already attributed the error (array, block, path,
 		// offset, attempts); pass it through.
@@ -1001,17 +1041,21 @@ func (s *Store) handleIODone(st *loopState, m ioDone) {
 	}
 	s.installBlock(st, ast, m.block, b, m.data, false, true)
 	st.stats.BytesReadDisk += int64(len(m.data))
+	s.metrics.diskReadBytes.Add(int64(len(m.data)))
 }
 
 func (s *Store) handleIOWrote(st *loopState, m ioWrote) {
 	ast, ok := st.arrays[m.array]
 	st.stats.IORetries += int64(m.retries)
+	s.metrics.ioRetries.Add(int64(m.retries))
 	if ok {
 		b := s.getBlock(ast, m.block)
 		b.flushing = false
 		if m.err == nil {
 			b.persistedLocal = true
-			st.stats.BytesWrittenDisk += ast.info.BlockSpan(m.block).Hi - ast.info.BlockSpan(m.block).Lo
+			n := ast.info.BlockSpan(m.block).Hi - ast.info.BlockSpan(m.block).Lo
+			st.stats.BytesWrittenDisk += n
+			s.metrics.diskWriteBytes.Add(n)
 			home := s.homeOf(m.array, m.block)
 			if home == s.cfg.NodeID {
 				s.dirOf(st, blockKey{m.array, m.block}).disk[s.cfg.NodeID] = true

@@ -1,0 +1,63 @@
+package storage
+
+import (
+	"strconv"
+
+	"dooc/internal/obs"
+)
+
+// storeMetrics are one node's storage series in the shared obs registry,
+// resolved once at construction so the hot paths touch only atomics. With a
+// nil registry every field is nil and every operation a no-op.
+type storeMetrics struct {
+	readReqs        *obs.Counter
+	writeReqs       *obs.Counter
+	hits            *obs.Counter
+	misses          *obs.Counter
+	evictions       *obs.Counter
+	blockLoads      *obs.Counter
+	prefetchIssued  *obs.Counter
+	prefetchLoads   *obs.Counter
+	prefetchHits    *obs.Counter
+	peerProbes      *obs.Counter
+	peerProbeMisses *obs.Counter
+	diskReadBytes   *obs.Counter
+	diskWriteBytes  *obs.Counter
+	peerBytes       *obs.Counter
+	ioRetries       *obs.Counter
+
+	memUsed      *obs.Gauge
+	ioQueueDepth *obs.Gauge
+
+	leaseWait      *obs.Histogram
+	ioReadSeconds  *obs.Histogram
+	ioWriteSeconds *obs.Histogram
+}
+
+func newStoreMetrics(reg *obs.Registry, node int) storeMetrics {
+	l := obs.L("node", strconv.Itoa(node))
+	return storeMetrics{
+		readReqs:        reg.Counter("dooc_storage_read_requests_total", "read lease requests received", l),
+		writeReqs:       reg.Counter("dooc_storage_write_requests_total", "write lease requests received", l),
+		hits:            reg.Counter("dooc_storage_cache_hits_total", "read requests served from resident memory", l),
+		misses:          reg.Counter("dooc_storage_cache_misses_total", "read requests that had to fetch", l),
+		evictions:       reg.Counter("dooc_storage_evictions_total", "blocks reclaimed from memory", l),
+		blockLoads:      reg.Counter("dooc_storage_block_loads_total", "complete blocks installed from disk or a peer", l),
+		prefetchIssued:  reg.Counter("dooc_storage_prefetch_issued_total", "prefetch requests received", l),
+		prefetchLoads:   reg.Counter("dooc_storage_prefetch_loads_total", "block fetches initiated by prefetch", l),
+		prefetchHits:    reg.Counter("dooc_storage_prefetch_hits_total", "cache hits on prefetched blocks", l),
+		peerProbes:      reg.Counter("dooc_storage_peer_probes_total", "random-peer probe messages sent", l),
+		peerProbeMisses: reg.Counter("dooc_storage_peer_probe_misses_total", "probes answered \"not here\"", l),
+		diskReadBytes:   reg.Counter("dooc_storage_disk_read_bytes_total", "scratch-dir bytes read", l),
+		diskWriteBytes:  reg.Counter("dooc_storage_disk_write_bytes_total", "scratch-dir bytes written", l),
+		peerBytes:       reg.Counter("dooc_storage_peer_fetch_bytes_total", "bytes fetched from peer stores", l),
+		ioRetries:       reg.Counter("dooc_storage_io_retries_total", "transient disk errors survived by the retry policy", l),
+
+		memUsed:      reg.Gauge("dooc_storage_mem_used_bytes", "resident block bytes", l),
+		ioQueueDepth: reg.Gauge("dooc_storage_io_queue_depth", "jobs queued for the asynchronous I/O filters", l),
+
+		leaseWait:      reg.Histogram("dooc_storage_lease_wait_seconds", "time from lease request to grant", nil, l),
+		ioReadSeconds:  reg.Histogram("dooc_storage_io_read_seconds", "block read latency incl. retries", nil, l),
+		ioWriteSeconds: reg.Histogram("dooc_storage_io_write_seconds", "block write latency incl. retries", nil, l),
+	}
+}

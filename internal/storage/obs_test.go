@@ -1,0 +1,253 @@
+package storage
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"dooc/internal/obs"
+)
+
+// seriesValue extracts one node's series value from a registry snapshot.
+func seriesValue(t *testing.T, snap []obs.SeriesSnapshot, name string, node int) int64 {
+	t.Helper()
+	want := strconv.Itoa(node)
+	for _, s := range snap {
+		if s.Name != name {
+			continue
+		}
+		for _, l := range s.Labels {
+			if l.Key == "node" && l.Value == want {
+				return s.Value
+			}
+		}
+	}
+	return 0
+}
+
+// assertRegistryConsistent checks the structural invariants every snapshot
+// must satisfy: no negative counter or observation count, and histogram
+// bucket counts summing exactly to the observation count.
+func assertRegistryConsistent(t *testing.T, reg *obs.Registry) {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Kind == "counter" && s.Value < 0 {
+			t.Errorf("%s = %d, counters must not go negative", s.ID(), s.Value)
+		}
+		if s.Kind != "histogram" {
+			continue
+		}
+		var sum int64
+		for _, c := range s.Buckets {
+			if c < 0 {
+				t.Errorf("%s has negative bucket count %d", s.ID(), c)
+			}
+			sum += c
+		}
+		if sum != s.Value {
+			t.Errorf("%s buckets sum to %d, observation count is %d", s.ID(), sum, s.Value)
+		}
+	}
+}
+
+// TestMetricsReconcileWithStats drives a local store through writes, flushes,
+// evictions, prefetches, and re-reads, then checks that every registry series
+// agrees exactly with the loop's own Stats bookkeeping — the two are updated
+// at the same call sites, so any divergence is an instrumentation bug.
+func TestMetricsReconcileWithStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewLocal(Config{
+		MemoryBudget: 2048, // two 1 KiB blocks
+		ScratchDir:   t.TempDir(),
+		IOWorkers:    2,
+		Seed:         1,
+		Obs:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	const blocks, blockSize = 8, 1024
+	if err := s.Create("a", blocks*blockSize, blockSize); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < blocks; i++ {
+		w, err := s.Request("a", int64(i*blockSize), int64((i+1)*blockSize), PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range w.Data {
+			w.Data[j] = byte(i)
+		}
+		w.Release()
+	}
+	if err := s.Flush("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two sequential passes over all blocks: with a two-block budget the
+	// store must evict and re-load, exercising misses and implicit reads.
+	// Reading each block twice in a row adds a hit per block.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < blocks; i++ {
+			for rep := 0; rep < 2; rep++ {
+				r, err := s.Request("a", int64(i*blockSize), int64((i+1)*blockSize), PermRead)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Data[0] != byte(i) {
+					t.Fatalf("block %d corrupted: %d", i, r.Data[0])
+				}
+				r.Release()
+			}
+		}
+	}
+
+	// Prefetch a block that was evicted by the passes above, wait until the
+	// load lands, then read it: one prefetch load and one prefetch hit.
+	before := s.Stats()
+	s.Prefetch("a", 0, blockSize)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().BlockLoads == before.BlockLoads {
+		if time.Now().After(deadline) {
+			t.Fatal("prefetch never loaded block 0")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r, err := s.Request("a", 0, blockSize, PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release()
+
+	st := s.Stats()
+	snap := reg.Snapshot()
+	counters := []struct {
+		name string
+		want int64
+	}{
+		{"dooc_storage_read_requests_total", st.ReadRequests},
+		{"dooc_storage_write_requests_total", st.WriteRequests},
+		{"dooc_storage_cache_hits_total", st.Hits},
+		{"dooc_storage_cache_misses_total", st.Misses},
+		{"dooc_storage_evictions_total", st.Evictions},
+		{"dooc_storage_block_loads_total", st.BlockLoads},
+		{"dooc_storage_prefetch_issued_total", st.PrefetchIssued},
+		{"dooc_storage_prefetch_loads_total", st.PrefetchLoads},
+		{"dooc_storage_prefetch_hits_total", st.PrefetchHits},
+		{"dooc_storage_disk_read_bytes_total", st.BytesReadDisk},
+		{"dooc_storage_disk_write_bytes_total", st.BytesWrittenDisk},
+		{"dooc_storage_peer_fetch_bytes_total", st.BytesFetchedPeer},
+		{"dooc_storage_io_retries_total", st.IORetries},
+	}
+	for _, c := range counters {
+		if got := seriesValue(t, snap, c.name, 0); got != c.want {
+			t.Errorf("%s = %d, Stats says %d", c.name, got, c.want)
+		}
+	}
+
+	// Workload-level invariants the paper's accounting depends on.
+	if st.Hits+st.Misses != st.ReadRequests {
+		t.Errorf("hits(%d) + misses(%d) != read requests(%d)", st.Hits, st.Misses, st.ReadRequests)
+	}
+	if st.PrefetchHits > st.PrefetchLoads {
+		t.Errorf("prefetch hits(%d) > prefetch loads(%d)", st.PrefetchHits, st.PrefetchLoads)
+	}
+	if st.PrefetchHits < 1 {
+		t.Errorf("prefetch hits = %d, the prefetched block was read", st.PrefetchHits)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions despite a two-block budget over eight blocks")
+	}
+	// Every request round-trips through client.Request, which observes the
+	// lease-wait histogram exactly once per request.
+	if got := reg.Sum("dooc_storage_lease_wait_seconds"); got != st.ReadRequests+st.WriteRequests {
+		t.Errorf("lease wait observations = %d, want read+write requests = %d",
+			got, st.ReadRequests+st.WriteRequests)
+	}
+	// Loads move whole blocks between disk and memory; the byte counters
+	// must be exact block multiples.
+	if st.BytesReadDisk%blockSize != 0 {
+		t.Errorf("disk read bytes %d not a multiple of the block size", st.BytesReadDisk)
+	}
+	assertRegistryConsistent(t, reg)
+}
+
+// TestMetricsReconcileAcrossNodes runs a distributed store network against a
+// single shared registry and checks that per-node series reconcile with each
+// node's Stats, including the peer-fetch counters a local store never touches.
+func TestMetricsReconcileAcrossNodes(t *testing.T) {
+	reg := obs.NewRegistry()
+	stores, err := NewNetwork(3, func(node int, cfg *Config) {
+		cfg.MemoryBudget = 1 << 20
+		cfg.Seed = int64(node + 1)
+		cfg.Obs = reg
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	})
+
+	const blockSize = 512
+	if err := stores[0].Create("x", 4*blockSize, blockSize); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		w, err := stores[i%len(stores)].Request("x", int64(i*blockSize), int64((i+1)*blockSize), PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Data[0] = byte(i)
+		w.Release()
+	}
+	// Every node reads every block: most reads resolve via peer fetches.
+	for _, s := range stores {
+		for i := 0; i < 4; i++ {
+			r, err := s.Request("x", int64(i*blockSize), int64((i+1)*blockSize), PermRead)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Data[0] != byte(i) {
+				t.Fatalf("node %d block %d corrupted", s.NodeID(), i)
+			}
+			r.Release()
+		}
+	}
+
+	snap := reg.Snapshot()
+	var totalPeerBytes int64
+	for i, s := range stores {
+		st := s.Stats()
+		pairs := []struct {
+			name string
+			want int64
+		}{
+			{"dooc_storage_read_requests_total", st.ReadRequests},
+			{"dooc_storage_write_requests_total", st.WriteRequests},
+			{"dooc_storage_cache_hits_total", st.Hits},
+			{"dooc_storage_cache_misses_total", st.Misses},
+			{"dooc_storage_peer_probes_total", st.PeerProbes},
+			{"dooc_storage_peer_probe_misses_total", st.PeerProbeMisses},
+			{"dooc_storage_peer_fetch_bytes_total", st.BytesFetchedPeer},
+			{"dooc_storage_block_loads_total", st.BlockLoads},
+		}
+		for _, p := range pairs {
+			if got := seriesValue(t, snap, p.name, i); got != p.want {
+				t.Errorf("node %d: %s = %d, Stats says %d", i, p.name, got, p.want)
+			}
+		}
+		totalPeerBytes += st.BytesFetchedPeer
+	}
+	if totalPeerBytes == 0 {
+		t.Error("no peer fetches in a 3-node all-read workload")
+	}
+	if got := reg.Sum("dooc_storage_peer_fetch_bytes_total"); got != totalPeerBytes {
+		t.Errorf("registry peer bytes %d != summed stats %d", got, totalPeerBytes)
+	}
+	assertRegistryConsistent(t, reg)
+}

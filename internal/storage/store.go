@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dooc/internal/faults"
+	"dooc/internal/obs"
 )
 
 // Perm is the access permission of a lease.
@@ -95,6 +96,10 @@ type Config struct {
 	// Faults, when non-nil, injects disk errors and stalls into the I/O
 	// filters for recovery testing.
 	Faults *faults.Injector
+	// Obs, when non-nil, receives this store's metric series (cache
+	// hits/misses, eviction and load counters, lease-wait and I/O latency
+	// histograms) under dooc_storage_* names with a node label.
+	Obs *obs.Registry
 }
 
 // ArrayInfo describes an array known to the storage layer.
@@ -171,9 +176,12 @@ func (l *Lease) Released() bool { return l.released }
 // Stats are cumulative counters for one store.
 type Stats struct {
 	MemUsed           int64
+	ReadRequests      int64 // read lease requests received
+	WriteRequests     int64 // write lease requests received
 	Hits              int64 // read requests served from resident memory
 	Misses            int64 // read requests that had to fetch
 	Evictions         int64
+	BlockLoads        int64 // complete blocks installed from disk or a peer
 	BytesReadDisk     int64
 	BytesWrittenDisk  int64
 	BytesFetchedPeer  int64
@@ -181,6 +189,8 @@ type Stats struct {
 	PeerProbeMisses   int64 // probes answered "not here"
 	OverBudgetAllocs  int64 // allocations granted above the memory budget
 	PrefetchIssued    int64
+	PrefetchLoads     int64 // block fetches initiated by prefetch
+	PrefetchHits      int64 // cache hits on blocks a prefetch brought in
 	ImplicitDiskReads int64
 	IORetries         int64 // transient disk errors survived by the retry policy
 }
@@ -210,10 +220,11 @@ func (m ResidencyMap) Resident(array string, idx int) bool {
 // Store is one node's storage filter: an actor goroutine owning all local
 // state, a pool of asynchronous I/O filter goroutines, and links to peers.
 type Store struct {
-	cfg   Config
-	inbox *mailbox
-	io    *ioPool
-	rng   *rand.Rand
+	cfg     Config
+	inbox   *mailbox
+	io      *ioPool
+	rng     *rand.Rand
+	metrics storeMetrics
 
 	peers []*Store // includes self at cfg.NodeID
 
@@ -302,10 +313,11 @@ func newStore(cfg Config) (*Store, error) {
 		}
 	}
 	s := &Store{
-		cfg:   cfg,
-		inbox: newMailbox(),
-		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
-		done:  make(chan struct{}),
+		cfg:     cfg,
+		inbox:   newMailbox(),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		metrics: newStoreMetrics(cfg.Obs, cfg.NodeID),
+		done:    make(chan struct{}),
 	}
 	s.io = newIOPool(cfg.IOWorkers, s)
 	return s, nil
