@@ -56,6 +56,7 @@ var experiments = []struct {
 	{"localssd", "EXTENSION (paper §VI-A): SSDs on compute nodes, what-if", localSSD},
 	{"energy", "EXTENSION (paper §VI-B): energy per iteration, testbed vs Hopper", energyStudy},
 	{"faults", "EXTENSION: fault injection — recovery overhead and node-failure re-execution", faultsRun},
+	{"codec", "EXTENSION: adaptive block compression — scratch, staged files, and wire", codecRun},
 	{"streams", "filter-stream middleware traffic (DataCutter substrate)", streamsRun},
 }
 

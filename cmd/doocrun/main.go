@@ -16,9 +16,27 @@ import (
 	"sort"
 	"strings"
 
+	"dooc/internal/compress"
 	"dooc/internal/core"
 	"dooc/internal/obs"
 )
+
+// codecByFlag resolves a -codec flag value: empty disables compression,
+// "default" picks the registry default, anything else must be a registered
+// codec name.
+func codecByFlag(name string) compress.Codec {
+	switch name {
+	case "", "none":
+		return nil
+	case "default":
+		return compress.Default()
+	}
+	c, ok := compress.ByName(name)
+	if !ok {
+		log.Fatalf("unknown codec %q (registered: %s)", name, strings.Join(compress.Names(), ", "))
+	}
+	return c
+}
 
 func main() {
 	log.SetFlags(0)
@@ -35,6 +53,7 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print a metrics snapshot after the run")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 		validate  = flag.String("validate-trace", "", "validate a Chrome trace-event JSON file and exit (CI smoke mode)")
+		codecName = flag.String("codec", "", "compress scratch spills with this codec (empty = off, \"default\" = "+compress.Default().Name()+")")
 	)
 	flag.Parse()
 	if *validate != "" {
@@ -74,6 +93,7 @@ func main() {
 		Seed:           *seed,
 		Obs:            reg,
 		Trace:          tracer,
+		Codec:          codecByFlag(*codecName),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -96,6 +116,10 @@ func main() {
 	fmt.Printf("time            %v\n", st.Wall)
 	fmt.Printf("gflop/s         %.3f\n", flops/st.Wall.Seconds()/1e9)
 	fmt.Printf("disk bytes read %d\n", st.BytesReadDisk())
+	if raw, stored := st.CompressRawBytes(), st.CompressStoredBytes(); raw > 0 {
+		fmt.Printf("spill codec     %.2fx (%d raw -> %d stored, %d bail-outs)\n",
+			float64(raw)/float64(stored), raw, stored, st.CompressBailouts())
+	}
 	fmt.Printf("peer bytes      %d\n", st.PeerBytes())
 	fmt.Printf("network bytes   %d\n", sys.Cluster().TotalNetworkBytes())
 	for n := 0; n < info.Nodes; n++ {

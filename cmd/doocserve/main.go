@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"dooc/internal/compress"
 	"dooc/internal/obs"
 	"dooc/internal/remote"
 	"dooc/internal/storage"
@@ -38,29 +39,44 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("doocserve: ")
 	var (
-		scratch  = flag.String("scratch", "", "scratch directory to serve (required)")
-		listen   = flag.String("listen", "127.0.0.1:7777", "listen address")
-		mem      = flag.Int64("mem", 1<<30, "server-side memory budget in bytes")
-		stats    = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
-		httpAddr = flag.String("http", "", "HTTP address for /metrics and /debug/pprof (empty = off)")
-		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+		scratch   = flag.String("scratch", "", "scratch directory to serve (required)")
+		listen    = flag.String("listen", "127.0.0.1:7777", "listen address")
+		mem       = flag.Int64("mem", 1<<30, "server-side memory budget in bytes")
+		stats     = flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+		httpAddr  = flag.String("http", "", "HTTP address for /metrics and /debug/pprof (empty = off)")
+		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+		codecName = flag.String("codec", "", "compress scratch spills and wire payloads with this codec (empty = off, \"default\" = "+compress.Default().Name()+")")
 	)
 	flag.Parse()
 	if *scratch == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var codec compress.Codec
+	switch *codecName {
+	case "", "none":
+	case "default":
+		codec = compress.Default()
+	default:
+		var ok bool
+		if codec, ok = compress.ByName(*codecName); !ok {
+			log.Fatalf("unknown codec %q (registered: %v)", *codecName, compress.Names())
+		}
+	}
 	reg := obs.NewRegistry()
-	st, err := storage.NewLocal(storage.Config{MemoryBudget: *mem, ScratchDir: *scratch, IOWorkers: 4, Obs: reg})
+	st, err := storage.NewLocal(storage.Config{MemoryBudget: *mem, ScratchDir: *scratch, IOWorkers: 4, Obs: reg, Codec: codec})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer st.Close()
-	srv, err := remote.ListenOptions(st, *listen, remote.ServerOptions{Obs: reg})
+	srv, err := remote.ListenOptions(st, *listen, remote.ServerOptions{Obs: reg, Codec: codec})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("serving %s on %s", *scratch, srv.Addr())
+	if codec != nil {
+		log.Printf("codec %s on scratch spills and negotiated wire payloads", codec.Name())
+	}
 
 	var httpSrv *http.Server
 	if *httpAddr != "" {

@@ -1,0 +1,225 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// payloads returns named byte streams shaped like what the runtime moves:
+// monotone row pointers, sorted column indices, smooth float64 values, and
+// incompressible random bytes.
+func payloads() map[string][]byte {
+	rng := rand.New(rand.NewSource(7))
+
+	rowptr := make([]byte, 0, 4096*8)
+	var acc [8]byte
+	ptr := int64(0)
+	for i := 0; i < 4096; i++ {
+		binary.LittleEndian.PutUint64(acc[:], uint64(ptr))
+		rowptr = append(rowptr, acc[:]...)
+		ptr += int64(rng.Intn(9))
+	}
+
+	colidx := make([]byte, 0, 4096*4)
+	col := int32(0)
+	for i := 0; i < 4096; i++ {
+		binary.LittleEndian.PutUint32(acc[:4], uint32(col))
+		colidx = append(colidx, acc[:4]...)
+		col += int32(rng.Intn(5))
+		if i%64 == 63 {
+			col = int32(rng.Intn(10)) // new row restarts the run
+		}
+	}
+
+	vals := make([]byte, 0, 4096*8)
+	for i := 0; i < 4096; i++ {
+		v := 1.0 + 1e-3*math.Sin(float64(i)/50)
+		binary.LittleEndian.PutUint64(acc[:], math.Float64bits(v))
+		vals = append(vals, acc[:]...)
+	}
+
+	random := make([]byte, 4096*8)
+	rng.Read(random)
+
+	return map[string][]byte{
+		"rowptr": rowptr,
+		"colidx": colidx,
+		"values": vals,
+		"random": random,
+		"empty":  nil,
+		"tiny":   {1, 2, 3},
+		"odd":    bytes.Repeat([]byte{9, 8, 7, 6, 5}, 13), // not word aligned
+	}
+}
+
+// TestFrameRoundTrip checks that every codec round-trips every payload
+// shape exactly through the framed container.
+func TestFrameRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		c, ok := ByName(name)
+		if !ok {
+			t.Fatalf("registry lists %q but cannot resolve it", name)
+		}
+		for pname, src := range payloads() {
+			frame := EncodeFrame(c, src)
+			got, used, err := DecodeFrame(frame)
+			if err != nil {
+				t.Fatalf("%s/%s: decode: %v", name, pname, err)
+			}
+			if used.ID() != c.ID() {
+				t.Fatalf("%s/%s: frame reports codec %s", name, pname, used.Name())
+			}
+			if !bytes.Equal(got, src) {
+				t.Fatalf("%s/%s: round trip mismatch (%d bytes in, %d out)", name, pname, len(src), len(got))
+			}
+		}
+	}
+}
+
+// TestCompressionWins checks the codecs actually shrink the payloads they
+// were designed for — otherwise the whole subsystem is dead weight.
+func TestCompressionWins(t *testing.T) {
+	p := payloads()
+	cases := []struct {
+		codec, payload string
+		minRatio       float64
+	}{
+		{"delta64", "rowptr", 4},
+		{"delta32", "colidx", 2},
+		{"fshuf", "values", 1.5},
+	}
+	for _, tc := range cases {
+		c, _ := ByName(tc.codec)
+		src := p[tc.payload]
+		frame := EncodeFrame(c, src)
+		ratio := float64(len(src)) / float64(len(frame))
+		if ratio < tc.minRatio {
+			t.Errorf("%s on %s: ratio %.2f, want >= %.1f", tc.codec, tc.payload, ratio, tc.minRatio)
+		}
+	}
+}
+
+// TestEncodeAdaptiveBailsToRaw checks the ~1.1x bail-out: random bytes must
+// be stored raw, compressible bytes must keep the codec.
+func TestEncodeAdaptiveBailsToRaw(t *testing.T) {
+	p := payloads()
+	frame, used := EncodeAdaptive(Default(), p["random"])
+	if used.ID() != IDRaw {
+		t.Errorf("random block kept codec %s", used.Name())
+	}
+	if len(frame) != FrameHeaderLen+len(p["random"]) {
+		t.Errorf("raw bail-out frame is %d bytes, want header+payload=%d", len(frame), FrameHeaderLen+len(p["random"]))
+	}
+	got, _, err := DecodeFrame(frame)
+	if err != nil || !bytes.Equal(got, p["random"]) {
+		t.Fatalf("raw bail-out round trip failed: %v", err)
+	}
+
+	if _, used := EncodeAdaptive(Default(), p["values"]); used.ID() != IDFloatShuffle {
+		t.Errorf("smooth values bailed to %s", used.Name())
+	}
+	if _, used := EncodeAdaptive(nil, p["values"]); used.ID() != IDRaw {
+		t.Errorf("nil codec must mean raw, got %s", used.Name())
+	}
+}
+
+// TestDecodeFrameRejectsCorruption flips, truncates, and rewrites frames:
+// every mutation must surface ErrCorrupt, never wrong bytes.
+func TestDecodeFrameRejectsCorruption(t *testing.T) {
+	src := payloads()["values"]
+	for _, name := range Names() {
+		c, _ := ByName(name)
+		frame := EncodeFrame(c, src)
+
+		for cut := 0; cut < len(frame); cut += 1 + len(frame)/17 {
+			if got, _, err := DecodeFrame(frame[:cut]); err == nil && !bytes.Equal(got, src) {
+				t.Fatalf("%s: truncation to %d returned wrong bytes without error", name, cut)
+			}
+		}
+		for pos := 0; pos < len(frame); pos += 1 + len(frame)/41 {
+			mut := append([]byte(nil), frame...)
+			mut[pos] ^= 0x40
+			got, _, err := DecodeFrame(mut)
+			if err == nil && !bytes.Equal(got, src) {
+				t.Fatalf("%s: bit flip at %d returned wrong bytes without error", name, pos)
+			}
+			if err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%s: bit flip at %d: error does not wrap ErrCorrupt: %v", name, pos, err)
+			}
+		}
+	}
+	if _, _, err := DecodeFrame(nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("nil frame: %v", err)
+	}
+	bad := EncodeFrame(Raw{}, []byte("x"))
+	bad[4] = 0xEE
+	if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("unknown codec ID: %v", err)
+	}
+}
+
+// TestRegistry checks lookup by ID and name, the capability mask, and the
+// frame peek helper.
+func TestRegistry(t *testing.T) {
+	for _, id := range []uint8{IDRaw, IDDeltaVarint, IDDeltaVarint3, IDFloatShuffle} {
+		c, ok := ByID(id)
+		if !ok {
+			t.Fatalf("codec ID %d not registered", id)
+		}
+		if c2, ok := ByName(c.Name()); !ok || c2.ID() != id {
+			t.Fatalf("name %q does not resolve back to ID %d", c.Name(), id)
+		}
+	}
+	if _, ok := ByID(200); ok {
+		t.Error("unregistered ID resolved")
+	}
+	if m := Mask(); m&0x0F != 0x0F {
+		t.Errorf("capability mask %08b missing a builtin codec", m)
+	}
+	frame := EncodeFrame(Default(), []byte("hello hello hello"))
+	c, err := FrameCodec(frame)
+	if err != nil || c.ID() != IDFloatShuffle {
+		t.Errorf("FrameCodec = %v, %v", c, err)
+	}
+	if _, err := FrameCodec([]byte("nope")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("FrameCodec on junk: %v", err)
+	}
+}
+
+// TestLZOverlappingMatch pins the classic RLE-via-overlap case: a match
+// whose length exceeds its offset copies its own output.
+func TestLZOverlappingMatch(t *testing.T) {
+	src := bytes.Repeat([]byte{0xAB}, 300)
+	enc := lzEncode(nil, src)
+	if len(enc) >= len(src)/2 {
+		t.Errorf("run of identical bytes barely compressed: %d -> %d", len(src), len(enc))
+	}
+	got, err := lzDecode(enc, len(src))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("overlap round trip failed: %v", err)
+	}
+}
+
+func benchPayload() []byte { return payloads()["values"] }
+
+func BenchmarkEncodeFloatShuffle(b *testing.B) {
+	src := benchPayload()
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		EncodeFrame(Default(), src)
+	}
+}
+
+func BenchmarkDecodeFloatShuffle(b *testing.B) {
+	frame := EncodeFrame(Default(), benchPayload())
+	b.SetBytes(int64(len(benchPayload())))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

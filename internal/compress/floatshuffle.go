@@ -1,0 +1,184 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// floatShuffleCodec is the registered FloatShuffle instance (see Default).
+var floatShuffleCodec = FloatShuffle{}
+
+// FloatShuffle targets float64 payloads: vectors, CRS value sections,
+// checkpoint blocks. Stage one transposes the payload into byte planes —
+// plane k holds byte k of every 8-byte word — so the slowly-varying sign,
+// exponent, and high-mantissa bytes of numerically smooth data land next
+// to each other. Stage two runs a small LZ window matcher over the planes,
+// where those now-repetitive bytes actually compress. Bytes past the last
+// full word pass through the LZ stage unshuffled.
+type FloatShuffle struct{}
+
+// ID returns IDFloatShuffle.
+func (FloatShuffle) ID() uint8 { return IDFloatShuffle }
+
+// Name returns "fshuf".
+func (FloatShuffle) Name() string { return "fshuf" }
+
+// Encode appends shuffle+LZ of src to dst.
+func (FloatShuffle) Encode(dst, src []byte) []byte {
+	return lzEncode(dst, shuffle(src))
+}
+
+// Decode reverses Encode, validating every match reference against the
+// already-produced output.
+func (FloatShuffle) Decode(src []byte, rawLen int) ([]byte, error) {
+	planes, err := lzDecode(src, rawLen)
+	if err != nil {
+		return nil, err
+	}
+	return unshuffle(planes), nil
+}
+
+// shuffle transposes src into 8 byte planes; the tail (len%8) is appended
+// verbatim.
+func shuffle(src []byte) []byte {
+	n := len(src) / 8
+	out := make([]byte, len(src))
+	for k := 0; k < 8; k++ {
+		plane := out[k*n : (k+1)*n]
+		for i := 0; i < n; i++ {
+			plane[i] = src[i*8+k]
+		}
+	}
+	copy(out[8*n:], src[8*n:])
+	return out
+}
+
+// unshuffle inverts shuffle.
+func unshuffle(src []byte) []byte {
+	n := len(src) / 8
+	out := make([]byte, len(src))
+	for k := 0; k < 8; k++ {
+		plane := src[k*n : (k+1)*n]
+		for i := 0; i < n; i++ {
+			out[i*8+k] = plane[i]
+		}
+	}
+	copy(out[8*n:], src[8*n:])
+	return out
+}
+
+// ---- small LZ window matcher ----
+//
+// Token stream:
+//
+//	control byte 0x00..0x7F: literal run of control+1 bytes follows
+//	control byte 0x80..0xFF: match of length (control&0x7F)+4 at a
+//	                         2-byte little-endian backward offset (1..65535)
+//
+// Greedy matching against a 2^15-entry hash table of 4-byte keys. The
+// window is the offset range, 64 KiB. This is deliberately tiny — the win
+// comes from the byte planes being repetitive, not from clever parsing.
+const (
+	lzMinMatch  = 4
+	lzMaxMatch  = lzMinMatch + 0x7F
+	lzMaxOffset = 1 << 16
+	lzHashBits  = 15
+)
+
+func lzHash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+// lzEncode appends the token stream for src to dst.
+func lzEncode(dst, src []byte) []byte {
+	var table [1 << lzHashBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	litStart := 0
+	flushLits := func(end int) {
+		for litStart < end {
+			run := end - litStart
+			if run > 128 {
+				run = 128
+			}
+			dst = append(dst, byte(run-1))
+			dst = append(dst, src[litStart:litStart+run]...)
+			litStart += run
+		}
+	}
+	i := 0
+	for i+lzMinMatch <= len(src) {
+		key := lzHash(binary.LittleEndian.Uint32(src[i:]))
+		cand := table[key]
+		table[key] = int32(i)
+		if cand >= 0 && i-int(cand) < lzMaxOffset &&
+			binary.LittleEndian.Uint32(src[cand:]) == binary.LittleEndian.Uint32(src[i:]) {
+			length := lzMinMatch
+			for i+length < len(src) && length < lzMaxMatch && src[int(cand)+length] == src[i+length] {
+				length++
+			}
+			flushLits(i)
+			dst = append(dst, 0x80|byte(length-lzMinMatch), 0, 0)
+			binary.LittleEndian.PutUint16(dst[len(dst)-2:], uint16(i-int(cand)))
+			i += length
+			litStart = i
+			continue
+		}
+		i++
+	}
+	flushLits(len(src))
+	return dst
+}
+
+// lzDecode expands a token stream to exactly rawLen bytes, rejecting any
+// token that reads before the output start or past rawLen.
+func lzDecode(src []byte, rawLen int) ([]byte, error) {
+	if rawLen < 0 {
+		return nil, fmt.Errorf("%w: negative length", ErrCorrupt)
+	}
+	// A 3-byte match token expands to at most lzMaxMatch bytes, so the input
+	// bounds the output; rejecting a larger claim here keeps a forged frame
+	// header from driving the allocation below.
+	if maxOut := (len(src)/3 + 1) * lzMaxMatch; rawLen > maxOut {
+		return nil, fmt.Errorf("%w: %d input bytes cannot decode to %d", ErrCorrupt, len(src), rawLen)
+	}
+	out := make([]byte, 0, rawLen)
+	for len(src) > 0 {
+		ctrl := src[0]
+		src = src[1:]
+		if ctrl < 0x80 {
+			run := int(ctrl) + 1
+			if run > len(src) {
+				return nil, fmt.Errorf("%w: literal run of %d overruns input", ErrCorrupt, run)
+			}
+			if len(out)+run > rawLen {
+				return nil, fmt.Errorf("%w: output exceeds declared length %d", ErrCorrupt, rawLen)
+			}
+			out = append(out, src[:run]...)
+			src = src[run:]
+			continue
+		}
+		if len(src) < 2 {
+			return nil, fmt.Errorf("%w: truncated match token", ErrCorrupt)
+		}
+		length := int(ctrl&0x7F) + lzMinMatch
+		offset := int(binary.LittleEndian.Uint16(src))
+		src = src[2:]
+		if offset == 0 || offset > len(out) {
+			return nil, fmt.Errorf("%w: match offset %d outside %d decoded bytes", ErrCorrupt, offset, len(out))
+		}
+		if len(out)+length > rawLen {
+			return nil, fmt.Errorf("%w: output exceeds declared length %d", ErrCorrupt, rawLen)
+		}
+		// Byte-at-a-time: matches may overlap their own output.
+		pos := len(out) - offset
+		for j := 0; j < length; j++ {
+			out = append(out, out[pos+j])
+		}
+	}
+	if len(out) != rawLen {
+		return nil, fmt.Errorf("%w: decoded %d bytes, want %d", ErrCorrupt, len(out), rawLen)
+	}
+	return out, nil
+}

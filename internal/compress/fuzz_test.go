@@ -1,0 +1,104 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzRoundTrip is the shared property for every codec: (1) an encoded
+// frame decodes back to the exact input, and (2) a mutated frame either
+// errors or still yields the exact input — never silently wrong bytes.
+func fuzzRoundTrip(f *testing.F, c Codec) {
+	f.Add([]byte(nil), uint16(0))
+	f.Add([]byte{0}, uint16(1))
+	f.Add(bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 16), uint16(9))
+	mono := make([]byte, 0, 64*8)
+	for i := 0; i < 64; i++ {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], uint64(i*3))
+		mono = append(mono, w[:]...)
+	}
+	f.Add(mono, uint16(100))
+	f.Fuzz(func(t *testing.T, src []byte, mut uint16) {
+		frame := EncodeFrame(c, src)
+		got, used, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("decode of own frame: %v", err)
+		}
+		if used.ID() != c.ID() || !bytes.Equal(got, src) {
+			t.Fatalf("round trip mismatch: codec %s, %d bytes in, %d out", used.Name(), len(src), len(got))
+		}
+
+		// Mutate one byte at a fuzz-chosen position.
+		bad := append([]byte(nil), frame...)
+		pos := int(mut) % len(bad)
+		bad[pos] ^= 1 << (mut % 8)
+		if bytes.Equal(bad, frame) {
+			return
+		}
+		if got, _, err := DecodeFrame(bad); err == nil && !bytes.Equal(got, src) {
+			t.Fatalf("mutated frame (byte %d) decoded to wrong bytes without error", pos)
+		}
+
+		// Truncate at a fuzz-chosen position.
+		cut := frame[:pos]
+		if got, _, err := DecodeFrame(cut); err == nil && !bytes.Equal(got, src) {
+			t.Fatalf("truncated frame (%d bytes) decoded to wrong bytes without error", pos)
+		}
+	})
+}
+
+func FuzzRawRoundTrip(f *testing.F)           { fuzzRoundTrip(f, Raw{}) }
+func FuzzDeltaVarint64RoundTrip(f *testing.F) { fuzzRoundTrip(f, mustByID(f, IDDeltaVarint)) }
+func FuzzDeltaVarint32RoundTrip(f *testing.F) { fuzzRoundTrip(f, mustByID(f, IDDeltaVarint3)) }
+func FuzzFloatShuffleRoundTrip(f *testing.F)  { fuzzRoundTrip(f, FloatShuffle{}) }
+
+func mustByID(f *testing.F, id uint8) Codec {
+	c, ok := ByID(id)
+	if !ok {
+		f.Fatalf("codec %d not registered", id)
+	}
+	return c
+}
+
+// FuzzDecodeFrame throws arbitrary bytes at the frame decoder: it must
+// never panic, and any accepted frame must satisfy its own header (length
+// and CRC), which DecodeFrame enforces internally.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("DOZ1"))
+	f.Add(EncodeFrame(Raw{}, []byte("seed")))
+	f.Add(EncodeFrame(FloatShuffle{}, bytes.Repeat([]byte{0, 1}, 64)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, c, err := DecodeFrame(data)
+		if err == nil {
+			// Accepted: the frame header must describe exactly this output.
+			if uint64(len(out)) != binary.LittleEndian.Uint64(data[6:]) {
+				t.Fatalf("accepted frame: output %d bytes, header %d", len(out), binary.LittleEndian.Uint64(data[6:]))
+			}
+			if c == nil {
+				t.Fatal("accepted frame with nil codec")
+			}
+		}
+	})
+}
+
+// FuzzLZDecode throws arbitrary token streams and length claims at the LZ
+// decoder: no panics, no out-of-bounds reads, output never exceeds the
+// declared length.
+func FuzzLZDecode(f *testing.F) {
+	f.Add([]byte(nil), 0)
+	f.Add([]byte{0x00, 'a'}, 1)
+	f.Add([]byte{0x80, 0x01, 0x00}, 4)
+	f.Add(lzEncode(nil, bytes.Repeat([]byte("abc"), 50)), 150)
+	f.Fuzz(func(t *testing.T, data []byte, rawLen int) {
+		if rawLen < 0 || rawLen > 1<<20 {
+			return
+		}
+		out, err := lzDecode(data, rawLen)
+		if err == nil && len(out) != rawLen {
+			t.Fatalf("accepted stream decoded to %d bytes, want %d", len(out), rawLen)
+		}
+	})
+}

@@ -144,16 +144,18 @@ func checkpointSumExecutor(sys *System, runPrefix, ckTag string, base int, p spa
 		if err := ctx.Store.Flush(out); err != nil {
 			return fmt.Errorf("checkpointing %s: %w", out, err)
 		}
-		// The flushed file carries the segment-local name
-		// "<runPrefix>x_<t>_<u>". Copy it to the global checkpoint name
-		// "<ckTag>:x_<base+t>_<u>" so LatestCheckpoint finds it.
+		// The flushed array carries the segment-local name
+		// "<runPrefix>x_<t>_<u>". Persist it under the global checkpoint name
+		// "<ckTag>:x_<base+t>_<u>" so LatestCheckpoint finds it. The read-back
+		// goes through the store, not the filesystem: the flushed layout may
+		// be a raw .arr file or a directory of compressed frames, and the
+		// checkpoint file itself stays raw so resume scans never need a codec.
 		var t, u int
 		if _, err := fmt.Sscanf(strings.TrimPrefix(out, runPrefix), "x_%d_%d", &t, &u); err != nil {
 			return fmt.Errorf("checkpointing %s: cannot parse name: %w", out, err)
 		}
-		src := filepath.Join(sys.scratchDir(ctx.Node), out+".arr")
 		dst := filepath.Join(sys.scratchDir(ctx.Node), fmt.Sprintf("%s:x_%d_%d.arr", ckTag, base+t, u))
-		data, err := os.ReadFile(src)
+		data, err := ctx.Store.ReadAll(out)
 		if err != nil {
 			return fmt.Errorf("checkpointing %s: %w", out, err)
 		}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"dooc/internal/compress"
 	"dooc/internal/faults"
 	"dooc/internal/obs"
 	"dooc/internal/simnet"
@@ -64,6 +65,10 @@ type Options struct {
 	// Faults, when non-nil, injects I/O errors and stalls into every node's
 	// storage filter (fault-injection harness; see internal/faults).
 	Faults *faults.Injector
+	// Codec, when non-nil, compresses every node's scratch spills into
+	// adaptive frames (see internal/compress). Blocks that do not shrink
+	// are stored raw automatically.
+	Codec compress.Codec
 	// Obs, when non-nil, collects metrics from every layer (storage,
 	// scheduler, engine) into one registry for Prometheus-style export.
 	Obs *obs.Registry
@@ -123,6 +128,7 @@ func NewSystem(opts Options) (*System, error) {
 		cfg.Eviction = opts.Eviction
 		cfg.Faults = opts.Faults
 		cfg.Obs = opts.Obs
+		cfg.Codec = opts.Codec
 		if opts.ScratchRoot != "" {
 			cfg.ScratchDir = filepath.Join(opts.ScratchRoot, fmt.Sprintf("node%d", node))
 		}
@@ -272,4 +278,27 @@ func (r *RunStats) BlockLoads() int64 {
 // IORetries sums transient disk errors survived during the run.
 func (r *RunStats) IORetries() int64 {
 	return r.storageDelta(func(s *storage.Stats) int64 { return s.IORetries })
+}
+
+// BytesWrittenDisk sums physical disk writes across nodes during the run
+// (frame bytes when spills are compressed).
+func (r *RunStats) BytesWrittenDisk() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.BytesWrittenDisk })
+}
+
+// CompressRawBytes sums logical block bytes fed to spill encoders during
+// the run.
+func (r *RunStats) CompressRawBytes() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.CompressRawBytes })
+}
+
+// CompressStoredBytes sums frame bytes written to scratch during the run.
+func (r *RunStats) CompressStoredBytes() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.CompressStoredBytes })
+}
+
+// CompressBailouts sums blocks stored raw by the adaptive bail-out during
+// the run.
+func (r *RunStats) CompressBailouts() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.CompressBailouts })
 }

@@ -57,6 +57,19 @@ func (c SpMVConfig) Partition() (sparse.GridPartition, error) {
 // the out-of-core staging step, the analogue of the paper's sub-matrix
 // files on GPFS.
 func StageMatrix(scratchRoot string, m *sparse.CSR, cfg SpMVConfig) error {
+	return stageMatrix(scratchRoot, m, cfg, false)
+}
+
+// StageMatrixCompressed is StageMatrix with the section-compressed DOOCCRS2
+// container: row pointers, column indices, and values each travel through
+// the codec that fits their structure, typically shrinking the staged set
+// severalfold. Readers auto-detect the format, so a staged set mixes freely
+// with V1 files.
+func StageMatrixCompressed(scratchRoot string, m *sparse.CSR, cfg SpMVConfig) error {
+	return stageMatrix(scratchRoot, m, cfg, true)
+}
+
+func stageMatrix(scratchRoot string, m *sparse.CSR, cfg SpMVConfig, compressed bool) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -78,7 +91,12 @@ func StageMatrix(scratchRoot string, m *sparse.CSR, cfg SpMVConfig) error {
 				return err
 			}
 			var buf bytes.Buffer
-			if err := sparse.WriteCRS(&buf, b); err != nil {
+			if compressed {
+				err = sparse.WriteCRS2(&buf, b)
+			} else {
+				err = sparse.WriteCRS(&buf, b)
+			}
+			if err != nil {
 				return err
 			}
 			path := filepath.Join(dir, spmv.MatrixArray(u, v)+".arr")
@@ -157,7 +175,13 @@ func DiscoverStagedMatrix(scratchRoot string) (StagedMatrixInfo, error) {
 				info.Dim += rows
 			}
 			info.NNZ += nnz
-			info.Bytes += sparse.FileBytes(rows, nnz)
+			// Stat rather than compute: V2 files are section-compressed, so
+			// their size is not a function of (rows, nnz).
+			fi, err := os.Stat(path)
+			if err != nil {
+				return info, err
+			}
+			info.Bytes += fi.Size()
 		}
 	}
 	return info, nil

@@ -262,3 +262,40 @@ func (r *Registry) Sum(name string) int64 {
 	}
 	return n
 }
+
+// SumWhere is Sum restricted to series carrying the label key=value —
+// e.g. the bytes one codec contributed across every node.
+func (r *Registry) SumWhere(name, key, value string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	f, ok := r.families[name]
+	var list []*series
+	if ok {
+		list = append(list, f.series...)
+	}
+	r.mu.Unlock()
+	var n int64
+	for _, s := range list {
+		matched := false
+		for _, l := range s.labels {
+			if l.Key == key && l.Value == value {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		switch s.kind {
+		case counterKind:
+			n += s.counter.Value()
+		case gaugeKind:
+			n += s.gauge.Value()
+		case histogramKind:
+			n += s.hist.Count()
+		}
+	}
+	return n
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"dooc/internal/compress"
 	"dooc/internal/faults"
 	"dooc/internal/obs"
 	"dooc/internal/storage"
@@ -32,6 +33,13 @@ type Options struct {
 	// Obs, when non-nil, receives the client's RPC metrics
 	// (dooc_remote_client_*).
 	Obs *obs.Registry
+	// Codec, when non-nil, opens the connection with a capability handshake
+	// and compresses payloads both ways with any codec the peer's mask
+	// admits. Against a legacy server the client transparently falls back
+	// to the plain protocol (NegotiatedCodec reports nil).
+	Codec compress.Codec
+	// CompressMin is the smallest payload worth compressing (default 1 KiB).
+	CompressMin int
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +100,7 @@ type Client struct {
 	pending    map[uint64]*pendingCall
 	closed     bool
 	reconnects int64
+	negotiated compress.Codec // wire codec agreed at handshake; nil = plain
 
 	metrics clientMetrics
 
@@ -103,20 +112,60 @@ func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
 
 // DialOptions connects to a storage server.
 func DialOptions(addr string, opts Options) (*Client, error) {
-	raw, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
 	cl := &Client{
 		addr:    addr,
 		opts:    opts.withDefaults(),
 		pending: make(map[uint64]*pendingCall),
 		metrics: newClientMetrics(opts.Obs),
 	}
-	cl.c = newFaultyConn(raw, cl.opts.Faults)
+	c, err := cl.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	cl.c = c
 	cl.wg.Add(1)
 	go cl.readLoop(cl.c, cl.gen)
 	return cl, nil
+}
+
+// dialConn dials the server and, when a codec is configured, runs the
+// capability handshake. A peer that does not speak the handshake drops the
+// connection (or stays silent past the deadline); the client then redials
+// and talks the plain protocol, so old servers keep working uncompressed.
+func (cl *Client) dialConn() (*conn, error) {
+	raw, err := net.Dial("tcp", cl.addr)
+	if err != nil {
+		return nil, err
+	}
+	var negotiated compress.Codec
+	if cl.opts.Codec != nil && cl.opts.Codec.ID() != (compress.Raw{}).ID() {
+		neg, herr := clientHandshake(raw, cl.opts.Codec)
+		if herr != nil {
+			raw.Close()
+			raw, err = net.Dial("tcp", cl.addr)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			negotiated = neg
+		}
+	}
+	c := newFaultyConn(raw, cl.opts.Faults)
+	c.codec = negotiated
+	c.compressMin = compressMinOrDefault(cl.opts.CompressMin)
+	c.wire = cl.metrics.wire
+	cl.mu.Lock()
+	cl.negotiated = negotiated
+	cl.mu.Unlock()
+	return c, nil
+}
+
+// NegotiatedCodec returns the wire codec agreed with the server at the last
+// (re)connect, or nil when the connection speaks the plain protocol.
+func (cl *Client) NegotiatedCodec() compress.Codec {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.negotiated
 }
 
 // Close tears the connection down; in-flight calls fail terminally.
@@ -202,15 +251,14 @@ func (cl *Client) reconnect() error {
 		return nil
 	}
 	cl.mu.Unlock()
-	raw, err := net.Dial("tcp", cl.addr)
+	c, err := cl.dialConn()
 	if err != nil {
 		return fmt.Errorf("%w: reconnect to %s: %v", errConnLost, cl.addr, err)
 	}
-	c := newFaultyConn(raw, cl.opts.Faults)
 	cl.mu.Lock()
 	if cl.closed {
 		cl.mu.Unlock()
-		raw.Close()
+		c.close()
 		return errClosed
 	}
 	cl.gen++
@@ -247,8 +295,9 @@ func (cl *Client) roundTrip(req *request, timeout time.Duration) (*response, err
 	cl.pending[id] = pc
 	cl.mu.Unlock()
 
-	cl.metrics.bytesOut.Add(int64(len(req.Data)))
-	if err := c.sendRequest(req); err != nil {
+	n, err := c.sendRequest(req)
+	cl.metrics.bytesOut.Add(int64(n))
+	if err != nil {
 		cl.mu.Lock()
 		delete(cl.pending, id)
 		if cl.gen == gen && cl.c == c {
@@ -278,6 +327,14 @@ func (cl *Client) roundTrip(req *request, timeout time.Duration) (*response, err
 			return nil, err
 		}
 		cl.metrics.bytesIn.Add(int64(len(res.resp.Data)))
+		if res.resp.Enc {
+			data, derr := decodePayload(res.resp.Data, cl.metrics.wire)
+			if derr != nil {
+				cl.metrics.checksumFails.Inc()
+				return nil, fmt.Errorf("remote: %s %q [%d,%d): decoding wire frame: %w", req.Op, req.Array, req.Lo, req.Hi, derr)
+			}
+			res.resp.Data, res.resp.Enc = data, false
+		}
 		return res.resp, nil
 	case <-timer:
 		cl.mu.Lock()

@@ -14,12 +14,16 @@
 package remote
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"net"
 	"sync"
+	"time"
 
+	"dooc/internal/compress"
 	"dooc/internal/faults"
 	"dooc/internal/storage"
 )
@@ -65,7 +69,8 @@ func (o opcode) String() string {
 }
 
 // request is one client->server message. Sum is the CRC32 (IEEE) of Data,
-// set by the sender and verified by the receiver.
+// set by the sender and verified by the receiver. When Enc is true, Data is
+// an adaptive compress frame and Sum covers the wire (encoded) bytes.
 type request struct {
 	ID              uint64
 	Op              opcode
@@ -74,17 +79,94 @@ type request struct {
 	Size, BlockSize int64
 	Block           int
 	Data            []byte
+	Enc             bool
 	Sum             uint32
 }
 
-// response is one server->client message. Sum covers Data.
+// response is one server->client message. Sum covers Data (the wire form
+// when Enc is true).
 type response struct {
 	ID    uint64
 	Err   string
 	Data  []byte
+	Enc   bool
 	Info  storage.ArrayInfo
 	Stats storage.Stats
 	Sum   uint32
+}
+
+// Wire-compression handshake. A gob stream's first byte is a message length
+// prefix, which is never zero, so a leading 0x00 unambiguously marks a
+// capability hello. A codec-configured client opens with a hello; a current
+// server consumes it and replies in kind, after which both sides may send
+// compressed payloads the peer's mask admits. A legacy server's gob decoder
+// chokes on the 0x00 and drops the connection, and the client falls back to
+// redialing the plain protocol — old peers keep working, just uncompressed.
+const (
+	helloByte    = 0x00
+	helloLen     = 8
+	protoVersion = 1
+
+	// defaultCompressMin is the payload size below which compression is not
+	// attempted: small frames are latency-bound and the 18-byte frame header
+	// plus encode time buys nothing.
+	defaultCompressMin = 1024
+
+	// handshakeTimeout bounds the client's wait for the server's hello reply.
+	handshakeTimeout = 2 * time.Second
+)
+
+var helloMagic = [4]byte{'D', 'Z', 'R', 'H'}
+
+// compressMinOrDefault resolves a configured compression threshold.
+func compressMinOrDefault(n int) int {
+	if n <= 0 {
+		return defaultCompressMin
+	}
+	return n
+}
+
+// helloFrame renders a capability hello: marker, magic, protocol version,
+// codec capability mask (compress.Mask), preferred codec ID.
+func helloFrame(mask, pref uint8) []byte {
+	return []byte{helloByte, helloMagic[0], helloMagic[1], helloMagic[2], helloMagic[3], protoVersion, mask, pref}
+}
+
+// parseHello validates a received hello and extracts the peer's capability
+// mask and preferred codec.
+func parseHello(b []byte) (mask, pref uint8, err error) {
+	if len(b) != helloLen || b[0] != helloByte ||
+		b[1] != helloMagic[0] || b[2] != helloMagic[1] || b[3] != helloMagic[2] || b[4] != helloMagic[3] {
+		return 0, 0, fmt.Errorf("remote: malformed handshake hello % x", b)
+	}
+	if b[5] < 1 {
+		return 0, 0, fmt.Errorf("remote: handshake protocol version %d", b[5])
+	}
+	return b[6], b[7], nil
+}
+
+// clientHandshake sends a hello and waits (bounded) for the server's reply.
+// It returns the negotiated encode codec (nil when the server cannot decode
+// it). An error means the peer did not speak the handshake — the caller
+// must discard the connection and redial plain.
+func clientHandshake(raw net.Conn, codec compress.Codec) (compress.Codec, error) {
+	raw.SetDeadline(time.Now().Add(handshakeTimeout))
+	defer raw.SetDeadline(time.Time{})
+	if _, err := raw.Write(helloFrame(compress.Mask(), codec.ID())); err != nil {
+		return nil, err
+	}
+	reply := make([]byte, helloLen)
+	if _, err := io.ReadFull(raw, reply); err != nil {
+		return nil, err
+	}
+	mask, _, err := parseHello(reply)
+	if err != nil {
+		return nil, err
+	}
+	if mask&(1<<codec.ID()) == 0 {
+		return nil, nil
+	}
+	return codec, nil
 }
 
 // payloadSum is the wire checksum of a payload (CRC32/IEEE; 0 for empty).
@@ -121,8 +203,17 @@ func verifyResponse(req *request, r *response) error {
 // computed, emulating a flaky wire.
 type conn struct {
 	raw    net.Conn
+	br     *bufio.Reader
 	dec    *gob.Decoder
 	faults *faults.Injector
+
+	// codec, when non-nil, compresses outgoing payloads of at least
+	// compressMin bytes into adaptive frames (Enc=true). It is set only
+	// after a successful capability handshake, so a frame is never sent to
+	// a peer that cannot decode it.
+	codec       compress.Codec
+	compressMin int
+	wire        *wireCompressMetrics
 
 	mu  sync.Mutex
 	enc *gob.Encoder
@@ -131,7 +222,38 @@ type conn struct {
 func newConn(raw net.Conn) *conn { return newFaultyConn(raw, nil) }
 
 func newFaultyConn(raw net.Conn, inj *faults.Injector) *conn {
-	return &conn{raw: raw, dec: gob.NewDecoder(raw), enc: gob.NewEncoder(raw), faults: inj}
+	br := bufio.NewReader(raw)
+	return &conn{raw: raw, br: br, dec: gob.NewDecoder(br), enc: gob.NewEncoder(raw), faults: inj}
+}
+
+// encodePayload compresses data for the wire if the connection negotiated a
+// codec and the payload is worth it. The adaptive encoder's raw bail-out is
+// mapped back to sending the plain payload: a raw frame would only add the
+// header.
+func (c *conn) encodePayload(data []byte) ([]byte, bool) {
+	if c.codec == nil || len(data) < c.compressMin {
+		return data, false
+	}
+	start := time.Now()
+	frame, used := compress.EncodeAdaptive(c.codec, data)
+	secs := time.Since(start).Seconds()
+	if used.ID() == (compress.Raw{}).ID() {
+		c.wire.noteBailout(secs)
+		return data, false
+	}
+	c.wire.noteEncode(used.ID(), len(data), len(frame), secs)
+	return frame, true
+}
+
+// decodePayload undoes wire compression on a received payload.
+func decodePayload(data []byte, w *wireCompressMetrics) ([]byte, error) {
+	start := time.Now()
+	raw, used, err := compress.DecodeFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	w.noteDecode(used.ID(), len(data), len(raw), time.Since(start).Seconds())
+	return raw, nil
 }
 
 // corruptCopy returns data, or a bit-flipped copy if the injector fires.
@@ -147,30 +269,38 @@ func (c *conn) corruptCopy(data []byte) []byte {
 	return data
 }
 
-func (c *conn) sendRequest(r *request) error {
-	r.Sum = payloadSum(r.Data)
+// sendRequest encodes and sends a request, returning the payload's wire
+// length (the frame length when compressed).
+func (c *conn) sendRequest(r *request) (int, error) {
+	out := *r
+	out.Data, out.Enc = c.encodePayload(r.Data)
+	out.Sum = payloadSum(out.Data)
 	if c.faults.Drop() {
 		c.raw.Close()
-		return fmt.Errorf("remote: send %s: %w: connection dropped", r.Op, faults.ErrInjected)
+		return 0, fmt.Errorf("remote: send %s: %w: connection dropped", r.Op, faults.ErrInjected)
 	}
-	out := *r
-	out.Data = c.corruptCopy(r.Data)
+	out.Data = c.corruptCopy(out.Data)
+	n := len(out.Data)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.enc.Encode(&out)
+	return n, c.enc.Encode(&out)
 }
 
-func (c *conn) sendResponse(r *response) error {
-	r.Sum = payloadSum(r.Data)
+// sendResponse encodes and sends a response, returning the payload's wire
+// length.
+func (c *conn) sendResponse(r *response) (int, error) {
+	out := *r
+	out.Data, out.Enc = c.encodePayload(r.Data)
+	out.Sum = payloadSum(out.Data)
 	if c.faults.Drop() {
 		c.raw.Close()
-		return fmt.Errorf("remote: send response: %w: connection dropped", faults.ErrInjected)
+		return 0, fmt.Errorf("remote: send response: %w: connection dropped", faults.ErrInjected)
 	}
-	out := *r
-	out.Data = c.corruptCopy(r.Data)
+	out.Data = c.corruptCopy(out.Data)
+	n := len(out.Data)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.enc.Encode(&out)
+	return n, c.enc.Encode(&out)
 }
 
 func (c *conn) close() error { return c.raw.Close() }

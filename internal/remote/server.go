@@ -2,11 +2,13 @@ package remote
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dooc/internal/compress"
 	"dooc/internal/faults"
 	"dooc/internal/obs"
 	"dooc/internal/storage"
@@ -20,6 +22,17 @@ type ServerOptions struct {
 	// Obs, when non-nil, receives the server's RPC metrics
 	// (dooc_remote_server_*).
 	Obs *obs.Registry
+	// Codec, when non-nil, compresses response payloads to clients that
+	// negotiated the capability. When nil, responses to such clients use
+	// the client's preferred codec instead; legacy clients always get plain
+	// payloads.
+	Codec compress.Codec
+	// CompressMin is the smallest payload worth compressing (default 1 KiB).
+	CompressMin int
+	// Legacy emulates a pre-compression peer for compatibility tests: a
+	// connection opening with a capability hello is dropped, exactly as an
+	// old binary's gob decoder would drop it.
+	Legacy bool
 }
 
 // Server exposes one storage filter over TCP. It is the I/O-node role:
@@ -136,6 +149,8 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		c := newFaultyConn(raw, s.opts.Faults)
+		c.compressMin = compressMinOrDefault(s.opts.CompressMin)
+		c.wire = s.metrics.wire
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -149,6 +164,44 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// negotiate handles an optional capability hello at the head of a fresh
+// connection. A legacy client opens straight with gob (never a 0x00 byte),
+// so the peek is unambiguous; the server replies with its own hello and
+// enables compressed responses the client's mask admits.
+func (s *Server) negotiate(c *conn) error {
+	b, err := c.br.Peek(1)
+	if err != nil {
+		return err
+	}
+	if b[0] != helloByte {
+		return nil // legacy client: plain protocol
+	}
+	if s.opts.Legacy {
+		return fmt.Errorf("remote: legacy server dropping handshake hello")
+	}
+	buf := make([]byte, helloLen)
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return err
+	}
+	mask, pref, err := parseHello(buf)
+	if err != nil {
+		return err
+	}
+	if _, err := c.raw.Write(helloFrame(compress.Mask(), pref)); err != nil {
+		return err
+	}
+	enc := s.opts.Codec
+	if enc == nil {
+		if cdc, ok := compress.ByID(pref); ok {
+			enc = cdc
+		}
+	}
+	if enc != nil && enc.ID() != (compress.Raw{}).ID() && mask&(1<<enc.ID()) != 0 {
+		c.codec = enc
+	}
+	return nil
+}
+
 func (s *Server) handleConn(c *conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -157,6 +210,9 @@ func (s *Server) handleConn(c *conn) {
 		s.mu.Unlock()
 		c.close()
 	}()
+	if err := s.negotiate(c); err != nil {
+		return
+	}
 	// Handlers may block (reads wait for writers), so each request runs in
 	// its own goroutine; the per-connection write lock serializes replies.
 	// Handlers are deliberately NOT waited for on teardown: a read parked on
@@ -187,15 +243,27 @@ func (s *Server) handleConn(c *conn) {
 				// with the attributed checksum error instead of dispatching.
 				s.metrics.checksumFails.Inc()
 				resp = &response{Err: err.Error()}
+			} else if req.Enc {
+				// The checksum held over the wire bytes; now undo the wire
+				// compression. A frame that fails its own CRC must never
+				// reach the store either.
+				data, derr := decodePayload(req.Data, s.metrics.wire)
+				if derr != nil {
+					s.metrics.checksumFails.Inc()
+					resp = &response{Err: fmt.Sprintf("remote: %s %q [%d,%d): decoding wire frame: %v", req.Op, req.Array, req.Lo, req.Hi, derr)}
+				} else {
+					req.Data, req.Enc = data, false
+					resp = s.dispatch(&req)
+				}
 			} else {
 				resp = s.dispatch(&req)
 			}
 			resp.ID = req.ID
-			s.bytesOut.Add(int64(len(resp.Data)))
-			s.metrics.bytesOut.Add(int64(len(resp.Data)))
 			// A failed send means the connection died; the decode loop will
 			// notice and tear down.
-			_ = c.sendResponse(resp)
+			n, _ := c.sendResponse(resp)
+			s.bytesOut.Add(int64(n))
+			s.metrics.bytesOut.Add(int64(n))
 		}(req)
 	}
 }

@@ -107,7 +107,11 @@ func ReadCRS(r io.Reader) (*CSR, error) {
 		return nil, fmt.Errorf("sparse: short CRS header: %w", err)
 	}
 	crc.Write(hdr)
-	if string(hdr[:8]) != crsMagic {
+	switch string(hdr[:8]) {
+	case crsMagic:
+	case crsMagicV2:
+		return readCRS2(br, crc, hdr)
+	default:
 		return nil, fmt.Errorf("sparse: bad CRS magic %q", hdr[:8])
 	}
 	rows := int64(binary.LittleEndian.Uint64(hdr[8:]))
@@ -220,7 +224,7 @@ func ReadCRSHeader(path string) (rows, cols int, nnz int64, err error) {
 	if _, err := io.ReadFull(f, hdr); err != nil {
 		return 0, 0, 0, fmt.Errorf("%s: short CRS header: %w", path, err)
 	}
-	if string(hdr[:8]) != crsMagic {
+	if m := string(hdr[:8]); m != crsMagic && m != crsMagicV2 {
 		return 0, 0, 0, fmt.Errorf("%s: bad CRS magic %q", path, hdr[:8])
 	}
 	rows = int(binary.LittleEndian.Uint64(hdr[8:]))

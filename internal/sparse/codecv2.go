@@ -1,0 +1,214 @@
+package sparse
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"dooc/internal/compress"
+)
+
+// Section-compressed CRS file format (V2).
+//
+// The shape header is identical to V1 so ReadCRSHeader works on either
+// version, but the three payload sections travel as self-describing
+// compress frames, each chosen per-section: row pointers are monotone
+// (delta64), column indices are sorted within rows (delta32), and values
+// are float64 (fshuf). Each frame is adaptive, so an incompressible
+// section degrades to raw plus 18 bytes rather than growing.
+//
+//	offset  size  field
+//	0       8     magic "DOOCCRS2"
+//	8       8     rows  (int64)
+//	16      8     cols  (int64)
+//	24      8     nnz   (int64)
+//	32      8     row-pointer frame length, then the frame
+//	...     8     column-index frame length, then the frame
+//	...     8     value frame length, then the frame
+//	last    4     CRC32 (Castagnoli) of everything before it
+//
+// The file CRC covers the compressed bytes (cheap, catches truncation);
+// each frame additionally carries a CRC of its decoded bytes, so a decode
+// can never silently return wrong data.
+const crsMagicV2 = "DOOCCRS2"
+
+// sectionCodec returns the preferred codec for section i (0 = row
+// pointers, 1 = column indices, 2 = values).
+func sectionCodec(i int) compress.Codec {
+	ids := [3]uint8{compress.IDDeltaVarint, compress.IDDeltaVarint3, compress.IDFloatShuffle}
+	c, ok := compress.ByID(ids[i])
+	if !ok {
+		return compress.Raw{}
+	}
+	return c
+}
+
+// sectionRawLen returns the decoded byte size of section i for a matrix
+// with the given shape.
+func sectionRawLen(i int, rows, nnz int64) int64 {
+	switch i {
+	case 0:
+		return 8 * (rows + 1)
+	case 1:
+		return 4 * nnz
+	default:
+		return 8 * nnz
+	}
+}
+
+// sectionBytes serializes section i of m into the little-endian layout the
+// V1 format uses, which is what the section codecs are tuned for.
+func sectionBytes(i int, m *CSR) []byte {
+	switch i {
+	case 0:
+		out := make([]byte, 8*len(m.RowPtr))
+		for j, p := range m.RowPtr {
+			binary.LittleEndian.PutUint64(out[8*j:], uint64(p))
+		}
+		return out
+	case 1:
+		out := make([]byte, 4*len(m.ColIdx))
+		for j, c := range m.ColIdx {
+			binary.LittleEndian.PutUint32(out[4*j:], uint32(c))
+		}
+		return out
+	default:
+		out := make([]byte, 8*len(m.Val))
+		for j, v := range m.Val {
+			binary.LittleEndian.PutUint64(out[8*j:], math.Float64bits(v))
+		}
+		return out
+	}
+}
+
+// WriteCRS2 writes m to w in section-compressed V2 format.
+func WriteCRS2(w io.Writer, m *CSR) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("sparse: refusing to write invalid matrix: %w", err)
+	}
+	crc := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
+	if _, err := bw.WriteString(crsMagicV2); err != nil {
+		return err
+	}
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(m.Rows))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(m.Cols))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(m.NNZ()))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	var lenBuf [8]byte
+	for i := 0; i < 3; i++ {
+		frame, _ := compress.EncodeAdaptive(sectionCodec(i), sectionBytes(i, m))
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(frame)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var crcBytes [4]byte
+	binary.LittleEndian.PutUint32(crcBytes[:], crc.Sum32())
+	_, err := w.Write(crcBytes[:])
+	return err
+}
+
+// readCRS2 finishes a ReadCRS whose 32-byte header carried the V2 magic;
+// hdr is already hashed into crc.
+func readCRS2(br *bufio.Reader, crc hash.Hash32, hdr []byte) (*CSR, error) {
+	rows := int64(binary.LittleEndian.Uint64(hdr[8:]))
+	cols := int64(binary.LittleEndian.Uint64(hdr[16:]))
+	nnz := int64(binary.LittleEndian.Uint64(hdr[24:]))
+	const maxDim = 1 << 40
+	if rows < 0 || cols < 0 || nnz < 0 || rows > maxDim || cols > maxDim || nnz > maxDim {
+		return nil, fmt.Errorf("sparse: implausible CRS shape rows=%d cols=%d nnz=%d", rows, cols, nnz)
+	}
+	m := &CSR{
+		Rows:   int(rows),
+		Cols:   int(cols),
+		RowPtr: make([]int64, rows+1),
+		ColIdx: make([]int32, nnz),
+		Val:    make([]float64, nnz),
+	}
+	var lenBuf [8]byte
+	for i := 0; i < 3; i++ {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("sparse: short section %d length: %w", i, err)
+		}
+		crc.Write(lenBuf[:])
+		frameLen := binary.LittleEndian.Uint64(lenBuf[:])
+		rawLen := sectionRawLen(i, rows, nnz)
+		// Adaptive encoding never produces a frame larger than raw plus
+		// the frame header, so anything bigger is corruption, not data.
+		if frameLen > uint64(rawLen)+compress.FrameHeaderLen {
+			return nil, fmt.Errorf("sparse: section %d frame claims %d bytes for a %d-byte section", i, frameLen, rawLen)
+		}
+		frame := make([]byte, frameLen)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return nil, fmt.Errorf("sparse: short section %d frame: %w", i, err)
+		}
+		crc.Write(frame)
+		data, _, err := compress.DecodeFrame(frame)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: section %d: %w", i, err)
+		}
+		if int64(len(data)) != rawLen {
+			return nil, fmt.Errorf("sparse: section %d decoded to %d bytes, want %d", i, len(data), rawLen)
+		}
+		switch i {
+		case 0:
+			for j := range m.RowPtr {
+				m.RowPtr[j] = int64(binary.LittleEndian.Uint64(data[8*j:]))
+			}
+		case 1:
+			for j := range m.ColIdx {
+				m.ColIdx[j] = int32(binary.LittleEndian.Uint32(data[4*j:]))
+			}
+		default:
+			for j := range m.Val {
+				m.Val[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*j:]))
+			}
+		}
+	}
+	want := crc.Sum32()
+	crcBytes := make([]byte, 4)
+	if _, err := io.ReadFull(br, crcBytes); err != nil {
+		return nil, fmt.Errorf("sparse: missing CRS checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(crcBytes); got != want {
+		return nil, fmt.Errorf("sparse: CRS checksum mismatch: file=%08x computed=%08x", got, want)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("sparse: invalid CRS payload: %w", err)
+	}
+	return m, nil
+}
+
+// WriteCRS2File writes m to path atomically in V2 format.
+func WriteCRS2File(path string, m *CSR) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteCRS2(f, m); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -2,12 +2,14 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"dooc/internal/compress"
 	"dooc/internal/faults"
 )
 
@@ -140,6 +142,155 @@ func TestIOFlushSurvivesTransientInjectedErrors(t *testing.T) {
 	}
 	if !bytes.Equal(disk, payload) {
 		t.Fatal("flushed bytes wrong")
+	}
+	if got := st.Stats().IORetries; got < 1 {
+		t.Fatalf("Stats.IORetries = %d, want >= 1", got)
+	}
+}
+
+// stageCompressedArray spills payload through a codec-configured store so
+// the scratch dir holds the per-block frame layout, then returns with the
+// store closed.
+func stageCompressedArray(t *testing.T, dir, name string, payload []byte, blockSize int64) {
+	t.Helper()
+	st, err := NewLocal(Config{
+		MemoryBudget: 1 << 20,
+		ScratchDir:   dir,
+		Seed:         1,
+		Codec:        compress.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteArray(name, payload, blockSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(name); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+}
+
+// TestCorruptCompressedBlockIsAttributed bit-flips a compressed scratch
+// block on disk: the framed read must surface an attributed, non-transient
+// error through the retry path — never decode garbage into the cache, and
+// never burn retries on corruption.
+func TestCorruptCompressedBlockIsAttributed(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("compressible-block-data."), 64)
+	stageCompressedArray(t, dir, "C", payload, int64(len(payload)))
+
+	blockFile := filepath.Join(dir, "C"+blockDirSuffix, "000000")
+	frame, err := os.ReadFile(blockFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)/2] ^= 0x20
+	if err := os.WriteFile(blockFile, frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := NewLocal(Config{
+		MemoryBudget:   1 << 20,
+		ScratchDir:     dir,
+		Seed:           2,
+		IORetries:      3,
+		IORetryBackoff: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, err = st.ReadAll("C")
+	if err == nil {
+		t.Fatal("read of a bit-flipped compressed block succeeded")
+	}
+	if !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("error does not wrap compress.ErrCorrupt: %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{`"C"`, "block 0", "C" + blockDirSuffix, "1 attempt(s)"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+	// Corruption is non-transient: the retry policy must not have spun.
+	if got := st.Stats().IORetries; got != 0 {
+		t.Fatalf("Stats.IORetries = %d for a corrupt frame, want 0", got)
+	}
+}
+
+// TestTruncatedCompressedBlockIsAttributed truncates a compressed scratch
+// block: same contract as corruption — attributed error, no garbage, no
+// retries.
+func TestTruncatedCompressedBlockIsAttributed(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("truncate-me-please......"), 64)
+	stageCompressedArray(t, dir, "T", payload, int64(len(payload)))
+
+	blockFile := filepath.Join(dir, "T"+blockDirSuffix, "000000")
+	frame, err := os.ReadFile(blockFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(blockFile, frame[:len(frame)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := NewLocal(Config{
+		MemoryBudget:   1 << 20,
+		ScratchDir:     dir,
+		Seed:           2,
+		IORetries:      2,
+		IORetryBackoff: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, err = st.ReadAll("T")
+	if err == nil {
+		t.Fatal("read of a truncated compressed block succeeded")
+	}
+	if !errors.Is(err, compress.ErrCorrupt) {
+		t.Fatalf("error does not wrap compress.ErrCorrupt: %v", err)
+	}
+	for _, want := range []string{`"T"`, "block 0", "1 attempt(s)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	if got := st.Stats().IORetries; got != 0 {
+		t.Fatalf("Stats.IORetries = %d for a truncated frame, want 0", got)
+	}
+}
+
+// TestCompressedReadSurvivesTransientInjectedErrors checks the PR 1 retry
+// path still heals flaky devices when the payload is framed.
+func TestCompressedReadSurvivesTransientInjectedErrors(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("retry-framed-data-12345!"), 64)
+	stageCompressedArray(t, dir, "F", payload, int64(len(payload)))
+
+	inj := faults.New(faults.Config{Seed: 5, IOErrorRate: 1, MaxInjections: 2})
+	st, err := NewLocal(Config{
+		MemoryBudget:   1 << 20,
+		ScratchDir:     dir,
+		Seed:           2,
+		IORetries:      3,
+		IORetryBackoff: 100 * time.Microsecond,
+		Faults:         inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got, err := st.ReadAll("F")
+	if err != nil {
+		t.Fatalf("framed read under injected faults: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("framed payload corrupted by retries")
 	}
 	if got := st.Stats().IORetries; got < 1 {
 		t.Fatalf("Stats.IORetries = %d, want >= 1", got)

@@ -7,6 +7,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"dooc/internal/compress"
 )
 
 // ioJob is one unit of file-system work for the asynchronous I/O filters.
@@ -16,9 +18,17 @@ type ioJob struct {
 	block int
 	path  string
 	off   int64
-	// read: length of the block; write: payload.
+	// read: logical length of the block; write: payload.
 	length int64
 	data   []byte
+	// codec, on a write, compresses the payload into an adaptive frame
+	// before it hits the disk. Encoding runs in the I/O filter, off the
+	// actor loop, so blocks compress in parallel.
+	codec compress.Codec
+	// framed, on a read, marks the file as one self-describing frame: the
+	// filter reads the whole file and decodes it (no codec needed — the
+	// frame names its own).
+	framed bool
 }
 
 // ioPool is the set of I/O filter goroutines attached to one storage
@@ -50,15 +60,17 @@ func (p *ioPool) stop() {
 }
 
 // read schedules an asynchronous block read; completion posts ioDone.
-func (p *ioPool) read(array string, block int, path string, off, length int64) {
+// framed reads expect a whole-file compress frame at path.
+func (p *ioPool) read(array string, block int, path string, off, length int64, framed bool) {
 	p.store.metrics.ioQueueDepth.Add(1)
-	p.jobs.put(ioJob{array: array, block: block, path: path, off: off, length: length})
+	p.jobs.put(ioJob{array: array, block: block, path: path, off: off, length: length, framed: framed})
 }
 
-// write schedules an asynchronous block write-back; completion posts ioWrote.
-func (p *ioPool) write(array string, block int, path string, off int64, data []byte) {
+// write schedules an asynchronous block write-back; completion posts
+// ioWrote. A non-nil codec spills the block as an adaptive frame.
+func (p *ioPool) write(array string, block int, path string, off int64, data []byte, codec compress.Codec) {
 	p.store.metrics.ioQueueDepth.Add(1)
-	p.jobs.put(ioJob{write: true, array: array, block: block, path: path, off: off, data: data})
+	p.jobs.put(ioJob{write: true, array: array, block: block, path: path, off: off, data: data, codec: codec})
 }
 
 func (p *ioPool) worker() {
@@ -72,15 +84,29 @@ func (p *ioPool) worker() {
 		p.store.metrics.ioQueueDepth.Add(-1)
 		start := time.Now()
 		if j.write {
+			var cs codecStats
+			if j.codec != nil {
+				encStart := time.Now()
+				frame, used := compress.EncodeAdaptive(j.codec, j.data)
+				p.store.metrics.encodeSeconds.Observe(time.Since(encStart).Seconds())
+				cs = codecStats{
+					framed:      true,
+					codecID:     used.ID(),
+					rawBytes:    int64(len(j.data)),
+					storedBytes: int64(len(frame)),
+					bailout:     used.ID() != j.codec.ID(),
+				}
+				j.data = frame
+			}
 			err, retries := p.attempt(j)
 			p.store.metrics.ioWriteSeconds.Observe(time.Since(start).Seconds())
-			p.store.post(ioWrote{array: j.array, block: j.block, err: err, retries: retries})
+			p.store.post(ioWrote{array: j.array, block: j.block, err: err, retries: retries, codec: cs})
 		} else {
 			var data []byte
-			readJob := j
-			err, retries := p.attemptRead(readJob, &data)
+			var cs codecStats
+			err, retries := p.attemptRead(j, &data, &cs)
 			p.store.metrics.ioReadSeconds.Observe(time.Since(start).Seconds())
-			p.store.post(ioDone{array: j.array, block: j.block, data: data, err: err, retries: retries})
+			p.store.post(ioDone{array: j.array, block: j.block, data: data, err: err, retries: retries, codec: cs})
 		}
 	}
 }
@@ -106,14 +132,21 @@ func (p *ioPool) attempt(j ioJob) (error, int) {
 	}
 }
 
-// attemptRead runs one read job under the retry policy.
-func (p *ioPool) attemptRead(j ioJob, out *[]byte) (error, int) {
+// attemptRead runs one read job under the retry policy. For framed jobs it
+// also decodes the frame, inside the loop, so a decode failure is
+// classified and attributed exactly like a device failure (it is
+// non-transient: bad bytes on disk do not improve with retries).
+func (p *ioPool) attemptRead(j ioJob, out *[]byte, cs *codecStats) (error, int) {
 	var err error
 	retries := 0
 	for try := 0; ; try++ {
 		err = p.store.cfg.Faults.IO("read", j.path)
 		if err == nil {
-			*out, err = readAt(j.path, j.off, j.length)
+			if j.framed {
+				err = p.readFramed(j, out, cs)
+			} else {
+				*out, err = readAt(j.path, j.off, j.length)
+			}
 		}
 		if err == nil {
 			return nil, retries
@@ -127,15 +160,43 @@ func (p *ioPool) attemptRead(j ioJob, out *[]byte) (error, int) {
 	}
 }
 
+// readFramed reads a whole-file compress frame and decodes it. The frame's
+// internal CRC guarantees a truncated or bit-flipped file surfaces as an
+// error, never as wrong block bytes.
+func (p *ioPool) readFramed(j ioJob, out *[]byte, cs *codecStats) error {
+	frame, err := os.ReadFile(j.path)
+	if err != nil {
+		return err
+	}
+	decStart := time.Now()
+	data, used, err := compress.DecodeFrame(frame)
+	if err != nil {
+		return err
+	}
+	p.store.metrics.decodeSeconds.Observe(time.Since(decStart).Seconds())
+	if int64(len(data)) != j.length {
+		return fmt.Errorf("%w: frame decodes to %d bytes, block is %d", compress.ErrCorrupt, len(data), j.length)
+	}
+	*out = data
+	*cs = codecStats{
+		framed:      true,
+		codecID:     used.ID(),
+		rawBytes:    int64(len(data)),
+		storedBytes: int64(len(frame)),
+	}
+	return nil
+}
+
 // transientIOErr classifies an I/O failure for the retry policy. A missing
-// file or a short read is a fact about the data, not a flaky device —
-// retrying would only delay the inevitable. Everything else (injected
-// faults, EIO-style device errors) is worth another attempt.
+// file, a short read, or a corrupt frame is a fact about the data, not a
+// flaky device — retrying would only delay the inevitable. Everything else
+// (injected faults, EIO-style device errors) is worth another attempt.
 func transientIOErr(err error) bool {
 	switch {
 	case errors.Is(err, os.ErrNotExist),
 		errors.Is(err, io.EOF),
-		errors.Is(err, io.ErrUnexpectedEOF):
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, compress.ErrCorrupt):
 		return false
 	}
 	return true

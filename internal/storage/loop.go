@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"dooc/internal/compress"
 )
 
 // ErrClosed is returned for requests outstanding when the store shuts down.
@@ -76,10 +78,13 @@ type msgDeleteArr struct {
 }
 
 // msgAnnounce registers a pre-existing on-disk array found by the startup
-// scan of diskNode's scratch directory.
+// scan of diskNode's scratch directory. compressed marks the per-block
+// frame layout (meaningful only on diskNode itself, which is the node that
+// reads those files).
 type msgAnnounce struct {
-	info     ArrayInfo
-	diskNode int
+	info       ArrayInfo
+	diskNode   int
+	compressed bool
 }
 
 type queryKind int
@@ -130,6 +135,18 @@ type msgNotify struct {
 	gone   bool
 }
 
+// codecStats carries one I/O filter's compression accounting back to the
+// actor loop: the logical (raw) and physical (frame) byte counts and the
+// codec the frame actually used (which differs from the configured codec
+// when the adaptive encoder bailed out to raw).
+type codecStats struct {
+	framed      bool
+	codecID     uint8
+	rawBytes    int64
+	storedBytes int64
+	bailout     bool
+}
+
 // ioDone delivers an asynchronous block read. retries counts transient
 // failures the I/O filter survived before succeeding (or giving up).
 type ioDone struct {
@@ -138,6 +155,7 @@ type ioDone struct {
 	data    []byte
 	err     error
 	retries int
+	codec   codecStats
 }
 
 // ioWrote delivers an asynchronous block write-back.
@@ -146,6 +164,7 @@ type ioWrote struct {
 	block   int
 	err     error
 	retries int
+	codec   codecStats
 }
 
 // ---- in-loop state ----
@@ -184,6 +203,11 @@ type arrayState struct {
 	info      ArrayInfo
 	blocks    map[int]*blockState
 	diskNodes map[int]bool // nodes holding the full array on disk
+	// localCompressed marks this node's durable copy as the per-block frame
+	// layout (set by a codec flush or the startup scan); it selects the
+	// framed read path and keeps an array's layout consistent across
+	// flushes.
+	localCompressed bool
 }
 
 type blockKey struct {
@@ -354,6 +378,9 @@ func (s *Store) handleDelete(st *loopState, name string) error {
 		// Local durable copies go away with the array.
 		removeIfExists(s.arrayPath(name))
 		removeIfExists(s.metaPath(name))
+		if _, err := os.Stat(s.blockDir(name)); err == nil {
+			os.RemoveAll(s.blockDir(name))
+		}
 	}
 	return nil
 }
@@ -369,6 +396,9 @@ func (s *Store) handleAnnounce(st *loopState, m msgAnnounce) {
 		st.arrays[m.info.Name] = ast
 	}
 	ast.diskNodes[m.diskNode] = true
+	if m.compressed && m.diskNode == s.cfg.NodeID {
+		ast.localCompressed = true
+	}
 	// Register the disk copy in the directory entries this node owns.
 	for idx := 0; idx < m.info.NumBlocks(); idx++ {
 		if s.homeOf(m.info.Name, idx) == s.cfg.NodeID {
@@ -582,7 +612,11 @@ func (s *Store) ensureBlockData(st *loopState, ast *arrayState, bi int, b *block
 		b.fetching = true
 		st.stats.ImplicitDiskReads++
 		bs := ast.info.BlockSpan(bi)
-		s.io.read(name, bi, s.arrayPath(name), bs.Lo, bs.Hi-bs.Lo)
+		if ast.localCompressed {
+			s.io.read(name, bi, s.blockPath(name, bi), 0, bs.Hi-bs.Lo, true)
+		} else {
+			s.io.read(name, bi, s.arrayPath(name), bs.Lo, bs.Hi-bs.Lo, false)
+		}
 		return
 	}
 	home := s.homeOf(name, bi)
@@ -980,6 +1014,23 @@ func (s *Store) handleFlush(st *loopState, c cmdFlush) {
 		f.reply = mergeErrChans(prev, c.reply)
 		return
 	}
+	// Spill compressed when a codec is configured, unless this node already
+	// holds the array in the raw single-file layout — an array's local
+	// layout never mixes. The reverse also holds: an array already in the
+	// framed layout stays framed even if this store has no codec (Raw
+	// frames keep the directory readable).
+	codec := s.cfg.Codec
+	if codec == nil && ast.localCompressed {
+		codec = compress.Raw{}
+	}
+	useCodec := codec != nil && (ast.localCompressed || !(ast.diskNodes[s.cfg.NodeID] || anyPersisted(ast)))
+	if useCodec && !ast.localCompressed {
+		if err := os.MkdirAll(s.blockDir(c.array), 0o755); err != nil {
+			c.reply <- fmt.Errorf("storage: flush of %q: %w", c.array, err)
+			return
+		}
+		ast.localCompressed = true
+	}
 	fs := &flushState{reply: c.reply}
 	for idx, b := range ast.blocks {
 		bs := ast.info.BlockSpan(idx)
@@ -988,14 +1039,29 @@ func (s *Store) handleFlush(st *loopState, c cmdFlush) {
 		}
 		b.flushing = true
 		fs.pending++
-		s.io.write(c.array, idx, s.arrayPath(c.array), bs.Lo, b.buf)
+		if useCodec {
+			s.io.write(c.array, idx, s.blockPath(c.array, idx), 0, b.buf, codec)
+		} else {
+			s.io.write(c.array, idx, s.arrayPath(c.array), bs.Lo, b.buf, nil)
+		}
 	}
 	if fs.pending == 0 {
 		c.reply <- nil
 		return
 	}
 	st.flushes[c.array] = fs
-	s.writeSidecar(ast.info)
+	s.writeSidecar(ast.info, useCodec)
+}
+
+// anyPersisted reports whether any block of the array has a durable local
+// copy (which pins the array's existing on-disk layout).
+func anyPersisted(ast *arrayState) bool {
+	for _, b := range ast.blocks {
+		if b.persistedLocal {
+			return true
+		}
+	}
+	return false
 }
 
 // mergeErrChans fans one error out to two waiters.
@@ -1009,12 +1075,25 @@ func mergeErrChans(a, b chan error) chan error {
 	return ch
 }
 
-func (s *Store) writeSidecar(info ArrayInfo) {
-	raw, err := json.MarshalIndent(sidecar{Size: info.Size, BlockSize: info.BlockSize}, "", "  ")
+func (s *Store) writeSidecar(info ArrayInfo, compressed bool) {
+	sc := sidecar{Size: info.Size, BlockSize: info.BlockSize}
+	if compressed {
+		sc.Codec = codecName(s.cfg.Codec)
+	}
+	raw, err := json.MarshalIndent(sc, "", "  ")
 	if err != nil {
 		return
 	}
 	_ = os.WriteFile(s.metaPath(info.Name), raw, 0o644)
+}
+
+// codecName names the configured codec for the sidecar; a store flushing a
+// compressed array without a codec records the raw frame codec.
+func codecName(c compress.Codec) string {
+	if c == nil {
+		return compress.Raw{}.Name()
+	}
+	return c.Name()
 }
 
 func (s *Store) metaPath(name string) string {
@@ -1040,8 +1119,20 @@ func (s *Store) handleIODone(st *loopState, m ioDone) {
 		return
 	}
 	s.installBlock(st, ast, m.block, b, m.data, false, true)
-	st.stats.BytesReadDisk += int64(len(m.data))
-	s.metrics.diskReadBytes.Add(int64(len(m.data)))
+	if m.codec.framed {
+		// Physical disk traffic is the frame; the decoder's output is the
+		// logical block.
+		st.stats.BytesReadDisk += m.codec.storedBytes
+		s.metrics.diskReadBytes.Add(m.codec.storedBytes)
+		st.stats.DecompressStoredBytes += m.codec.storedBytes
+		st.stats.DecompressRawBytes += m.codec.rawBytes
+		cm := s.metrics.codec(m.codec.codecID)
+		cm.decStoredBytes.Add(m.codec.storedBytes)
+		cm.decRawBytes.Add(m.codec.rawBytes)
+	} else {
+		st.stats.BytesReadDisk += int64(len(m.data))
+		s.metrics.diskReadBytes.Add(int64(len(m.data)))
+	}
 }
 
 func (s *Store) handleIOWrote(st *loopState, m ioWrote) {
@@ -1054,6 +1145,21 @@ func (s *Store) handleIOWrote(st *loopState, m ioWrote) {
 		if m.err == nil {
 			b.persistedLocal = true
 			n := ast.info.BlockSpan(m.block).Hi - ast.info.BlockSpan(m.block).Lo
+			if m.codec.framed {
+				n = m.codec.storedBytes
+				st.stats.CompressRawBytes += m.codec.rawBytes
+				st.stats.CompressStoredBytes += m.codec.storedBytes
+				cm := s.metrics.codec(m.codec.codecID)
+				cm.encRawBytes.Add(m.codec.rawBytes)
+				cm.encStoredBytes.Add(m.codec.storedBytes)
+				if m.codec.bailout {
+					st.stats.CompressBailouts++
+					s.metrics.compressBailouts.Inc()
+				}
+				if st.stats.CompressStoredBytes > 0 {
+					s.metrics.compressRatioPercent.Set(100 * st.stats.CompressRawBytes / st.stats.CompressStoredBytes)
+				}
+			}
 			st.stats.BytesWrittenDisk += n
 			s.metrics.diskWriteBytes.Add(n)
 			home := s.homeOf(m.array, m.block)

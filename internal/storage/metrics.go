@@ -3,6 +3,7 @@ package storage
 import (
 	"strconv"
 
+	"dooc/internal/compress"
 	"dooc/internal/obs"
 )
 
@@ -26,38 +27,87 @@ type storeMetrics struct {
 	peerBytes       *obs.Counter
 	ioRetries       *obs.Counter
 
-	memUsed      *obs.Gauge
-	ioQueueDepth *obs.Gauge
+	compressBailouts *obs.Counter
+
+	memUsed              *obs.Gauge
+	ioQueueDepth         *obs.Gauge
+	compressRatioPercent *obs.Gauge
 
 	leaseWait      *obs.Histogram
 	ioReadSeconds  *obs.Histogram
 	ioWriteSeconds *obs.Histogram
+	encodeSeconds  *obs.Histogram
+	decodeSeconds  *obs.Histogram
+
+	// Per-codec byte counters are resolved lazily — which codecs appear
+	// depends on the adaptive bail-out at runtime. Only the actor loop
+	// touches the map; the counters themselves are atomics.
+	reg      *obs.Registry
+	node     obs.Label
+	perCodec map[uint8]*codecCounters
+}
+
+// codecCounters are one codec's byte series on one node.
+type codecCounters struct {
+	encRawBytes    *obs.Counter
+	encStoredBytes *obs.Counter
+	decStoredBytes *obs.Counter
+	decRawBytes    *obs.Counter
+}
+
+// codec returns the byte counters for a codec ID, registering them on
+// first use with node and codec labels.
+func (m *storeMetrics) codec(id uint8) *codecCounters {
+	if cc, ok := m.perCodec[id]; ok {
+		return cc
+	}
+	name := "unknown"
+	if c, ok := compress.ByID(id); ok {
+		name = c.Name()
+	}
+	l := obs.L("codec", name)
+	cc := &codecCounters{
+		encRawBytes:    m.reg.Counter("dooc_storage_compress_raw_bytes_total", "logical block bytes fed to the encoder on spill", m.node, l),
+		encStoredBytes: m.reg.Counter("dooc_storage_compress_stored_bytes_total", "frame bytes written to scratch", m.node, l),
+		decStoredBytes: m.reg.Counter("dooc_storage_decompress_stored_bytes_total", "frame bytes read from scratch", m.node, l),
+		decRawBytes:    m.reg.Counter("dooc_storage_decompress_raw_bytes_total", "logical block bytes produced by the decoder", m.node, l),
+	}
+	m.perCodec[id] = cc
+	return cc
 }
 
 func newStoreMetrics(reg *obs.Registry, node int) storeMetrics {
 	l := obs.L("node", strconv.Itoa(node))
 	return storeMetrics{
-		readReqs:        reg.Counter("dooc_storage_read_requests_total", "read lease requests received", l),
-		writeReqs:       reg.Counter("dooc_storage_write_requests_total", "write lease requests received", l),
-		hits:            reg.Counter("dooc_storage_cache_hits_total", "read requests served from resident memory", l),
-		misses:          reg.Counter("dooc_storage_cache_misses_total", "read requests that had to fetch", l),
-		evictions:       reg.Counter("dooc_storage_evictions_total", "blocks reclaimed from memory", l),
-		blockLoads:      reg.Counter("dooc_storage_block_loads_total", "complete blocks installed from disk or a peer", l),
-		prefetchIssued:  reg.Counter("dooc_storage_prefetch_issued_total", "prefetch requests received", l),
-		prefetchLoads:   reg.Counter("dooc_storage_prefetch_loads_total", "block fetches initiated by prefetch", l),
-		prefetchHits:    reg.Counter("dooc_storage_prefetch_hits_total", "cache hits on prefetched blocks", l),
-		peerProbes:      reg.Counter("dooc_storage_peer_probes_total", "random-peer probe messages sent", l),
-		peerProbeMisses: reg.Counter("dooc_storage_peer_probe_misses_total", "probes answered \"not here\"", l),
-		diskReadBytes:   reg.Counter("dooc_storage_disk_read_bytes_total", "scratch-dir bytes read", l),
-		diskWriteBytes:  reg.Counter("dooc_storage_disk_write_bytes_total", "scratch-dir bytes written", l),
-		peerBytes:       reg.Counter("dooc_storage_peer_fetch_bytes_total", "bytes fetched from peer stores", l),
-		ioRetries:       reg.Counter("dooc_storage_io_retries_total", "transient disk errors survived by the retry policy", l),
+		reg:      reg,
+		node:     l,
+		perCodec: make(map[uint8]*codecCounters),
 
-		memUsed:      reg.Gauge("dooc_storage_mem_used_bytes", "resident block bytes", l),
-		ioQueueDepth: reg.Gauge("dooc_storage_io_queue_depth", "jobs queued for the asynchronous I/O filters", l),
+		readReqs:         reg.Counter("dooc_storage_read_requests_total", "read lease requests received", l),
+		writeReqs:        reg.Counter("dooc_storage_write_requests_total", "write lease requests received", l),
+		hits:             reg.Counter("dooc_storage_cache_hits_total", "read requests served from resident memory", l),
+		misses:           reg.Counter("dooc_storage_cache_misses_total", "read requests that had to fetch", l),
+		evictions:        reg.Counter("dooc_storage_evictions_total", "blocks reclaimed from memory", l),
+		blockLoads:       reg.Counter("dooc_storage_block_loads_total", "complete blocks installed from disk or a peer", l),
+		prefetchIssued:   reg.Counter("dooc_storage_prefetch_issued_total", "prefetch requests received", l),
+		prefetchLoads:    reg.Counter("dooc_storage_prefetch_loads_total", "block fetches initiated by prefetch", l),
+		prefetchHits:     reg.Counter("dooc_storage_prefetch_hits_total", "cache hits on prefetched blocks", l),
+		peerProbes:       reg.Counter("dooc_storage_peer_probes_total", "random-peer probe messages sent", l),
+		peerProbeMisses:  reg.Counter("dooc_storage_peer_probe_misses_total", "probes answered \"not here\"", l),
+		diskReadBytes:    reg.Counter("dooc_storage_disk_read_bytes_total", "scratch-dir bytes read", l),
+		diskWriteBytes:   reg.Counter("dooc_storage_disk_write_bytes_total", "scratch-dir bytes written", l),
+		peerBytes:        reg.Counter("dooc_storage_peer_fetch_bytes_total", "bytes fetched from peer stores", l),
+		ioRetries:        reg.Counter("dooc_storage_io_retries_total", "transient disk errors survived by the retry policy", l),
+		compressBailouts: reg.Counter("dooc_storage_compress_bailouts_total", "blocks stored raw by the adaptive bail-out", l),
+
+		memUsed:              reg.Gauge("dooc_storage_mem_used_bytes", "resident block bytes", l),
+		ioQueueDepth:         reg.Gauge("dooc_storage_io_queue_depth", "jobs queued for the asynchronous I/O filters", l),
+		compressRatioPercent: reg.Gauge("dooc_storage_compress_ratio_percent", "cumulative spill ratio, 100*raw/stored", l),
 
 		leaseWait:      reg.Histogram("dooc_storage_lease_wait_seconds", "time from lease request to grant", nil, l),
 		ioReadSeconds:  reg.Histogram("dooc_storage_io_read_seconds", "block read latency incl. retries", nil, l),
 		ioWriteSeconds: reg.Histogram("dooc_storage_io_write_seconds", "block write latency incl. retries", nil, l),
+		encodeSeconds:  reg.Histogram("dooc_storage_compress_encode_seconds", "block encode latency on spill", nil, l),
+		decodeSeconds:  reg.Histogram("dooc_storage_compress_decode_seconds", "frame decode latency on load", nil, l),
 	}
 }

@@ -1,10 +1,13 @@
 package storage
 
 import (
+	"bytes"
+	"math/rand"
 	"strconv"
 	"testing"
 	"time"
 
+	"dooc/internal/compress"
 	"dooc/internal/obs"
 )
 
@@ -170,6 +173,110 @@ func TestMetricsReconcileWithStats(t *testing.T) {
 	// must be exact block multiples.
 	if st.BytesReadDisk%blockSize != 0 {
 		t.Errorf("disk read bytes %d not a multiple of the block size", st.BytesReadDisk)
+	}
+	assertRegistryConsistent(t, reg)
+}
+
+// TestCompressMetricsReconcile drives a codec-configured store through a
+// mixed spill (compressible and incompressible blocks), then checks the
+// per-codec registry series reconcile with the loop's Stats bookkeeping and
+// satisfy the compression invariant stored <= raw for every real codec.
+func TestCompressMetricsReconcile(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewLocal(Config{
+		MemoryBudget: 1 << 20,
+		ScratchDir:   t.TempDir(),
+		Seed:         1,
+		Obs:          reg,
+		Codec:        compress.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	const blockSize = 512
+	smooth := smoothPayload(4 * blockSize)
+	noise := make([]byte, 2*blockSize)
+	rand.New(rand.NewSource(7)).Read(noise)
+	for name, payload := range map[string][]byte{"smooth": smooth, "noise": noise} {
+		if err := s.WriteArray(name, payload, blockSize); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(name); err != nil {
+			t.Fatal(err)
+		}
+		for bi := 0; bi*blockSize < len(payload); bi++ {
+			if err := s.Evict(name, bi); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := s.ReadAll(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("%s round trip corrupted", name)
+		}
+	}
+
+	st := s.Stats()
+	if st.CompressBailouts == 0 {
+		t.Fatal("random blocks never tripped the adaptive bail-out")
+	}
+	if st.CompressStoredBytes >= st.CompressRawBytes {
+		t.Fatalf("stored %d >= raw %d: mixed spill did not shrink", st.CompressStoredBytes, st.CompressRawBytes)
+	}
+
+	// Registry family sums must equal the Stats the loop keeps — both are
+	// updated at the same call sites.
+	sums := []struct {
+		name string
+		want int64
+	}{
+		{"dooc_storage_compress_raw_bytes_total", st.CompressRawBytes},
+		{"dooc_storage_compress_stored_bytes_total", st.CompressStoredBytes},
+		{"dooc_storage_decompress_stored_bytes_total", st.DecompressStoredBytes},
+		{"dooc_storage_decompress_raw_bytes_total", st.DecompressRawBytes},
+		{"dooc_storage_compress_bailouts_total", st.CompressBailouts},
+		{"dooc_storage_disk_write_bytes_total", st.BytesWrittenDisk},
+		{"dooc_storage_disk_read_bytes_total", st.BytesReadDisk},
+	}
+	for _, c := range sums {
+		if got := reg.Sum(c.name); got != c.want {
+			t.Errorf("Sum(%s) = %d, Stats says %d", c.name, got, c.want)
+		}
+	}
+	// Physical disk traffic is the frame traffic.
+	if st.BytesWrittenDisk != st.CompressStoredBytes {
+		t.Errorf("BytesWrittenDisk = %d, CompressStoredBytes = %d", st.BytesWrittenDisk, st.CompressStoredBytes)
+	}
+	if st.BytesReadDisk != st.DecompressStoredBytes {
+		t.Errorf("BytesReadDisk = %d, DecompressStoredBytes = %d", st.BytesReadDisk, st.DecompressStoredBytes)
+	}
+	// Ratio gauge agrees with the cumulative stats.
+	if want := 100 * st.CompressRawBytes / st.CompressStoredBytes; reg.Sum("dooc_storage_compress_ratio_percent") != want {
+		t.Errorf("ratio gauge = %d, want %d", reg.Sum("dooc_storage_compress_ratio_percent"), want)
+	}
+	// Per-codec invariant: a real codec only keeps a block when it shrank, so
+	// stored <= raw codec by codec. Raw (bail-out) frames pay the header.
+	for _, name := range compress.Names() {
+		raw := reg.SumWhere("dooc_storage_compress_raw_bytes_total", "codec", name)
+		stored := reg.SumWhere("dooc_storage_compress_stored_bytes_total", "codec", name)
+		if name != "raw" && stored > raw {
+			t.Errorf("codec %s stored %d > raw %d", name, stored, raw)
+		}
+		// Every byte spilled was read back exactly once above.
+		if dec := reg.SumWhere("dooc_storage_decompress_stored_bytes_total", "codec", name); dec != stored {
+			t.Errorf("codec %s: read back %d frame bytes, wrote %d", name, dec, stored)
+		}
+	}
+	// Both the default codec and the raw bail-out contributed series.
+	if reg.SumWhere("dooc_storage_compress_stored_bytes_total", "codec", compress.Default().Name()) == 0 {
+		t.Errorf("no stored bytes attributed to the default codec %q", compress.Default().Name())
+	}
+	if reg.SumWhere("dooc_storage_compress_stored_bytes_total", "codec", "raw") == 0 {
+		t.Error("no stored bytes attributed to the raw bail-out")
 	}
 	assertRegistryConsistent(t, reg)
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"dooc/internal/compress"
 	"dooc/internal/faults"
 	"dooc/internal/obs"
 )
@@ -96,6 +97,13 @@ type Config struct {
 	// Faults, when non-nil, injects disk errors and stalls into the I/O
 	// filters for recovery testing.
 	Faults *faults.Injector
+	// Codec, when non-nil, compresses blocks on scratch spill: flushed
+	// arrays are written as per-block self-describing frames (with an
+	// adaptive raw bail-out for incompressible blocks) and decompressed on
+	// load. Reading a compressed scratch directory does not require Codec —
+	// frames carry their own codec ID — so a store restarted without one
+	// still recovers compressed arrays.
+	Codec compress.Codec
 	// Obs, when non-nil, receives this store's metric series (cache
 	// hits/misses, eviction and load counters, lease-wait and I/O latency
 	// histograms) under dooc_storage_* names with a node label.
@@ -193,6 +201,15 @@ type Stats struct {
 	PrefetchHits      int64 // cache hits on blocks a prefetch brought in
 	ImplicitDiskReads int64
 	IORetries         int64 // transient disk errors survived by the retry policy
+
+	// Compression accounting. BytesWrittenDisk/BytesReadDisk count physical
+	// scratch traffic, so with a codec they shrink; the pairs below relate
+	// physical frames to the logical block bytes they carry.
+	CompressRawBytes      int64 // logical bytes fed to the encoder on spill
+	CompressStoredBytes   int64 // frame bytes written to scratch
+	CompressBailouts      int64 // blocks stored raw by the adaptive bail-out
+	DecompressStoredBytes int64 // frame bytes read from scratch
+	DecompressRawBytes    int64 // logical bytes produced by the decoder
 }
 
 // ResidencyMap reports which blocks of which arrays are resident in memory,
@@ -237,10 +254,19 @@ const metaFileSuffix = ".meta"
 // arrayFileSuffix is the on-disk extension of array payload files.
 const arrayFileSuffix = ".arr"
 
+// blockDirSuffix is the on-disk extension of compressed array directories:
+// frames are variable length, so a compressed array is a directory of
+// per-block frame files instead of a single fixed-offset file.
+const blockDirSuffix = ".blk"
+
 // sidecar is the JSON sidecar describing a flushed array's block structure.
+// A non-empty Codec marks the compressed per-block layout; the value
+// records the codec the flush was configured with (individual frames are
+// self-describing and may differ via the adaptive bail-out).
 type sidecar struct {
-	Size      int64 `json:"size"`
-	BlockSize int64 `json:"block_size"`
+	Size      int64  `json:"size"`
+	BlockSize int64  `json:"block_size"`
+	Codec     string `json:"codec,omitempty"`
 }
 
 // NewNetwork creates n interconnected stores. The configure callback can
@@ -332,9 +358,18 @@ func (s *Store) start() {
 // NodeID returns the store's node index.
 func (s *Store) NodeID() int { return s.cfg.NodeID }
 
-// scanScratch enumerates pre-existing arrays in the scratch directory.
-// Returns the discovered array infos.
-func (s *Store) scanScratch() ([]ArrayInfo, error) {
+// scannedArray is one startup-scan discovery: the array shape plus whether
+// its local layout is the compressed per-block directory.
+type scannedArray struct {
+	info       ArrayInfo
+	compressed bool
+}
+
+// scanScratch enumerates pre-existing arrays in the scratch directory:
+// plain `.arr` payload files, and `.blk` directories of compressed block
+// frames (which require a sidecar, since the array shape cannot be
+// recovered from variable-length frames).
+func (s *Store) scanScratch() ([]scannedArray, error) {
 	if s.cfg.ScratchDir == "" {
 		return nil, nil
 	}
@@ -342,9 +377,24 @@ func (s *Store) scanScratch() ([]ArrayInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	var found []ArrayInfo
+	var found []scannedArray
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), arrayFileSuffix) {
+		if e.IsDir() {
+			if !strings.HasSuffix(e.Name(), blockDirSuffix) {
+				continue
+			}
+			name := strings.TrimSuffix(e.Name(), blockDirSuffix)
+			sc, ok := s.readSidecar(name)
+			if !ok || sc.Codec == "" {
+				continue
+			}
+			found = append(found, scannedArray{
+				info:       ArrayInfo{Name: name, Size: sc.Size, BlockSize: sc.BlockSize},
+				compressed: true,
+			})
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), arrayFileSuffix) {
 			continue
 		}
 		name := strings.TrimSuffix(e.Name(), arrayFileSuffix)
@@ -357,29 +407,39 @@ func (s *Store) scanScratch() ([]ArrayInfo, error) {
 			continue
 		}
 		// A sidecar refines the block structure.
-		if raw, err := os.ReadFile(filepath.Join(s.cfg.ScratchDir, name+metaFileSuffix)); err == nil {
-			var sc sidecar
-			if err := json.Unmarshal(raw, &sc); err == nil && sc.Size > 0 && sc.BlockSize > 0 {
-				info.Size = sc.Size
-				info.BlockSize = sc.BlockSize
-			}
+		if sc, ok := s.readSidecar(name); ok {
+			info.Size = sc.Size
+			info.BlockSize = sc.BlockSize
 		}
-		found = append(found, info)
+		found = append(found, scannedArray{info: info})
 	}
 	return found, nil
 }
 
+// readSidecar loads an array's sidecar if present and plausible.
+func (s *Store) readSidecar(name string) (sidecar, bool) {
+	raw, err := os.ReadFile(filepath.Join(s.cfg.ScratchDir, name+metaFileSuffix))
+	if err != nil {
+		return sidecar{}, false
+	}
+	var sc sidecar
+	if err := json.Unmarshal(raw, &sc); err != nil || sc.Size <= 0 || sc.BlockSize <= 0 {
+		return sidecar{}, false
+	}
+	return sc, true
+}
+
 // announceScanned registers this node's on-disk arrays with every store.
 func (s *Store) announceScanned() {
-	infos, err := s.scanScratch()
+	scanned, err := s.scanScratch()
 	if err != nil {
 		// Scan failures surface on first access attempt; the scratch dir was
 		// already validated at construction.
 		return
 	}
-	for _, info := range infos {
+	for _, sa := range scanned {
 		for _, p := range s.peers {
-			p.post(msgAnnounce{info: info, diskNode: s.cfg.NodeID})
+			p.post(msgAnnounce{info: sa.info, diskNode: s.cfg.NodeID, compressed: sa.compressed})
 		}
 	}
 }
@@ -387,6 +447,17 @@ func (s *Store) announceScanned() {
 // arrayPath returns the payload file path for an array on this node.
 func (s *Store) arrayPath(name string) string {
 	return filepath.Join(s.cfg.ScratchDir, name+arrayFileSuffix)
+}
+
+// blockDir returns the directory holding an array's compressed block
+// frames on this node.
+func (s *Store) blockDir(name string) string {
+	return filepath.Join(s.cfg.ScratchDir, name+blockDirSuffix)
+}
+
+// blockPath returns the frame file for one compressed block.
+func (s *Store) blockPath(name string, idx int) string {
+	return filepath.Join(s.blockDir(name), fmt.Sprintf("%06d", idx))
 }
 
 // homeOf returns the node owning the directory entry for (array, block):
