@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"dooc/internal/core"
+	"dooc/internal/jobs"
+	"dooc/internal/sparse"
+)
+
+// jobsRun measures the multi-tenant job service: the same four solve
+// requests run serially (one job slot) and then 4-way concurrently over
+// one shared out-of-core system, checking every per-job result is
+// bit-identical across the two schedules. The matrix is staged to scratch
+// under a tight memory budget, so each job spends much of its life waiting
+// on block I/O — exactly the stalls a co-scheduled job can fill. Fixed-order
+// reductions make each job's result independent of what else the service is
+// running — that is the property that lets tenants share a machine without
+// renting determinism away.
+func jobsRun() error {
+	const (
+		dim   = 2400
+		k     = 3
+		nodes = 2
+	)
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 8, Seed: 7})
+	if err != nil {
+		return err
+	}
+	root, err := os.MkdirTemp("", "doocbench-jobs")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+	base := core.SpMVConfig{Dim: dim, K: k, Nodes: nodes}
+	stage := base
+	stage.Iters = 1
+	if err := core.StageMatrix(root, m, stage); err != nil {
+		return err
+	}
+	info, err := core.DiscoverStagedMatrix(root)
+	if err != nil {
+		return err
+	}
+	// ~3 matrix blocks per node resident: every iteration re-reads most of
+	// the sub-matrices from scratch.
+	blockBytes := info.Bytes / int64(k*k)
+	sys, err := core.NewSystem(core.Options{
+		Nodes:          nodes,
+		WorkersPerNode: 2,
+		MemoryBudget:   blockBytes*3 + 1<<18,
+		ScratchRoot:    root,
+		PrefetchWindow: 1,
+		Obs:            benchObs,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	reqs := []jobs.SolveRequest{
+		{Tenant: "alice", Priority: 1, Iters: 12, Seed: 1, MemoryBytes: 1 << 24},
+		{Tenant: "bob", Priority: 9, Iters: 12, Seed: 2, MemoryBytes: 1 << 24},
+		{Tenant: "alice", Priority: 5, Iters: 12, Seed: 3},
+		{Tenant: "carol", Priority: 3, Iters: 12, Seed: 4, ScratchBytes: 1 << 30},
+	}
+
+	runMode := func(maxRunning int) ([][]byte, []jobs.JobStatus, time.Duration, error) {
+		svc := jobs.NewSolverService(sys, base, jobs.Config{MaxRunning: maxRunning, QueueDepth: 16})
+		start := time.Now()
+		ids := make([]int64, len(reqs))
+		for i, r := range reqs {
+			st, err := svc.Submit(r)
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("submit %d: %w", i, err)
+			}
+			ids[i] = st.ID
+		}
+		results := make([][]byte, len(reqs))
+		for i, id := range ids {
+			res, err := svc.Manager.Result(id)
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("job %d: %w", id, err)
+			}
+			results[i] = res
+		}
+		wall := time.Since(start)
+		finals := make([]jobs.JobStatus, len(ids))
+		for i, id := range ids {
+			finals[i], _ = svc.Manager.Status(id)
+		}
+		return results, finals, wall, nil
+	}
+
+	serial, serialFinals, serialWall, err := runMode(1)
+	if err != nil {
+		return fmt.Errorf("serial: %w", err)
+	}
+	conc, finals, concWall, err := runMode(len(reqs))
+	if err != nil {
+		return fmt.Errorf("concurrent: %w", err)
+	}
+
+	fmt.Printf("%d jobs (dim=%d K=%d nodes=%d, out-of-core, 12 iterations each, mixed priorities)\n\n", len(reqs), dim, k, nodes)
+	fmt.Printf("%-24s %10s %14s\n", "schedule", "wall", "jobs/s")
+	fmt.Printf("%-24s %10v %14.2f\n", "serial (max-jobs=1)", serialWall.Round(time.Millisecond), float64(len(reqs))/serialWall.Seconds())
+	fmt.Printf("%-24s %10v %14.2f\n", fmt.Sprintf("concurrent (max-jobs=%d)", len(reqs)), concWall.Round(time.Millisecond), float64(len(reqs))/concWall.Seconds())
+	fmt.Printf("\nthroughput ratio %.2fx (work-conserving: a lone job already keeps the\nmachine busy, so co-scheduling buys latency isolation, not extra FLOPs)\n\n", serialWall.Seconds()/concWall.Seconds())
+
+	fmt.Printf("%-8s %-8s %-10s %16s %16s %6s\n", "tenant", "priority", "state", "serial q-wait", "conc q-wait", "ident")
+	var serialWait, concWait float64
+	for i, st := range finals {
+		ident := "YES"
+		if !bytes.Equal(serial[i], conc[i]) {
+			ident = "NO"
+		}
+		serialWait += serialFinals[i].QueueWait
+		concWait += st.QueueWait
+		fmt.Printf("%-8s %-8d %-10s %15.3fs %15.3fs %6s\n",
+			st.Tenant, st.Priority, st.State, serialFinals[i].QueueWait, st.QueueWait, ident)
+		if ident == "NO" {
+			return fmt.Errorf("job %d: concurrent result differs from serial", i)
+		}
+	}
+	n := float64(len(reqs))
+	fmt.Printf("\nmean queue-wait: serial %.3fs, concurrent %.3fs\n", serialWait/n, concWait/n)
+	fmt.Println("\nEvery job's result is bit-identical under both schedules: fixed-order")
+	fmt.Println("reductions make results scheduling-independent, so co-tenancy is free")
+	fmt.Println("of numeric noise.")
+	return nil
+}

@@ -58,6 +58,7 @@ var experiments = []struct {
 	{"faults", "EXTENSION: fault injection — recovery overhead and node-failure re-execution", faultsRun},
 	{"codec", "EXTENSION: adaptive block compression — scratch, staged files, and wire", codecRun},
 	{"streams", "filter-stream middleware traffic (DataCutter substrate)", streamsRun},
+	{"jobs", "EXTENSION: multi-tenant job service — serial vs concurrent, bit-identical", jobsRun},
 }
 
 // faultRate is the -faults flag: when > 0, the `real` experiment also runs

@@ -5,12 +5,23 @@
 // Usage:
 //
 //	doocrun -dir /tmp/stage -iters 4 -mem 67108864 -gantt
+//
+// With -server, doocrun is instead a thin client of a doocserve -jobs
+// service: it submits one solve job (tenant, priority, iters, seed, and
+// optional per-job memory/scratch quotas), blocks for the result, and
+// prints the result vector's SHA-256 and L2 norm — two submissions with
+// equal seeds and iterations print identical hashes, which is how the CI
+// smoke test checks concurrent jobs for bit-identical results.
+//
+//	doocrun -server 127.0.0.1:7777 -tenant alice -priority 5 -iters 4 -seed 1
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -18,7 +29,10 @@ import (
 
 	"dooc/internal/compress"
 	"dooc/internal/core"
+	"dooc/internal/jobs"
 	"dooc/internal/obs"
+	"dooc/internal/remote"
+	"dooc/internal/storage"
 )
 
 // codecByFlag resolves a -codec flag value: empty disables compression,
@@ -54,6 +68,11 @@ func main() {
 		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 		validate  = flag.String("validate-trace", "", "validate a Chrome trace-event JSON file and exit (CI smoke mode)")
 		codecName = flag.String("codec", "", "compress scratch spills with this codec (empty = off, \"default\" = "+compress.Default().Name()+")")
+		server    = flag.String("server", "", "submit the run as a job to a doocserve -jobs service at this address instead of running locally")
+		tenant    = flag.String("tenant", "default", "job mode: tenant name for scheduling")
+		priority  = flag.Int("priority", 0, "job mode: priority (higher runs earlier)")
+		jobMem    = flag.Int64("job-mem", 0, "job mode: per-job aggregate cache budget in bytes (0 = none)")
+		jobScr    = flag.Int64("job-scratch", 0, "job mode: per-job aggregate scratch ceiling in bytes (0 = unlimited)")
 	)
 	flag.Parse()
 	if *validate != "" {
@@ -65,6 +84,10 @@ func main() {
 			log.Fatalf("%s: %v", *validate, err)
 		}
 		fmt.Printf("%s: valid Chrome trace\n", *validate)
+		return
+	}
+	if *server != "" {
+		submitJob(*server, *tenant, *priority, *iters, *seed, *jobMem, *jobScr)
 		return
 	}
 	if *dir == "" {
@@ -136,6 +159,46 @@ func main() {
 			log.Fatalf("trace: %v", err)
 		}
 		fmt.Printf("wrote %d trace events to %s\n", tracer.Len(), *tracePath)
+	}
+}
+
+// submitJob runs the job-client mode: submit one solve to a doocserve
+// -jobs service, block for the result, and print a deterministic summary.
+func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratch int64) {
+	cl, err := remote.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	st, err := cl.SubmitJob(jobs.SolveRequest{
+		Tenant:       tenant,
+		Priority:     priority,
+		Iters:        iters,
+		Seed:         seed,
+		MemoryBytes:  jobMem,
+		ScratchBytes: jobScratch,
+	})
+	if err != nil {
+		log.Fatalf("submit: %v", err)
+	}
+	log.Printf("job %d submitted (tenant=%s priority=%d state=%s)", st.ID, st.Tenant, st.Priority, st.State)
+	data, final, err := cl.JobResult(st.ID)
+	if err != nil {
+		log.Fatalf("job %d: %v", st.ID, err)
+	}
+	x := storage.DecodeFloat64s(data)
+	var norm float64
+	for _, v := range x {
+		norm += v * v
+	}
+	fmt.Printf("job        %d\n", st.ID)
+	fmt.Printf("state      %s\n", final.State)
+	fmt.Printf("dim        %d\n", len(x))
+	fmt.Printf("result     sha256=%x\n", sha256.Sum256(data))
+	fmt.Printf("l2norm     %.12e\n", math.Sqrt(norm))
+	fmt.Printf("queue-wait %.3fs\n", final.QueueWait)
+	if !final.FinishedAt.IsZero() && !final.StartedAt.IsZero() {
+		fmt.Printf("run-time   %.3fs\n", final.FinishedAt.Sub(final.StartedAt).Seconds())
 	}
 }
 

@@ -13,8 +13,20 @@
 // ReadAll("A_000_000") etc.
 //
 // With -http, the server also exposes Prometheus-style metrics on
-// GET /metrics (dooc_storage_* and dooc_remote_server_* series) and the
-// standard net/http/pprof profiling endpoints under /debug/pprof/.
+// GET /metrics (dooc_storage_* and dooc_remote_server_* series), liveness
+// and readiness probes on /healthz and /readyz (readiness flips to 503 the
+// moment a shutdown signal arrives), and the standard net/http/pprof
+// profiling endpoints under /debug/pprof/.
+//
+// With -jobs, doocserve becomes a multi-tenant solver service instead of a
+// plain block server: -scratch must point at a staged matrix root (doocgen
+// -out), a core.System spanning the staged node count is built over it, and
+// the TCP endpoint accepts the job verbs (submit/status/cancel/result/list
+// — see doocrun -server for the client side). -max-jobs bounds concurrent
+// jobs, -queue-depth bounds waiting ones, and -job-mem caps the aggregate
+// admitted memory reservation; over-capacity submissions are rejected with
+// typed errors, never queued blocking. The HTTP listener additionally
+// serves GET /jobs, a JSON array of every job's status.
 package main
 
 import (
@@ -30,6 +42,8 @@ import (
 	"time"
 
 	"dooc/internal/compress"
+	"dooc/internal/core"
+	"dooc/internal/jobs"
 	"dooc/internal/obs"
 	"dooc/internal/remote"
 	"dooc/internal/storage"
@@ -46,6 +60,11 @@ func main() {
 		httpAddr  = flag.String("http", "", "HTTP address for /metrics and /debug/pprof (empty = off)")
 		drain     = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 		codecName = flag.String("codec", "", "compress scratch spills and wire payloads with this codec (empty = off, \"default\" = "+compress.Default().Name()+")")
+		jobsMode  = flag.Bool("jobs", false, "run as a multi-tenant solver service over the staged matrix in -scratch")
+		maxJobs   = flag.Int("max-jobs", 2, "jobs mode: maximum concurrently running jobs")
+		queueDep  = flag.Int("queue-depth", 8, "jobs mode: maximum queued jobs before submissions are rejected")
+		jobMem    = flag.Int64("job-mem", 0, "jobs mode: aggregate memory budget for admitted jobs (0 = unlimited)")
+		workers   = flag.Int("workers", 2, "jobs mode: computing filters per node")
 	)
 	flag.Parse()
 	if *scratch == "" {
@@ -64,16 +83,57 @@ func main() {
 		}
 	}
 	reg := obs.NewRegistry()
-	st, err := storage.NewLocal(storage.Config{MemoryBudget: *mem, ScratchDir: *scratch, IOWorkers: 4, Obs: reg, Codec: codec})
-	if err != nil {
-		log.Fatal(err)
+	health := &jobs.Health{}
+
+	// Build the served store: a plain scratch-directory store, or — in jobs
+	// mode — node 0 of a full system spanning the staged matrix, with a
+	// solver service in front.
+	var (
+		srv        *remote.Server
+		svc        *jobs.SolverService
+		statsStore *storage.Store
+	)
+	if *jobsMode {
+		info, err := core.DiscoverStagedMatrix(*scratch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("staged matrix: dim=%d K=%d nodes=%d nnz=%d (%.1f MB)",
+			info.Dim, info.K, info.Nodes, info.NNZ, float64(info.Bytes)/1e6)
+		sys, err := core.NewSystem(core.Options{
+			Nodes:          info.Nodes,
+			WorkersPerNode: *workers,
+			MemoryBudget:   *mem,
+			ScratchRoot:    *scratch,
+			Obs:            reg,
+			Codec:          codec,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sys.Close()
+		svc = jobs.NewSolverService(sys,
+			core.SpMVConfig{Dim: info.Dim, K: info.K, Nodes: info.Nodes},
+			jobs.Config{MaxRunning: *maxJobs, QueueDepth: *queueDep, MemoryBudget: *jobMem, Obs: reg})
+		statsStore = sys.Store(0)
+		srv, err = remote.ListenOptions(statsStore, *listen, remote.ServerOptions{Obs: reg, Codec: codec, Jobs: svc})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("job service on %s (max-jobs=%d queue-depth=%d job-mem=%d)", srv.Addr(), *maxJobs, *queueDep, *jobMem)
+	} else {
+		st, err := storage.NewLocal(storage.Config{MemoryBudget: *mem, ScratchDir: *scratch, IOWorkers: 4, Obs: reg, Codec: codec})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		statsStore = st
+		srv, err = remote.ListenOptions(st, *listen, remote.ServerOptions{Obs: reg, Codec: codec})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving %s on %s", *scratch, srv.Addr())
 	}
-	defer st.Close()
-	srv, err := remote.ListenOptions(st, *listen, remote.ServerOptions{Obs: reg, Codec: codec})
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("serving %s on %s", *scratch, srv.Addr())
 	if codec != nil {
 		log.Printf("codec %s on scratch spills and negotiated wire payloads", codec.Name())
 	}
@@ -81,8 +141,13 @@ func main() {
 	var httpSrv *http.Server
 	if *httpAddr != "" {
 		// net/http/pprof registered its handlers on DefaultServeMux at
-		// import; add /metrics beside them.
+		// import; add /metrics and the probes beside them.
 		http.Handle("/metrics", obs.Handler(reg))
+		http.HandleFunc("/healthz", health.Healthz)
+		http.HandleFunc("/readyz", health.Readyz)
+		if svc != nil {
+			http.HandleFunc("/jobs", svc.ServeJobs)
+		}
 		httpSrv = &http.Server{Addr: *httpAddr}
 		go func() {
 			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -95,7 +160,7 @@ func main() {
 	if *stats > 0 {
 		go func() {
 			for range time.Tick(*stats) {
-				s := st.Stats()
+				s := statsStore.Stats()
 				fmt.Printf("requests=%d out=%.1fMB in=%.1fMB disk-read=%.1fMB resident=%.1fMB\n",
 					srv.Requests(), float64(srv.BytesOut())/1e6, float64(srv.BytesIn())/1e6,
 					float64(s.BytesReadDisk)/1e6, float64(s.MemUsed)/1e6)
@@ -106,7 +171,24 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Readiness flips first so load balancers stop sending work, then the
+	// job manager drains (cancelling stragglers at the timeout), then the
+	// RPC and HTTP listeners shut down.
+	health.SetDraining(true)
 	log.Printf("draining (up to %v) after %d requests", *drain, srv.Requests())
+	if svc != nil {
+		done := make(chan struct{})
+		go func() { svc.Manager.Drain(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(*drain):
+			log.Printf("drain timeout: cancelling outstanding jobs")
+			for _, j := range svc.Manager.List() {
+				_ = svc.Manager.Cancel(j.ID)
+			}
+			<-done
+		}
+	}
 	if httpSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		_ = httpSrv.Shutdown(ctx)

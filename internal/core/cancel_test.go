@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dooc/internal/dag"
+	"dooc/internal/sparse"
+	"dooc/internal/storage"
+)
+
+// TestRunCancel closes the cancel channel mid-run and checks the engine
+// aborts with ErrCancelled, finishes in-flight tasks (leaving no dangling
+// leases), and leaves the system usable for a fresh run.
+func TestRunCancel(t *testing.T) {
+	sys, err := NewSystem(Options{Nodes: 2, WorkersPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	const n = 40
+	if err := sys.Store(0).Create("out", 8*n, 8); err != nil {
+		t.Fatal(err)
+	}
+	tasks := make([]*dag.Task, n)
+	for i := 0; i < n; i++ {
+		tasks[i] = &dag.Task{
+			ID:      fmt.Sprintf("t%d", i),
+			Kind:    "slow",
+			Outputs: []dag.Ref{{Array: "out", Block: i, Bytes: 8}},
+		}
+	}
+	cancel := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	var once sync.Once
+	spec := RunSpec{
+		Tasks: tasks,
+		Executors: map[string]Executor{
+			"slow": func(ctx *ExecContext) error {
+				once.Do(started.Done)
+				time.Sleep(2 * time.Millisecond)
+				l, err := ctx.Store.RequestBlock("out", ctx.Task.Outputs[0].Block, storage.PermWrite)
+				if err != nil {
+					return err
+				}
+				storage.PutFloat64s(l, []float64{1})
+				l.Release()
+				return nil
+			},
+		},
+		Cancel: cancel,
+	}
+	go func() {
+		started.Wait()
+		close(cancel)
+	}()
+	_, err = sys.Run(spec)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled run returned %v, want ErrCancelled", err)
+	}
+
+	// All leases are back: the array deletes cleanly.
+	if err := sys.Store(0).Delete("out"); err != nil {
+		t.Fatalf("delete after cancel: %v", err)
+	}
+
+	// The system still runs fresh programs.
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: 200, Cols: 200, D: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SpMVConfig{Dim: 200, K: 2, Iters: 1, Nodes: 2, Tag: "post-cancel"}
+	if err := LoadMatrixInMemory(sys, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	x0 := make([]float64, 200)
+	x0[0] = 1
+	if _, err := RunIteratedSpMV(sys, cfg, x0); err != nil {
+		t.Fatalf("run after cancel: %v", err)
+	}
+}
+
+// TestRunCancelSpMV cancels an iterated SpMV through the job-layer entry
+// point and checks the transient arrays are gone afterwards: storage memory
+// returns to its pre-run level.
+func TestRunCancelSpMV(t *testing.T) {
+	sys, err := NewSystem(Options{Nodes: 2, WorkersPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	const dim, k = 600, 3
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SpMVConfig{Dim: dim, K: k, Iters: 6, Nodes: 2, Tag: "cancelme"}
+	if err := LoadMatrixInMemory(sys, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var before int64
+	for i := 0; i < sys.Nodes(); i++ {
+		before += sys.Store(i).Stats().MemUsed
+	}
+
+	x0 := make([]float64, dim)
+	x0[0] = 1
+	cancel := make(chan struct{})
+	close(cancel) // cancel before the first task starts
+	if _, err := RunIteratedSpMVCancel(sys, cfg, x0, cancel); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("got %v, want ErrCancelled", err)
+	}
+
+	var after int64
+	for i := 0; i < sys.Nodes(); i++ {
+		after += sys.Store(i).Stats().MemUsed
+	}
+	if after > before {
+		t.Fatalf("cancelled run leaked memory: before=%d after=%d", before, after)
+	}
+}

@@ -78,6 +78,12 @@ func (c *ExecContext) reclaim() {
 // reading and its outputs for writing through ctx.Store.
 type Executor func(ctx *ExecContext) error
 
+// ErrCancelled aborts a run whose RunSpec.Cancel channel closed. Tasks
+// already executing finish (and publish) normally; no new task starts. The
+// job layer matches it with errors.Is to distinguish a cancelled run from a
+// failed one.
+var ErrCancelled = errors.New("core: run cancelled")
+
 // RunSpec describes one engine invocation.
 type RunSpec struct {
 	// Tasks is the task program; the DAG is derived from it.
@@ -94,6 +100,12 @@ type RunSpec struct {
 	// consumer task completes (dead intermediate generations). This is the
 	// memory-management dividend of immutable versioned arrays.
 	Ephemeral map[string]bool
+	// Cancel, when non-nil, aborts the run when closed: workers stop picking
+	// tasks, in-flight executors finish (their leases are released or
+	// abandoned on the usual paths), and Run returns ErrCancelled. A task is
+	// only ever started with all its inputs published, so cancellation at
+	// task granularity cannot strand a reader on an unwritten interval.
+	Cancel <-chan struct{}
 }
 
 // Run executes the program to completion and returns statistics.
@@ -180,6 +192,25 @@ func (s *System) Run(spec RunSpec) (*RunStats, error) {
 	}
 	run.mu.Unlock()
 
+	// Cancellation watcher: the first close of spec.Cancel flips the run to
+	// aborted exactly like a terminal task failure would.
+	watcherDone := make(chan struct{})
+	if spec.Cancel != nil {
+		go func() {
+			select {
+			case <-spec.Cancel:
+				run.mu.Lock()
+				if !run.aborted {
+					run.aborted = true
+					run.errs = append(run.errs, ErrCancelled)
+				}
+				run.mu.Unlock()
+				run.cond.Broadcast()
+			case <-watcherDone:
+			}
+		}()
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for node := 0; node < s.opts.Nodes; node++ {
@@ -192,6 +223,7 @@ func (s *System) Run(spec RunSpec) (*RunStats, error) {
 		}
 	}
 	wg.Wait()
+	close(watcherDone)
 	s.runMu.Lock()
 	delete(s.runs, run)
 	s.runMu.Unlock()

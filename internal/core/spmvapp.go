@@ -229,6 +229,48 @@ func RunIteratedSpMV(sys *System, cfg SpMVConfig, x0 []float64) (*SpMVResult, er
 	return runIteratedSpMV(sys, cfg, x0, spmvRunOpts{})
 }
 
+// RunIteratedSpMVCancel is RunIteratedSpMV with a cancellation channel:
+// closing cancel aborts the engine run (Run returns ErrCancelled) and the
+// run's transient arrays are deleted before returning, so a cancelled job
+// leaves no residue in memory or on scratch. This is the entry point the
+// multi-tenant job layer uses.
+func RunIteratedSpMVCancel(sys *System, cfg SpMVConfig, x0 []float64, cancel <-chan struct{}) (*SpMVResult, error) {
+	res, err := runIteratedSpMV(sys, cfg, x0, spmvRunOpts{cancel: cancel})
+	if err != nil {
+		DeleteSpMVArrays(sys, cfg)
+	}
+	return res, err
+}
+
+// DeleteSpMVArrays best-effort deletes every transient array a run of cfg
+// would have created (vectors and partials under cfg.Tag). Arrays already
+// retired by the ephemeral reclamation, never created, or still leased are
+// skipped silently — callers invoke this after the engine run has returned,
+// when no executor holds leases.
+func DeleteSpMVArrays(sys *System, cfg SpMVConfig) {
+	prefix := ""
+	if cfg.Tag != "" {
+		prefix = cfg.Tag + ":"
+	}
+	drop := func(owner *storage.Store, name string) {
+		for node := range sys.decode {
+			sys.decode[node].invalidate(name)
+		}
+		_ = owner.Delete(name)
+	}
+	for u := 0; u < cfg.K; u++ {
+		owner := sys.Store(cfg.OwnerOf(u))
+		for t := 0; t <= cfg.Iters; t++ {
+			drop(owner, prefix+spmv.VecArray(t, u))
+		}
+		for t := 1; t <= cfg.Iters; t++ {
+			for v := 0; v < cfg.K; v++ {
+				drop(owner, prefix+spmv.PartialArray(t, u, v))
+			}
+		}
+	}
+}
+
 // RunIteratedSpMVWithAssignment bypasses the affinity scheduler with a
 // forced task placement — the data-oblivious baseline of the placement
 // ablation.
@@ -250,6 +292,7 @@ func RunIteratedSpMVKeepAll(sys *System, cfg SpMVConfig, x0 []float64) error {
 type spmvRunOpts struct {
 	assignment    map[string]int
 	keepEphemeral bool
+	cancel        <-chan struct{}
 
 	// checkpoint flushes every produced iterate and records it under
 	// checkpointTag with iteration indices offset by checkpointBase.
@@ -363,6 +406,7 @@ func runIteratedSpMV(sys *System, cfg SpMVConfig, x0 []float64, opts spmvRunOpts
 		Locate:     locate,
 		Assignment: opts.assignment,
 		Ephemeral:  ephemeral,
+		Cancel:     opts.cancel,
 	})
 	if err != nil {
 		return nil, err

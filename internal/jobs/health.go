@@ -1,0 +1,38 @@
+package jobs
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Health gates doocserve's liveness and readiness probes. Liveness is
+// unconditional (the process answers); readiness flips false when the
+// server enters its graceful drain so load balancers stop routing new
+// work while in-flight jobs finish.
+type Health struct {
+	draining atomic.Bool
+}
+
+// SetDraining flips the readiness state.
+func (h *Health) SetDraining(v bool) { h.draining.Store(v) }
+
+// Draining reports whether the drain has started.
+func (h *Health) Draining() bool { return h.draining.Load() }
+
+// Healthz answers the liveness probe: always 200.
+func (h *Health) Healthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// Readyz answers the readiness probe: 200 until the drain starts, 503
+// after.
+func (h *Health) Readyz(w http.ResponseWriter, _ *http.Request) {
+	if h.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ready\n"))
+}

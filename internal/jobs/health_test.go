@@ -1,0 +1,36 @@
+package jobs
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHealthEndpoints(t *testing.T) {
+	h := &Health{}
+
+	rec := httptest.NewRecorder()
+	h.Healthz(rec, nil)
+	if rec.Code != 200 {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.Readyz(rec, nil)
+	if rec.Code != 200 {
+		t.Fatalf("readyz before drain = %d", rec.Code)
+	}
+
+	h.SetDraining(true)
+	rec = httptest.NewRecorder()
+	h.Healthz(rec, nil)
+	if rec.Code != 200 {
+		t.Fatalf("healthz during drain = %d (liveness must hold)", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.Readyz(rec, nil)
+	if rec.Code != 503 {
+		t.Fatalf("readyz during drain = %d, want 503", rec.Code)
+	}
+	if !h.Draining() {
+		t.Fatal("Draining() = false")
+	}
+}

@@ -1,0 +1,106 @@
+// Package jobs turns DOoC's single-run engine into a multi-tenant solver
+// service: a job manager with bounded per-tenant queues, weighted-priority
+// scheduling with aging, admission control that rejects instead of
+// blocking, per-job resource quotas enforced by the storage layer, and
+// cancellation that propagates through the engine's task retirement and
+// lease abandonment. The remote protocol and doocserve expose it over the
+// wire; everything here is dependency-free.
+package jobs
+
+import (
+	"errors"
+	"time"
+)
+
+// State is a job's lifecycle position:
+//
+//	queued → admitted → running → done | failed | cancelled
+//
+// Admitted is the instant between the scheduler picking a job and its
+// worker goroutine starting; it exists so queue-wait is measured at the
+// scheduling decision, not at goroutine wake-up.
+type State int
+
+const (
+	StateQueued State = iota
+	StateAdmitted
+	StateRunning
+	StateDone
+	StateFailed
+	StateCancelled
+)
+
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateAdmitted:
+		return "admitted"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	}
+	return "invalid"
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Typed admission and lookup errors. Submit never blocks: over-capacity
+// submissions fail fast with one of these so clients can back off.
+var (
+	// ErrQueueFull rejects a submission when QueueDepth jobs are already
+	// waiting.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrQuotaExceeded rejects a submission whose memory request does not
+	// fit in the service's aggregate budget alongside admitted work.
+	ErrQuotaExceeded = errors.New("jobs: aggregate memory quota exceeded")
+	// ErrDraining rejects submissions during graceful shutdown.
+	ErrDraining = errors.New("jobs: service draining")
+	// ErrUnknownJob reports an ID the manager has never issued.
+	ErrUnknownJob = errors.New("jobs: unknown job")
+	// ErrCancelled is the result error of a job cancelled before or during
+	// execution.
+	ErrCancelled = errors.New("jobs: job cancelled")
+)
+
+// Request carries a submission's scheduling and resource parameters.
+type Request struct {
+	Tenant   string
+	Priority int // higher runs earlier; weighted per tenant
+	// MemoryBytes is the job's aggregate cache-budget request, counted
+	// against Config.MemoryBudget at admission and sliced per node into a
+	// storage quota by the solver service. 0 requests no reservation.
+	MemoryBytes int64
+	// ScratchBytes is the job's aggregate scratch ceiling (hard, enforced
+	// by the storage layer on flush). 0 means unlimited.
+	ScratchBytes int64
+}
+
+// Work executes one job. It receives the manager-issued job ID (used to
+// namespace the job's arrays and quotas) and a channel closed on
+// cancellation; it returns the result payload.
+type Work func(id int64, cancel <-chan struct{}) ([]byte, error)
+
+// JobStatus is an exported snapshot of one job, JSON-encodable for the
+// /jobs endpoint and gob-encodable for the remote protocol.
+type JobStatus struct {
+	ID           int64     `json:"id"`
+	Tenant       string    `json:"tenant"`
+	Priority     int       `json:"priority"`
+	State        string    `json:"state"`
+	SubmittedAt  time.Time `json:"submitted_at"`
+	StartedAt    time.Time `json:"started_at,omitempty"`
+	FinishedAt   time.Time `json:"finished_at,omitempty"`
+	QueueWait    float64   `json:"queue_wait_seconds"`
+	Err          string    `json:"error,omitempty"`
+	MemoryBytes  int64     `json:"memory_bytes,omitempty"`
+	ScratchBytes int64     `json:"scratch_bytes,omitempty"`
+}

@@ -1,0 +1,351 @@
+package jobs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dooc/internal/obs"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// MaxRunning bounds concurrently executing jobs (default 2).
+	MaxRunning int
+	// QueueDepth bounds jobs waiting across all tenants (default 16);
+	// submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// MemoryBudget, when > 0, is the aggregate MemoryBytes the manager
+	// admits across queued and running jobs; submissions beyond it fail
+	// with ErrQuotaExceeded.
+	MemoryBudget int64
+	// AgingStep is the queue age that buys one effective priority point,
+	// preventing starvation of low-priority tenants (default 1s).
+	AgingStep time.Duration
+	// TenantWeight scales a tenant's priorities (default 1 per tenant).
+	TenantWeight map[string]int
+	// Obs receives the manager's metric series (nil disables).
+	Obs *obs.Registry
+}
+
+func (c *Config) fill() {
+	if c.MaxRunning <= 0 {
+		c.MaxRunning = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.AgingStep <= 0 {
+		c.AgingStep = time.Second
+	}
+}
+
+// Job is the manager's record of one submission. Exported fields are
+// immutable after Submit; mutable state is guarded by the manager's lock
+// and read through Status.
+type Job struct {
+	ID           int64
+	Tenant       string
+	Priority     int
+	MemoryBytes  int64
+	ScratchBytes int64
+
+	work   Work
+	cancel chan struct{}
+	done   chan struct{}
+
+	// guarded by Manager.mu
+	state             State
+	submitted         time.Time
+	started, finished time.Time
+	queueWait         time.Duration
+	cancelRequested   bool
+	result            []byte
+	err               error
+}
+
+// Manager owns job lifecycle: admission, per-tenant FIFO queues under
+// weighted priorities with aging, a bounded run pool, cancellation, and
+// result retrieval. Dispatch is event-driven — every submit, completion,
+// and cancellation re-evaluates the queues; no timers are involved.
+type Manager struct {
+	cfg Config
+	m   managerMetrics
+
+	mu       sync.Mutex
+	idle     *sync.Cond // broadcast when no job is queued or running
+	seq      int64
+	jobs     map[int64]*Job
+	queues   map[string][]*Job // per-tenant FIFO of queued jobs
+	queued   int
+	running  int
+	memInUse int64
+	draining bool
+}
+
+// NewManager builds a manager; zero config fields take defaults.
+func NewManager(cfg Config) *Manager {
+	cfg.fill()
+	m := &Manager{
+		cfg:    cfg,
+		m:      newManagerMetrics(cfg.Obs),
+		jobs:   make(map[int64]*Job),
+		queues: make(map[string][]*Job),
+	}
+	m.idle = sync.NewCond(&m.mu)
+	return m
+}
+
+// Submit admits a job or rejects it immediately with ErrDraining,
+// ErrQueueFull, or ErrQuotaExceeded — it never blocks. The returned Job's
+// ID is stable; its progress is read via Status/Result.
+func (m *Manager) Submit(req Request, work Work) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.m.rejected("draining").Inc()
+		return nil, ErrDraining
+	}
+	if m.queued >= m.cfg.QueueDepth {
+		m.m.rejected("queue_full").Inc()
+		return nil, fmt.Errorf("%w: depth %d", ErrQueueFull, m.cfg.QueueDepth)
+	}
+	if m.cfg.MemoryBudget > 0 && m.memInUse+req.MemoryBytes > m.cfg.MemoryBudget {
+		m.m.rejected("memory_quota").Inc()
+		return nil, fmt.Errorf("%w: %d in use + %d requested > budget %d",
+			ErrQuotaExceeded, m.memInUse, req.MemoryBytes, m.cfg.MemoryBudget)
+	}
+	m.seq++
+	j := &Job{
+		ID:           m.seq,
+		Tenant:       req.Tenant,
+		Priority:     req.Priority,
+		MemoryBytes:  req.MemoryBytes,
+		ScratchBytes: req.ScratchBytes,
+		work:         work,
+		cancel:       make(chan struct{}),
+		done:         make(chan struct{}),
+		state:        StateQueued,
+		submitted:    time.Now(),
+	}
+	m.jobs[j.ID] = j
+	m.queues[j.Tenant] = append(m.queues[j.Tenant], j)
+	m.queued++
+	m.memInUse += j.MemoryBytes
+	m.m.submitted(j.Tenant).Inc()
+	m.m.queuedG.Set(int64(m.queued))
+	m.dispatchLocked()
+	return j, nil
+}
+
+func (m *Manager) weight(tenant string) int {
+	if w, ok := m.cfg.TenantWeight[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// score ranks a queued job: weighted priority plus queue-age measured in
+// AgingSteps, so any job's effective priority eventually dominates and
+// starvation is bounded.
+func (m *Manager) score(j *Job, now time.Time) float64 {
+	return float64(m.weight(j.Tenant)*j.Priority) +
+		float64(now.Sub(j.submitted))/float64(m.cfg.AgingStep)
+}
+
+// dispatchLocked starts queued jobs while run slots are free. Only tenant
+// queue heads compete (per-tenant FIFO); among heads the highest score
+// wins, ties to the earliest submission.
+func (m *Manager) dispatchLocked() {
+	now := time.Now()
+	for m.running < m.cfg.MaxRunning && m.queued > 0 {
+		var best *Job
+		var bestScore float64
+		for _, q := range m.queues {
+			if len(q) == 0 {
+				continue
+			}
+			h := q[0]
+			sc := m.score(h, now)
+			if best == nil || sc > bestScore || (sc == bestScore && h.ID < best.ID) {
+				best, bestScore = h, sc
+			}
+		}
+		if best == nil {
+			return
+		}
+		q := m.queues[best.Tenant]
+		m.queues[best.Tenant] = q[1:]
+		if len(q) == 1 {
+			delete(m.queues, best.Tenant)
+		}
+		m.queued--
+		m.running++
+		best.state = StateAdmitted
+		best.queueWait = now.Sub(best.submitted)
+		m.m.queueWait.Observe(best.queueWait.Seconds())
+		m.m.queuedG.Set(int64(m.queued))
+		m.m.runningG.Set(int64(m.running))
+		go m.run(best)
+	}
+}
+
+func (m *Manager) run(j *Job) {
+	m.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	m.mu.Unlock()
+
+	result, err := j.work(j.ID, j.cancel)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.finished = time.Now()
+	j.result, j.err = result, err
+	switch {
+	case err == nil:
+		// A completion that raced a cancel request still counts as done:
+		// the result is valid.
+		j.state = StateDone
+	case j.cancelRequested:
+		j.state = StateCancelled
+		j.err = fmt.Errorf("%w: %v", ErrCancelled, err)
+	default:
+		j.state = StateFailed
+	}
+	m.finishLocked(j)
+}
+
+// finishLocked retires a job that reached a terminal state: releases its
+// admission accounting, publishes done, and refills run slots.
+func (m *Manager) finishLocked(j *Job) {
+	m.running--
+	m.memInUse -= j.MemoryBytes
+	m.m.completed(j.state).Inc()
+	m.m.latency(j.Tenant).Observe(j.finished.Sub(j.submitted).Seconds())
+	m.m.runningG.Set(int64(m.running))
+	close(j.done)
+	m.dispatchLocked()
+	if m.queued == 0 && m.running == 0 {
+		m.idle.Broadcast()
+	}
+}
+
+// Cancel requests cancellation. A queued job is removed immediately; a
+// running job's cancel channel closes and the engine retires its tasks.
+// Cancelling a finished job is a no-op.
+func (m *Manager) Cancel(id int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	switch j.state {
+	case StateQueued:
+		q := m.queues[j.Tenant]
+		for i, qj := range q {
+			if qj == j {
+				m.queues[j.Tenant] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		if len(m.queues[j.Tenant]) == 0 {
+			delete(m.queues, j.Tenant)
+		}
+		m.queued--
+		m.memInUse -= j.MemoryBytes
+		j.state = StateCancelled
+		j.err = ErrCancelled
+		j.finished = time.Now()
+		m.m.completed(StateCancelled).Inc()
+		m.m.latency(j.Tenant).Observe(j.finished.Sub(j.submitted).Seconds())
+		m.m.queuedG.Set(int64(m.queued))
+		close(j.done)
+		if m.queued == 0 && m.running == 0 {
+			m.idle.Broadcast()
+		}
+	case StateAdmitted, StateRunning:
+		if !j.cancelRequested {
+			j.cancelRequested = true
+			close(j.cancel)
+		}
+	}
+	return nil
+}
+
+// Result blocks until the job finishes and returns its payload or error.
+func (m *Manager) Result(id int64) ([]byte, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	<-j.done
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return j.result, j.err
+}
+
+// Status returns a snapshot of one job.
+func (m *Manager) Status(id int64) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	return m.statusLocked(j), nil
+}
+
+func (m *Manager) statusLocked(j *Job) JobStatus {
+	st := JobStatus{
+		ID:           j.ID,
+		Tenant:       j.Tenant,
+		Priority:     j.Priority,
+		State:        j.state.String(),
+		SubmittedAt:  j.submitted,
+		StartedAt:    j.started,
+		FinishedAt:   j.finished,
+		QueueWait:    j.queueWait.Seconds(),
+		MemoryBytes:  j.MemoryBytes,
+		ScratchBytes: j.ScratchBytes,
+	}
+	if j.err != nil {
+		st.Err = j.err.Error()
+	}
+	return st
+}
+
+// List returns snapshots of every job the manager has seen, ordered by ID.
+func (m *Manager) List() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, m.statusLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Drain stops admission (subsequent Submits fail with ErrDraining) and
+// blocks until every queued and running job reaches a terminal state.
+func (m *Manager) Drain() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.draining = true
+	for m.queued > 0 || m.running > 0 {
+		m.idle.Wait()
+	}
+}
+
+// Counts returns the current queued and running totals (for tests and
+// readiness probes).
+func (m *Manager) Counts() (queued, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queued, m.running
+}

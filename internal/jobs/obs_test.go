@@ -1,0 +1,111 @@
+package jobs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"dooc/internal/obs"
+)
+
+// TestMetricsReconcile drives a mixed workload — concurrent submissions,
+// forced rejections, cancellations — and asserts the registry's job series
+// reconcile exactly with the manager's own accounting. Run under -race.
+func TestMetricsReconcile(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewManager(Config{MaxRunning: 2, QueueDepth: 4, MemoryBudget: 1000, Obs: reg})
+
+	release := make(chan struct{})
+	started := make(chan int64, 64)
+	work := gatedWork(started, release)
+
+	var mu sync.Mutex
+	rejected := map[string]int64{}
+	var submitted int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := string(rune('a' + g))
+			for i := 0; i < 8; i++ {
+				_, err := m.Submit(Request{Tenant: tenant, Priority: i % 3, MemoryBytes: 100}, work)
+				mu.Lock()
+				switch {
+				case err == nil:
+					submitted++
+				case errors.Is(err, ErrQueueFull):
+					rejected["queue_full"]++
+				case errors.Is(err, ErrQuotaExceeded):
+					rejected["memory_quota"]++
+				default:
+					t.Errorf("unexpected submit error: %v", err)
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Cancel one queued or running job if any exist, then let the rest run.
+	var cancelled int64
+	for _, st := range m.List() {
+		if st.State == "queued" {
+			if err := m.Cancel(st.ID); err == nil {
+				cancelled++
+			}
+			break
+		}
+	}
+	close(release)
+	m.Drain()
+
+	// Manager-side truth.
+	list := m.List()
+	if int64(len(list)) != submitted {
+		t.Fatalf("list has %d jobs, submitted %d", len(list), submitted)
+	}
+	byState := map[string]int64{}
+	for _, st := range list {
+		if !stateTerminal(st.State) {
+			t.Fatalf("job %d not terminal after drain: %s", st.ID, st.State)
+		}
+		byState[st.State]++
+	}
+	if byState["cancelled"] != cancelled {
+		t.Fatalf("cancelled: list says %d, test did %d", byState["cancelled"], cancelled)
+	}
+
+	// Registry-side: every counter reconciles.
+	if got := reg.Sum("dooc_jobs_submitted_total"); got != submitted {
+		t.Fatalf("submitted metric %d, want %d", got, submitted)
+	}
+	for reason, want := range rejected {
+		if got := reg.SumWhere("dooc_jobs_rejected_total", "reason", reason); got != want {
+			t.Fatalf("rejected{%s} metric %d, want %d", reason, got, want)
+		}
+	}
+	if got := reg.Sum("dooc_jobs_rejected_total"); got != rejected["queue_full"]+rejected["memory_quota"] {
+		t.Fatalf("rejected total %d, want %d", got, rejected["queue_full"]+rejected["memory_quota"])
+	}
+	for _, state := range []string{"done", "failed", "cancelled"} {
+		if got := reg.SumWhere("dooc_jobs_completed_total", "state", state); got != byState[state] {
+			t.Fatalf("completed{%s} metric %d, manager says %d", state, got, byState[state])
+		}
+	}
+	if got := reg.Sum("dooc_jobs_completed_total"); got != submitted {
+		t.Fatalf("completed total %d, want %d (every admitted job terminal)", got, submitted)
+	}
+	// Gauges are quiescent and the queue-wait histogram saw every
+	// admission that was dispatched (all non-queue-cancelled jobs).
+	if got := reg.Sum("dooc_jobs_queued"); got != 0 {
+		t.Fatalf("queued gauge %d after drain", got)
+	}
+	if got := reg.Sum("dooc_jobs_running"); got != 0 {
+		t.Fatalf("running gauge %d after drain", got)
+	}
+}
+
+func stateTerminal(s string) bool {
+	return s == "done" || s == "failed" || s == "cancelled"
+}

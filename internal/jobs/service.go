@@ -1,0 +1,133 @@
+package jobs
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+
+	"dooc/internal/core"
+)
+
+// SolveRequest is one iterated-SpMV job over the service's staged matrix.
+type SolveRequest struct {
+	Tenant   string
+	Priority int
+	Iters    int
+	// Seed generates the starting vector (doocrun's convention: NormFloat64
+	// from rand.NewSource(Seed)), so equal seeds give bit-identical runs.
+	Seed int64
+	// MemoryBytes / ScratchBytes are the job's aggregate quotas, sliced
+	// evenly across nodes into storage quota groups. 0 means unlimited.
+	MemoryBytes  int64
+	ScratchBytes int64
+}
+
+// SolverService runs SolveRequests as managed jobs over one shared
+// core.System. Each job's transient arrays are namespaced "job<id>:" —
+// that tag doubles as the storage quota-group prefix, so cache pressure
+// and scratch ceilings are attributed to the job that caused them. The
+// staged matrix arrays are untagged and shared by every job.
+type SolverService struct {
+	Manager *Manager
+	sys     *core.System
+	base    core.SpMVConfig
+}
+
+// NewSolverService wraps a system whose matrix is already staged or
+// loaded. base carries Dim/K/Nodes; per-job Iters and Tag are filled per
+// submission.
+func NewSolverService(sys *core.System, base core.SpMVConfig, cfg Config) *SolverService {
+	return &SolverService{Manager: NewManager(cfg), sys: sys, base: base}
+}
+
+// Base returns the service's matrix geometry.
+func (s *SolverService) Base() core.SpMVConfig { return s.base }
+
+// Submit admits a solve job; admission errors are typed (ErrQueueFull,
+// ErrQuotaExceeded, ErrDraining).
+func (s *SolverService) Submit(req SolveRequest) (JobStatus, error) {
+	if req.Iters <= 0 {
+		return JobStatus{}, fmt.Errorf("jobs: invalid iters %d", req.Iters)
+	}
+	j, err := s.Manager.Submit(Request{
+		Tenant:       req.Tenant,
+		Priority:     req.Priority,
+		MemoryBytes:  req.MemoryBytes,
+		ScratchBytes: req.ScratchBytes,
+	}, s.work(req))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return s.Manager.Status(j.ID)
+}
+
+// work builds the job body: install per-node quota slices, run the
+// cancellable solve, encode the final vector, then drop the job's
+// transient arrays and quota groups whatever the outcome.
+func (s *SolverService) work(req SolveRequest) Work {
+	return func(id int64, cancel <-chan struct{}) ([]byte, error) {
+		cfg := s.base
+		cfg.Iters = req.Iters
+		cfg.Tag = fmt.Sprintf("job%d", id)
+		prefix := cfg.Tag + ":"
+		nodes := s.sys.Nodes()
+		if req.MemoryBytes > 0 || req.ScratchBytes > 0 {
+			for i := 0; i < nodes; i++ {
+				s.sys.Store(i).SetQuota(prefix, perNode(req.MemoryBytes, nodes), perNode(req.ScratchBytes, nodes))
+			}
+			defer func() {
+				for i := 0; i < nodes; i++ {
+					s.sys.Store(i).ClearQuota(prefix)
+				}
+			}()
+		}
+		res, err := core.RunIteratedSpMVCancel(s.sys, cfg, StartVector(s.base.Dim, req.Seed), cancel)
+		if err != nil {
+			return nil, err
+		}
+		// The result is copied out; the job's generations are dead weight
+		// in the shared cache.
+		core.DeleteSpMVArrays(s.sys, cfg)
+		return EncodeFloat64s(res.X), nil
+	}
+}
+
+// perNode slices an aggregate budget evenly, rounding up so the slices
+// cover the whole.
+func perNode(total int64, nodes int) int64 {
+	if total <= 0 {
+		return 0
+	}
+	return (total + int64(nodes) - 1) / int64(nodes)
+}
+
+// StartVector is the deterministic starting vector both doocrun and the
+// service derive from a seed.
+func StartVector(dim int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// EncodeFloat64s is the little-endian payload encoding of a result vector
+// (the inverse of storage.DecodeFloat64s).
+func EncodeFloat64s(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// ServeJobs is the /jobs HTTP handler: a JSON array of every job's
+// status, ordered by ID.
+func (s *SolverService) ServeJobs(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Manager.List())
+}

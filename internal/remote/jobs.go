@@ -1,0 +1,157 @@
+// Job-service verbs: the remote protocol's second personality. A server
+// constructed with ServerOptions.Jobs fronts a jobs.SolverService, and
+// clients submit, watch, cancel, and collect iterated-SpMV jobs over the
+// same gob/CRC32/hello-negotiated connection the storage verbs use. Job
+// results ride the normal payload path, so they get wire compression and
+// checksum protection for free, and the result round-trip blocks
+// server-side until the job finishes — the same long-poll discipline as a
+// read of an unwritten interval.
+
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dooc/internal/jobs"
+)
+
+// jobWire carries job-verb parameters inside a request. Submit fills the
+// solve fields; status/cancel/result address an existing job by ID.
+type jobWire struct {
+	ID           int64
+	Tenant       string
+	Priority     int
+	Iters        int
+	Seed         int64
+	MemoryBytes  int64
+	ScratchBytes int64
+}
+
+// dispatchJob executes one job-verb request. The caller runs it in a
+// per-request goroutine, so a blocking result wait stalls nothing else.
+func (s *Server) dispatchJob(req *request) *response {
+	fail := func(err error) *response { return &response{Err: err.Error()} }
+	svc := s.opts.Jobs
+	if svc == nil {
+		return fail(fmt.Errorf("remote: %s: job service not enabled on this server", req.Op))
+	}
+	switch req.Op {
+	case opJobSubmit:
+		st, err := svc.Submit(jobs.SolveRequest{
+			Tenant:       req.Job.Tenant,
+			Priority:     req.Job.Priority,
+			Iters:        req.Job.Iters,
+			Seed:         req.Job.Seed,
+			MemoryBytes:  req.Job.MemoryBytes,
+			ScratchBytes: req.Job.ScratchBytes,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return &response{Job: st}
+	case opJobStatus:
+		st, err := svc.Manager.Status(req.Job.ID)
+		if err != nil {
+			return fail(err)
+		}
+		return &response{Job: st}
+	case opJobCancel:
+		if err := svc.Manager.Cancel(req.Job.ID); err != nil {
+			return fail(err)
+		}
+		return &response{}
+	case opJobResult:
+		data, err := svc.Manager.Result(req.Job.ID)
+		if err != nil {
+			return fail(err)
+		}
+		st, _ := svc.Manager.Status(req.Job.ID)
+		return &response{Data: data, Job: st}
+	case opJobList:
+		return &response{JobList: svc.Manager.List()}
+	}
+	return fail(fmt.Errorf("remote: unknown job opcode %v", req.Op))
+}
+
+// mapJobError resurfaces the jobs package's typed errors from a server
+// error string, so remote callers can errors.Is() admission rejections and
+// cancellations exactly like local ones.
+func mapJobError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *serverError
+	if !errors.As(err, &se) {
+		return err
+	}
+	for _, typed := range []error{
+		jobs.ErrQueueFull,
+		jobs.ErrQuotaExceeded,
+		jobs.ErrDraining,
+		jobs.ErrUnknownJob,
+		jobs.ErrCancelled,
+	} {
+		if strings.Contains(se.msg, typed.Error()) {
+			return fmt.Errorf("%w (%s)", typed, se.msg)
+		}
+	}
+	return err
+}
+
+// SubmitJob submits a solve request to the server's job service and
+// returns the admitted job's status snapshot. Submission is NOT
+// idempotent, so unlike every storage verb it is never replayed after a
+// connection loss: a transport error means the submission's fate is
+// unknown and the caller should ListJobs before retrying.
+func (cl *Client) SubmitJob(req jobs.SolveRequest) (jobs.JobStatus, error) {
+	resp, err := cl.roundTrip(&request{Op: opJobSubmit, Job: jobWire{
+		Tenant:       req.Tenant,
+		Priority:     req.Priority,
+		Iters:        req.Iters,
+		Seed:         req.Seed,
+		MemoryBytes:  req.MemoryBytes,
+		ScratchBytes: req.ScratchBytes,
+	}}, cl.opts.Timeout)
+	if err != nil {
+		return jobs.JobStatus{}, mapJobError(err)
+	}
+	return resp.Job, nil
+}
+
+// JobStatus fetches a job's status snapshot.
+func (cl *Client) JobStatus(id int64) (jobs.JobStatus, error) {
+	resp, err := cl.call(&request{Op: opJobStatus, Job: jobWire{ID: id}})
+	if err != nil {
+		return jobs.JobStatus{}, mapJobError(err)
+	}
+	return resp.Job, nil
+}
+
+// CancelJob requests cancellation of a queued or running job. Cancelling a
+// finished job is a no-op; unknown IDs map to jobs.ErrUnknownJob.
+func (cl *Client) CancelJob(id int64) error {
+	_, err := cl.call(&request{Op: opJobCancel, Job: jobWire{ID: id}})
+	return mapJobError(err)
+}
+
+// JobResult blocks until the job reaches a terminal state and returns its
+// result payload plus the final status. A cancelled or failed job returns
+// the typed error (jobs.ErrCancelled for cancellations).
+func (cl *Client) JobResult(id int64) ([]byte, jobs.JobStatus, error) {
+	resp, err := cl.call(&request{Op: opJobResult, Job: jobWire{ID: id}})
+	if err != nil {
+		return nil, jobs.JobStatus{}, mapJobError(err)
+	}
+	return resp.Data, resp.Job, nil
+}
+
+// ListJobs returns every job the service has seen, ordered by ID.
+func (cl *Client) ListJobs() ([]jobs.JobStatus, error) {
+	resp, err := cl.call(&request{Op: opJobList})
+	if err != nil {
+		return nil, mapJobError(err)
+	}
+	return resp.JobList, nil
+}

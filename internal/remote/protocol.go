@@ -25,6 +25,7 @@ import (
 
 	"dooc/internal/compress"
 	"dooc/internal/faults"
+	"dooc/internal/jobs"
 	"dooc/internal/storage"
 )
 
@@ -41,6 +42,12 @@ const (
 	opInfo
 	opEvict
 	opStats
+	// Job-service verbs (server must be constructed with ServerOptions.Jobs).
+	opJobSubmit
+	opJobStatus
+	opJobCancel
+	opJobResult
+	opJobList
 )
 
 func (o opcode) String() string {
@@ -63,6 +70,16 @@ func (o opcode) String() string {
 		return "evict"
 	case opStats:
 		return "stats"
+	case opJobSubmit:
+		return "job-submit"
+	case opJobStatus:
+		return "job-status"
+	case opJobCancel:
+		return "job-cancel"
+	case opJobResult:
+		return "job-result"
+	case opJobList:
+		return "job-list"
 	default:
 		return fmt.Sprintf("opcode(%d)", uint8(o))
 	}
@@ -81,6 +98,9 @@ type request struct {
 	Data            []byte
 	Enc             bool
 	Sum             uint32
+	// Job carries the job-verb parameters (gob omits the zero value for
+	// storage verbs; old peers simply never see the field).
+	Job jobWire
 }
 
 // response is one server->client message. Sum covers Data (the wire form
@@ -93,6 +113,9 @@ type response struct {
 	Info  storage.ArrayInfo
 	Stats storage.Stats
 	Sum   uint32
+	// Job and JobList carry job-verb results (status snapshots; job-list).
+	Job     jobs.JobStatus
+	JobList []jobs.JobStatus
 }
 
 // Wire-compression handshake. A gob stream's first byte is a message length

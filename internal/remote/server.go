@@ -10,6 +10,7 @@ import (
 
 	"dooc/internal/compress"
 	"dooc/internal/faults"
+	"dooc/internal/jobs"
 	"dooc/internal/obs"
 	"dooc/internal/storage"
 )
@@ -33,6 +34,10 @@ type ServerOptions struct {
 	// connection opening with a capability hello is dropped, exactly as an
 	// old binary's gob decoder would drop it.
 	Legacy bool
+	// Jobs, when non-nil, enables the job-service verbs (submit, status,
+	// cancel, result, list) against this solver service. When nil those
+	// verbs fail cleanly; plain storage servers are unaffected.
+	Jobs *jobs.SolverService
 }
 
 // Server exposes one storage filter over TCP. It is the I/O-node role:
@@ -316,6 +321,8 @@ func (s *Server) dispatch(req *request) *response {
 		}
 	case opStats:
 		return &response{Stats: s.store.Stats()}
+	case opJobSubmit, opJobStatus, opJobCancel, opJobResult, opJobList:
+		return s.dispatchJob(req)
 	default:
 		return fail(fmt.Errorf("remote: unknown opcode %v", req.Op))
 	}

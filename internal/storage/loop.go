@@ -208,6 +208,11 @@ type arrayState struct {
 	// framed read path and keeps an array's layout consistent across
 	// flushes.
 	localCompressed bool
+	// quota is the resource group this array belongs to (longest matching
+	// name prefix), nil when unquota'd. scratchBytes is the durable scratch
+	// attribution carried to the group's ScratchUsed.
+	quota        *quotaState
+	scratchBytes int64
 }
 
 type blockKey struct {
@@ -232,6 +237,7 @@ type loopState struct {
 	arrays  map[string]*arrayState
 	dir     map[blockKey]*dirEntry
 	flushes map[string]*flushState
+	quotas  map[string]*quotaState // keyed by array-name prefix
 	stats   Stats
 	tick    int64
 }
@@ -243,6 +249,7 @@ func (s *Store) loop() {
 		arrays:  make(map[string]*arrayState),
 		dir:     make(map[blockKey]*dirEntry),
 		flushes: make(map[string]*flushState),
+		quotas:  make(map[string]*quotaState),
 	}
 	defer close(s.done)
 	for {
@@ -290,6 +297,12 @@ func (s *Store) loop() {
 			s.handleIODone(st, m)
 		case ioWrote:
 			s.handleIOWrote(st, m)
+		case cmdSetQuota:
+			s.handleSetQuota(st, m)
+		case cmdClearQuota:
+			s.handleClearQuota(st, m)
+		case cmdQuotaStats:
+			s.handleQuotaStats(st, m)
 		default:
 			panic(fmt.Sprintf("storage: unknown message %T", m))
 		}
@@ -345,6 +358,7 @@ func (s *Store) handleCreate(st *loopState, info ArrayInfo) error {
 		info:      info,
 		blocks:    make(map[int]*blockState),
 		diskNodes: make(map[int]bool),
+		quota:     quotaFor(st, info.Name),
 	}
 	return nil
 }
@@ -367,6 +381,11 @@ func (s *Store) handleDelete(st *loopState, name string) error {
 		for _, w := range b.waiters {
 			w.reply <- leaseResult{err: fmt.Errorf("storage: array %q deleted", name)}
 		}
+	}
+	if ast.quota != nil {
+		// The array's durable scratch goes away with it; return the bytes
+		// to the group's scratch budget.
+		ast.quota.scratchUsed -= ast.scratchBytes
 	}
 	delete(st.arrays, name)
 	for k := range st.dir {
@@ -392,6 +411,7 @@ func (s *Store) handleAnnounce(st *loopState, m msgAnnounce) {
 			info:      m.info,
 			blocks:    make(map[int]*blockState),
 			diskNodes: make(map[int]bool),
+			quota:     quotaFor(st, m.info.Name),
 		}
 		st.arrays[m.info.Name] = ast
 	}
@@ -493,6 +513,7 @@ func (s *Store) grantWrite(st *loopState, ast *arrayState, bi int, b *blockState
 		st.tick++
 		b.loadTick = st.tick
 		s.reclaim(st, ast.info.Name, bi)
+		s.reclaimQuota(st, ast.quota, ast.info.Name, bi)
 	}
 	b.writing = append(b.writing, rs)
 	reply <- leaseResult{lease: s.makeLease(st, ast.info.Name, bi, ast, b, want, PermWrite)}
@@ -573,6 +594,7 @@ func (s *Store) handleRelease(st *loopState, c cmdRelease) {
 		}
 	}
 	s.reclaim(st, "", -1)
+	s.reclaimQuota(st, ast.quota, "", -1)
 }
 
 // wakeWaiters grants read waiters whose intervals are now covered.
@@ -853,6 +875,7 @@ func (s *Store) installBlock(st *loopState, ast *arrayState, bi int, b *blockSta
 		s.peers[home].post(msgNotify{array: ast.info.Name, block: bi, node: s.cfg.NodeID})
 	}
 	s.reclaim(st, ast.info.Name, bi)
+	s.reclaimQuota(st, ast.quota, ast.info.Name, bi)
 }
 
 // ---- memory reclamation ----
@@ -868,15 +891,40 @@ func (s *Store) reclaim(st *loopState, protectArray string, protectBlock int) {
 	if used <= s.cfg.MemoryBudget {
 		return
 	}
-	type victim struct {
-		ast  *arrayState
-		name string
-		idx  int
-		b    *blockState
-		key  int64
+	victims := s.collectVictims(st, protectArray, protectBlock, nil)
+	for _, v := range victims {
+		if used <= s.cfg.MemoryBudget {
+			s.metrics.memUsed.Set(used)
+			return
+		}
+		used -= int64(len(v.b.buf))
+		s.dropBlock(st, v.name, v.idx, v.b)
+		st.stats.Evictions++
+		s.metrics.evictions.Inc()
 	}
+	s.metrics.memUsed.Set(used)
+	if used > s.cfg.MemoryBudget {
+		st.stats.OverBudgetAllocs++
+	}
+}
+
+type victim struct {
+	ast  *arrayState
+	name string
+	idx  int
+	b    *blockState
+	key  int64
+}
+
+// collectVictims returns the evictable blocks in eviction-policy order,
+// skipping the protected block. A non-nil group restricts candidates to
+// that quota group's arrays.
+func (s *Store) collectVictims(st *loopState, protectArray string, protectBlock int, group *quotaState) []victim {
 	var victims []victim
 	for name, ast := range st.arrays {
+		if group != nil && ast.quota != group {
+			continue
+		}
 		for idx, b := range ast.blocks {
 			if name == protectArray && idx == protectBlock {
 				continue
@@ -908,27 +956,20 @@ func (s *Store) reclaim(st *loopState, protectArray string, protectBlock int) {
 		}
 		return victims[i].idx < victims[j].idx
 	})
-	for _, v := range victims {
-		if used <= s.cfg.MemoryBudget {
-			s.metrics.memUsed.Set(used)
-			return
-		}
-		used -= int64(len(v.b.buf))
-		v.b.buf = nil
-		v.b.resident = intervalSet{}
-		v.b.prefetched = false
-		st.stats.Evictions++
-		s.metrics.evictions.Inc()
-		home := s.homeOf(v.name, v.idx)
-		if home == s.cfg.NodeID {
-			delete(s.dirOf(st, blockKey{v.name, v.idx}).mem, s.cfg.NodeID)
-		} else {
-			s.peers[home].post(msgNotify{array: v.name, block: v.idx, node: s.cfg.NodeID, gone: true})
-		}
-	}
-	s.metrics.memUsed.Set(used)
-	if used > s.cfg.MemoryBudget {
-		st.stats.OverBudgetAllocs++
+	return victims
+}
+
+// dropBlock releases a block's buffer and retracts this node from the
+// block's directory entry. Callers account the eviction.
+func (s *Store) dropBlock(st *loopState, name string, idx int, b *blockState) {
+	b.buf = nil
+	b.resident = intervalSet{}
+	b.prefetched = false
+	home := s.homeOf(name, idx)
+	if home == s.cfg.NodeID {
+		delete(s.dirOf(st, blockKey{name, idx}).mem, s.cfg.NodeID)
+	} else {
+		s.peers[home].post(msgNotify{array: name, block: idx, node: s.cfg.NodeID, gone: true})
 	}
 }
 
@@ -953,17 +994,9 @@ func (s *Store) handleEvict(st *loopState, m cmdEvict) error {
 	if !(b.persistedLocal || b.remoteBacked || ast.diskNodes[s.cfg.NodeID]) {
 		return fmt.Errorf("storage: %q block %d is the only copy (flush it first)", m.array, m.block)
 	}
-	b.buf = nil
-	b.resident = intervalSet{}
-	b.prefetched = false
+	s.dropBlock(st, m.array, m.block, b)
 	st.stats.Evictions++
 	s.metrics.evictions.Inc()
-	home := s.homeOf(m.array, m.block)
-	if home == s.cfg.NodeID {
-		delete(s.dirOf(st, blockKey{m.array, m.block}).mem, s.cfg.NodeID)
-	} else {
-		s.peers[home].post(msgNotify{array: m.array, block: m.block, node: s.cfg.NodeID, gone: true})
-	}
 	return nil
 }
 
@@ -1024,6 +1057,24 @@ func (s *Store) handleFlush(st *loopState, c cmdFlush) {
 		codec = compress.Raw{}
 	}
 	useCodec := codec != nil && (ast.localCompressed || !(ast.diskNodes[s.cfg.NodeID] || anyPersisted(ast)))
+	if q := ast.quota; q != nil && q.scratchBudget > 0 {
+		// Hard ceiling: reject the whole flush up front rather than spill
+		// half an array. Sized on logical bytes — conservative when a codec
+		// shrinks the physical frames.
+		var pending int64
+		for idx, b := range ast.blocks {
+			bs := ast.info.BlockSpan(idx)
+			if b.buf == nil || b.persistedLocal || !b.resident.full(bs.Hi-bs.Lo) {
+				continue
+			}
+			pending += bs.Hi - bs.Lo
+		}
+		if q.scratchUsed+pending > q.scratchBudget {
+			c.reply <- fmt.Errorf("storage: flush of %q: group %q used %d + %d pending > budget %d: %w",
+				c.array, q.prefix, q.scratchUsed, pending, q.scratchBudget, ErrScratchQuota)
+			return
+		}
+	}
 	if useCodec && !ast.localCompressed {
 		if err := os.MkdirAll(s.blockDir(c.array), 0o755); err != nil {
 			c.reply <- fmt.Errorf("storage: flush of %q: %w", c.array, err)
@@ -1162,6 +1213,13 @@ func (s *Store) handleIOWrote(st *loopState, m ioWrote) {
 			}
 			st.stats.BytesWrittenDisk += n
 			s.metrics.diskWriteBytes.Add(n)
+			ast.scratchBytes += n
+			if ast.quota != nil {
+				ast.quota.scratchUsed += n
+			}
+			// The block just became durable, hence reclaimable: a group
+			// over its budget can shed it now.
+			s.reclaimQuota(st, ast.quota, "", -1)
 			home := s.homeOf(m.array, m.block)
 			if home == s.cfg.NodeID {
 				s.dirOf(st, blockKey{m.array, m.block}).disk[s.cfg.NodeID] = true

@@ -45,6 +45,10 @@ type storeMetrics struct {
 	reg      *obs.Registry
 	node     obs.Label
 	perCodec map[uint8]*codecCounters
+
+	// Per-quota-group eviction counters, resolved lazily: groups come and
+	// go with jobs. Only the actor loop touches the map.
+	perGroup map[string]*obs.Counter
 }
 
 // codecCounters are one codec's byte series on one node.
@@ -76,12 +80,24 @@ func (m *storeMetrics) codec(id uint8) *codecCounters {
 	return cc
 }
 
+// quotaEvictions returns the group's eviction counter, registering it on
+// first use with node and group labels.
+func (m *storeMetrics) quotaEvictions(group string) *obs.Counter {
+	if c, ok := m.perGroup[group]; ok {
+		return c
+	}
+	c := m.reg.Counter("dooc_storage_quota_evictions_total", "blocks evicted by per-group quota enforcement", m.node, obs.L("group", group))
+	m.perGroup[group] = c
+	return c
+}
+
 func newStoreMetrics(reg *obs.Registry, node int) storeMetrics {
 	l := obs.L("node", strconv.Itoa(node))
 	return storeMetrics{
 		reg:      reg,
 		node:     l,
 		perCodec: make(map[uint8]*codecCounters),
+		perGroup: make(map[string]*obs.Counter),
 
 		readReqs:         reg.Counter("dooc_storage_read_requests_total", "read lease requests received", l),
 		writeReqs:        reg.Counter("dooc_storage_write_requests_total", "write lease requests received", l),

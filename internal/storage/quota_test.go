@@ -1,0 +1,241 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"dooc/internal/obs"
+)
+
+// writeArray creates, fills, and optionally flushes an n-block array.
+func writeArray(t *testing.T, s *Store, name string, blocks int, blockSize int64, flush bool) {
+	t.Helper()
+	if err := s.Create(name, int64(blocks)*blockSize, blockSize); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < blocks; i++ {
+		w, err := s.RequestBlock(name, i, PermWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range w.Data {
+			w.Data[j] = byte(i)
+		}
+		w.Release()
+	}
+	if flush {
+		if err := s.Flush(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQuotaMemEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := Config{MemoryBudget: 1 << 20, IOWorkers: 2, Seed: 1, ScratchDir: t.TempDir(), Obs: reg}
+	s, err := NewLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const blockSize = 1 << 10
+	// Group budget: 4 blocks. Flush makes the blocks evictable.
+	s.SetQuota("job1:", 4*blockSize, 0)
+	writeArray(t, s, "job1:a", 8, blockSize, true)
+
+	qs, ok := s.Quota("job1:")
+	if !ok {
+		t.Fatal("quota group missing")
+	}
+	if qs.MemUsed > qs.MemBudget {
+		t.Fatalf("group mem %d exceeds budget %d", qs.MemUsed, qs.MemBudget)
+	}
+	// Writing the array took 8 block allocations against a 4-block budget;
+	// once blocks became durable they were reclaimable, so the group must
+	// have evicted at least once — and only its own blocks.
+	if qs.Evictions == 0 {
+		t.Fatal("no quota evictions recorded")
+	}
+	st := s.Stats()
+	if st.QuotaEvictions != qs.Evictions {
+		t.Fatalf("Stats.QuotaEvictions = %d, group says %d", st.QuotaEvictions, qs.Evictions)
+	}
+	if st.QuotaEvictions > st.Evictions {
+		t.Fatalf("quota evictions %d exceed total evictions %d", st.QuotaEvictions, st.Evictions)
+	}
+	got := reg.SumWhere("dooc_storage_quota_evictions_total", "group", "job1:")
+	if got != qs.Evictions {
+		t.Fatalf("metric says %v quota evictions, group says %d", got, qs.Evictions)
+	}
+
+	// An unquota'd array is untouched by group pressure accounting.
+	writeArray(t, s, "free", 2, blockSize, false)
+	qs2, _ := s.Quota("job1:")
+	if qs2.MemUsed > qs2.MemBudget {
+		t.Fatalf("group mem grew past budget: %d", qs2.MemUsed)
+	}
+}
+
+func TestQuotaScratchCeiling(t *testing.T) {
+	cfg := Config{MemoryBudget: 1 << 20, IOWorkers: 2, Seed: 1, ScratchDir: t.TempDir()}
+	s, err := NewLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const blockSize = 1 << 10
+	s.SetQuota("job2:", 0, 3*blockSize)
+	writeArray(t, s, "job2:ok", 2, blockSize, true) // 2 KiB used, under the 3 KiB ceiling
+
+	qs, _ := s.Quota("job2:")
+	if qs.ScratchUsed != 2*blockSize {
+		t.Fatalf("scratch used = %d, want %d", qs.ScratchUsed, 2*blockSize)
+	}
+
+	// The next flush would need 2 more blocks: 2+2 > 3 → typed rejection.
+	writeArray(t, s, "job2:big", 2, blockSize, false)
+	err = s.Flush("job2:big")
+	if !errors.Is(err, ErrScratchQuota) {
+		t.Fatalf("flush err = %v, want ErrScratchQuota", err)
+	}
+	// Nothing was written: accounting is unchanged.
+	if qs2, _ := s.Quota("job2:"); qs2.ScratchUsed != 2*blockSize {
+		t.Fatalf("failed flush changed scratch accounting: %d", qs2.ScratchUsed)
+	}
+
+	// Deleting the flushed array returns its bytes; the flush now fits.
+	if err := s.Delete("job2:ok"); err != nil {
+		t.Fatal(err)
+	}
+	if qs3, _ := s.Quota("job2:"); qs3.ScratchUsed != 0 {
+		t.Fatalf("delete did not return scratch bytes: %d", qs3.ScratchUsed)
+	}
+	if err := s.Flush("job2:big"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuotaPrefixResolution(t *testing.T) {
+	s := newTestStore(t, 1<<20, false)
+	s.SetQuota("job", 1<<20, 0)
+	s.SetQuota("job3:", 1<<20, 0)
+	writeArray(t, s, "job3:x", 1, 64, false)
+	writeArray(t, s, "job9:x", 1, 64, false)
+
+	long, _ := s.Quota("job3:")
+	short, _ := s.Quota("job")
+	if long.MemUsed != 64 {
+		t.Fatalf("longest-prefix group holds %d bytes, want 64", long.MemUsed)
+	}
+	if short.MemUsed != 64 {
+		t.Fatalf("short-prefix group holds %d bytes, want 64 (job9:x only)", short.MemUsed)
+	}
+
+	// Clearing the long group folds its arrays into the short one.
+	s.ClearQuota("job3:")
+	if _, ok := s.Quota("job3:"); ok {
+		t.Fatal("cleared group still present")
+	}
+	short2, _ := s.Quota("job")
+	if short2.MemUsed != 128 {
+		t.Fatalf("after clear, short group holds %d bytes, want 128", short2.MemUsed)
+	}
+}
+
+// TestQuotaSetAfterCreate checks arrays created before SetQuota join the
+// group and the budget is enforced immediately.
+func TestQuotaSetAfterCreate(t *testing.T) {
+	s := newTestStore(t, 1<<20, true)
+	const blockSize = 1 << 10
+	writeArray(t, s, "late:a", 6, blockSize, true)
+	s.SetQuota("late:", 2*blockSize, 0)
+	qs, ok := s.Quota("late:")
+	if !ok {
+		t.Fatal("group missing")
+	}
+	if qs.MemUsed > qs.MemBudget {
+		t.Fatalf("budget not enforced on attach: %d > %d", qs.MemUsed, qs.MemBudget)
+	}
+	if qs.ScratchUsed != 6*blockSize {
+		t.Fatalf("scratch attribution not carried on attach: %d", qs.ScratchUsed)
+	}
+}
+
+// TestAbandonRacesReclaim drives concurrent write-lease Abandon against
+// eviction pressure and explicit Evict — the cancellation path the job
+// manager relies on. Run under -race; the invariant is no panic, no lost
+// accounting, and the store stays usable.
+func TestAbandonRacesReclaim(t *testing.T) {
+	const blockSize = 1 << 9
+	cfg := Config{MemoryBudget: 4 * blockSize, IOWorkers: 2, Seed: 1, ScratchDir: t.TempDir()}
+	s, err := NewLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const blocks = 16
+	if err := s.Create("r", blocks*blockSize, blockSize); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < blocks; i++ {
+				l, err := s.RequestBlock("r", i, PermWrite)
+				if err != nil {
+					continue // another goroutine won the write
+				}
+				if (i+g)%2 == 0 {
+					l.Abandon()
+					continue
+				}
+				for j := range l.Data {
+					l.Data[j] = byte(i)
+				}
+				l.Release()
+			}
+		}(g)
+	}
+	// Concurrent evict pressure on whatever is already durable.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 8; round++ {
+			_ = s.Flush("r")
+			for i := 0; i < blocks; i++ {
+				_ = s.Evict("r", i)
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Every block is still writable-or-written: fill in the gaps, then read
+	// all blocks back.
+	for i := 0; i < blocks; i++ {
+		if l, err := s.RequestBlock("r", i, PermWrite); err == nil {
+			for j := range l.Data {
+				l.Data[j] = byte(i)
+			}
+			l.Release()
+		}
+	}
+	for i := 0; i < blocks; i++ {
+		l, err := s.RequestBlock("r", i, PermRead)
+		if err != nil {
+			t.Fatalf("block %d unreadable after races: %v", i, err)
+		}
+		if l.Data[0] != byte(i) {
+			t.Fatalf("block %d = %d, want %d", i, l.Data[0], i)
+		}
+		l.Release()
+	}
+	if err := s.Delete("r"); err != nil {
+		t.Fatalf("delete after races: %v", err)
+	}
+}

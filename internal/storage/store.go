@@ -189,6 +189,7 @@ type Stats struct {
 	Hits              int64 // read requests served from resident memory
 	Misses            int64 // read requests that had to fetch
 	Evictions         int64
+	QuotaEvictions    int64 // subset of Evictions forced by per-group quotas
 	BlockLoads        int64 // complete blocks installed from disk or a peer
 	BytesReadDisk     int64
 	BytesWrittenDisk  int64
