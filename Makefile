@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt fuzz figures experiments clean
+.PHONY: all build test race bench bench-smoke debugtag hotpath vet fmt fuzz figures experiments clean
 
 all: build test
 
@@ -23,6 +23,24 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One-iteration pass over every benchmark — catches benchmark bit-rot in CI
+# without paying for stable timings. allocs/op is still reported and is the
+# number the zero-copy hot path work tracks.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem ./...
+
+# View-lifetime enforcement build: the doocdebug tag turns zero-copy views
+# into tracked copies poisoned on lease release, so use-after-release reads
+# fail loudly.
+debugtag:
+	$(GO) test -tags doocdebug ./internal/storage/ ./internal/core/
+
+# Re-measure the steady-state allocation hot path and refresh the committed
+# artifact (compare against the previous BENCH_hotpath.json before and after
+# touching the data path).
+hotpath:
+	$(GO) run ./cmd/doocbench -exp hotpath -bench-out BENCH_hotpath.json
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"dooc/internal/core"
+	"dooc/internal/sparse"
+	"dooc/internal/storage"
+)
+
+// benchOut is the -bench-out flag: where `-exp hotpath` writes its
+// machine-readable result. The checked-in BENCH_hotpath.json is a captured
+// run, giving future PRs an allocation trajectory to compare against.
+var benchOut string
+
+// hotpathReport is the JSON schema of BENCH_hotpath.json. Counters are
+// per-iteration averages over the measured runs; GC numbers are totals
+// across the measurement window.
+type hotpathReport struct {
+	Experiment    string    `json:"experiment"`
+	Timestamp     time.Time `json:"timestamp"`
+	GoVersion     string    `json:"go_version"`
+	Dim           int       `json:"dim"`
+	K             int       `json:"k"`
+	Nodes         int       `json:"nodes"`
+	Iters         int       `json:"iters_per_run"`
+	Runs          int       `json:"runs_measured"`
+	AllocsPerIter float64   `json:"allocs_per_iter"`
+	BytesPerIter  float64   `json:"bytes_per_iter"`
+	NsPerIter     float64   `json:"ns_per_iter"`
+	GCPauseNs     uint64    `json:"gc_pause_total_ns"`
+	NumGC         uint32    `json:"num_gc"`
+	ResultSHA256  string    `json:"result_sha256"`
+	ZeroCopyViews bool      `json:"zero_copy_views"`
+}
+
+// hotpathRun measures the allocator cost of the steady-state data path: the
+// `real` experiment's workload (out-of-core iterated SpMV, back-and-forth
+// scheduling, tight memory budget) executed repeatedly between
+// runtime.ReadMemStats snapshots. The interesting numbers are allocations
+// and bytes per iteration — with I/O overlapped, allocator/GC churn is the
+// residual per-iteration cost this harness tracks across PRs.
+func hotpathRun() error {
+	const dim, k, nodes, iters, runs = 4000, 5, 5, 4, 3
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 8, Seed: 7})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(1))
+	x0 := make([]float64, dim)
+	for i := range x0 {
+		x0[i] = rng.NormFloat64()
+	}
+	root, err := os.MkdirTemp("", "doocbench-hotpath")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+	cfg := core.SpMVConfig{Dim: dim, K: k, Iters: iters, Nodes: nodes}
+	if err := core.StageMatrix(root, m, cfg); err != nil {
+		return err
+	}
+	info, err := core.DiscoverStagedMatrix(root)
+	if err != nil {
+		return err
+	}
+	blockBytes := info.Bytes / int64(k*k)
+	sys, err := core.NewSystem(core.Options{
+		Nodes:          nodes,
+		WorkersPerNode: 1,
+		MemoryBudget:   blockBytes*5/2 + 1<<16,
+		ScratchRoot:    root,
+		PrefetchWindow: 1,
+		Reorder:        true,
+		Obs:            benchObs,
+		Trace:          benchTrace,
+	})
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	fmt.Printf("matrix: %dx%d, %d nnz; %d nodes, K=%d, %d iterations/run, %d measured runs\n",
+		dim, dim, m.NNZ(), nodes, k, iters, runs)
+
+	// Warm-up run: pulls blocks off scratch, fills caches and pools, and
+	// pins the reference result for the bit-identity check.
+	run := func(tag string) (*core.SpMVResult, error) {
+		c := cfg
+		c.Tag = tag
+		return core.RunIteratedSpMV(sys, c, x0)
+	}
+	ref, err := run("warm")
+	if err != nil {
+		return err
+	}
+	refSum := sha256Floats(ref.X)
+
+	if pf := os.Getenv("HOTPATH_MEMPROFILE"); pf != "" {
+		runtime.MemProfileRate = 1
+		f, _ := os.Create(pf)
+		defer func() { runtime.GC(); pprof.Lookup("allocs").WriteTo(f, 0); f.Close() }()
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for r := 0; r < runs; r++ {
+		res, err := run(fmt.Sprintf("hot%d", r))
+		if err != nil {
+			return err
+		}
+		if got := sha256Floats(res.X); got != refSum {
+			return fmt.Errorf("hotpath run %d diverged: sha %s, want %s", r, got, refSum)
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	totalIters := float64(runs * iters)
+	rep := hotpathReport{
+		Experiment:    "hotpath",
+		Timestamp:     time.Now().UTC(),
+		GoVersion:     runtime.Version(),
+		Dim:           dim,
+		K:             k,
+		Nodes:         nodes,
+		Iters:         iters,
+		Runs:          runs,
+		AllocsPerIter: float64(after.Mallocs-before.Mallocs) / totalIters,
+		BytesPerIter:  float64(after.TotalAlloc-before.TotalAlloc) / totalIters,
+		NsPerIter:     float64(wall.Nanoseconds()) / totalIters,
+		GCPauseNs:     after.PauseTotalNs - before.PauseTotalNs,
+		NumGC:         after.NumGC - before.NumGC,
+		ResultSHA256:  refSum,
+		ZeroCopyViews: storage.ZeroCopyViews(),
+	}
+	fmt.Printf("  allocs/iter %.0f   bytes/iter %.0f (%.2f MB)   ns/iter %.0f (%.1f ms)\n",
+		rep.AllocsPerIter, rep.BytesPerIter, rep.BytesPerIter/1e6, rep.NsPerIter, rep.NsPerIter/1e6)
+	fmt.Printf("  GC cycles %d   GC pause total %v   zero-copy views %v\n",
+		rep.NumGC, time.Duration(rep.GCPauseNs), rep.ZeroCopyViews)
+	fmt.Printf("  result sha256 %s (bit-identical across %d runs)\n", refSum, runs+1)
+
+	if benchOut != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(benchOut, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", benchOut)
+	}
+	return nil
+}
+
+// sha256Floats hashes a float64 vector in its little-endian wire form.
+func sha256Floats(x []float64) string {
+	buf := make([]byte, 8*len(x))
+	storage.EncodeFloat64s(buf, x)
+	return fmt.Sprintf("%x", sha256.Sum256(buf))
+}

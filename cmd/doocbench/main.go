@@ -59,6 +59,7 @@ var experiments = []struct {
 	{"codec", "EXTENSION: adaptive block compression — scratch, staged files, and wire", codecRun},
 	{"streams", "filter-stream middleware traffic (DataCutter substrate)", streamsRun},
 	{"jobs", "EXTENSION: multi-tenant job service — serial vs concurrent, bit-identical", jobsRun},
+	{"hotpath", "EXTENSION: allocation/GC cost of the steady-state data path", hotpathRun},
 }
 
 // faultRate is the -faults flag: when > 0, the `real` experiment also runs
@@ -81,6 +82,7 @@ func main() {
 	flag.Float64Var(&faultRate, "faults", 0, "transient I/O fault rate injected into the `real` experiment (0 disables; try 0.1)")
 	metrics := flag.Bool("metrics", false, "print a metrics snapshot (Prometheus text format) after the run")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (load in perfetto or chrome://tracing)")
+	flag.StringVar(&benchOut, "bench-out", "", "write the hotpath experiment's machine-readable result JSON here")
 	flag.Parse()
 	if *tracePath != "" {
 		benchTrace = obs.NewTracer()

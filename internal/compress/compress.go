@@ -184,13 +184,20 @@ const maxFrameRawLen = 1 << 40
 
 // EncodeFrame encodes src with c inside a self-describing frame.
 func EncodeFrame(c Codec, src []byte) []byte {
-	out := make([]byte, FrameHeaderLen, FrameHeaderLen+len(src)/2+64)
-	copy(out, frameMagic)
-	out[4] = c.ID()
-	out[5] = 0
-	binary.LittleEndian.PutUint64(out[6:], uint64(len(src)))
-	binary.LittleEndian.PutUint32(out[14:], crc32.Checksum(src, crcTable))
-	return c.Encode(out, src)
+	return AppendFrame(make([]byte, 0, FrameHeaderLen+len(src)/2+64), c, src)
+}
+
+// AppendFrame appends the frame encoding src with c to dst and returns the
+// extended slice. Callers with a reusable destination buffer (the storage
+// spill path, the wire encoder) avoid EncodeFrame's per-call allocation.
+func AppendFrame(dst []byte, c Codec, src []byte) []byte {
+	var hdr [FrameHeaderLen]byte
+	copy(hdr[:], frameMagic)
+	hdr[4] = c.ID()
+	hdr[5] = 0
+	binary.LittleEndian.PutUint64(hdr[6:], uint64(len(src)))
+	binary.LittleEndian.PutUint32(hdr[14:], crc32.Checksum(src, crcTable))
+	return c.Encode(append(dst, hdr[:]...), src)
 }
 
 // EncodeAdaptive encodes src with c but bails out to the Raw codec when the
@@ -199,15 +206,23 @@ func EncodeFrame(c Codec, src []byte) []byte {
 // a pointless decode on every future read. It returns the frame and the
 // codec actually used.
 func EncodeAdaptive(c Codec, src []byte) ([]byte, Codec) {
+	return AppendFrameAdaptive(nil, c, src)
+}
+
+// AppendFrameAdaptive is EncodeAdaptive appending into dst. On bail-out the
+// attempted frame is truncated in place and the raw frame written over it,
+// so the bail-out path costs no second buffer.
+func AppendFrameAdaptive(dst []byte, c Codec, src []byte) ([]byte, Codec) {
 	if c == nil || c.ID() == IDRaw {
-		return EncodeFrame(Raw{}, src), Raw{}
+		return AppendFrame(dst, Raw{}, src), Raw{}
 	}
-	frame := EncodeFrame(c, src)
+	base := len(dst)
+	out := AppendFrame(dst, c, src)
 	// Keep the codec only when rawLen >= 1.1 * framedLen.
-	if int64(len(src))*10 >= int64(len(frame))*11 {
-		return frame, c
+	if int64(len(src))*10 >= int64(len(out)-base)*11 {
+		return out, c
 	}
-	return EncodeFrame(Raw{}, src), Raw{}
+	return AppendFrame(out[:base], Raw{}, src), Raw{}
 }
 
 // DecodeFrame decodes a framed block, returning the original bytes and the

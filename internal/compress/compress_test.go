@@ -209,6 +209,7 @@ func benchPayload() []byte { return payloads()["values"] }
 func BenchmarkEncodeFloatShuffle(b *testing.B) {
 	src := benchPayload()
 	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		EncodeFrame(Default(), src)
 	}
@@ -217,9 +218,25 @@ func BenchmarkEncodeFloatShuffle(b *testing.B) {
 func BenchmarkDecodeFloatShuffle(b *testing.B) {
 	frame := EncodeFrame(Default(), benchPayload())
 	b.SetBytes(int64(len(benchPayload())))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := DecodeFrame(frame); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAppendFrameAdaptiveReuse measures the wire/spill encode path as
+// the storage and remote layers drive it: appending into a recycled
+// destination buffer, which should be alloc-free at steady state.
+func BenchmarkAppendFrameAdaptiveReuse(b *testing.B) {
+	src := benchPayload()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = AppendFrameAdaptive(buf[:0], Default(), src)
+	}
+	_ = buf
 }

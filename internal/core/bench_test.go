@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dooc/internal/sparse"
+)
+
+// BenchmarkIteratedSpMVRun measures the full engine data path — program
+// build, DAG derivation, scheduling, lease traffic, zero-copy executor
+// views, generation create/delete — for one small in-memory SpMV solve per
+// op. allocs/op here is the end-to-end allocator cost the hotpath harness
+// tracks at scale (cmd/doocbench -exp hotpath).
+func BenchmarkIteratedSpMVRun(b *testing.B) {
+	const dim, k, nodes, iters = 400, 2, 2, 2
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 4, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewSystem(Options{Nodes: nodes, WorkersPerNode: 1, Reorder: true, PrefetchWindow: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sys.Close()
+	cfg := SpMVConfig{Dim: dim, K: k, Iters: iters, Nodes: nodes}
+	if err := LoadMatrixInMemory(sys, m, cfg); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x0 := make([]float64, dim)
+	for i := range x0 {
+		x0[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Tag = fmt.Sprintf("bench%d", i)
+		if _, err := RunIteratedSpMV(sys, cfg, x0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

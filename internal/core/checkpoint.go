@@ -77,7 +77,7 @@ func LatestCheckpoint(scratchRoot string, cfg SpMVConfig) (*Checkpoint, error) {
 	if best < 0 {
 		return nil, nil
 	}
-	x := make([]float64, 0, cfg.Dim)
+	x := make([]float64, cfg.Dim)
 	for u := 0; u < cfg.K; u++ {
 		raw, err := os.ReadFile(parts[best][u])
 		if err != nil {
@@ -87,7 +87,7 @@ func LatestCheckpoint(scratchRoot string, cfg SpMVConfig) (*Checkpoint, error) {
 		if len(raw) < want {
 			return nil, fmt.Errorf("core: checkpoint part %s truncated (%d of %d bytes)", parts[best][u], len(raw), want)
 		}
-		x = append(x, storage.DecodeFloat64s(raw[:want])...)
+		storage.DecodeFloat64sInto(x[p.Start(u):p.Start(u+1)], raw[:want])
 	}
 	return &Checkpoint{Iter: best, X: x}, nil
 }

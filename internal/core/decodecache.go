@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"sync"
 
 	"dooc/internal/sparse"
@@ -56,7 +55,7 @@ func (c *decodeCache) matrix(store *storage.Store, array string) (*sparse.CSR, e
 	if err != nil {
 		return nil, err
 	}
-	m, err := sparse.ReadCRS(bytes.NewReader(lease.Data))
+	m, err := sparse.DecodeCRSBytes(lease.Data)
 	lease.Release()
 	if err != nil {
 		return nil, err

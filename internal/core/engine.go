@@ -14,17 +14,56 @@ import (
 	"dooc/internal/storage"
 )
 
-// ExecContext is what a computing filter receives for one task.
+// ExecContext is what a computing filter receives for one task. A worker
+// reuses one context (and its scratch buffers) across every task it runs, so
+// steady-state execution does not allocate per task.
 type ExecContext struct {
 	Node    int
 	Workers int
 	Store   *storage.Store
 	Task    *dag.Task
 
-	cache *decodeCache
+	cache   *decodeCache
+	scratch execScratch
 
 	mu     sync.Mutex
 	leases []*storage.Lease
+}
+
+// execScratch holds one worker's reusable buffers. Executors that cannot
+// write straight into a lease view (big-endian hosts, the doocdebug build)
+// stage results here instead of allocating.
+type execScratch struct {
+	vec  []float64
+	seen map[string]bool
+}
+
+// ScratchFloats returns a reusable []float64 of length n with unspecified
+// contents. At most one scratch vector is live per task; a second call
+// invalidates the first.
+func (c *ExecContext) ScratchFloats(n int) []float64 {
+	if cap(c.scratch.vec) < n {
+		c.scratch.vec = make([]float64, n)
+	}
+	return c.scratch.vec[:n]
+}
+
+// ScratchSeen returns an empty reusable string-set.
+func (c *ExecContext) ScratchSeen() map[string]bool {
+	if c.scratch.seen == nil {
+		c.scratch.seen = make(map[string]bool, 8)
+	}
+	clear(c.scratch.seen)
+	return c.scratch.seen
+}
+
+// reset points the context at a new task, keeping scratch and lease-slice
+// capacity.
+func (c *ExecContext) reset(t *dag.Task) {
+	c.Task = t
+	c.mu.Lock()
+	c.leases = c.leases[:0]
+	c.mu.Unlock()
 }
 
 // Matrix returns the decoded CRS block stored in `array`, consulting the
@@ -68,10 +107,11 @@ func (c *ExecContext) track(l *storage.Lease) {
 func (c *ExecContext) reclaim() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, l := range c.leases {
+	for i, l := range c.leases {
 		l.Abandon()
+		c.leases[i] = nil
 	}
-	c.leases = nil
+	c.leases = c.leases[:0]
 }
 
 // Executor runs one task kind. Implementations lease the task's inputs for
@@ -262,6 +302,10 @@ type engineRun struct {
 	// queuedAt stamps when a task first appeared in a ready set, for the
 	// queued→running span in the trace.
 	queuedAt map[string]time.Time
+	// readyFor/retireInputs scratch, guarded by mu.
+	readyIDs   []string
+	readyTasks []*dag.Task
+	retireSeen map[string]bool
 
 	policies []*scheduler.Policy
 	metrics  engineMetrics
@@ -296,6 +340,13 @@ func newEngineMetrics(reg *obs.Registry, nodes int) engineMetrics {
 // lane identifies the worker within its node (the trace's tid).
 func (r *engineRun) worker(node, lane int) {
 	store := r.sys.stores[node]
+	ctx := &ExecContext{
+		Node:    node,
+		Workers: r.sys.opts.WorkersPerNode,
+		Store:   store,
+		cache:   r.sys.decode[node],
+	}
+	var deadScratch []string
 	for {
 		r.mu.Lock()
 		var task *dag.Task
@@ -308,8 +359,12 @@ func (r *engineRun) worker(node, lane int) {
 			mine := r.readyFor(node)
 			if len(mine) > 0 {
 				// Residency snapshot for the pick. The map call leaves the
-				// lock briefly cold but keeps decisions fresh.
-				resident := residencyFunc(store)
+				// lock briefly cold but keeps decisions fresh; the snapshot
+				// is recycled as soon as the pick is made.
+				rm := store.Map()
+				resident := func(ref dag.Ref) bool {
+					return rm.Resident(ref.Array, blockOrZero(ref))
+				}
 				task = r.policies[node].Pick(mine, resident)
 				// Keep the prefetch window full with the runner-up tasks'
 				// heavy data.
@@ -318,6 +373,7 @@ func (r *engineRun) worker(node, lane int) {
 						store.PrefetchBlock(ref.Array, blockOrZero(ref))
 					}
 				}
+				store.RecycleMap(rm)
 				break
 			}
 			r.cond.Wait()
@@ -331,19 +387,17 @@ func (r *engineRun) worker(node, lane int) {
 		ev := Event{Node: node, Task: task.ID, Kind: task.Kind, Start: time.Now()}
 		if hasQueued {
 			r.metrics.queueWait.Observe(ev.Start.Sub(queued).Seconds())
-			r.trace.Span(task.ID, "queued", node, lane, queued, ev.Start, map[string]any{"kind": task.Kind})
+			if r.trace.Enabled() {
+				r.trace.Span(task.ID, "queued", node, lane, queued, ev.Start, map[string]any{"kind": task.Kind})
+			}
 		}
-		ctx := &ExecContext{
-			Node:    node,
-			Workers: r.sys.opts.WorkersPerNode,
-			Store:   store,
-			Task:    task,
-			cache:   r.sys.decode[node],
-		}
+		ctx.reset(task)
 		err := executeTask(r.spec.Executors[task.Kind], ctx)
 		ev.End = time.Now()
-		r.trace.Span(task.ID, task.Kind, node, lane, ev.Start, ev.End,
-			map[string]any{"kind": task.Kind, "ok": err == nil})
+		if r.trace.Enabled() {
+			r.trace.Span(task.ID, task.Kind, node, lane, ev.Start, ev.End,
+				map[string]any{"kind": task.Kind, "ok": err == nil})
+		}
 
 		r.mu.Lock()
 		r.stats.Events = append(r.stats.Events, ev)
@@ -364,7 +418,8 @@ func (r *engineRun) worker(node, lane int) {
 		}
 		r.graph.Complete(task.ID)
 		r.metrics.tasksDone[node].Inc()
-		dead := r.retireInputs(task)
+		dead := r.retireInputs(task, deadScratch[:0])
+		deadScratch = dead[:0]
 		r.mu.Unlock()
 		r.cond.Broadcast()
 
@@ -452,9 +507,13 @@ func (r *engineRun) failNode(node int) {
 }
 
 // readyFor returns this node's ready tasks in DAG order. Caller holds mu.
+// The result aliases per-run scratch: it is valid only while mu is held and
+// until the next readyFor call (the pick path consumes it immediately).
 func (r *engineRun) readyFor(node int) []*dag.Task {
-	var out []*dag.Task
-	for _, id := range r.graph.Ready() {
+	ids := r.graph.ReadyAppend(r.readyIDs[:0])
+	r.readyIDs = ids[:0]
+	out := r.readyTasks[:0]
+	for _, id := range ids {
 		if r.assign[id] == node {
 			if _, ok := r.queuedAt[id]; !ok {
 				r.queuedAt[id] = time.Now()
@@ -462,14 +521,19 @@ func (r *engineRun) readyFor(node int) []*dag.Task {
 			out = append(out, r.graph.Task(id))
 		}
 	}
+	r.readyTasks = out[:0]
 	return out
 }
 
-// retireInputs decrements consumer counts and returns ephemeral arrays with
-// no remaining consumers. Caller holds mu.
-func (r *engineRun) retireInputs(t *dag.Task) []string {
-	var dead []string
-	seen := map[string]bool{}
+// retireInputs decrements consumer counts and appends ephemeral arrays with
+// no remaining consumers to dst. Caller holds mu; dst is the caller's own
+// scratch (the result outlives the lock).
+func (r *engineRun) retireInputs(t *dag.Task, dst []string) []string {
+	if r.retireSeen == nil {
+		r.retireSeen = make(map[string]bool, 8)
+	}
+	seen := r.retireSeen
+	clear(seen)
 	for _, in := range t.Inputs {
 		if seen[in.Array] {
 			continue
@@ -477,18 +541,10 @@ func (r *engineRun) retireInputs(t *dag.Task) []string {
 		seen[in.Array] = true
 		r.consumers[in.Array]--
 		if r.consumers[in.Array] == 0 && r.spec.Ephemeral[in.Array] {
-			dead = append(dead, in.Array)
+			dst = append(dst, in.Array)
 		}
 	}
-	return dead
-}
-
-// residencyFunc adapts a storage residency map to the scheduler's interface.
-func residencyFunc(store *storage.Store) func(dag.Ref) bool {
-	m := store.Map()
-	return func(ref dag.Ref) bool {
-		return m.Resident(ref.Array, blockOrZero(ref))
-	}
+	return dst
 }
 
 func blockOrZero(ref dag.Ref) int {

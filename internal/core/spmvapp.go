@@ -378,16 +378,7 @@ func runIteratedSpMV(sys *System, cfg SpMVConfig, x0 []float64, opts spmvRunOpts
 		return nil, err
 	}
 	locate := func(r dag.Ref) (int, bool) {
-		name := strings.TrimPrefix(r.Array, prefix)
-		var u int
-		if n, _ := fmt.Sscanf(name, "A_%d_", &u); n == 1 {
-			return cfg.OwnerOf(u), true
-		}
-		var t, v int
-		if n, _ := fmt.Sscanf(name, "xp_%d_%d_%d", &t, &u, &v); n == 3 {
-			return cfg.OwnerOf(u), true
-		}
-		if n, _ := fmt.Sscanf(name, "x_%d_%d", &t, &u); n == 2 {
+		if u, ok := spmv.OwnerIndex(strings.TrimPrefix(r.Array, prefix)); ok {
 			return cfg.OwnerOf(u), true
 		}
 		return 0, false
@@ -414,15 +405,15 @@ func runIteratedSpMV(sys *System, cfg SpMVConfig, x0 []float64, opts spmvRunOpts
 
 	// Collect the final vector, then retire it (results live in the caller's
 	// memory; keeping dead generations would defeat the reclamation story).
-	x := make([]float64, 0, cfg.Dim)
+	// The result is sized once and each sub-vector decodes straight into its
+	// interval — no per-chunk staging buffers.
+	x := make([]float64, cfg.Dim)
 	for u := 0; u < cfg.K; u++ {
 		name := prefix + spmv.VecArray(cfg.Iters, u)
 		st := sys.Store(cfg.OwnerOf(u))
-		raw, err := st.ReadAll(name)
-		if err != nil {
+		if err := st.ReadFloat64s(name, x[p.Start(u):p.Start(u+1)]); err != nil {
 			return nil, err
 		}
-		x = append(x, storage.DecodeFloat64s(raw)...)
 		if !opts.keepEphemeral {
 			// Best effort: a straggling lease elsewhere just delays
 			// reclamation.
@@ -471,7 +462,12 @@ func SpMVExecutors() map[string]Executor {
 	}
 }
 
-// execMultiply computes xp[t][u][v] = A[u][v] * x[t-1][v].
+// execMultiply computes xp[t][u][v] = A[u][v] * x[t-1][v]. The input vector
+// is read through a zero-copy view of its lease bytes and the result is
+// computed directly into the output write lease, so the steady-state
+// multiply moves no vector bytes outside the kernel itself. Leases are held
+// for the duration of the compute — the view contract ties view lifetime to
+// lease lifetime.
 func execMultiply(ctx *ExecContext) error {
 	t := ctx.Task
 	if len(t.Inputs) != 2 || len(t.Outputs) != 1 {
@@ -488,18 +484,23 @@ func execMultiply(ctx *ExecContext) error {
 	if err != nil {
 		return err
 	}
-	xv := storage.GetFloat64s(xLease)
-	xLease.Release()
-
-	y := make([]float64, a.Rows)
-	sparse.MulVecParallel(a, xv, y, ctx.Workers)
+	xv := storage.Float64View(xLease)
 
 	out, err := ctx.RequestBlock(outRef.Array, 0, storage.PermWrite)
 	if err != nil {
+		xLease.Release()
 		return err
 	}
-	storage.PutFloat64s(out, y)
+	y, direct := storage.Float64WriteView(out)
+	if !direct {
+		y = ctx.ScratchFloats(a.Rows)
+	}
+	sparse.MulVecParallel(a, xv, y, ctx.Workers)
+	if !direct {
+		storage.PutFloat64s(out, y)
+	}
 	out.Release()
+	xLease.Release()
 	return nil
 }
 
@@ -529,17 +530,25 @@ func execMultiplyPart(ctx *ExecContext) error {
 	if err != nil {
 		return err
 	}
-	xv := storage.GetFloat64s(xLease)
-	xLease.Release()
+	xv := storage.Float64View(xLease)
 
 	// Row range of this part: contiguous stripes covering all rows.
 	rows := a.Rows
 	r0 := rows * p / ways
 	r1 := rows * (p + 1) / ways
 	if r0 >= r1 {
+		xLease.Release()
 		return nil // more parts than rows: this stripe is empty
 	}
-	y := make([]float64, r1-r0)
+	out, err := ctx.Request(outRef.Array, int64(8*r0), int64(8*r1), storage.PermWrite)
+	if err != nil {
+		xLease.Release()
+		return err
+	}
+	y, direct := storage.Float64WriteView(out)
+	if !direct {
+		y = ctx.ScratchFloats(r1 - r0)
+	}
 	for i := r0; i < r1; i++ {
 		sum := 0.0
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
@@ -547,12 +556,11 @@ func execMultiplyPart(ctx *ExecContext) error {
 		}
 		y[i-r0] = sum
 	}
-	out, err := ctx.Request(outRef.Array, int64(8*r0), int64(8*r1), storage.PermWrite)
-	if err != nil {
-		return err
+	if !direct {
+		storage.PutFloat64s(out, y)
 	}
-	storage.PutFloat64s(out, y)
 	out.Release()
+	xLease.Release()
 	return nil
 }
 
@@ -564,8 +572,20 @@ func execSum(ctx *ExecContext) error {
 	if len(t.Outputs) != 1 || len(t.Inputs) == 0 {
 		return fmt.Errorf("sum task %s has unexpected shape", t.ID)
 	}
-	var acc []float64
-	seen := make(map[string]bool, len(t.Inputs))
+	// The accumulator is the output write lease itself: the first part is
+	// copied in, the rest added in place. Accumulation order (task input
+	// order, first occurrence of each array) is unchanged, so results stay
+	// bit-identical to the copying implementation.
+	out, err := ctx.RequestBlock(t.Outputs[0].Array, 0, storage.PermWrite)
+	if err != nil {
+		return err
+	}
+	acc, direct := storage.Float64WriteView(out)
+	if !direct {
+		acc = ctx.ScratchFloats(len(out.Data) / 8)
+	}
+	first := true
+	seen := ctx.ScratchSeen()
 	for _, in := range t.Inputs {
 		if seen[in.Array] {
 			continue
@@ -573,21 +593,20 @@ func execSum(ctx *ExecContext) error {
 		seen[in.Array] = true
 		l, err := ctx.RequestBlock(in.Array, 0, storage.PermRead)
 		if err != nil {
+			out.Abandon()
 			return err
 		}
-		part := storage.GetFloat64s(l)
-		l.Release()
-		if acc == nil {
-			acc = part
-			continue
+		if first {
+			storage.DecodeFloat64sInto(acc, l.Data)
+			first = false
+		} else {
+			sparse.Sum(acc, storage.Float64View(l))
 		}
-		sparse.Sum(acc, part)
+		l.Release()
 	}
-	out, err := ctx.RequestBlock(t.Outputs[0].Array, 0, storage.PermWrite)
-	if err != nil {
-		return err
+	if !direct {
+		storage.PutFloat64s(out, acc)
 	}
-	storage.PutFloat64s(out, acc)
 	out.Release()
 	return nil
 }

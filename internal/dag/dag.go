@@ -9,6 +9,7 @@ package dag
 import (
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // Ref names a datum: a block of an array (Block == Whole means the whole
@@ -28,12 +29,20 @@ type Ref struct {
 // Whole marks a Ref that covers its entire array.
 const Whole = -1
 
-// Key returns a map key identifying the datum.
+// Key returns a map key identifying the datum: "array[block]" with a
+// "#part" suffix for split refs. Built with strconv appends — Key runs once
+// per ref per scheduler pass, where fmt's formatting state is measurable.
 func (r Ref) Key() string {
-	if r.Part == 0 {
-		return fmt.Sprintf("%s[%d]", r.Array, r.Block)
+	b := make([]byte, 0, len(r.Array)+16)
+	b = append(b, r.Array...)
+	b = append(b, '[')
+	b = strconv.AppendInt(b, int64(r.Block), 10)
+	b = append(b, ']')
+	if r.Part != 0 {
+		b = append(b, '#')
+		b = strconv.AppendInt(b, int64(r.Part), 10)
 	}
-	return fmt.Sprintf("%s[%d]#%d", r.Array, r.Block, r.Part)
+	return string(b)
 }
 
 // Task is a unit of computation with declared data in- and outputs.
@@ -74,18 +83,29 @@ type Graph struct {
 	running   map[string]bool
 }
 
+// refID is Ref.Key() as a comparable struct: Build indexes producers per
+// datum for every ref of every task, and string keys would dominate its
+// allocation profile.
+type refID struct {
+	array       string
+	block, part int
+}
+
+func (r Ref) id() refID { return refID{r.Array, r.Block, r.Part} }
+
 // Build derives the DAG. It rejects duplicate task IDs, multiple writers of
 // one datum, and cycles.
 func Build(tasks []*Task) (*Graph, error) {
 	g := &Graph{
 		tasks:     make(map[string]*Task, len(tasks)),
-		succ:      make(map[string][]string),
-		pred:      make(map[string][]string),
-		indegree:  make(map[string]int),
-		completed: make(map[string]bool),
-		running:   make(map[string]bool),
+		order:     make([]string, 0, len(tasks)),
+		succ:      make(map[string][]string, len(tasks)),
+		pred:      make(map[string][]string, len(tasks)),
+		indegree:  make(map[string]int, len(tasks)),
+		completed: make(map[string]bool, len(tasks)),
+		running:   make(map[string]bool, len(tasks)),
 	}
-	producer := make(map[string]string)
+	producer := make(map[refID]string, len(tasks))
 	for _, t := range tasks {
 		if t.ID == "" {
 			return nil, fmt.Errorf("dag: task with empty ID")
@@ -96,17 +116,18 @@ func Build(tasks []*Task) (*Graph, error) {
 		g.tasks[t.ID] = t
 		g.order = append(g.order, t.ID)
 		for _, out := range t.Outputs {
-			if prev, taken := producer[out.Key()]; taken {
+			if prev, taken := producer[out.id()]; taken {
 				return nil, fmt.Errorf("dag: datum %s written by both %q and %q (immutable arrays have a single writer)", out.Key(), prev, t.ID)
 			}
-			producer[out.Key()] = t.ID
+			producer[out.id()] = t.ID
 		}
 	}
+	seen := make(map[string]bool, 8)
 	for _, id := range g.order {
 		t := g.tasks[id]
-		seen := make(map[string]bool)
+		clear(seen)
 		for _, in := range t.Inputs {
-			p, ok := producer[in.Key()]
+			p, ok := producer[in.id()]
 			if !ok || p == id || seen[p] {
 				continue
 			}
@@ -145,14 +166,17 @@ func (g *Graph) Succs(id string) []string { return g.succ[id] }
 
 // Ready returns, in insertion order, tasks whose predecessors have all
 // completed and which are neither running nor completed.
-func (g *Graph) Ready() []string {
-	var out []string
+func (g *Graph) Ready() []string { return g.ReadyAppend(nil) }
+
+// ReadyAppend appends the ready task IDs to dst and returns it — the
+// allocation-free form of Ready for schedulers that poll every wake-up.
+func (g *Graph) ReadyAppend(dst []string) []string {
 	for _, id := range g.order {
 		if g.indegree[id] == 0 && !g.completed[id] && !g.running[id] {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
-	return out
+	return dst
 }
 
 // Start marks a ready task as running. It panics on protocol misuse (not

@@ -46,6 +46,11 @@ func (t *Tracer) us(at time.Time) float64 {
 	return float64(at.Sub(t.epoch)) / float64(time.Microsecond)
 }
 
+// Enabled reports whether events are being collected. Hot paths should gate
+// event construction on it — a nil tracer discards events, but the args map
+// built at the call site would still allocate.
+func (t *Tracer) Enabled() bool { return t != nil }
+
 // Span records a complete event covering [start, end).
 func (t *Tracer) Span(name, cat string, pid, tid int, start, end time.Time, args map[string]any) {
 	if t == nil {

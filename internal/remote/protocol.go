@@ -249,23 +249,41 @@ func newFaultyConn(raw net.Conn, inj *faults.Injector) *conn {
 	return &conn{raw: raw, br: br, dec: gob.NewDecoder(br), enc: gob.NewEncoder(raw), faults: inj}
 }
 
+// framePool recycles wire-compression frame buffers across sends. gob's
+// Encode copies the payload into its own stream buffer before returning, so
+// a frame is dead the moment Encode returns and its backing can be reused
+// by the next send on any connection.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
 // encodePayload compresses data for the wire if the connection negotiated a
 // codec and the payload is worth it. The adaptive encoder's raw bail-out is
 // mapped back to sending the plain payload: a raw frame would only add the
-// header.
-func (c *conn) encodePayload(data []byte) ([]byte, bool) {
+// header. When the returned bool is true, the frame's backing is pooled and
+// the caller must release it with putFrame after the bytes have been copied
+// to the wire.
+func (c *conn) encodePayload(data []byte) ([]byte, bool, *[]byte) {
 	if c.codec == nil || len(data) < c.compressMin {
-		return data, false
+		return data, false, nil
 	}
 	start := time.Now()
-	frame, used := compress.EncodeAdaptive(c.codec, data)
+	buf := framePool.Get().(*[]byte)
+	frame, used := compress.AppendFrameAdaptive((*buf)[:0], c.codec, data)
+	*buf = frame[:0]
 	secs := time.Since(start).Seconds()
 	if used.ID() == (compress.Raw{}).ID() {
+		framePool.Put(buf)
 		c.wire.noteBailout(secs)
-		return data, false
+		return data, false, nil
 	}
 	c.wire.noteEncode(used.ID(), len(data), len(frame), secs)
-	return frame, true
+	return frame, true, buf
+}
+
+// putFrame returns an encodePayload frame buffer to the pool (nil is a no-op).
+func putFrame(buf *[]byte) {
+	if buf != nil {
+		framePool.Put(buf)
+	}
 }
 
 // decodePayload undoes wire compression on a received payload.
@@ -296,34 +314,42 @@ func (c *conn) corruptCopy(data []byte) []byte {
 // length (the frame length when compressed).
 func (c *conn) sendRequest(r *request) (int, error) {
 	out := *r
-	out.Data, out.Enc = c.encodePayload(r.Data)
+	var fbuf *[]byte
+	out.Data, out.Enc, fbuf = c.encodePayload(r.Data)
 	out.Sum = payloadSum(out.Data)
 	if c.faults.Drop() {
+		putFrame(fbuf)
 		c.raw.Close()
 		return 0, fmt.Errorf("remote: send %s: %w: connection dropped", r.Op, faults.ErrInjected)
 	}
 	out.Data = c.corruptCopy(out.Data)
 	n := len(out.Data)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return n, c.enc.Encode(&out)
+	err := c.enc.Encode(&out)
+	c.mu.Unlock()
+	putFrame(fbuf)
+	return n, err
 }
 
 // sendResponse encodes and sends a response, returning the payload's wire
 // length.
 func (c *conn) sendResponse(r *response) (int, error) {
 	out := *r
-	out.Data, out.Enc = c.encodePayload(r.Data)
+	var fbuf *[]byte
+	out.Data, out.Enc, fbuf = c.encodePayload(r.Data)
 	out.Sum = payloadSum(out.Data)
 	if c.faults.Drop() {
+		putFrame(fbuf)
 		c.raw.Close()
 		return 0, fmt.Errorf("remote: send response: %w: connection dropped", faults.ErrInjected)
 	}
 	out.Data = c.corruptCopy(out.Data)
 	n := len(out.Data)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return n, c.enc.Encode(&out)
+	err := c.enc.Encode(&out)
+	c.mu.Unlock()
+	putFrame(fbuf)
+	return n, err
 }
 
 func (c *conn) close() error { return c.raw.Close() }

@@ -28,8 +28,9 @@ import (
 func Affinity(tasks []*dag.Task, nodes int, locate func(dag.Ref) (int, bool)) map[string]int {
 	assign := make(map[string]int, len(tasks))
 	load := make([]int64, nodes)
+	byNode := make([]int64, nodes)
 	for _, t := range tasks {
-		byNode := make([]int64, nodes)
+		clear(byNode)
 		var located bool
 		for _, in := range t.Inputs {
 			if n, ok := locate(in); ok && n >= 0 && n < nodes {
@@ -80,10 +81,29 @@ func RoundRobin(tasks []*dag.Task, nodes int) map[string]int {
 	return assign
 }
 
-// Policy is one node's local-scheduler task selection state.
+// refKey identifies a datum like dag.Ref.Key() but as a comparable struct,
+// so the policy's maps never build key strings on the pick path.
+type refKey struct {
+	array       string
+	block, part int
+}
+
+func keyOf(r dag.Ref) refKey { return refKey{r.Array, r.Block, r.Part} }
+
+// Policy is one node's local-scheduler task selection state. A Policy is not
+// safe for concurrent use; the engine serializes all calls per node.
 type Policy struct {
-	lastUse map[string]int64
+	lastUse map[refKey]int64
 	tick    int64
+
+	// Reusable pick-path scratch (Order, PrefetchTargets).
+	ordScratch   []*dag.Task
+	tmpScratch   []*dag.Task
+	scoreScratch []score
+	idxScratch   []int
+	seenScratch  map[refKey]bool
+	refScratch   []dag.Ref
+	sorter       orderSorter
 	// Reorder enables the data-aware reordering; false degrades to FIFO
 	// (the ablation baseline).
 	Reorder bool
@@ -98,7 +118,7 @@ type Policy struct {
 
 // NewPolicy returns a reordering policy.
 func NewPolicy() *Policy {
-	return &Policy{lastUse: make(map[string]int64), Reorder: true}
+	return &Policy{lastUse: make(map[refKey]int64), Reorder: true}
 }
 
 // Touch records that the given data were just used (called when a task's
@@ -106,7 +126,7 @@ func NewPolicy() *Policy {
 func (p *Policy) Touch(refs []dag.Ref) {
 	p.tick++
 	for _, r := range refs {
-		p.lastUse[r.Key()] = p.tick
+		p.lastUse[keyOf(r)] = p.tick
 	}
 }
 
@@ -132,11 +152,24 @@ func (p *Policy) scoreOf(t *dag.Task, pos int, resident func(dag.Ref) bool) scor
 		if resident(r) {
 			s.residentBytes += r.Bytes
 		}
-		if lu := p.lastUse[r.Key()]; lu > s.recency {
+		if lu := p.lastUse[keyOf(r)]; lu > s.recency {
 			s.recency = lu
 		}
 	}
 	return s
+}
+
+// orderSorter stably sorts an index permutation by score without the
+// reflection-based swapper sort.SliceStable allocates per call.
+type orderSorter struct {
+	idx    []int
+	scores []score
+}
+
+func (o *orderSorter) Len() int      { return len(o.idx) }
+func (o *orderSorter) Swap(i, j int) { o.idx[i], o.idx[j] = o.idx[j], o.idx[i] }
+func (o *orderSorter) Less(i, j int) bool {
+	return better(o.scores[o.idx[i]], o.scores[o.idx[j]])
 }
 
 func better(a, b score) bool {
@@ -177,51 +210,65 @@ func (p *Policy) Pick(ready []*dag.Task, resident func(dag.Ref) bool) *dag.Task 
 }
 
 // Order returns the ready tasks sorted by descending desirability; the
-// prefix of this order is what the prefetcher warms.
+// prefix of this order is what the prefetcher warms. The returned slice is
+// scratch owned by the policy — valid until the next Order or
+// PrefetchTargets call.
 func (p *Policy) Order(ready []*dag.Task, resident func(dag.Ref) bool) []*dag.Task {
-	out := append([]*dag.Task(nil), ready...)
+	out := append(p.ordScratch[:0], ready...)
+	p.ordScratch = out[:0]
 	if !p.Reorder {
 		return out
 	}
-	scores := make([]score, len(out))
+	scores := p.scoreScratch[:0]
+	idx := p.idxScratch[:0]
 	for i, t := range out {
-		scores[i] = p.scoreOf(t, i, resident)
+		scores = append(scores, p.scoreOf(t, i, resident))
+		idx = append(idx, i)
 	}
-	idx := make([]int, len(out))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return better(scores[idx[a]], scores[idx[b]]) })
-	sorted := make([]*dag.Task, len(out))
+	p.scoreScratch, p.idxScratch = scores[:0], idx[:0]
+	p.sorter.idx, p.sorter.scores = idx, scores
+	sort.Stable(&p.sorter)
+	p.sorter.idx, p.sorter.scores = nil, nil
+	// Apply the permutation through a second scratch buffer (out aliases
+	// ordScratch, so the copy must not share its backing array).
+	tmp := append(p.tmpScratch[:0], out...)
+	p.tmpScratch = tmp[:0]
 	for i, j := range idx {
-		sorted[i] = out[j]
+		out[i] = tmp[j]
 	}
-	return sorted
+	return out
 }
 
 // PrefetchTargets returns up to `window` heavy, non-resident data refs from
 // the most desirable ready tasks, in the order the prefetcher should issue
 // them. This is how the local scheduler keeps "a given number of ready
-// tasks whose data are in memory".
+// tasks whose data are in memory". The returned slice is scratch owned by
+// the policy — valid until the next PrefetchTargets call.
 func (p *Policy) PrefetchTargets(ready []*dag.Task, resident func(dag.Ref) bool, window int) []dag.Ref {
 	if window <= 0 {
 		return nil
 	}
-	var out []dag.Ref
-	seen := make(map[string]bool)
+	out := p.refScratch[:0]
+	if p.seenScratch == nil {
+		p.seenScratch = make(map[refKey]bool, 8)
+	}
+	seen := p.seenScratch
+	clear(seen)
 	for _, t := range p.Order(ready, resident) {
 		for _, r := range t.HeavyInputs() {
-			if resident(r) || seen[r.Key()] {
+			if resident(r) || seen[keyOf(r)] {
 				continue
 			}
-			seen[r.Key()] = true
+			seen[keyOf(r)] = true
 			out = append(out, r)
 			if len(out) == window {
+				p.refScratch = out[:0]
 				p.PrefetchRefs.Add(int64(len(out)))
 				return out
 			}
 		}
 	}
+	p.refScratch = out[:0]
 	p.PrefetchRefs.Add(int64(len(out)))
 	return out
 }

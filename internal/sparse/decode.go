@@ -1,0 +1,108 @@
+package sparse
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"unsafe"
+)
+
+// Bulk in-memory CRS decoding. ReadCRS is shaped for streaming from files
+// (buffered reader, per-slab hashing); when a block already sits in memory —
+// the common case for staged sub-matrices resident in the storage layer —
+// that shape costs a 1 MiB buffer plus per-element conversion loops per
+// decode. DecodeCRSBytes instead validates the CRC in one shot and bulk-
+// copies each section into the typed slices, which on little-endian hardware
+// compiles to three memcpys.
+
+var crsLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+var crsCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// copyToInt64s fills dst from little-endian src bytes (len(src) == 8*len(dst)).
+func copyToInt64s(dst []int64, src []byte) {
+	if crsLittleEndian && len(dst) > 0 {
+		db := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(dst))), 8*len(dst))
+		copy(db, src)
+		return
+	}
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}
+
+// copyToInt32s fills dst from little-endian src bytes (len(src) == 4*len(dst)).
+func copyToInt32s(dst []int32, src []byte) {
+	if crsLittleEndian && len(dst) > 0 {
+		db := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(dst))), 4*len(dst))
+		copy(db, src)
+		return
+	}
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(src[4*i:]))
+	}
+}
+
+// copyToFloat64s fills dst from little-endian src bytes (len(src) == 8*len(dst)).
+func copyToFloat64s(dst []float64, src []byte) {
+	if crsLittleEndian && len(dst) > 0 {
+		db := unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(dst))), 8*len(dst))
+		copy(db, src)
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+}
+
+// DecodeCRSBytes decodes a binary CRS block held entirely in memory,
+// verifying structure and CRC exactly like ReadCRS. V2 (section-compressed)
+// blocks fall back to the streaming reader.
+func DecodeCRSBytes(data []byte) (*CSR, error) {
+	if len(data) < HeaderBytes+4 {
+		return nil, fmt.Errorf("sparse: %d bytes is shorter than a CRS header", len(data))
+	}
+	switch string(data[:8]) {
+	case crsMagic:
+	case crsMagicV2:
+		return ReadCRS(bytes.NewReader(data))
+	default:
+		return nil, fmt.Errorf("sparse: bad CRS magic %q", data[:8])
+	}
+	rows := int64(binary.LittleEndian.Uint64(data[8:]))
+	cols := int64(binary.LittleEndian.Uint64(data[16:]))
+	nnz := int64(binary.LittleEndian.Uint64(data[24:]))
+	const maxDim = 1 << 40
+	if rows < 0 || cols < 0 || nnz < 0 || rows > maxDim || cols > maxDim || nnz > maxDim {
+		return nil, fmt.Errorf("sparse: implausible CRS shape rows=%d cols=%d nnz=%d", rows, cols, nnz)
+	}
+	if want := FileBytes(int(rows), nnz); int64(len(data)) != want {
+		return nil, fmt.Errorf("sparse: CRS block is %d bytes, shape says %d", len(data), want)
+	}
+	body := len(data) - 4
+	if got, want := binary.LittleEndian.Uint32(data[body:]), crc32.Checksum(data[:body], crsCRCTable); got != want {
+		return nil, fmt.Errorf("sparse: CRS checksum mismatch: file=%08x computed=%08x", got, want)
+	}
+	m := &CSR{
+		Rows:   int(rows),
+		Cols:   int(cols),
+		RowPtr: make([]int64, rows+1),
+		ColIdx: make([]int32, nnz),
+		Val:    make([]float64, nnz),
+	}
+	off := int64(HeaderBytes)
+	copyToInt64s(m.RowPtr, data[off:off+8*(rows+1)])
+	off += 8 * (rows + 1)
+	copyToInt32s(m.ColIdx, data[off:off+4*nnz])
+	off += 4 * nnz
+	copyToFloat64s(m.Val, data[off:off+8*nnz])
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("sparse: invalid CRS payload: %w", err)
+	}
+	return m, nil
+}

@@ -9,6 +9,7 @@ package spmv
 
 import (
 	"fmt"
+	"strconv"
 
 	"dooc/internal/dag"
 )
@@ -58,13 +59,36 @@ func (c ProgramConfig) PartialRef(t, u, v int) dag.Ref {
 }
 
 // MatrixArray names the storage array holding A[u][v].
-func MatrixArray(u, v int) string { return fmt.Sprintf("A_%03d_%03d", u, v) }
+func MatrixArray(u, v int) string {
+	b := make([]byte, 0, 12)
+	b = append(b, 'A', '_')
+	b = appendPad3(b, u)
+	b = append(b, '_')
+	b = appendPad3(b, v)
+	return string(b)
+}
 
 // VecArray names the storage array holding x[t][u].
-func VecArray(t, u int) string { return fmt.Sprintf("x_%d_%d", t, u) }
+func VecArray(t, u int) string {
+	b := make([]byte, 0, 16)
+	b = append(b, 'x', '_')
+	b = strconv.AppendInt(b, int64(t), 10)
+	b = append(b, '_')
+	b = strconv.AppendInt(b, int64(u), 10)
+	return string(b)
+}
 
 // PartialArray names the storage array holding x[t][u][v].
-func PartialArray(t, u, v int) string { return fmt.Sprintf("xp_%d_%d_%d", t, u, v) }
+func PartialArray(t, u, v int) string {
+	b := make([]byte, 0, 20)
+	b = append(b, 'x', 'p', '_')
+	b = strconv.AppendInt(b, int64(t), 10)
+	b = append(b, '_')
+	b = strconv.AppendInt(b, int64(u), 10)
+	b = append(b, '_')
+	b = strconv.AppendInt(b, int64(v), 10)
+	return string(b)
+}
 
 // PartialPartRef returns the datum for row-part p of intermediate product
 // x[t][u][v] under a ways-way split.
@@ -78,23 +102,67 @@ func (c ProgramConfig) PartialPartRef(t, u, v, p, ways int) dag.Ref {
 }
 
 // MultTaskID and ReduceTaskID name the generated tasks.
-func MultTaskID(t, u, v int) string { return fmt.Sprintf("mult:%d:%d:%d", t, u, v) }
+func MultTaskID(t, u, v int) string {
+	b := make([]byte, 0, 24)
+	b = append(b, "mult:"...)
+	b = strconv.AppendInt(b, int64(t), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(u), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(v), 10)
+	return string(b)
+}
 
 // MultPartTaskID names row-part p (of `ways`) of a split multiply.
 func MultPartTaskID(t, u, v, p, ways int) string {
-	return fmt.Sprintf("mult:%d:%d:%d:part%d/%d", t, u, v, p, ways)
+	b := make([]byte, 0, 32)
+	b = append(b, MultTaskID(t, u, v)...)
+	b = append(b, ":part"...)
+	b = strconv.AppendInt(b, int64(p), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(ways), 10)
+	return string(b)
 }
 
 // ParseMultPart recovers (t, u, v, p, ways) from a split-multiply task ID.
 func ParseMultPart(id string) (t, u, v, p, ways int, err error) {
-	if _, err = fmt.Sscanf(id, "mult:%d:%d:%d:part%d/%d", &t, &u, &v, &p, &ways); err != nil {
-		return 0, 0, 0, 0, 0, fmt.Errorf("spmv: bad split-multiply id %q: %w", id, err)
+	bad := func() (int, int, int, int, int, error) {
+		return 0, 0, 0, 0, 0, fmt.Errorf("spmv: bad split-multiply id %q", id)
+	}
+	rest, ok := cutPrefix(id, "mult:")
+	if !ok {
+		return bad()
+	}
+	if t, rest, ok = parseIntSep(rest, ':'); !ok {
+		return bad()
+	}
+	if u, rest, ok = parseIntSep(rest, ':'); !ok {
+		return bad()
+	}
+	if v, rest, ok = parseIntSep(rest, ':'); !ok {
+		return bad()
+	}
+	if rest, ok = cutPrefix(rest, "part"); !ok {
+		return bad()
+	}
+	if p, rest, ok = parseIntSep(rest, '/'); !ok {
+		return bad()
+	}
+	if ways, rest, ok = parseIntSep(rest, 0); !ok || rest != "" {
+		return bad()
 	}
 	return t, u, v, p, ways, nil
 }
 
 // ReduceTaskID names the reduction producing x[t][u].
-func ReduceTaskID(t, u int) string { return fmt.Sprintf("reduce:%d:%d", t, u) }
+func ReduceTaskID(t, u int) string {
+	b := make([]byte, 0, 20)
+	b = append(b, "reduce:"...)
+	b = strconv.AppendInt(b, int64(t), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(u), 10)
+	return string(b)
+}
 
 // Program emits the task list for cfg: K*K multiplies and K reductions per
 // iteration. At K=3 this is the paper's Fig. 3 command list — 9 sub-matrix
@@ -108,52 +176,128 @@ func Program(cfg ProgramConfig) ([]*dag.Task, error) {
 	if ways < 1 {
 		ways = 1
 	}
-	var tasks []*dag.Task
+	// Tasks and refs come from two exactly-sized backing arrays: per
+	// iteration K*K*ways multiplies (4 refs each) and K reductions
+	// (K*ways inputs + 1 output each). The capacities must be exact — task
+	// pointers and ref sub-slices alias the backing arrays, so growth would
+	// strand earlier entries.
+	nTasks := cfg.Iters * (cfg.K*cfg.K*ways + cfg.K)
+	nRefs := cfg.Iters * (cfg.K*cfg.K*ways*4 + cfg.K*(cfg.K*ways+1))
+	taskBuf := make([]dag.Task, 0, nTasks)
+	refs := make([]dag.Ref, 0, nRefs)
+	tasks := make([]*dag.Task, 0, nTasks)
+	cut := func(start int) []dag.Ref { return refs[start:len(refs):len(refs)] }
+	// Each distinct array name is built exactly once: every name is
+	// referenced several times per build (a matrix block 2×ways×Iters
+	// times), and the prefix concatenation in the Ref helpers would
+	// otherwise re-allocate the same strings throughout the loop.
+	matNames := make([]string, cfg.K*cfg.K)
+	for u := 0; u < cfg.K; u++ {
+		for v := 0; v < cfg.K; v++ {
+			matNames[u*cfg.K+v] = MatrixArray(u, v)
+		}
+	}
+	vecNames := make([]string, (cfg.Iters+1)*cfg.K)
+	for t := 0; t <= cfg.Iters; t++ {
+		for u := 0; u < cfg.K; u++ {
+			vecNames[t*cfg.K+u] = cfg.Prefix + VecArray(t, u)
+		}
+	}
+	partNames := make([]string, cfg.Iters*cfg.K*cfg.K)
+	for t := 1; t <= cfg.Iters; t++ {
+		for u := 0; u < cfg.K; u++ {
+			for v := 0; v < cfg.K; v++ {
+				partNames[((t-1)*cfg.K+u)*cfg.K+v] = cfg.Prefix + PartialArray(t, u, v)
+			}
+		}
+	}
+	matRef := func(u, v int) dag.Ref {
+		return dag.Ref{Array: matNames[u*cfg.K+v], Block: 0, Bytes: cfg.SubBytes}
+	}
+	vecRef := func(t, u int) dag.Ref {
+		return dag.Ref{Array: vecNames[t*cfg.K+u], Block: 0, Bytes: cfg.VecBytes}
+	}
+	partName := func(t, u, v int) string { return partNames[((t-1)*cfg.K+u)*cfg.K+v] }
 	for t := 1; t <= cfg.Iters; t++ {
 		for u := 0; u < cfg.K; u++ {
 			for v := 0; v < cfg.K; v++ {
 				if ways == 1 {
-					tasks = append(tasks, &dag.Task{
+					s := len(refs)
+					refs = append(refs, matRef(u, v), vecRef(t-1, v))
+					in := cut(s)
+					s = len(refs)
+					refs = append(refs, dag.Ref{Array: partName(t, u, v), Block: 0, Bytes: cfg.VecBytes})
+					out := cut(s)
+					s = len(refs)
+					refs = append(refs, matRef(u, v))
+					heavy := cut(s)
+					taskBuf = append(taskBuf, dag.Task{
 						ID:      MultTaskID(t, u, v),
 						Kind:    "multiply",
-						Inputs:  []dag.Ref{cfg.MatrixRef(u, v), cfg.VecRef(t-1, v)},
-						Outputs: []dag.Ref{cfg.PartialRef(t, u, v)},
-						Heavy:   []dag.Ref{cfg.MatrixRef(u, v)},
+						Inputs:  in,
+						Outputs: out,
+						Heavy:   heavy,
 						Flops:   cfg.FlopsPerMult,
 					})
+					tasks = append(tasks, &taskBuf[len(taskBuf)-1])
 					continue
 				}
 				for p := 0; p < ways; p++ {
-					tasks = append(tasks, &dag.Task{
+					s := len(refs)
+					refs = append(refs, matRef(u, v), vecRef(t-1, v))
+					in := cut(s)
+					s = len(refs)
+					refs = append(refs, dag.Ref{
+						Array: partName(t, u, v),
+						Block: 0,
+						Part:  p + 1,
+						Bytes: cfg.VecBytes / int64(ways),
+					})
+					out := cut(s)
+					s = len(refs)
+					refs = append(refs, matRef(u, v))
+					heavy := cut(s)
+					taskBuf = append(taskBuf, dag.Task{
 						ID:      MultPartTaskID(t, u, v, p, ways),
 						Kind:    "multiply-part",
-						Inputs:  []dag.Ref{cfg.MatrixRef(u, v), cfg.VecRef(t-1, v)},
-						Outputs: []dag.Ref{cfg.PartialPartRef(t, u, v, p, ways)},
-						Heavy:   []dag.Ref{cfg.MatrixRef(u, v)},
+						Inputs:  in,
+						Outputs: out,
+						Heavy:   heavy,
 						Flops:   cfg.FlopsPerMult / float64(ways),
 					})
+					tasks = append(tasks, &taskBuf[len(taskBuf)-1])
 				}
 			}
 		}
 		for u := 0; u < cfg.K; u++ {
-			var in []dag.Ref
+			s := len(refs)
 			for v := 0; v < cfg.K; v++ {
 				if ways == 1 {
-					in = append(in, cfg.PartialRef(t, u, v))
+					refs = append(refs, dag.Ref{Array: partName(t, u, v), Block: 0, Bytes: cfg.VecBytes})
 					continue
 				}
 				for p := 0; p < ways; p++ {
-					in = append(in, cfg.PartialPartRef(t, u, v, p, ways))
+					refs = append(refs, dag.Ref{
+						Array: partName(t, u, v),
+						Block: 0,
+						Part:  p + 1,
+						Bytes: cfg.VecBytes / int64(ways),
+					})
 				}
 			}
-			tasks = append(tasks, &dag.Task{
+			in := cut(s)
+			s = len(refs)
+			refs = append(refs, vecRef(t, u))
+			out := cut(s)
+			taskBuf = append(taskBuf, dag.Task{
 				ID:      ReduceTaskID(t, u),
 				Kind:    "sum",
 				Inputs:  in,
-				Outputs: []dag.Ref{cfg.VecRef(t, u)},
-				Heavy:   []dag.Ref{}, // vector parts should not drive cache policy
+				Outputs: out,
+				Heavy:   refs[len(refs):len(refs):len(refs)], // explicitly empty: vector parts should not drive cache policy
 				Flops:   float64(cfg.K) * float64(cfg.VecBytes) / 8,
 			})
+			tasks = append(tasks, &taskBuf[len(taskBuf)-1])
 		}
 	}
 	return tasks, nil

@@ -17,6 +17,7 @@ func BenchmarkLeaseHit(b *testing.B) {
 	if err := s.WriteArray("hot", bytes.Repeat([]byte("h"), 4096), 4096); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l, err := s.Request("hot", 0, 4096, PermRead)
@@ -46,6 +47,7 @@ func BenchmarkPeerFetch(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(size)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l, err := stores[1].Request("remote", 0, size, PermRead)
@@ -77,6 +79,7 @@ func BenchmarkOOCReadThrough(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(size)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l, err := s.Request("disk", 0, size, PermRead)
@@ -103,6 +106,7 @@ func BenchmarkCreateDelete(b *testing.B) {
 			s.Close()
 		}
 	}()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		name := fmt.Sprintf("tmp%d", i)
@@ -112,5 +116,55 @@ func BenchmarkCreateDelete(b *testing.B) {
 		if err := stores[0].Delete(name); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFloat64View measures the full zero-copy read path — lease grant,
+// unsafe float64 cast, release — the per-task storage cost of an executor.
+// On a little-endian machine this should be alloc-free beyond the lease
+// itself.
+func BenchmarkFloat64View(b *testing.B) {
+	s, err := NewLocal(Config{MemoryBudget: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	const elems = 4096
+	vals := make([]float64, elems)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	buf := make([]byte, 8*elems)
+	EncodeFloat64s(buf, vals)
+	if err := s.WriteArray("view", buf, int64(len(buf))); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(8 * elems)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		l, err := s.Request("view", 0, 8*elems, PermRead)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := Float64View(l)
+		sink += v[i%elems]
+		l.Release()
+	}
+	_ = sink
+}
+
+// BenchmarkArenaGetPut measures the size-classed buffer arena's recycle
+// round trip at a typical block size.
+func BenchmarkArenaGetPut(b *testing.B) {
+	a := NewArena()
+	const size = 64 << 10
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := a.Get(size)
+		a.Put(buf)
 	}
 }

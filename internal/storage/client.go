@@ -1,9 +1,8 @@
 package storage
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
+	"sync"
 	"time"
 )
 
@@ -13,34 +12,50 @@ import (
 // Create declares a new immutable array across the whole storage network.
 // Every byte of the array starts unwritten.
 func (s *Store) Create(name string, size, blockSize int64) error {
-	acks := make([]chan error, len(s.peers))
-	for i, p := range s.peers {
-		acks[i] = make(chan error, 1)
-		p.post(msgCreateArr{info: ArrayInfo{Name: name, Size: size, BlockSize: blockSize}, ack: acks[i]})
+	// One shared ack channel, sized for every peer, replaces a channel per
+	// peer: the fan-in order does not matter, only that all acks arrive.
+	ack := ackChan(len(s.peers))
+	for _, p := range s.peers {
+		m := createPool.Get().(*msgCreateArr)
+		m.info = ArrayInfo{Name: name, Size: size, BlockSize: blockSize}
+		m.ack = ack
+		p.post(m)
 	}
-	var first error
-	for _, ack := range acks {
-		if err := <-ack; err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	return collectAcks(ack, len(s.peers))
 }
 
 // Delete removes an array from every node. It fails if any node still holds
 // leases on it.
 func (s *Store) Delete(name string) error {
-	acks := make([]chan error, len(s.peers))
-	for i, p := range s.peers {
-		acks[i] = make(chan error, 1)
-		p.post(msgDeleteArr{name: name, ack: acks[i]})
+	ack := ackChan(len(s.peers))
+	for _, p := range s.peers {
+		m := deletePool.Get().(*msgDeleteArr)
+		m.name = name
+		m.ack = ack
+		p.post(m)
 	}
+	return collectAcks(ack, len(s.peers))
+}
+
+// ackPool recycles broadcast ack channels. A channel is returned only after
+// every expected ack has been received, so a pooled channel is always empty.
+var ackPool sync.Pool
+
+func ackChan(n int) chan error {
+	if c, _ := ackPool.Get().(chan error); c != nil && cap(c) >= n {
+		return c
+	}
+	return make(chan error, n)
+}
+
+func collectAcks(ack chan error, n int) error {
 	var first error
-	for _, ack := range acks {
+	for i := 0; i < n; i++ {
 		if err := <-ack; err != nil && first == nil {
 			first = err
 		}
 	}
+	ackPool.Put(ack)
 	return first
 }
 
@@ -49,42 +64,47 @@ func (s *Store) Delete(name string) error {
 // interval has been written and is resident; write leases fail on any
 // overlap with already-written data (immutability).
 func (s *Store) Request(array string, lo, hi int64, perm Perm) (*Lease, error) {
-	reply := make(chan leaseResult, 1)
-	start := time.Now()
-	s.post(cmdRequest{array: array, lo: lo, hi: hi, perm: perm, reply: reply})
-	res := <-reply
-	s.metrics.leaseWait.Observe(time.Since(start).Seconds())
-	return res.lease, res.err
+	c := reqPool.Get().(*cmdRequest)
+	c.array, c.lo, c.hi, c.perm = array, lo, hi, perm
+	return s.request(c)
 }
 
-// RequestBlock leases a whole block by index.
+// RequestBlock leases a whole block by index. The span is resolved inside
+// the storage loop, so no metadata round-trip precedes the request.
 func (s *Store) RequestBlock(array string, block int, perm Perm) (*Lease, error) {
-	info, err := s.Info(array)
-	if err != nil {
-		return nil, err
-	}
-	bs := info.BlockSpan(block)
-	if bs.empty() {
-		return nil, fmt.Errorf("storage: block %d out of array %q", block, array)
-	}
-	return s.Request(array, bs.Lo, bs.Hi, perm)
+	c := reqPool.Get().(*cmdRequest)
+	c.array, c.block, c.byBlock, c.perm = array, block, true, perm
+	return s.request(c)
+}
+
+// request posts a pooled command and waits for its single reply. The loop
+// returns the command struct to its pool; the reply channel comes back here
+// once the reply has been received.
+func (s *Store) request(c *cmdRequest) (*Lease, error) {
+	reply := leaseReplyPool.Get().(chan leaseResult)
+	c.reply = reply
+	start := time.Now()
+	s.post(c)
+	res := <-reply
+	leaseReplyPool.Put(reply)
+	s.metrics.leaseWait.Observe(time.Since(start).Seconds())
+	return res.lease, res.err
 }
 
 // Prefetch asynchronously pulls the blocks covering [lo, hi) toward this
 // node's memory. It never blocks and never fails; a later Request reaps the
 // benefit.
 func (s *Store) Prefetch(array string, lo, hi int64) {
-	s.post(cmdPrefetch{array: array, lo: lo, hi: hi})
+	c := prefetchPool.Get().(*cmdPrefetch)
+	c.array, c.lo, c.hi = array, lo, hi
+	s.post(c)
 }
 
 // PrefetchBlock prefetches one block by index.
 func (s *Store) PrefetchBlock(array string, block int) {
-	if info, err := s.Info(array); err == nil {
-		bs := info.BlockSpan(block)
-		if !bs.empty() {
-			s.Prefetch(array, bs.Lo, bs.Hi)
-		}
-	}
+	c := prefetchPool.Get().(*cmdPrefetch)
+	c.array, c.block, c.byBlock = array, block, true
+	s.post(c)
 }
 
 // Flush writes this node's fully-written, not-yet-persisted resident blocks
@@ -108,10 +128,17 @@ func (s *Store) Evict(array string, block int) error {
 
 // Map returns the residency snapshot local schedulers poll.
 func (s *Store) Map() ResidencyMap {
-	reply := make(chan ResidencyMap, 1)
+	reply, _ := mapReplyPool.Get().(chan ResidencyMap)
+	if reply == nil {
+		reply = make(chan ResidencyMap, 1)
+	}
 	s.post(cmdMap{reply: reply})
-	return <-reply
+	rm := <-reply
+	mapReplyPool.Put(reply)
+	return rm
 }
+
+var mapReplyPool sync.Pool
 
 // Stats returns cumulative counters.
 func (s *Store) Stats() Stats {
@@ -143,9 +170,7 @@ func PutFloat64s(l *Lease, vals []float64) {
 	if len(l.Data) != 8*len(vals) {
 		panic(fmt.Sprintf("storage: PutFloat64s: lease %d bytes, %d values", len(l.Data), len(vals)))
 	}
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(l.Data[8*i:], math.Float64bits(v))
-	}
+	EncodeFloat64s(l.Data, vals)
 }
 
 // GetFloat64s decodes a lease's data as float64s.
@@ -157,9 +182,7 @@ func DecodeFloat64s(data []byte) []float64 {
 		panic(fmt.Sprintf("storage: DecodeFloat64s: %d bytes not a multiple of 8", len(data)))
 	}
 	out := make([]float64, len(data)/8)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
-	}
+	DecodeFloat64sInto(out, data)
 	return out
 }
 
@@ -186,18 +209,21 @@ func (s *Store) WriteArray(name string, data []byte, blockSize int64) error {
 }
 
 // ReadAll is a convenience that reads an entire array into a fresh slice.
+// The result is sized up front and each block is copied straight into its
+// interval — one allocation, one copy per block.
 func (s *Store) ReadAll(name string) ([]byte, error) {
 	info, err := s.Info(name)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, 0, info.Size)
+	out := make([]byte, info.Size)
 	for b := 0; b < info.NumBlocks(); b++ {
-		lease, err := s.RequestBlock(name, b, PermRead)
+		bs := info.BlockSpan(b)
+		lease, err := s.Request(name, bs.Lo, bs.Hi, PermRead)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, lease.Data...)
+		copy(out[bs.Lo:bs.Hi], lease.Data)
 		lease.Release()
 	}
 	return out, nil

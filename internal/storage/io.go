@@ -85,9 +85,13 @@ func (p *ioPool) worker() {
 		start := time.Now()
 		if j.write {
 			var cs codecStats
+			var frameBuf []byte
 			if j.codec != nil {
 				encStart := time.Now()
-				frame, used := compress.EncodeAdaptive(j.codec, j.data)
+				// Encode into a pooled buffer; it is recycled after the write
+				// lands (the completion message carries no payload).
+				dst := sharedArena.Get(compress.FrameHeaderLen + len(j.data) + len(j.data)/8 + 64)[:0]
+				frame, used := compress.AppendFrameAdaptive(dst, j.codec, j.data)
 				p.store.metrics.encodeSeconds.Observe(time.Since(encStart).Seconds())
 				cs = codecStats{
 					framed:      true,
@@ -97,8 +101,10 @@ func (p *ioPool) worker() {
 					bailout:     used.ID() != j.codec.ID(),
 				}
 				j.data = frame
+				frameBuf = frame
 			}
 			err, retries := p.attempt(j)
+			sharedArena.Put(frameBuf)
 			p.store.metrics.ioWriteSeconds.Observe(time.Since(start).Seconds())
 			p.store.post(ioWrote{array: j.array, block: j.block, err: err, retries: retries, codec: cs})
 		} else {
@@ -164,8 +170,20 @@ func (p *ioPool) attemptRead(j ioJob, out *[]byte, cs *codecStats) (error, int) 
 // internal CRC guarantees a truncated or bit-flipped file surfaces as an
 // error, never as wrong block bytes.
 func (p *ioPool) readFramed(j ioJob, out *[]byte, cs *codecStats) error {
-	frame, err := os.ReadFile(j.path)
+	f, err := os.Open(j.path)
 	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	// The frame is transient — read it into a pooled buffer and recycle it
+	// once decoded (no codec retains its input).
+	frame := sharedArena.Get(int(fi.Size()))
+	defer sharedArena.Put(frame)
+	if _, err := io.ReadFull(f, frame); err != nil {
 		return err
 	}
 	decStart := time.Now()
@@ -208,9 +226,10 @@ func readAt(path string, off, length int64) ([]byte, error) {
 		return nil, err
 	}
 	defer f.Close()
-	data := make([]byte, length)
+	data := sharedArena.Get(int(length))
 	n, err := f.ReadAt(data, off)
 	if err != nil && !(err == io.EOF && int64(n) == length) {
+		sharedArena.Put(data)
 		return nil, fmt.Errorf("read %d bytes at %d: %w", length, off, err)
 	}
 	return data, nil

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"dooc/internal/compress"
 )
@@ -24,8 +25,13 @@ type leaseResult struct {
 type cmdRequest struct {
 	array  string
 	lo, hi int64
-	perm   Perm
-	reply  chan leaseResult
+	// byBlock requests the whole block by index instead of a byte interval;
+	// the loop resolves the span from the array's metadata, saving the
+	// client an Info round-trip per block request.
+	block   int
+	byBlock bool
+	perm    Perm
+	reply   chan leaseResult
 }
 
 type cmdRelease struct {
@@ -35,9 +41,26 @@ type cmdRelease struct {
 	abandon bool
 }
 
+// Request and release dominate steady-state message traffic; pooling the
+// command structs (posted as pointers) and the one-shot reply channels keeps
+// the hot path free of per-call allocation. A command struct returns to its
+// pool as soon as its handler finishes (the handler retains at most the
+// reply channel, never the struct); a reply channel returns once its single
+// reply has been received.
+var (
+	reqPool        = sync.Pool{New: func() any { return new(cmdRequest) }}
+	relPool        = sync.Pool{New: func() any { return new(cmdRelease) }}
+	leaseReplyPool = sync.Pool{New: func() any { return make(chan leaseResult, 1) }}
+	createPool     = sync.Pool{New: func() any { return new(msgCreateArr) }}
+	deletePool     = sync.Pool{New: func() any { return new(msgDeleteArr) }}
+	prefetchPool   = sync.Pool{New: func() any { return new(cmdPrefetch) }}
+)
+
 type cmdPrefetch struct {
-	array  string
-	lo, hi int64
+	array   string
+	lo, hi  int64
+	block   int
+	byBlock bool
 }
 
 type cmdFlush struct {
@@ -259,12 +282,18 @@ func (s *Store) loop() {
 			return
 		}
 		switch m := m.(type) {
-		case cmdRequest:
+		case *cmdRequest:
 			s.handleRequest(st, m)
-		case cmdRelease:
+			*m = cmdRequest{}
+			reqPool.Put(m)
+		case *cmdRelease:
 			s.handleRelease(st, m)
-		case cmdPrefetch:
+			*m = cmdRelease{}
+			relPool.Put(m)
+		case *cmdPrefetch:
 			s.handlePrefetch(st, m)
+			*m = cmdPrefetch{}
+			prefetchPool.Put(m)
 		case cmdFlush:
 			s.handleFlush(st, m)
 		case cmdMap:
@@ -281,16 +310,24 @@ func (s *Store) loop() {
 			st.stats.MemUsed = s.memUsed(st)
 			s.metrics.memUsed.Set(st.stats.MemUsed)
 			m.reply <- st.stats
-		case msgCreateArr:
+		case *msgCreateArr:
 			m.ack <- s.handleCreate(st, m.info)
-		case msgDeleteArr:
+			*m = msgCreateArr{}
+			createPool.Put(m)
+		case *msgDeleteArr:
 			m.ack <- s.handleDelete(st, m.name)
+			*m = msgDeleteArr{}
+			deletePool.Put(m)
 		case msgAnnounce:
 			s.handleAnnounce(st, m)
-		case msgQuery:
-			s.handleQuery(st, m)
-		case msgQueryReply:
-			s.handleQueryReply(st, m)
+		case *msgQuery:
+			s.handleQuery(st, *m)
+			*m = msgQuery{}
+			queryPool.Put(m)
+		case *msgQueryReply:
+			s.handleQueryReply(st, *m)
+			*m = msgQueryReply{}
+			queryReplyPool.Put(m)
 		case msgNotify:
 			s.handleNotify(st, m)
 		case ioDone:
@@ -339,10 +376,68 @@ func (s *Store) memUsed(st *loopState) int64 {
 func (s *Store) getBlock(ast *arrayState, idx int) *blockState {
 	b, ok := ast.blocks[idx]
 	if !ok {
-		b = &blockState{}
+		b = s.newBlockState()
 		ast.blocks[idx] = b
 	}
 	return b
+}
+
+// The freelist helpers below run only on the loop goroutine, which owns the
+// lists exclusively.
+
+func (s *Store) newBlockState() *blockState {
+	if n := len(s.blockFree); n > 0 {
+		b := s.blockFree[n-1]
+		s.blockFree[n-1] = nil
+		s.blockFree = s.blockFree[:n-1]
+		return b
+	}
+	return &blockState{}
+}
+
+// recycleBlockState returns b to the freelist. Caller guarantees nothing
+// aliases it any more: no leases, no in-flight I/O, no waiters, buf already
+// recycled.
+func (s *Store) recycleBlockState(b *blockState) {
+	clear(b.waiters)
+	*b = blockState{
+		written:  intervalSet{spans: b.written.spans[:0]},
+		resident: intervalSet{spans: b.resident.spans[:0]},
+		writing:  b.writing[:0],
+		waiters:  b.waiters[:0],
+	}
+	s.blockFree = append(s.blockFree, b)
+}
+
+func (s *Store) newArrayState(info ArrayInfo, q *quotaState) *arrayState {
+	if n := len(s.astFree); n > 0 {
+		ast := s.astFree[n-1]
+		s.astFree[n-1] = nil
+		s.astFree = s.astFree[:n-1]
+		clear(ast.blocks)
+		clear(ast.diskNodes)
+		*ast = arrayState{info: info, blocks: ast.blocks, diskNodes: ast.diskNodes, quota: q}
+		return ast
+	}
+	return &arrayState{
+		info:      info,
+		blocks:    make(map[int]*blockState),
+		diskNodes: make(map[int]bool),
+		quota:     q,
+	}
+}
+
+func (s *Store) newDirEntry() *dirEntry {
+	if n := len(s.dirFree); n > 0 {
+		de := s.dirFree[n-1]
+		s.dirFree[n-1] = nil
+		s.dirFree = s.dirFree[:n-1]
+		clear(de.mem)
+		clear(de.disk)
+		de.pending = de.pending[:0]
+		return de
+	}
+	return &dirEntry{mem: make(map[int]bool), disk: make(map[int]bool)}
 }
 
 // ---- array lifecycle ----
@@ -354,12 +449,7 @@ func (s *Store) handleCreate(st *loopState, info ArrayInfo) error {
 	if _, dup := st.arrays[info.Name]; dup {
 		return fmt.Errorf("storage: array %q already exists", info.Name)
 	}
-	st.arrays[info.Name] = &arrayState{
-		info:      info,
-		blocks:    make(map[int]*blockState),
-		diskNodes: make(map[int]bool),
-		quota:     quotaFor(st, info.Name),
-	}
+	st.arrays[info.Name] = s.newArrayState(info, quotaFor(st, info.Name))
 	return nil
 }
 
@@ -387,20 +477,34 @@ func (s *Store) handleDelete(st *loopState, name string) error {
 		// to the group's scratch budget.
 		ast.quota.scratchUsed -= ast.scratchBytes
 	}
+	// Recycle the blocks' buffers and state: the preconditions above
+	// guarantee nothing aliases them.
+	for _, b := range ast.blocks {
+		sharedArena.Put(b.buf)
+		b.buf = nil
+		s.recycleBlockState(b)
+	}
 	delete(st.arrays, name)
-	for k := range st.dir {
-		if k.array == name {
+	// Directory entries are keyed per block; delete by key instead of
+	// scanning the whole directory.
+	for idx := 0; idx < ast.info.NumBlocks(); idx++ {
+		k := blockKey{name, idx}
+		if de, ok := st.dir[k]; ok {
 			delete(st.dir, k)
+			s.dirFree = append(s.dirFree, de)
 		}
 	}
-	if s.cfg.ScratchDir != "" {
-		// Local durable copies go away with the array.
-		removeIfExists(s.arrayPath(name))
-		removeIfExists(s.metaPath(name))
-		if _, err := os.Stat(s.blockDir(name)); err == nil {
-			os.RemoveAll(s.blockDir(name))
-		}
+	// Only an array with durable local state has files to clean up. The
+	// common ephemeral case (a transient vector generation that lived and
+	// died in memory) skips the file system entirely — on the hot path the
+	// stat/remove pair per deleted array costs more than the delete itself.
+	if s.cfg.ScratchDir != "" &&
+		(ast.scratchBytes > 0 || ast.localCompressed || ast.diskNodes[s.cfg.NodeID] || anyPersisted(ast)) {
+		os.Remove(s.arrayPath(name))
+		os.Remove(s.metaPath(name))
+		os.RemoveAll(s.blockDir(name))
 	}
+	s.astFree = append(s.astFree, ast)
 	return nil
 }
 
@@ -432,7 +536,7 @@ func (s *Store) handleAnnounce(st *loopState, m msgAnnounce) {
 func (s *Store) dirOf(st *loopState, k blockKey) *dirEntry {
 	de, ok := st.dir[k]
 	if !ok {
-		de = &dirEntry{mem: make(map[int]bool), disk: make(map[int]bool)}
+		de = s.newDirEntry()
 		st.dir[k] = de
 	}
 	return de
@@ -440,7 +544,7 @@ func (s *Store) dirOf(st *loopState, k blockKey) *dirEntry {
 
 // ---- leases ----
 
-func (s *Store) handleRequest(st *loopState, c cmdRequest) {
+func (s *Store) handleRequest(st *loopState, c *cmdRequest) {
 	if c.perm == PermWrite {
 		st.stats.WriteRequests++
 		s.metrics.writeReqs.Inc()
@@ -452,6 +556,14 @@ func (s *Store) handleRequest(st *loopState, c cmdRequest) {
 	if !ok {
 		c.reply <- leaseResult{err: fmt.Errorf("storage: unknown array %q", c.array)}
 		return
+	}
+	if c.byBlock {
+		bs := ast.info.BlockSpan(c.block)
+		if bs.empty() {
+			c.reply <- leaseResult{err: fmt.Errorf("storage: block %d out of array %q", c.block, c.array)}
+			return
+		}
+		c.lo, c.hi = bs.Lo, bs.Hi
 	}
 	if c.lo < 0 || c.hi > ast.info.Size || c.lo >= c.hi {
 		c.reply <- leaseResult{err: fmt.Errorf("storage: interval [%d,%d) out of array %q size %d", c.lo, c.hi, c.array, ast.info.Size)}
@@ -509,7 +621,10 @@ func (s *Store) grantWrite(st *loopState, ast *arrayState, bi int, b *blockState
 	}
 	if b.buf == nil {
 		bs := ast.info.BlockSpan(bi)
-		b.buf = make([]byte, bs.Hi-bs.Lo)
+		b.buf = sharedArena.Get(int(bs.Hi - bs.Lo))
+		// Recycled buffers carry stale bytes; a fresh write block must start
+		// from zeroes (the abandon path and partial writers rely on it).
+		clear(b.buf)
 		st.tick++
 		b.loadTick = st.tick
 		s.reclaim(st, ast.info.Name, bi)
@@ -544,7 +659,7 @@ func (s *Store) makeLease(st *loopState, array string, bi int, ast *arrayState, 
 	}
 }
 
-func (s *Store) handleRelease(st *loopState, c cmdRelease) {
+func (s *Store) handleRelease(st *loopState, c *cmdRelease) {
 	l := c.lease
 	ast, ok := st.arrays[l.Array]
 	if !ok {
@@ -646,7 +761,7 @@ func (s *Store) ensureBlockData(st *loopState, ast *arrayState, bi int, b *block
 		de := s.dirOf(st, blockKey{name, bi})
 		if holder, ok := pickHolder(de, s.cfg.NodeID); ok {
 			b.fetching = true
-			s.peers[holder].post(msgQuery{array: name, block: bi, from: s.cfg.NodeID, kind: queryFetch})
+			s.postQuery(holder, name, bi, queryFetch)
 			return
 		}
 		de.pending = append(de.pending, s.cfg.NodeID)
@@ -657,7 +772,7 @@ func (s *Store) ensureBlockData(st *loopState, ast *arrayState, bi int, b *block
 	st.stats.PeerProbes++
 	s.metrics.peerProbes.Inc()
 	peer := s.randomPeer()
-	s.peers[peer].post(msgQuery{array: name, block: bi, from: s.cfg.NodeID, kind: queryProbe})
+	s.postQuery(peer, name, bi, queryProbe)
 }
 
 // randomPeer picks a peer other than self (requires >= 2 nodes).
@@ -688,15 +803,40 @@ func pickHolder(de *dirEntry, exclude int) (int, bool) {
 	return best, best >= 0
 }
 
+// Inter-store queries and replies travel as pooled pointers: the posting
+// side fills a struct from the shared pool, the receiving loop recycles it
+// after handling. Stores post directly into each other's mailboxes, so a
+// message is handled exactly once and the recycle is safe.
+var (
+	queryPool      = sync.Pool{New: func() any { return new(msgQuery) }}
+	queryReplyPool = sync.Pool{New: func() any { return new(msgQueryReply) }}
+)
+
+// postQuery sends a pooled query to peer `to`; the receiving loop recycles it.
+func (s *Store) postQuery(to int, array string, block int, kind queryKind) {
+	q := queryPool.Get().(*msgQuery)
+	*q = msgQuery{array: array, block: block, from: s.cfg.NodeID, kind: kind}
+	s.peers[to].post(q)
+}
+
+// newQueryReply builds a pooled reply skeleton; callers fill the outcome
+// fields and post it.
+func (s *Store) newQueryReply(array string, block int, kind queryKind) *msgQueryReply {
+	r := queryReplyPool.Get().(*msgQueryReply)
+	*r = msgQueryReply{array: array, block: block, from: s.cfg.NodeID, kind: kind}
+	return r
+}
+
 func (s *Store) handleQuery(st *loopState, m msgQuery) {
 	ast, ok := st.arrays[m.array]
-	reply := msgQueryReply{array: m.array, block: m.block, from: s.cfg.NodeID, kind: m.kind}
 	if ok {
 		if b, has := ast.blocks[m.block]; has && b.buf != nil {
 			bs := ast.info.BlockSpan(m.block)
 			if b.resident.full(bs.Hi - bs.Lo) {
+				reply := s.newQueryReply(m.array, m.block, m.kind)
 				reply.outcome = replyData
-				reply.data = append([]byte(nil), b.buf...)
+				reply.data = sharedArena.Get(len(b.buf))
+				copy(reply.data, b.buf)
 				st.tick++
 				b.lastUse = st.tick
 				s.ledger(s.cfg.NodeID, m.from, int64(len(reply.data)))
@@ -716,6 +856,7 @@ func (s *Store) handleQuery(st *loopState, m msgQuery) {
 	}
 	switch m.kind {
 	case queryProbe, queryFetch:
+		reply := s.newQueryReply(m.array, m.block, m.kind)
 		reply.outcome = replyMiss
 		s.peers[m.from].post(reply)
 		if m.kind == queryFetch {
@@ -725,6 +866,7 @@ func (s *Store) handleQuery(st *loopState, m msgQuery) {
 	case queryHome:
 		de := s.dirOf(st, blockKey{m.array, m.block})
 		if holder, ok := pickHolder(de, m.from); ok {
+			reply := s.newQueryReply(m.array, m.block, m.kind)
 			reply.outcome = replyRedirect
 			reply.holder = holder
 			s.peers[m.from].post(reply)
@@ -747,12 +889,13 @@ func (s *Store) forwardOnLoad(m msgQuery) chan leaseResult {
 	ch := make(chan leaseResult, 1)
 	go func() {
 		res := <-ch
-		reply := msgQueryReply{array: m.array, block: m.block, from: s.cfg.NodeID, kind: m.kind}
+		reply := s.newQueryReply(m.array, m.block, m.kind)
 		if res.err != nil || res.lease == nil {
 			reply.outcome = replyMiss
 		} else {
 			reply.outcome = replyData
-			reply.data = append([]byte(nil), res.lease.Data...)
+			reply.data = sharedArena.Get(len(res.lease.Data))
+			copy(reply.data, res.lease.Data)
 			res.lease.Release()
 			s.ledger(s.cfg.NodeID, m.from, int64(len(reply.data)))
 		}
@@ -783,11 +926,11 @@ func (s *Store) handleQueryReply(st *loopState, m msgQueryReply) {
 		// Escalate to the directory owner.
 		b.fetching = false
 		b.probing = true
-		s.peers[s.homeOf(m.array, m.block)].post(msgQuery{array: m.array, block: m.block, from: s.cfg.NodeID, kind: queryHome})
+		s.postQuery(s.homeOf(m.array, m.block), m.array, m.block, queryHome)
 	case replyRedirect:
 		b.probing = false
 		b.fetching = true
-		s.peers[m.holder].post(msgQuery{array: m.array, block: m.block, from: s.cfg.NodeID, kind: queryFetch})
+		s.postQuery(m.holder, m.array, m.block, queryFetch)
 	}
 }
 
@@ -827,12 +970,15 @@ func (s *Store) wakePending(st *loopState, k blockKey, de *dirEntry) {
 				b := s.getBlock(ast, k.block)
 				if b.buf == nil && !b.fetching {
 					b.fetching = true
-					s.peers[holder].post(msgQuery{array: k.array, block: k.block, from: s.cfg.NodeID, kind: queryFetch})
+					s.postQuery(holder, k.array, k.block, queryFetch)
 				}
 			}
 			continue
 		}
-		s.peers[node].post(msgQueryReply{array: k.array, block: k.block, from: s.cfg.NodeID, kind: queryHome, outcome: replyRedirect, holder: holder})
+		reply := s.newQueryReply(k.array, k.block, queryHome)
+		reply.outcome = replyRedirect
+		reply.holder = holder
+		s.peers[node].post(reply)
 	}
 	de.pending = still
 }
@@ -846,7 +992,16 @@ func (s *Store) installBlock(st *loopState, ast *arrayState, bi int, b *blockSta
 			w.reply <- leaseResult{err: fmt.Errorf("storage: block %s[%d] has %d bytes, want %d", ast.info.Name, bi, len(data), bs.Hi-bs.Lo)}
 		}
 		b.waiters = nil
+		sharedArena.Put(data)
 		return
+	}
+	if b.buf != nil {
+		// A stale resident buffer (e.g. a partially-written block superseded
+		// by a complete remote copy) is replaced; recycle it. refcnt must be
+		// zero here — fetches are only started when no lease pins the block.
+		if b.refcnt == 0 {
+			sharedArena.Put(b.buf)
+		}
 	}
 	b.buf = data
 	st.tick++
@@ -854,12 +1009,13 @@ func (s *Store) installBlock(st *loopState, ast *arrayState, bi int, b *blockSta
 	st.stats.BlockLoads++
 	s.metrics.blockLoads.Inc()
 	// A durable or remote copy is by definition fully written; restore both
-	// the residency coverage and the immutability record to full.
-	b.resident = intervalSet{}
+	// the residency coverage and the immutability record to full (keeping
+	// the span backing — this runs on every block load).
+	b.resident.spans = b.resident.spans[:0]
 	if err := b.resident.add(span{0, int64(len(data))}); err != nil {
 		panic(err)
 	}
-	b.written = intervalSet{}
+	b.written.spans = b.written.spans[:0]
 	if err := b.written.add(span{0, int64(len(data))}); err != nil {
 		panic(err)
 	}
@@ -920,7 +1076,7 @@ type victim struct {
 // skipping the protected block. A non-nil group restricts candidates to
 // that quota group's arrays.
 func (s *Store) collectVictims(st *loopState, protectArray string, protectBlock int, group *quotaState) []victim {
-	var victims []victim
+	victims := victimSlice(s.victimBuf[:0])
 	for name, ast := range st.arrays {
 		if group != nil && ast.quota != group {
 			continue
@@ -947,23 +1103,35 @@ func (s *Store) collectVictims(st *loopState, protectArray string, protectBlock 
 			victims = append(victims, victim{ast, name, idx, b, key})
 		}
 	}
-	sort.Slice(victims, func(i, j int) bool {
-		if victims[i].key != victims[j].key {
-			return victims[i].key < victims[j].key
-		}
-		if victims[i].name != victims[j].name {
-			return victims[i].name < victims[j].name
-		}
-		return victims[i].idx < victims[j].idx
-	})
+	sort.Sort(victims)
+	s.victimBuf = victims[:0]
 	return victims
+}
+
+// victimSlice sorts by policy key, then name, then index — a named type so
+// sorting needs no reflection-based swapper.
+type victimSlice []victim
+
+func (v victimSlice) Len() int      { return len(v) }
+func (v victimSlice) Swap(i, j int) { v[i], v[j] = v[j], v[i] }
+func (v victimSlice) Less(i, j int) bool {
+	if v[i].key != v[j].key {
+		return v[i].key < v[j].key
+	}
+	if v[i].name != v[j].name {
+		return v[i].name < v[j].name
+	}
+	return v[i].idx < v[j].idx
 }
 
 // dropBlock releases a block's buffer and retracts this node from the
 // block's directory entry. Callers account the eviction.
 func (s *Store) dropBlock(st *loopState, name string, idx int, b *blockState) {
+	// Eviction preconditions (no leases, waiters, writers, or I/O in flight)
+	// mean nothing aliases buf; recycle it.
+	sharedArena.Put(b.buf)
 	b.buf = nil
-	b.resident = intervalSet{}
+	b.resident.spans = b.resident.spans[:0]
 	b.prefetched = false
 	home := s.homeOf(name, idx)
 	if home == s.cfg.NodeID {
@@ -1002,10 +1170,17 @@ func (s *Store) handleEvict(st *loopState, m cmdEvict) error {
 
 // ---- prefetch, flush, map ----
 
-func (s *Store) handlePrefetch(st *loopState, c cmdPrefetch) {
+func (s *Store) handlePrefetch(st *loopState, c *cmdPrefetch) {
 	ast, ok := st.arrays[c.array]
 	if !ok {
 		return
+	}
+	if c.byBlock {
+		bs := ast.info.BlockSpan(c.block)
+		if bs.empty() {
+			return
+		}
+		c.lo, c.hi = bs.Lo, bs.Hi
 	}
 	if c.lo < 0 || c.hi > ast.info.Size || c.lo >= c.hi {
 		return
@@ -1154,6 +1329,7 @@ func (s *Store) metaPath(name string) string {
 func (s *Store) handleIODone(st *loopState, m ioDone) {
 	ast, ok := st.arrays[m.array]
 	if !ok {
+		sharedArena.Put(m.data)
 		return
 	}
 	b := s.getBlock(ast, m.block)
@@ -1243,26 +1419,32 @@ func (s *Store) handleIOWrote(st *loopState, m ioWrote) {
 }
 
 func (s *Store) buildMap(st *loopState) ResidencyMap {
-	rm := ResidencyMap{Blocks: make(map[string][]int), Budget: s.cfg.MemoryBudget}
+	var rm ResidencyMap
+	if v, _ := rmPool.Get().(*ResidencyMap); v != nil {
+		rm = *v
+	} else {
+		rm.Blocks = make(map[string][]int, len(st.arrays))
+	}
+	rm.Budget = s.cfg.MemoryBudget
+	// One backing slice serves every array's index list: the map is a
+	// snapshot handed to the scheduler, sub-sliced here and never appended
+	// to, so per-array allocations would be pure overhead.
+	backing := rm.backing[:0]
 	for name, ast := range st.arrays {
-		var idxs []int
+		start := len(backing)
 		for idx, b := range ast.blocks {
 			bs := ast.info.BlockSpan(idx)
 			if b.buf != nil && b.resident.full(bs.Hi-bs.Lo) {
-				idxs = append(idxs, idx)
+				backing = append(backing, idx)
 			}
 			rm.MemUsed += int64(len(b.buf))
 		}
-		if len(idxs) > 0 {
+		if end := len(backing); end > start {
+			idxs := backing[start:end:end]
 			sort.Ints(idxs)
 			rm.Blocks[name] = idxs
 		}
 	}
+	rm.backing = backing
 	return rm
-}
-
-func removeIfExists(path string) {
-	if _, err := os.Stat(path); err == nil {
-		os.Remove(path)
-	}
 }

@@ -7,9 +7,13 @@ import "sync"
 // blocks, which rules out distributed send-cycle deadlocks by construction.
 // (Data-plane backpressure exists at the lease/memory-budget level instead.)
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	// items[head:] is the queue. Popping advances head instead of reslicing
+	// so the backing array's full capacity is reused once drained — a
+	// steady-state mailbox stops allocating entirely.
 	items  []any
+	head   int
 	closed bool
 }
 
@@ -35,14 +39,19 @@ func (m *mailbox) put(item any) {
 func (m *mailbox) get() (any, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.items) == 0 && !m.closed {
+	for m.head == len(m.items) && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.items) == 0 {
+	if m.head == len(m.items) {
 		return nil, false
 	}
-	item := m.items[0]
-	m.items = m.items[1:]
+	item := m.items[m.head]
+	m.items[m.head] = nil
+	m.head++
+	if m.head == len(m.items) {
+		m.items = m.items[:0]
+		m.head = 0
+	}
 	return item, true
 }
 

@@ -3,11 +3,12 @@ package storage
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"dooc/internal/compress"
@@ -161,7 +162,10 @@ func (l *Lease) Release() {
 		panic(fmt.Sprintf("storage: double release of %s lease on %s[%d,%d)", l.Perm, l.Array, l.Lo, l.Hi))
 	}
 	l.released = true
-	l.store.post(cmdRelease{lease: l})
+	invalidateViews(l)
+	c := relPool.Get().(*cmdRelease)
+	c.lease = l
+	l.store.post(c)
 }
 
 // Abandon returns the lease without publishing. For a write lease the
@@ -175,7 +179,10 @@ func (l *Lease) Abandon() {
 		return
 	}
 	l.released = true
-	l.store.post(cmdRelease{lease: l, abandon: true})
+	invalidateViews(l)
+	c := relPool.Get().(*cmdRelease)
+	c.lease, c.abandon = l, true
+	l.store.post(c)
 }
 
 // Released reports whether the lease has been released or abandoned.
@@ -223,7 +230,25 @@ type ResidencyMap struct {
 	MemUsed int64
 	// Budget echoes the configured memory budget.
 	Budget int64
+	// backing is the shared index storage the Blocks values alias, kept so
+	// RecycleMap can return the whole snapshot for reuse.
+	backing []int
 }
+
+// RecycleMap returns a snapshot obtained from Map for reuse. Callers that
+// poll Map on every scheduling decision should recycle; after the call the
+// snapshot (including its Blocks map) must not be used again.
+func (s *Store) RecycleMap(rm ResidencyMap) {
+	if rm.Blocks == nil {
+		return
+	}
+	clear(rm.Blocks)
+	rm.MemUsed, rm.Budget = 0, 0
+	rm.backing = rm.backing[:0]
+	rmPool.Put(&rm)
+}
+
+var rmPool sync.Pool
 
 // Resident reports whether the map shows array's block idx resident.
 func (m ResidencyMap) Resident(array string, idx int) bool {
@@ -245,6 +270,15 @@ type Store struct {
 	metrics storeMetrics
 
 	peers []*Store // includes self at cfg.NodeID
+
+	// Freelists owned by the loop goroutine (never touched elsewhere).
+	// Unlike sync.Pool these survive GC, which matters because an iterative
+	// solver cycles array generations at a steady rate: the structs retired
+	// by iteration t are exactly what iteration t+1 needs.
+	astFree   []*arrayState
+	blockFree []*blockState
+	dirFree   []*dirEntry
+	victimBuf []victim
 
 	done chan struct{}
 }
@@ -462,12 +496,22 @@ func (s *Store) blockPath(name string, idx int) string {
 }
 
 // homeOf returns the node owning the directory entry for (array, block):
-// the partitioned global map of the paper.
+// the partitioned global map of the paper. The hash is FNV-1a over
+// "<array>/<block>", computed inline — this runs for every lease request
+// and directory update, where hash.Hash's allocation is measurable.
 func (s *Store) homeOf(array string, block int) int {
-	h := fnv.New32a()
-	h.Write([]byte(array))
-	fmt.Fprintf(h, "/%d", block)
-	return int(h.Sum32() % uint32(len(s.peers)))
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(array); i++ {
+		h = (h ^ uint32(array[i])) * prime32
+	}
+	h = (h ^ uint32('/')) * prime32
+	var digits [20]byte
+	ds := strconv.AppendInt(digits[:0], int64(block), 10)
+	for _, c := range ds {
+		h = (h ^ uint32(c)) * prime32
+	}
+	return int(h % uint32(len(s.peers)))
 }
 
 // post enqueues a message for the actor loop.
