@@ -59,6 +59,7 @@ var experiments = []struct {
 	{"codec", "EXTENSION: adaptive block compression — scratch, staged files, and wire", codecRun},
 	{"streams", "filter-stream middleware traffic (DataCutter substrate)", streamsRun},
 	{"jobs", "EXTENSION: multi-tenant job service — serial vs concurrent, bit-identical", jobsRun},
+	{"durable", "EXTENSION: durable control plane — kill mid-job, replay journal, resume from checkpoint", durableRun},
 	{"hotpath", "EXTENSION: allocation/GC cost of the steady-state data path", hotpathRun},
 }
 

@@ -73,6 +73,7 @@ func main() {
 		priority  = flag.Int("priority", 0, "job mode: priority (higher runs earlier)")
 		jobMem    = flag.Int64("job-mem", 0, "job mode: per-job aggregate cache budget in bytes (0 = none)")
 		jobScr    = flag.Int64("job-scratch", 0, "job mode: per-job aggregate scratch ceiling in bytes (0 = unlimited)")
+		jobKey    = flag.String("job-key", "", "job mode: idempotency key — a resubmit with the same key (retry, reconnect, server restart) returns the existing job instead of starting a duplicate")
 	)
 	flag.Parse()
 	if *validate != "" {
@@ -87,7 +88,7 @@ func main() {
 		return
 	}
 	if *server != "" {
-		submitJob(*server, *tenant, *priority, *iters, *seed, *jobMem, *jobScr)
+		submitJob(*server, *tenant, *priority, *iters, *seed, *jobMem, *jobScr, *jobKey)
 		return
 	}
 	if *dir == "" {
@@ -164,7 +165,7 @@ func main() {
 
 // submitJob runs the job-client mode: submit one solve to a doocserve
 // -jobs service, block for the result, and print a deterministic summary.
-func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratch int64) {
+func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratch int64, key string) {
 	cl, err := remote.Dial(addr)
 	if err != nil {
 		log.Fatal(err)
@@ -177,6 +178,7 @@ func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratc
 		Seed:         seed,
 		MemoryBytes:  jobMem,
 		ScratchBytes: jobScratch,
+		Key:          key,
 	})
 	if err != nil {
 		log.Fatalf("submit: %v", err)

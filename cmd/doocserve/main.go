@@ -44,6 +44,7 @@ import (
 	"dooc/internal/compress"
 	"dooc/internal/core"
 	"dooc/internal/jobs"
+	"dooc/internal/jobstore"
 	"dooc/internal/obs"
 	"dooc/internal/remote"
 	"dooc/internal/storage"
@@ -65,6 +66,8 @@ func main() {
 		queueDep  = flag.Int("queue-depth", 8, "jobs mode: maximum queued jobs before submissions are rejected")
 		jobMem    = flag.Int64("job-mem", 0, "jobs mode: aggregate memory budget for admitted jobs (0 = unlimited)")
 		workers   = flag.Int("workers", 2, "jobs mode: computing filters per node")
+		jobStore  = flag.String("job-store", "", "jobs mode: durable job-store directory — journal every transition, recover queued/interrupted jobs on boot (empty = in-memory)")
+		jobHist   = flag.Int("job-history", 1024, "jobs mode: terminal jobs retained in the durable store across compactions")
 	)
 	flag.Parse()
 	if *scratch == "" {
@@ -112,9 +115,30 @@ func main() {
 			log.Fatal(err)
 		}
 		defer sys.Close()
+		jcfg := jobs.Config{MaxRunning: *maxJobs, QueueDepth: *queueDep, MemoryBudget: *jobMem, Obs: reg}
+		if *jobStore != "" {
+			store, err := jobstore.Open(*jobStore, jobstore.Options{RetainHistory: *jobHist, Obs: reg})
+			if err != nil {
+				log.Fatalf("opening job store: %v", err)
+			}
+			defer store.Close()
+			jcfg.Store = store
+		}
 		svc = jobs.NewSolverService(sys,
 			core.SpMVConfig{Dim: info.Dim, K: info.K, Nodes: info.Nodes},
-			jobs.Config{MaxRunning: *maxJobs, QueueDepth: *queueDep, MemoryBudget: *jobMem, Obs: reg})
+			jcfg)
+		if *jobStore != "" {
+			rec, err := svc.Recover()
+			if err != nil {
+				log.Fatalf("recovering job store: %v", err)
+			}
+			torn := ""
+			if rec.Torn {
+				torn = ", torn WAL tail repaired"
+			}
+			log.Printf("job store %s: replayed in %v (%d historical, %d requeued, %d resumed, %d unrecoverable%s)",
+				*jobStore, rec.ReplayDuration.Round(time.Microsecond), rec.Historical, rec.Requeued, rec.Resumed, rec.Failed, torn)
+		}
 		statsStore = sys.Store(0)
 		srv, err = remote.ListenOptions(statsStore, *listen, remote.ServerOptions{Obs: reg, Codec: codec, Jobs: svc})
 		if err != nil {
@@ -147,6 +171,7 @@ func main() {
 		http.HandleFunc("/readyz", health.Readyz)
 		if svc != nil {
 			http.HandleFunc("/jobs", svc.ServeJobs)
+			http.HandleFunc("/jobs/history", svc.ServeHistory)
 		}
 		httpSrv = &http.Server{Addr: *httpAddr}
 		go func() {
@@ -177,16 +202,22 @@ func main() {
 	health.SetDraining(true)
 	log.Printf("draining (up to %v) after %d requests", *drain, srv.Requests())
 	if svc != nil {
-		done := make(chan struct{})
-		go func() { svc.Manager.Drain(); close(done) }()
-		select {
-		case <-done:
-		case <-time.After(*drain):
-			log.Printf("drain timeout: cancelling outstanding jobs")
-			for _, j := range svc.Manager.List() {
-				_ = svc.Manager.Cancel(j.ID)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := svc.Manager.DrainContext(ctx)
+		cancel()
+		if err != nil {
+			if *jobStore != "" {
+				// Durable mode: the interrupted jobs are journaled (the drain
+				// marker too) and will resume from their checkpoints on the
+				// next boot — no need to burn their progress by cancelling.
+				log.Printf("drain timeout: outstanding jobs stay journaled and resume on next start")
+			} else {
+				log.Printf("drain timeout: cancelling outstanding jobs")
+				for _, j := range svc.Manager.List() {
+					_ = svc.Manager.Cancel(j.ID)
+				}
+				_ = svc.Manager.DrainContext(context.Background())
 			}
-			<-done
 		}
 	}
 	if httpSrv != nil {

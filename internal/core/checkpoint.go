@@ -1,9 +1,12 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"dooc/internal/sparse"
@@ -25,8 +28,58 @@ type Checkpoint struct {
 	X []float64
 }
 
-// LatestCheckpoint scans the scratch layout for the newest complete iterate
-// of a tagged run. Returns (nil, nil) when no checkpoint exists.
+// Checkpoint files carry a CRC32-C trailer over the payload so a file torn
+// by a crash mid-write (or bit-rotted) is detected at load, not silently
+// resumed from. Trailer-less files the exact payload length are accepted as
+// legacy.
+var ckCRC = crc32.MakeTable(crc32.Castagnoli)
+
+const ckTrailerLen = 4
+
+// writeCheckpointFile persists one checkpoint part atomically (tmp +
+// rename) with its CRC32-C trailer, so the resume scan never observes a
+// half-written part under the final name.
+func writeCheckpointFile(dst string, data []byte) error {
+	buf := make([]byte, len(data)+ckTrailerLen)
+	copy(buf, data)
+	binary.LittleEndian.PutUint32(buf[len(data):], crc32.Checksum(data, ckCRC))
+	tmp := dst + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// readCheckpointPart loads and verifies one part, returning exactly want
+// payload bytes.
+func readCheckpointPart(path string, want int) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch len(raw) {
+	case want + ckTrailerLen:
+		if crc32.Checksum(raw[:want], ckCRC) != binary.LittleEndian.Uint32(raw[want:]) {
+			return nil, fmt.Errorf("core: checkpoint part %s fails its CRC32-C", path)
+		}
+		return raw[:want], nil
+	case want:
+		// Legacy trailer-less part: length is the only check available.
+		return raw, nil
+	default:
+		return nil, fmt.Errorf("core: checkpoint part %s truncated (%d bytes, want %d)", path, len(raw), want)
+	}
+}
+
+// LatestCheckpoint scans the scratch layout for the newest complete and
+// *valid* iterate of a tagged run: every part must pass its length and
+// checksum, and a corrupt latest iteration (crash mid-write) falls back to
+// the previous valid one instead of failing the resume. Returns (nil, nil)
+// when no valid checkpoint exists.
 func LatestCheckpoint(scratchRoot string, cfg SpMVConfig) (*Checkpoint, error) {
 	if cfg.Tag == "" {
 		return nil, fmt.Errorf("core: checkpointed runs need a stable Tag")
@@ -68,28 +121,31 @@ func LatestCheckpoint(scratchRoot string, cfg SpMVConfig) (*Checkpoint, error) {
 			parts[t][u] = filepath.Join(scratchRoot, e.Name(), name)
 		}
 	}
-	best := -1
+	// Candidate iterations with a complete part set, newest first; the first
+	// whose every part verifies wins.
+	var cands []int
 	for t, us := range parts {
-		if len(us) == cfg.K && t > best {
-			best = t
+		if len(us) == cfg.K {
+			cands = append(cands, t)
 		}
 	}
-	if best < 0 {
-		return nil, nil
-	}
-	x := make([]float64, cfg.Dim)
-	for u := 0; u < cfg.K; u++ {
-		raw, err := os.ReadFile(parts[best][u])
-		if err != nil {
-			return nil, err
+	sort.Sort(sort.Reverse(sort.IntSlice(cands)))
+	for _, t := range cands {
+		x := make([]float64, cfg.Dim)
+		ok := true
+		for u := 0; u < cfg.K; u++ {
+			raw, err := readCheckpointPart(parts[t][u], 8*p.Size(u))
+			if err != nil {
+				ok = false
+				break
+			}
+			storage.DecodeFloat64sInto(x[p.Start(u):p.Start(u+1)], raw)
 		}
-		want := 8 * p.Size(u)
-		if len(raw) < want {
-			return nil, fmt.Errorf("core: checkpoint part %s truncated (%d of %d bytes)", parts[best][u], len(raw), want)
+		if ok {
+			return &Checkpoint{Iter: t, X: x}, nil
 		}
-		storage.DecodeFloat64sInto(x[p.Start(u):p.Start(u+1)], raw[:want])
 	}
-	return &Checkpoint{Iter: best, X: x}, nil
+	return nil, nil
 }
 
 // ResumeIteratedSpMV runs a *checkpointed* iterated SpMV to cfg.Iters total
@@ -99,6 +155,18 @@ func LatestCheckpoint(scratchRoot string, cfg SpMVConfig) (*Checkpoint, error) {
 // is the iteration it resumed from. cfg.Tag must be non-empty and stable
 // across restarts; the system needs a ScratchRoot.
 func ResumeIteratedSpMV(sys *System, cfg SpMVConfig, x0 []float64) (*SpMVResult, int, error) {
+	return resumeIteratedSpMV(sys, cfg, x0, nil)
+}
+
+// ResumeIteratedSpMVCancel is ResumeIteratedSpMV with a cancellation
+// channel — the entry point the durable job layer uses. A cancelled or
+// failed segment run deletes its transient arrays (the checkpoint files
+// stay, so the next resume picks up where this one stopped).
+func ResumeIteratedSpMVCancel(sys *System, cfg SpMVConfig, x0 []float64, cancel <-chan struct{}) (*SpMVResult, int, error) {
+	return resumeIteratedSpMV(sys, cfg, x0, cancel)
+}
+
+func resumeIteratedSpMV(sys *System, cfg SpMVConfig, x0 []float64, cancel <-chan struct{}) (*SpMVResult, int, error) {
 	if sys.opts.ScratchRoot == "" {
 		return nil, 0, fmt.Errorf("core: checkpointing needs a system with a ScratchRoot")
 	}
@@ -121,14 +189,57 @@ func ResumeIteratedSpMV(sys *System, cfg SpMVConfig, x0 []float64) (*SpMVResult,
 	// collide; checkpoint files keep the global iteration index.
 	rest.Tag = fmt.Sprintf("%s@%d", cfg.Tag, start)
 	res, err := runIteratedSpMV(sys, rest, x, spmvRunOpts{
+		cancel:         cancel,
 		checkpoint:     true,
 		checkpointTag:  cfg.Tag,
 		checkpointBase: start,
 	})
 	if err != nil {
+		DeleteSpMVArrays(sys, rest)
 		return nil, start, err
 	}
 	return res, start, nil
+}
+
+// PurgeTaggedArtifacts removes every storage array and scratch file whose
+// name starts with prefix — the cleanup recovery runs before re-resuming a
+// job, because a crashed segment run leaves partially-written arrays that
+// the storage startup scan re-registered and a fresh segment run would
+// collide with on Create. Registered arrays go through the store (which
+// also drops cache residency); unregistered leftovers are removed from the
+// filesystem directly. Best-effort by design.
+func PurgeTaggedArtifacts(sys *System, prefix string) {
+	for node := 0; node < sys.Nodes(); node++ {
+		dir := sys.scratchDir(node)
+		if dir == "" {
+			continue
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasPrefix(name, prefix) {
+				continue
+			}
+			base := name
+			for _, suf := range []string{".arr", ".blk", ".meta"} {
+				if strings.HasSuffix(name, suf) {
+					base = strings.TrimSuffix(name, suf)
+					break
+				}
+			}
+			for n := range sys.decode {
+				sys.decode[n].invalidate(base)
+			}
+			if err := sys.Store(node).Delete(base); err != nil {
+				// Not registered (e.g. a bare .tmp or an orphaned sidecar):
+				// remove the path itself.
+				os.RemoveAll(filepath.Join(dir, name))
+			}
+		}
+	}
 }
 
 // checkpointSumExecutor wraps the reduction executor: after x[t][u] is
@@ -149,7 +260,8 @@ func checkpointSumExecutor(sys *System, runPrefix, ckTag string, base int, p spa
 		// "<ckTag>:x_<base+t>_<u>" so LatestCheckpoint finds it. The read-back
 		// goes through the store, not the filesystem: the flushed layout may
 		// be a raw .arr file or a directory of compressed frames, and the
-		// checkpoint file itself stays raw so resume scans never need a codec.
+		// checkpoint file itself stays raw (plus CRC trailer) so resume scans
+		// never need a codec.
 		var t, u int
 		if _, err := fmt.Sscanf(strings.TrimPrefix(out, runPrefix), "x_%d_%d", &t, &u); err != nil {
 			return fmt.Errorf("checkpointing %s: cannot parse name: %w", out, err)
@@ -159,7 +271,7 @@ func checkpointSumExecutor(sys *System, runPrefix, ckTag string, base int, p spa
 		if err != nil {
 			return fmt.Errorf("checkpointing %s: %w", out, err)
 		}
-		if err := os.WriteFile(dst, data, 0o644); err != nil {
+		if err := writeCheckpointFile(dst, data); err != nil {
 			return fmt.Errorf("checkpointing %s: %w", out, err)
 		}
 		return nil

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"dooc/internal/sparse"
@@ -115,6 +118,82 @@ func TestResumeAlreadyComplete(t *testing.T) {
 	// The returned iterate is x^3, not x^2 — resume never rolls back.
 	if d := maxAbsDiff(res.X, full.X); d != 0 {
 		t.Fatalf("returned iterate differs from stored checkpoint by %v", d)
+	}
+}
+
+// mutateCheckpointPart finds the named checkpoint file under one of the
+// node scratch directories and rewrites it through mutate.
+func mutateCheckpointPart(t *testing.T, root, name string, mutate func([]byte) []byte) {
+	t.Helper()
+	for node := 0; ; node++ {
+		dir := filepath.Join(root, fmt.Sprintf("node%d", node))
+		if _, err := os.Stat(dir); err != nil {
+			break
+		}
+		p := filepath.Join(dir, name)
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		if err := os.WriteFile(p, mutate(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	t.Fatalf("checkpoint part %s not found under %s", name, root)
+}
+
+// TestCorruptCheckpointFallsBack: a part torn or bit-rotted by a crash
+// mid-write must never be resumed from. A flipped payload byte (CRC
+// mismatch) in the newest iteration drops the scan to the previous one; a
+// truncation there drops it once more; and the resume from the surviving
+// iteration still converges to the uninterrupted reference.
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	m, x0, root := checkpointFixture(t)
+	sys1 := checkpointSystem(t, root)
+	cfg := SpMVConfig{Dim: m.Rows, K: 3, Iters: 3, Nodes: 2, Tag: "job4"}
+	if _, _, err := ResumeIteratedSpMV(sys1, cfg, x0); err != nil {
+		t.Fatal(err)
+	}
+	sys1.Close()
+
+	mutateCheckpointPart(t, root, "job4:x_3_1.arr", func(b []byte) []byte {
+		b[3] ^= 0x40
+		return b
+	})
+	ck, err := LatestCheckpoint(root, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil || ck.Iter != 2 {
+		t.Fatalf("after corrupting iteration 3, latest = %+v, want iteration 2", ck)
+	}
+
+	mutateCheckpointPart(t, root, "job4:x_2_0.arr", func(b []byte) []byte {
+		return b[:len(b)/2]
+	})
+	ck, err = LatestCheckpoint(root, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil || ck.Iter != 1 {
+		t.Fatalf("after truncating iteration 2, latest = %+v, want iteration 1", ck)
+	}
+
+	sys2 := checkpointSystem(t, root)
+	defer sys2.Close()
+	cfgFull := cfg
+	cfgFull.Iters = 5
+	res, from, err := ResumeIteratedSpMV(sys2, cfgFull, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != 1 {
+		t.Fatalf("resumed from %d, want 1 (newest valid checkpoint)", from)
+	}
+	want := referenceIterate(m, x0, 5)
+	if d := maxAbsDiff(res.X, want); d > 1e-9 {
+		t.Fatalf("resumed result differs by %v", d)
 	}
 }
 

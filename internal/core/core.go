@@ -153,6 +153,10 @@ func NewSystem(opts Options) (*System, error) {
 // Nodes returns the cluster size.
 func (s *System) Nodes() int { return s.opts.Nodes }
 
+// ScratchRoot returns the system's scratch root directory ("" when
+// out-of-core spill is disabled). Checkpoint-resumed jobs need one.
+func (s *System) ScratchRoot() string { return s.opts.ScratchRoot }
+
 // Store returns node i's storage filter.
 func (s *System) Store(i int) *storage.Store { return s.stores[i] }
 

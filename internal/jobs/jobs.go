@@ -53,6 +53,25 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// stateFromString is the inverse of String, for records replayed from the
+// durable store. Unknown strings map to StateFailed — a record whose state
+// cannot be parsed is not resumable.
+func stateFromString(s string) State {
+	switch s {
+	case "queued":
+		return StateQueued
+	case "admitted":
+		return StateAdmitted
+	case "running":
+		return StateRunning
+	case "done":
+		return StateDone
+	case "cancelled":
+		return StateCancelled
+	}
+	return StateFailed
+}
+
 // Typed admission and lookup errors. Submit never blocks: over-capacity
 // submissions fail fast with one of these so clients can back off.
 var (
@@ -82,6 +101,15 @@ type Request struct {
 	// ScratchBytes is the job's aggregate scratch ceiling (hard, enforced
 	// by the storage layer on flush). 0 means unlimited.
 	ScratchBytes int64
+	// Key is an optional client idempotency key. A submit whose key matches
+	// any job the manager knows (including terminal and recovered jobs)
+	// returns that job instead of enqueuing a duplicate — exactly-once
+	// submission across client retries, reconnects, and server restarts.
+	Key string
+	// Payload is an opaque job specification journaled with the record;
+	// recovery hands it back to the service to rebuild the job's work
+	// function. Unused without a durable store.
+	Payload []byte
 }
 
 // Work executes one job. It receives the manager-issued job ID (used to
@@ -103,4 +131,12 @@ type JobStatus struct {
 	Err          string    `json:"error,omitempty"`
 	MemoryBytes  int64     `json:"memory_bytes,omitempty"`
 	ScratchBytes int64     `json:"scratch_bytes,omitempty"`
+	// Key echoes the submission's idempotency key, if any.
+	Key string `json:"key,omitempty"`
+	// Resumed counts how many times recovery re-admitted the job after a
+	// crash or interrupted drain.
+	Resumed int `json:"resumed,omitempty"`
+	// ResultSHA is the SHA-256 hex of the durable result payload (done jobs
+	// under a durable store only).
+	ResultSHA string `json:"result_sha256,omitempty"`
 }

@@ -1,11 +1,14 @@
 package jobs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"dooc/internal/jobstore"
 	"dooc/internal/obs"
 )
 
@@ -27,6 +30,16 @@ type Config struct {
 	TenantWeight map[string]int
 	// Obs receives the manager's metric series (nil disables).
 	Obs *obs.Registry
+	// Store, when non-nil, makes the manager durable: every lifecycle
+	// transition is journaled (fsynced) before it is acknowledged, done
+	// results persist as store files, and Recover rebuilds the control
+	// plane after a restart.
+	Store *jobstore.Store
+	// Retire, when non-nil, is called (outside the manager lock) after a
+	// job reaches a terminal state — the service's hook for purging the
+	// job's scratch artifacts. It receives the final state so resumable
+	// residue (checkpoints of a job failed by shutdown) can be kept.
+	Retire func(id int64, final State)
 }
 
 func (c *Config) fill() {
@@ -46,14 +59,16 @@ func (c *Config) fill() {
 // and read through Status.
 type Job struct {
 	ID           int64
+	Key          string
 	Tenant       string
 	Priority     int
 	MemoryBytes  int64
 	ScratchBytes int64
 
-	work   Work
-	cancel chan struct{}
-	done   chan struct{}
+	work    Work
+	payload []byte
+	cancel  chan struct{}
+	done    chan struct{}
 
 	// guarded by Manager.mu
 	state             State
@@ -63,12 +78,20 @@ type Job struct {
 	cancelRequested   bool
 	result            []byte
 	err               error
+	resumed           int
+	resultFile        string
+	resultSHA         string
 }
 
 // Manager owns job lifecycle: admission, per-tenant FIFO queues under
 // weighted priorities with aging, a bounded run pool, cancellation, and
 // result retrieval. Dispatch is event-driven — every submit, completion,
 // and cancellation re-evaluates the queues; no timers are involved.
+//
+// With Config.Store set the lifecycle is durable: the queued record is
+// journaled before Submit returns, terminal records before the job is
+// published as finished, and Recover replays the journal into a manager
+// that picks up exactly where the crashed one stopped.
 type Manager struct {
 	cfg Config
 	m   managerMetrics
@@ -77,6 +100,7 @@ type Manager struct {
 	idle     *sync.Cond // broadcast when no job is queued or running
 	seq      int64
 	jobs     map[int64]*Job
+	byKey    map[string]*Job   // idempotency-key index
 	queues   map[string][]*Job // per-tenant FIFO of queued jobs
 	queued   int
 	running  int
@@ -91,18 +115,35 @@ func NewManager(cfg Config) *Manager {
 		cfg:    cfg,
 		m:      newManagerMetrics(cfg.Obs),
 		jobs:   make(map[int64]*Job),
+		byKey:  make(map[string]*Job),
 		queues: make(map[string][]*Job),
 	}
 	m.idle = sync.NewCond(&m.mu)
 	return m
 }
 
+// Store exposes the durable backing store (nil when the manager is
+// in-memory only).
+func (m *Manager) Store() *jobstore.Store { return m.cfg.Store }
+
 // Submit admits a job or rejects it immediately with ErrDraining,
 // ErrQueueFull, or ErrQuotaExceeded — it never blocks. The returned Job's
 // ID is stable; its progress is read via Status/Result.
+//
+// A keyed request that matches an existing job (queued, running, or
+// terminal) returns that job without enqueuing: duplicate submits across
+// client retries and reconnects are exactly-once. With a durable store the
+// queued record is fsynced before Submit returns; a submission that cannot
+// be journaled is not admitted.
 func (m *Manager) Submit(req Request, work Work) (*Job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if req.Key != "" {
+		if j, ok := m.byKey[req.Key]; ok {
+			m.m.dedupedC.Inc()
+			return j, nil
+		}
+	}
 	if m.draining {
 		m.m.rejected("draining").Inc()
 		return nil, ErrDraining
@@ -119,17 +160,28 @@ func (m *Manager) Submit(req Request, work Work) (*Job, error) {
 	m.seq++
 	j := &Job{
 		ID:           m.seq,
+		Key:          req.Key,
 		Tenant:       req.Tenant,
 		Priority:     req.Priority,
 		MemoryBytes:  req.MemoryBytes,
 		ScratchBytes: req.ScratchBytes,
 		work:         work,
+		payload:      req.Payload,
 		cancel:       make(chan struct{}),
 		done:         make(chan struct{}),
 		state:        StateQueued,
 		submitted:    time.Now(),
 	}
+	// Journal-then-admit: an unjournaled submission must not be
+	// acknowledged, or a restart would silently drop a job the client was
+	// told is queued.
+	if err := m.journalLocked(j); err != nil {
+		return nil, fmt.Errorf("jobs: journaling submission: %w", err)
+	}
 	m.jobs[j.ID] = j
+	if j.Key != "" {
+		m.byKey[j.Key] = j
+	}
 	m.queues[j.Tenant] = append(m.queues[j.Tenant], j)
 	m.queued++
 	m.memInUse += j.MemoryBytes
@@ -137,6 +189,39 @@ func (m *Manager) Submit(req Request, work Work) (*Job, error) {
 	m.m.queuedG.Set(int64(m.queued))
 	m.dispatchLocked()
 	return j, nil
+}
+
+// journalLocked appends the job's current record to the durable store
+// (no-op without one).
+func (m *Manager) journalLocked(j *Job) error {
+	if m.cfg.Store == nil {
+		return nil
+	}
+	return m.cfg.Store.Append(m.recordLocked(j))
+}
+
+// recordLocked snapshots a job as its durable record.
+func (m *Manager) recordLocked(j *Job) jobstore.Record {
+	rec := jobstore.Record{
+		ID:           j.ID,
+		Key:          j.Key,
+		Tenant:       j.Tenant,
+		Priority:     j.Priority,
+		MemoryBytes:  j.MemoryBytes,
+		ScratchBytes: j.ScratchBytes,
+		Payload:      j.payload,
+		State:        j.state.String(),
+		SubmittedAt:  j.submitted,
+		StartedAt:    j.started,
+		FinishedAt:   j.finished,
+		ResultFile:   j.resultFile,
+		ResultSHA:    j.resultSHA,
+		Resumed:      j.resumed,
+	}
+	if j.err != nil {
+		rec.Err = j.err.Error()
+	}
+	return rec
 }
 
 func (m *Manager) weight(tenant string) int {
@@ -184,6 +269,10 @@ func (m *Manager) dispatchLocked() {
 		m.running++
 		best.state = StateAdmitted
 		best.queueWait = now.Sub(best.submitted)
+		// Best-effort journal: if the admitted record is lost, replay
+		// re-queues the job from its queued record — same outcome, repeated
+		// queue wait.
+		m.journalLocked(best)
 		m.m.queueWait.Observe(best.queueWait.Seconds())
 		m.m.queuedG.Set(int64(m.queued))
 		m.m.runningG.Set(int64(m.running))
@@ -195,12 +284,13 @@ func (m *Manager) run(j *Job) {
 	m.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
+	// Best-effort: a lost running record replays as admitted and re-runs.
+	m.journalLocked(j)
 	m.mu.Unlock()
 
 	result, err := j.work(j.ID, j.cancel)
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j.finished = time.Now()
 	j.result, j.err = result, err
 	switch {
@@ -214,7 +304,29 @@ func (m *Manager) run(j *Job) {
 	default:
 		j.state = StateFailed
 	}
+	if j.state == StateDone && m.cfg.Store != nil {
+		if file, sha, serr := m.cfg.Store.SaveResult(j.ID, j.result); serr == nil {
+			j.resultFile, j.resultSHA = file, sha
+		} else {
+			j.state = StateFailed
+			j.err = fmt.Errorf("jobs: persisting result: %w", serr)
+		}
+	}
+	// The terminal journal is strict for done: an unjournaled completion
+	// would be re-run by replay while the client saw success. Flip it to
+	// failed (recoverable: the job re-runs from its checkpoints) and record
+	// that best-effort.
+	if jerr := m.journalLocked(j); jerr != nil && j.state == StateDone {
+		j.state = StateFailed
+		j.err = fmt.Errorf("jobs: journaling completion: %w", jerr)
+		m.journalLocked(j)
+	}
+	final := j.state
 	m.finishLocked(j)
+	m.mu.Unlock()
+	if m.cfg.Retire != nil {
+		m.cfg.Retire(j.ID, final)
+	}
 }
 
 // finishLocked retires a job that reached a terminal state: releases its
@@ -237,11 +349,12 @@ func (m *Manager) finishLocked(j *Job) {
 // Cancelling a finished job is a no-op.
 func (m *Manager) Cancel(id int64) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrUnknownJob, id)
 	}
+	retired := false
 	switch j.state {
 	case StateQueued:
 		q := m.queues[j.Tenant]
@@ -259,10 +372,14 @@ func (m *Manager) Cancel(id int64) error {
 		j.state = StateCancelled
 		j.err = ErrCancelled
 		j.finished = time.Now()
+		// Best-effort: replay of a lost cancelled record re-queues the job;
+		// the client's next Status shows it and can cancel again.
+		m.journalLocked(j)
 		m.m.completed(StateCancelled).Inc()
 		m.m.latency(j.Tenant).Observe(j.finished.Sub(j.submitted).Seconds())
 		m.m.queuedG.Set(int64(m.queued))
 		close(j.done)
+		retired = true
 		if m.queued == 0 && m.running == 0 {
 			m.idle.Broadcast()
 		}
@@ -272,10 +389,17 @@ func (m *Manager) Cancel(id int64) error {
 			close(j.cancel)
 		}
 	}
+	m.mu.Unlock()
+	if retired && m.cfg.Retire != nil {
+		m.cfg.Retire(j.ID, StateCancelled)
+	}
 	return nil
 }
 
 // Result blocks until the job finishes and returns its payload or error.
+// Under a durable store, a done job recovered from a previous process
+// lifetime serves its result from the store (verified against the
+// journaled SHA-256).
 func (m *Manager) Result(id int64) ([]byte, error) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
@@ -286,6 +410,13 @@ func (m *Manager) Result(id int64) ([]byte, error) {
 	<-j.done
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if j.result == nil && j.err == nil && j.resultFile != "" && m.cfg.Store != nil {
+		data, err := m.cfg.Store.LoadResult(m.recordLocked(j))
+		if err != nil {
+			return nil, err
+		}
+		j.result = data
+	}
 	return j.result, j.err
 }
 
@@ -312,6 +443,9 @@ func (m *Manager) statusLocked(j *Job) JobStatus {
 		QueueWait:    j.queueWait.Seconds(),
 		MemoryBytes:  j.MemoryBytes,
 		ScratchBytes: j.ScratchBytes,
+		Key:          j.Key,
+		Resumed:      j.resumed,
+		ResultSHA:    j.resultSHA,
 	}
 	if j.err != nil {
 		st.Err = j.err.Error()
@@ -331,14 +465,174 @@ func (m *Manager) List() []JobStatus {
 	return out
 }
 
+// History returns a page of terminal jobs ordered by ID, plus the total
+// terminal count. offset/limit paginate; limit <= 0 means the rest. The
+// window includes jobs finished before a restart — they were replayed from
+// the durable store.
+func (m *Manager) History(offset, limit int) ([]JobStatus, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	term := make([]JobStatus, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if j.state.Terminal() {
+			term = append(term, m.statusLocked(j))
+		}
+	}
+	sort.Slice(term, func(i, k int) bool { return term[i].ID < term[k].ID })
+	total := len(term)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	return term[offset:end], total
+}
+
+// RebuildWork reconstructs a job's work function from its journaled record
+// during recovery — the service-level inverse of Request.Payload.
+type RebuildWork func(rec jobstore.Record) (Work, error)
+
+// RecoveryStats summarizes what Recover reconstructed.
+type RecoveryStats struct {
+	// Historical terminal records carried over (served by Status/History).
+	Historical int
+	// Requeued jobs were queued at the crash and re-queued in original
+	// submission order.
+	Requeued int
+	// Resumed jobs were admitted or running at the crash and were
+	// re-admitted (their work functions resume from checkpoints).
+	Resumed int
+	// Failed records could not be rebuilt and were marked failed.
+	Failed int
+	// Torn reports the WAL ended in a partial record (repaired).
+	Torn bool
+	// ReplayDuration is the store's replay wall time at Open.
+	ReplayDuration time.Duration
+}
+
+// Recover replays the durable store into the manager: terminal jobs become
+// history, queued jobs re-queue in original submission order, and
+// interrupted (admitted/running) jobs re-admit with their Resumed count
+// bumped — their rebuilt work functions pick up from the newest checkpoint.
+// Call once, after NewManager and before serving traffic. No-op without a
+// store.
+func (m *Manager) Recover(rebuild RebuildWork) (RecoveryStats, error) {
+	st := m.cfg.Store
+	if st == nil {
+		return RecoveryStats{}, nil
+	}
+	info := st.ReplayInfo()
+	stats := RecoveryStats{Torn: info.Torn, ReplayDuration: info.Duration}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if max := st.MaxID(); max > m.seq {
+		m.seq = max
+	}
+	for _, rec := range st.Records() {
+		if _, ok := m.jobs[rec.ID]; ok {
+			continue // replayed already (Recover called twice)
+		}
+		j := &Job{
+			ID:           rec.ID,
+			Key:          rec.Key,
+			Tenant:       rec.Tenant,
+			Priority:     rec.Priority,
+			MemoryBytes:  rec.MemoryBytes,
+			ScratchBytes: rec.ScratchBytes,
+			payload:      rec.Payload,
+			cancel:       make(chan struct{}),
+			done:         make(chan struct{}),
+			submitted:    rec.SubmittedAt,
+			started:      rec.StartedAt,
+			finished:     rec.FinishedAt,
+			resumed:      rec.Resumed,
+			resultFile:   rec.ResultFile,
+			resultSHA:    rec.ResultSHA,
+		}
+		if rec.Err != "" {
+			j.err = errors.New(rec.Err)
+		}
+		m.jobs[j.ID] = j
+		if j.Key != "" {
+			m.byKey[j.Key] = j
+		}
+		state := stateFromString(rec.State)
+		if state.Terminal() {
+			j.state = state
+			close(j.done)
+			stats.Historical++
+			continue
+		}
+		work, err := rebuild(rec)
+		if err != nil {
+			j.state = StateFailed
+			j.err = fmt.Errorf("jobs: recovery cannot rebuild work: %w", err)
+			j.finished = time.Now()
+			m.journalLocked(j)
+			close(j.done)
+			stats.Failed++
+			continue
+		}
+		j.work = work
+		if state == StateQueued {
+			stats.Requeued++
+		} else {
+			// Interrupted mid-run: count the resumption and journal it, so a
+			// crash loop is visible in the record.
+			j.resumed++
+			stats.Resumed++
+			m.m.resumedC.Inc()
+			m.journalLocked(j)
+		}
+		j.state = StateQueued
+		m.queues[j.Tenant] = append(m.queues[j.Tenant], j)
+		m.queued++
+		m.memInUse += j.MemoryBytes
+	}
+	m.m.queuedG.Set(int64(m.queued))
+	m.dispatchLocked()
+	return stats, nil
+}
+
 // Drain stops admission (subsequent Submits fail with ErrDraining) and
 // blocks until every queued and running job reaches a terminal state.
 func (m *Manager) Drain() {
+	m.DrainContext(context.Background())
+}
+
+// DrainContext is Drain with a bounded wait: it stops admission, journals
+// the drain marker (so a restart can tell an interrupted drain from a
+// crash — both resume the interrupted jobs), and waits for idle until ctx
+// expires. On expiry the in-flight jobs keep running and keep journaling;
+// under a durable store they are resumable after the process exits.
+func (m *Manager) DrainContext(ctx context.Context) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.draining = true
-	for m.queued > 0 || m.running > 0 {
-		m.idle.Wait()
+	m.mu.Unlock()
+	if m.cfg.Store != nil {
+		m.cfg.Store.MarkDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		m.mu.Lock()
+		for m.queued > 0 || m.running > 0 {
+			m.idle.Wait()
+		}
+		m.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// The watcher goroutine stays parked on the cond until the manager
+		// goes idle; for a process about to exit that is harmless.
+		return ctx.Err()
 	}
 }
 

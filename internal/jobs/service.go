@@ -7,8 +7,11 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"strconv"
 
 	"dooc/internal/core"
+	"dooc/internal/jobstore"
+	"dooc/internal/obs"
 )
 
 // SolveRequest is one iterated-SpMV job over the service's staged matrix.
@@ -23,6 +26,18 @@ type SolveRequest struct {
 	// evenly across nodes into storage quota groups. 0 means unlimited.
 	MemoryBytes  int64
 	ScratchBytes int64
+	// Key is the client's idempotency key; a duplicate submit (retry,
+	// reconnect, or post-restart) returns the existing job. "" disables
+	// deduplication for this submission.
+	Key string
+}
+
+// solvePayload is the journaled job specification — everything recovery
+// needs to rebuild the work function (scheduling and quota parameters live
+// in the record itself).
+type solvePayload struct {
+	Iters int   `json:"iters"`
+	Seed  int64 `json:"seed"`
 }
 
 // SolverService runs SolveRequests as managed jobs over one shared
@@ -30,53 +45,106 @@ type SolveRequest struct {
 // that tag doubles as the storage quota-group prefix, so cache pressure
 // and scratch ceilings are attributed to the job that caused them. The
 // staged matrix arrays are untagged and shared by every job.
+//
+// With a durable store (Config.Store) and a scratch-backed system, jobs
+// run through the checkpointed resume path: every iterate is flushed to
+// scratch, so a job interrupted by a crash restarts from its newest valid
+// checkpoint — recomputing only the iterations after it — instead of from
+// x⁰.
 type SolverService struct {
 	Manager *Manager
 	sys     *core.System
 	base    core.SpMVConfig
+	store   *jobstore.Store
+	// itersSaved counts iterations recovery did NOT recompute because a
+	// checkpoint supplied them.
+	itersSaved *obs.Counter
 }
 
 // NewSolverService wraps a system whose matrix is already staged or
 // loaded. base carries Dim/K/Nodes; per-job Iters and Tag are filled per
-// submission.
+// submission. With cfg.Store set the service is durable: it installs its
+// artifact-retirement hook and journals every lifecycle transition.
 func NewSolverService(sys *core.System, base core.SpMVConfig, cfg Config) *SolverService {
-	return &SolverService{Manager: NewManager(cfg), sys: sys, base: base}
+	s := &SolverService{
+		sys:        sys,
+		base:       base,
+		store:      cfg.Store,
+		itersSaved: cfg.Obs.Counter("dooc_jobs_resume_iters_saved_total", "iterations recovered from checkpoints instead of recomputed"),
+	}
+	if cfg.Store != nil {
+		cfg.Retire = s.retire
+	}
+	s.Manager = NewManager(cfg)
+	return s
 }
 
 // Base returns the service's matrix geometry.
 func (s *SolverService) Base() core.SpMVConfig { return s.base }
 
 // Submit admits a solve job; admission errors are typed (ErrQueueFull,
-// ErrQuotaExceeded, ErrDraining).
+// ErrQuotaExceeded, ErrDraining). A keyed request matching a known job
+// returns that job's status instead of enqueuing a duplicate.
 func (s *SolverService) Submit(req SolveRequest) (JobStatus, error) {
 	if req.Iters <= 0 {
 		return JobStatus{}, fmt.Errorf("jobs: invalid iters %d", req.Iters)
+	}
+	payload, err := json.Marshal(solvePayload{Iters: req.Iters, Seed: req.Seed})
+	if err != nil {
+		return JobStatus{}, err
 	}
 	j, err := s.Manager.Submit(Request{
 		Tenant:       req.Tenant,
 		Priority:     req.Priority,
 		MemoryBytes:  req.MemoryBytes,
 		ScratchBytes: req.ScratchBytes,
-	}, s.work(req))
+		Key:          req.Key,
+		Payload:      payload,
+	}, s.work(req.Iters, req.Seed, req.MemoryBytes, req.ScratchBytes))
 	if err != nil {
 		return JobStatus{}, err
 	}
 	return s.Manager.Status(j.ID)
 }
 
+// Recover replays the durable store into the manager, rebuilding each
+// interrupted job's work function from its journaled payload. Call once on
+// startup, before serving traffic. No-op without a store.
+func (s *SolverService) Recover() (RecoveryStats, error) {
+	return s.Manager.Recover(func(rec jobstore.Record) (Work, error) {
+		var p solvePayload
+		if err := json.Unmarshal(rec.Payload, &p); err != nil {
+			return nil, fmt.Errorf("jobs: job %d payload: %w", rec.ID, err)
+		}
+		if p.Iters <= 0 {
+			return nil, fmt.Errorf("jobs: job %d payload has no iterations", rec.ID)
+		}
+		return s.work(p.Iters, p.Seed, rec.MemoryBytes, rec.ScratchBytes), nil
+	})
+}
+
+// durable reports whether jobs run through the checkpointed resume path:
+// that needs both the journal (to know a job must resume) and a scratch
+// root (to hold its checkpoints).
+func (s *SolverService) durable() bool {
+	return s.store != nil && s.sys.ScratchRoot() != ""
+}
+
 // work builds the job body: install per-node quota slices, run the
-// cancellable solve, encode the final vector, then drop the job's
-// transient arrays and quota groups whatever the outcome.
-func (s *SolverService) work(req SolveRequest) Work {
+// (checkpointed, when durable) cancellable solve, encode the final vector,
+// then drop the job's transient arrays and quota groups whatever the
+// outcome. The parameters are exactly what solvePayload journals, so
+// recovery rebuilds an identical closure.
+func (s *SolverService) work(iters int, seed int64, memoryBytes, scratchBytes int64) Work {
 	return func(id int64, cancel <-chan struct{}) ([]byte, error) {
 		cfg := s.base
-		cfg.Iters = req.Iters
+		cfg.Iters = iters
 		cfg.Tag = fmt.Sprintf("job%d", id)
 		prefix := cfg.Tag + ":"
 		nodes := s.sys.Nodes()
-		if req.MemoryBytes > 0 || req.ScratchBytes > 0 {
+		if memoryBytes > 0 || scratchBytes > 0 {
 			for i := 0; i < nodes; i++ {
-				s.sys.Store(i).SetQuota(prefix, perNode(req.MemoryBytes, nodes), perNode(req.ScratchBytes, nodes))
+				s.sys.Store(i).SetQuota(prefix, perNode(memoryBytes, nodes), perNode(scratchBytes, nodes))
 			}
 			defer func() {
 				for i := 0; i < nodes; i++ {
@@ -84,15 +152,52 @@ func (s *SolverService) work(req SolveRequest) Work {
 				}
 			}()
 		}
-		res, err := core.RunIteratedSpMVCancel(s.sys, cfg, StartVector(s.base.Dim, req.Seed), cancel)
+		if !s.durable() {
+			res, err := core.RunIteratedSpMVCancel(s.sys, cfg, StartVector(s.base.Dim, seed), cancel)
+			if err != nil {
+				return nil, err
+			}
+			// The result is copied out; the job's generations are dead weight
+			// in the shared cache.
+			core.DeleteSpMVArrays(s.sys, cfg)
+			return EncodeFloat64s(res.X), nil
+		}
+		// Durable path. A previous attempt that died mid-run left its
+		// partially-written segment arrays on scratch, re-registered by the
+		// storage startup scan — purge them or the fresh segment run
+		// collides on Create. The checkpoint files (prefix "job<id>:") stay.
+		core.PurgeTaggedArtifacts(s.sys, cfg.Tag+"@")
+		res, start, err := core.ResumeIteratedSpMVCancel(s.sys, cfg, StartVector(s.base.Dim, seed), cancel)
 		if err != nil {
 			return nil, err
 		}
-		// The result is copied out; the job's generations are dead weight
-		// in the shared cache.
-		core.DeleteSpMVArrays(s.sys, cfg)
+		if start > 0 {
+			s.itersSaved.Add(int64(start))
+		}
+		// Drop the segment run's dead generations (the resume path namespaced
+		// them "job<id>@<start>:").
+		if start < iters {
+			rest := cfg
+			rest.Iters = iters - start
+			rest.Tag = fmt.Sprintf("%s@%d", cfg.Tag, start)
+			core.DeleteSpMVArrays(s.sys, rest)
+		}
 		return EncodeFloat64s(res.X), nil
 	}
+}
+
+// retire is the manager's terminal hook under a durable store: a job that
+// is done or cancelled no longer needs its checkpoints or stray segment
+// arrays, so purge both namespaces. A FAILED job keeps everything — the
+// dominant failure mode is process death or drain-interrupt, and its
+// checkpoints are exactly what the post-restart resume needs.
+func (s *SolverService) retire(id int64, final State) {
+	if final != StateDone && final != StateCancelled {
+		return
+	}
+	tag := fmt.Sprintf("job%d", id)
+	core.PurgeTaggedArtifacts(s.sys, tag+":")
+	core.PurgeTaggedArtifacts(s.sys, tag+"@")
 }
 
 // perNode slices an aggregate budget evenly, rounding up so the slices
@@ -130,4 +235,19 @@ func EncodeFloat64s(vals []float64) []byte {
 func (s *SolverService) ServeJobs(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.Manager.List())
+}
+
+// ServeHistory is the /jobs/history HTTP handler: a paginated JSON window
+// of terminal jobs (?offset=N&limit=N), including jobs finished before a
+// restart.
+func (s *SolverService) ServeHistory(w http.ResponseWriter, r *http.Request) {
+	offset, _ := strconv.Atoi(r.URL.Query().Get("offset"))
+	limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+	jobs, total := s.Manager.History(offset, limit)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Total  int         `json:"total"`
+		Offset int         `json:"offset"`
+		Jobs   []JobStatus `json:"jobs"`
+	}{Total: total, Offset: offset, Jobs: jobs})
 }

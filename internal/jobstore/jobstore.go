@@ -1,0 +1,643 @@
+// Package jobstore is a dependency-free, crash-safe embedded store for the
+// job manager's control plane. The design mirrors the paper's premise one
+// layer up: just as iterative solver state is cheap to externalize to
+// scratch disk, the control plane's state — which jobs exist, where each is
+// in its lifecycle, where its result lives — is cheap to journal, and doing
+// so turns a doocserve restart from "every job silently dropped" into
+// "queued jobs re-queue, interrupted jobs resume from their checkpoints,
+// finished results stay addressable".
+//
+// The layout under one directory:
+//
+//	wal.log       append-only journal of length-prefixed, CRC32-C-framed
+//	              gob entries, fsynced per append (every append is a job
+//	              state transition, acknowledged only after the sync)
+//	snapshot.gob  periodic compaction of the journal: the latest record
+//	              per job, in submission order, written atomically
+//	              (tmp + rename) so it is never observed torn
+//	results/      one framed file per done job's result payload
+//
+// Replay applies the snapshot, then the WAL on top. Entries carry the full
+// job record, so re-applying a WAL that was already compacted (a crash
+// between the snapshot rename and the WAL truncate) is idempotent. A torn
+// final WAL record — the expected signature of a crash mid-append — is
+// detected by its frame CRC, dropped, and the file repaired to the last
+// good boundary.
+package jobstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dooc/internal/obs"
+)
+
+// Record is the durable snapshot of one job. Entries journal the whole
+// record, so the newest entry for an ID is the job's state; there is no
+// delta encoding to mis-apply.
+type Record struct {
+	ID int64
+	// Key is the client-supplied idempotency key ("" when the submission
+	// was not keyed). Replay rebuilds the dedup index from it, so a
+	// duplicate submit across a restart still returns the original job.
+	Key      string
+	Tenant   string
+	Priority int
+
+	MemoryBytes  int64
+	ScratchBytes int64
+
+	// Payload is the service-level job specification, opaque to the store;
+	// recovery hands it back to the service to rebuild the job's work
+	// function.
+	Payload []byte
+
+	State       string
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+	Err         string
+
+	// ResultFile names the framed result payload under the store directory
+	// (done jobs only); ResultSHA is the payload's SHA-256 hex.
+	ResultFile string
+	ResultSHA  string
+
+	// Resumed counts how many times recovery re-admitted this job after a
+	// crash or an interrupted drain.
+	Resumed int
+}
+
+// Terminal reports whether the record's state is final.
+func (r Record) Terminal() bool {
+	return r.State == "done" || r.State == "failed" || r.State == "cancelled"
+}
+
+// ---- frame codec ----
+
+// Every journal and snapshot entry travels as one frame:
+//
+//	[4B LE payload length][4B LE CRC32-C of payload][payload]
+//
+// The CRC makes a torn or bit-flipped entry self-evident; the length prefix
+// bounds the read so a forged header cannot balloon an allocation past the
+// file's own size.
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	frameHeaderLen = 8
+	// maxFrameLen bounds one entry; a record is a few hundred bytes plus
+	// the service payload, so anything near this is corruption.
+	maxFrameLen = 16 << 20
+)
+
+// errTorn reports a frame that ends early or fails its CRC — the shape of a
+// crash mid-append.
+var errTorn = errors.New("jobstore: torn journal record")
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame returns the next payload, io.EOF at a clean end of stream, or
+// errTorn for a partial or corrupt trailing frame. remaining bounds the
+// declared length against the bytes actually left in the file.
+func readFrame(r io.Reader, remaining int64) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errTorn
+	}
+	n := int64(binary.LittleEndian.Uint32(hdr[0:]))
+	if n == 0 || n > maxFrameLen || n > remaining-frameHeaderLen {
+		return nil, errTorn
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errTorn
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return nil, errTorn
+	}
+	return payload, nil
+}
+
+// ---- journal entries ----
+
+type entryKind uint8
+
+const (
+	entryRecord entryKind = iota + 1
+	entryMeta
+	entryDrain
+)
+
+// entry is the unit both the WAL and the snapshot are made of. Meta
+// entries persist the ID high-water mark (so pruning old history never
+// recycles an ID); drain entries mark a graceful shutdown's start, which
+// recovery reports so an operator can tell a drain-interrupted boot from a
+// crash.
+type entry struct {
+	Kind  entryKind
+	Rec   Record
+	MaxID int64
+	At    time.Time
+}
+
+func encodeEntry(e *entry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeEntry(payload []byte) (*entry, error) {
+	var e entry
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// ---- store ----
+
+// Options tunes a Store.
+type Options struct {
+	// CompactEvery is the number of appends between snapshot compactions
+	// (default 512). Compaction also applies the history retention policy.
+	CompactEvery int
+	// RetainHistory bounds the terminal records kept across compactions
+	// (default 1024). The oldest terminal jobs beyond it are pruned and
+	// their result files removed; live (non-terminal) records are never
+	// pruned.
+	RetainHistory int
+	// Obs receives the store's metric series (nil disables).
+	Obs *obs.Registry
+}
+
+func (o *Options) fill() {
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = 512
+	}
+	if o.RetainHistory <= 0 {
+		o.RetainHistory = 1024
+	}
+}
+
+// ReplayStats summarizes what Open reconstructed.
+type ReplayStats struct {
+	// Entries is the total journal+snapshot entries applied.
+	Entries int
+	// Jobs is the number of distinct job records recovered.
+	Jobs int
+	// Torn reports that the WAL ended in a partial or corrupt record
+	// (dropped and repaired) — the expected signature of a crash.
+	Torn bool
+	// LastDrain is the newest graceful-drain marker, zero if none.
+	LastDrain time.Time
+	// Duration is the wall time of the replay.
+	Duration time.Duration
+}
+
+// ErrClosed reports an append to a closed (or crash-simulated) store.
+var ErrClosed = errors.New("jobstore: store closed")
+
+// Store is the crash-safe job journal. All methods are safe for concurrent
+// use; Append returns only after the entry is fsynced, so an acknowledged
+// transition survives a kill -9.
+type Store struct {
+	dir  string
+	opts Options
+	m    storeMetrics
+
+	mu      sync.Mutex
+	wal     *os.File
+	byID    map[int64]*Record
+	order   []int64 // submission order of byID keys
+	maxID   int64
+	appends int // since the last compaction
+	stats   ReplayStats
+	closed  bool
+}
+
+const (
+	walName      = "wal.log"
+	snapshotName = "snapshot.gob"
+	resultsDir   = "results"
+)
+
+// Open creates or replays the store under dir.
+func Open(dir string, opts Options) (*Store, error) {
+	opts.fill()
+	if err := os.MkdirAll(filepath.Join(dir, resultsDir), 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		m:    newStoreMetrics(opts.Obs),
+		byID: make(map[int64]*Record),
+	}
+	start := time.Now()
+	if err := s.replaySnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = wal
+	s.stats.Jobs = len(s.byID)
+	s.stats.Duration = time.Since(start)
+	s.m.replaySeconds.Observe(s.stats.Duration.Seconds())
+	return s, nil
+}
+
+func (s *Store) replaySnapshot() error {
+	f, err := os.Open(filepath.Join(s.dir, snapshotName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	remaining := fi.Size()
+	for remaining > 0 {
+		payload, err := readFrame(f, remaining)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// The snapshot is written atomically, so a bad frame is real
+			// corruption, not a crash artifact — refuse to guess.
+			return fmt.Errorf("jobstore: corrupt snapshot %s: %w", snapshotName, err)
+		}
+		remaining -= frameHeaderLen + int64(len(payload))
+		e, err := decodeEntry(payload)
+		if err != nil {
+			return fmt.Errorf("jobstore: corrupt snapshot entry: %w", err)
+		}
+		s.apply(e)
+	}
+	return nil
+}
+
+// replayWAL applies journal entries up to the first torn record, then
+// truncates the file back to the last good boundary so subsequent appends
+// extend a clean journal.
+func (s *Store) replayWAL() error {
+	path := filepath.Join(s.dir, walName)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	size := fi.Size()
+	var good int64
+	for good < size {
+		payload, err := readFrame(f, size-good)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.stats.Torn = true
+			break
+		}
+		e, derr := decodeEntry(payload)
+		if derr != nil {
+			// Framed but undecodable: same treatment as torn — drop the
+			// tail rather than the store.
+			s.stats.Torn = true
+			break
+		}
+		good += frameHeaderLen + int64(len(payload))
+		s.apply(e)
+	}
+	f.Close()
+	if s.stats.Torn {
+		if err := os.Truncate(path, good); err != nil {
+			return fmt.Errorf("jobstore: repairing torn WAL: %w", err)
+		}
+	}
+	return nil
+}
+
+func (s *Store) apply(e *entry) {
+	s.stats.Entries++
+	switch e.Kind {
+	case entryMeta:
+		if e.MaxID > s.maxID {
+			s.maxID = e.MaxID
+		}
+	case entryDrain:
+		if e.At.After(s.stats.LastDrain) {
+			s.stats.LastDrain = e.At
+		}
+	case entryRecord:
+		rec := e.Rec
+		if existing, ok := s.byID[rec.ID]; ok {
+			*existing = rec
+		} else {
+			cp := rec
+			s.byID[rec.ID] = &cp
+			s.order = append(s.order, rec.ID)
+		}
+		if rec.ID > s.maxID {
+			s.maxID = rec.ID
+		}
+	}
+}
+
+// Append journals one job record: framed, written, fsynced — only then is
+// the in-memory state updated and the call acknowledged. Every CompactEvery
+// appends the journal is folded into the snapshot.
+func (s *Store) Append(rec Record) error {
+	return s.append(&entry{Kind: entryRecord, Rec: rec})
+}
+
+// MarkDrain journals the start of a graceful drain, so a restart can tell
+// an interrupted drain from a crash (both resume the interrupted jobs).
+func (s *Store) MarkDrain() error {
+	return s.append(&entry{Kind: entryDrain, At: time.Now()})
+}
+
+func (s *Store) append(e *entry) error {
+	payload, err := encodeEntry(e)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := writeFrame(s.wal, payload); err != nil {
+		return fmt.Errorf("jobstore: appending journal entry: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("jobstore: syncing journal: %w", err)
+	}
+	s.apply(e)
+	s.m.appends.Inc()
+	s.appends++
+	if s.appends >= s.opts.CompactEvery {
+		if err := s.compactLocked(); err != nil {
+			// The journal itself is intact; a failed compaction only means
+			// replay stays longer. Surface it without failing the append.
+			s.m.compactErrors.Inc()
+		}
+	}
+	return nil
+}
+
+// Records returns the replayed/current records in submission order.
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.byID[id])
+	}
+	return out
+}
+
+// MaxID is the ID high-water mark ever journaled — the floor for new IDs,
+// immune to history pruning.
+func (s *Store) MaxID() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxID
+}
+
+// ReplayInfo reports what Open reconstructed.
+func (s *Store) ReplayInfo() ReplayStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Compact folds the journal into the snapshot immediately (it also runs
+// automatically every CompactEvery appends).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+// compactLocked writes the retained records to a fresh snapshot (atomic via
+// tmp + rename + directory sync), then truncates the WAL. A crash between
+// the rename and the truncate replays WAL entries that are already in the
+// snapshot — harmless, because entries carry full records.
+func (s *Store) compactLocked() error {
+	s.pruneLocked()
+	tmp := filepath.Join(s.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	write := func(e *entry) error {
+		payload, err := encodeEntry(e)
+		if err != nil {
+			return err
+		}
+		return writeFrame(f, payload)
+	}
+	err = write(&entry{Kind: entryMeta, MaxID: s.maxID})
+	for _, id := range s.order {
+		if err != nil {
+			break
+		}
+		err = write(&entry{Kind: entryRecord, Rec: *s.byID[id]})
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(s.dir)
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	s.appends = 0
+	s.m.compactions.Inc()
+	return nil
+}
+
+// pruneLocked applies the history retention policy: the oldest terminal
+// records beyond RetainHistory are dropped and their result files removed.
+func (s *Store) pruneLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		if s.byID[id].Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.opts.RetainHistory {
+		return
+	}
+	excess := terminal - s.opts.RetainHistory
+	kept := s.order[:0]
+	for _, id := range s.order {
+		rec := s.byID[id]
+		if excess > 0 && rec.Terminal() {
+			excess--
+			if rec.ResultFile != "" {
+				os.Remove(filepath.Join(s.dir, rec.ResultFile))
+			}
+			delete(s.byID, id)
+			s.m.pruned.Inc()
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// SaveResult persists a done job's result payload as a framed file under
+// results/, atomically, and returns its store-relative path and SHA-256
+// hex. Callers journal the returned references with the done transition,
+// so a journaled "done" always points at a durable result.
+func (s *Store) SaveResult(id int64, data []byte) (file, shaHex string, err error) {
+	rel := filepath.Join(resultsDir, fmt.Sprintf("job%d.res", id))
+	abs := filepath.Join(s.dir, rel)
+	tmp := abs + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", "", err
+	}
+	err = writeFrame(f, data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", "", err
+	}
+	if err := os.Rename(tmp, abs); err != nil {
+		os.Remove(tmp)
+		return "", "", err
+	}
+	syncDir(filepath.Join(s.dir, resultsDir))
+	sum := sha256.Sum256(data)
+	return rel, fmt.Sprintf("%x", sum), nil
+}
+
+// LoadResult reads a record's durable result payload, verifying the frame
+// CRC (and, when the record carries one, the SHA-256).
+func (s *Store) LoadResult(rec Record) ([]byte, error) {
+	if rec.ResultFile == "" {
+		return nil, fmt.Errorf("jobstore: job %d has no durable result", rec.ID)
+	}
+	path := filepath.Join(s.dir, rec.ResultFile)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, err := readFrame(f, fi.Size())
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: result %s corrupt: %w", rec.ResultFile, err)
+	}
+	if rec.ResultSHA != "" {
+		if sum := sha256.Sum256(data); fmt.Sprintf("%x", sum) != rec.ResultSHA {
+			return nil, fmt.Errorf("jobstore: result %s fails its journaled SHA-256", rec.ResultFile)
+		}
+	}
+	return data, nil
+}
+
+// Close compacts and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.compactLocked()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.closed = true
+	return err
+}
+
+// Abort simulates a crash for tests and the kill-and-recover experiment:
+// the WAL handle closes without compaction or further syncs, and every
+// subsequent Append fails with ErrClosed. Durable state is exactly what the
+// last acknowledged Append left — the same contract as a kill -9.
+func (s *Store) Abort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.wal.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+// Best-effort: some filesystems refuse directory syncs.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

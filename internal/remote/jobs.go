@@ -27,6 +27,12 @@ type jobWire struct {
 	Seed         int64
 	MemoryBytes  int64
 	ScratchBytes int64
+	// Key is the submit verb's idempotency key ("" = unkeyed). Keyed
+	// submissions are replay-safe: a duplicate lands on the original job.
+	Key string
+	// Offset/Limit paginate the history verb.
+	Offset int
+	Limit  int
 }
 
 // dispatchJob executes one job-verb request. The caller runs it in a
@@ -46,6 +52,7 @@ func (s *Server) dispatchJob(req *request) *response {
 			Seed:         req.Job.Seed,
 			MemoryBytes:  req.Job.MemoryBytes,
 			ScratchBytes: req.Job.ScratchBytes,
+			Key:          req.Job.Key,
 		})
 		if err != nil {
 			return fail(err)
@@ -71,6 +78,9 @@ func (s *Server) dispatchJob(req *request) *response {
 		return &response{Data: data, Job: st}
 	case opJobList:
 		return &response{JobList: svc.Manager.List()}
+	case opJobHistory:
+		page, total := svc.Manager.History(req.Job.Offset, req.Job.Limit)
+		return &response{JobList: page, JobTotal: total}
 	}
 	return fail(fmt.Errorf("remote: unknown job opcode %v", req.Op))
 }
@@ -101,19 +111,31 @@ func mapJobError(err error) error {
 }
 
 // SubmitJob submits a solve request to the server's job service and
-// returns the admitted job's status snapshot. Submission is NOT
-// idempotent, so unlike every storage verb it is never replayed after a
-// connection loss: a transport error means the submission's fate is
-// unknown and the caller should ListJobs before retrying.
+// returns the admitted job's status snapshot.
+//
+// An UNKEYED submission is not idempotent, so unlike every storage verb it
+// is never replayed after a connection loss: a transport error means the
+// submission's fate is unknown and the caller should ListJobs before
+// retrying. A KEYED submission (req.Key != "") is exactly-once server-side
+// — a duplicate lands on the original job — so it rides the full
+// reconnect-and-replay recovery path.
 func (cl *Client) SubmitJob(req jobs.SolveRequest) (jobs.JobStatus, error) {
-	resp, err := cl.roundTrip(&request{Op: opJobSubmit, Job: jobWire{
+	wire := &request{Op: opJobSubmit, Job: jobWire{
 		Tenant:       req.Tenant,
 		Priority:     req.Priority,
 		Iters:        req.Iters,
 		Seed:         req.Seed,
 		MemoryBytes:  req.MemoryBytes,
 		ScratchBytes: req.ScratchBytes,
-	}}, cl.opts.Timeout)
+		Key:          req.Key,
+	}}
+	var resp *response
+	var err error
+	if req.Key != "" {
+		resp, err = cl.call(wire)
+	} else {
+		resp, err = cl.roundTrip(wire, cl.opts.Timeout)
+	}
 	if err != nil {
 		return jobs.JobStatus{}, mapJobError(err)
 	}
@@ -154,4 +176,16 @@ func (cl *Client) ListJobs() ([]jobs.JobStatus, error) {
 		return nil, mapJobError(err)
 	}
 	return resp.JobList, nil
+}
+
+// JobHistory pages through terminal jobs ordered by ID (the list-history
+// verb): it returns the window [offset, offset+limit) plus the total
+// terminal count. limit <= 0 means the rest. After a restart of a durable
+// server the history includes jobs finished before the restart.
+func (cl *Client) JobHistory(offset, limit int) ([]jobs.JobStatus, int, error) {
+	resp, err := cl.call(&request{Op: opJobHistory, Job: jobWire{Offset: offset, Limit: limit}})
+	if err != nil {
+		return nil, 0, mapJobError(err)
+	}
+	return resp.JobList, resp.JobTotal, nil
 }

@@ -17,7 +17,7 @@ import (
 // solver service over it, and a TCP server exposing the job verbs. The
 // returned cleanup must run before the test ends (it drains the manager so
 // the system is quiescent when closed).
-func newJobServer(t *testing.T, cfg jobs.Config) (*Client, *jobs.SolverService, *core.System) {
+func newJobServer(t *testing.T, cfg jobs.Config) (*Client, *jobs.SolverService, *core.System, string) {
 	t.Helper()
 	const dim, k, nodes = 400, 2, 2
 	sys, err := core.NewSystem(core.Options{Nodes: nodes, WorkersPerNode: 2})
@@ -49,14 +49,14 @@ func newJobServer(t *testing.T, cfg jobs.Config) (*Client, *jobs.SolverService, 
 		svc.Manager.Drain()
 		sys.Close()
 	})
-	return cl, svc, sys
+	return cl, svc, sys, srv.Addr()
 }
 
 // TestJobVerbsRoundTrip submits concurrent jobs over the wire, collects
 // each result, and checks it bit-identical to a direct serial run of the
 // same request on the same system.
 func TestJobVerbsRoundTrip(t *testing.T) {
-	cl, svc, sys := newJobServer(t, jobs.Config{MaxRunning: 4, QueueDepth: 16})
+	cl, svc, sys, _ := newJobServer(t, jobs.Config{MaxRunning: 4, QueueDepth: 16})
 	reqs := []jobs.SolveRequest{
 		{Tenant: "alice", Priority: 2, Iters: 3, Seed: 101, MemoryBytes: 1 << 22},
 		{Tenant: "bob", Priority: 7, Iters: 4, Seed: 202},
@@ -128,7 +128,7 @@ func TestJobVerbsRoundTrip(t *testing.T) {
 // TestJobTypedErrorsOverWire drives every typed rejection across the
 // protocol and asserts errors.Is still works on the client side.
 func TestJobTypedErrorsOverWire(t *testing.T) {
-	cl, _, _ := newJobServer(t, jobs.Config{MaxRunning: 1, QueueDepth: 1, MemoryBudget: 1 << 20})
+	cl, _, _, _ := newJobServer(t, jobs.Config{MaxRunning: 1, QueueDepth: 1, MemoryBudget: 1 << 20})
 
 	// Unknown job.
 	if _, err := cl.JobStatus(999); !errors.Is(err, jobs.ErrUnknownJob) {
@@ -188,6 +188,71 @@ func TestJobTypedErrorsOverWire(t *testing.T) {
 	}
 	if st, err := cl.JobStatus(long.ID); err != nil || st.State != "cancelled" {
 		t.Fatalf("status = %+v, %v", st, err)
+	}
+}
+
+// TestKeyedSubmitDedupAcrossReconnect simulates the client-retry story the
+// idempotency key exists for: submit a keyed job, drop the connection, dial
+// a fresh one (a reconnecting client that never saw its ack), and resubmit
+// the identical request. The retry must land on the original job — same ID,
+// same bytes — and the history verb must show exactly one terminal job.
+func TestKeyedSubmitDedupAcrossReconnect(t *testing.T) {
+	cl, _, _, addr := newJobServer(t, jobs.Config{MaxRunning: 2, QueueDepth: 8})
+	req := jobs.SolveRequest{Tenant: "alice", Iters: 3, Seed: 77, Key: "submit-retry-1"}
+	st, err := cl.SubmitJob(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := cl.JobResult(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close() // the "lost" connection
+
+	cl2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	dup, err := cl2.SubmitJob(req)
+	if err != nil {
+		t.Fatalf("retried submit: %v", err)
+	}
+	if dup.ID != st.ID {
+		t.Fatalf("retried keyed submit created job %d, original was %d", dup.ID, st.ID)
+	}
+	if dup.Key != req.Key {
+		t.Fatalf("status key = %q, want %q", dup.Key, req.Key)
+	}
+	again, _, err := cl2.JobResult(dup.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again) {
+		t.Fatal("result after reconnect differs from the original")
+	}
+	// An unkeyed copy of the same request is a distinct job.
+	unkeyed := req
+	unkeyed.Key = ""
+	fresh, err := cl2.SubmitJob(unkeyed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == st.ID {
+		t.Fatal("unkeyed submit deduplicated onto the keyed job")
+	}
+	if _, _, err := cl2.JobResult(fresh.ID); err != nil {
+		t.Fatal(err)
+	}
+	hist, total, err := cl2.JobHistory(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || len(hist) != 2 {
+		t.Fatalf("history = %d jobs (total %d), want 2", len(hist), total)
+	}
+	if hist[0].ID != st.ID || hist[0].Key != req.Key {
+		t.Fatalf("history[0] = %+v, want job %d key %q", hist[0], st.ID, req.Key)
 	}
 }
 

@@ -48,6 +48,9 @@ const (
 	opJobCancel
 	opJobResult
 	opJobList
+	// opJobHistory pages through terminal jobs (appended last for wire
+	// compatibility with older peers).
+	opJobHistory
 )
 
 func (o opcode) String() string {
@@ -80,6 +83,8 @@ func (o opcode) String() string {
 		return "job-result"
 	case opJobList:
 		return "job-list"
+	case opJobHistory:
+		return "job-history"
 	default:
 		return fmt.Sprintf("opcode(%d)", uint8(o))
 	}
@@ -116,6 +121,8 @@ type response struct {
 	// Job and JobList carry job-verb results (status snapshots; job-list).
 	Job     jobs.JobStatus
 	JobList []jobs.JobStatus
+	// JobTotal is the total terminal-job count behind a job-history page.
+	JobTotal int
 }
 
 // Wire-compression handshake. A gob stream's first byte is a message length

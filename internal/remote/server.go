@@ -321,7 +321,7 @@ func (s *Server) dispatch(req *request) *response {
 		}
 	case opStats:
 		return &response{Stats: s.store.Stats()}
-	case opJobSubmit, opJobStatus, opJobCancel, opJobResult, opJobList:
+	case opJobSubmit, opJobStatus, opJobCancel, opJobResult, opJobList, opJobHistory:
 		return s.dispatchJob(req)
 	default:
 		return fail(fmt.Errorf("remote: unknown opcode %v", req.Op))

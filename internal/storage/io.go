@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"sync"
 	"time"
@@ -134,7 +135,7 @@ func (p *ioPool) attempt(j ioJob) (error, int) {
 				j.array, j.block, j.path, j.off, try+1, err), retries
 		}
 		retries++
-		time.Sleep(p.store.cfg.IORetryBackoff << uint(try))
+		time.Sleep(p.retrySleep(try))
 	}
 }
 
@@ -162,8 +163,20 @@ func (p *ioPool) attemptRead(j ioJob, out *[]byte, cs *codecStats) (error, int) 
 				j.array, j.block, j.path, j.off, try+1, err), retries
 		}
 		retries++
-		time.Sleep(p.store.cfg.IORetryBackoff << uint(try))
+		time.Sleep(p.retrySleep(try))
 	}
+}
+
+// retrySleep is the backoff before retry try+1: exponential in try with
+// "equal jitter" — uniform in [d/2, d) where d is the deterministic delay.
+// The jitter decorrelates workers that failed on the same transient fault,
+// so they do not reconverge on the device in a synchronized retry storm.
+func (p *ioPool) retrySleep(try int) time.Duration {
+	d := p.store.cfg.IORetryBackoff << uint(try)
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // readFramed reads a whole-file compress frame and decodes it. The frame's
