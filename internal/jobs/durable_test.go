@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
@@ -304,6 +305,43 @@ func TestDrainContextBounded(t *testing.T) {
 	}
 	if _, running := m.Counts(); running != 1 {
 		t.Fatalf("straggler was killed by the bounded drain (running=%d)", running)
+	}
+	close(release)
+	if err := m.DrainContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainContextNoGoroutineLeak: expired bounded drains must not park a
+// watcher goroutine until the manager next goes idle — a long-lived
+// embedder issuing periodic bounded drains while jobs are in flight would
+// otherwise accumulate stuck goroutines.
+func TestDrainContextNoGoroutineLeak(t *testing.T) {
+	m := NewManager(Config{MaxRunning: 1})
+	release := make(chan struct{})
+	started := make(chan int64, 1)
+	if _, err := m.Submit(Request{Tenant: "a"}, gatedWork(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		if err := m.DrainContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+			cancel()
+			t.Fatalf("bounded drain %d returned %v, want deadline exceeded", i, err)
+		}
+		cancel()
+	}
+	// The straggler is still running (the manager is not idle), so any
+	// leaked watcher would still be parked on the cond var. Allow a little
+	// scheduler slack for AfterFunc goroutines to retire.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		t.Fatalf("goroutines grew from %d to %d across 10 expired drains", baseline, n)
 	}
 	close(release)
 	if err := m.DrainContext(context.Background()); err != nil {

@@ -290,6 +290,15 @@ func (m *Manager) run(j *Job) {
 
 	result, err := j.work(j.ID, j.cancel)
 
+	// Persist the result before taking the lock: the job is still
+	// StateRunning, so its fields are stable, and a multi-MB write + fsync
+	// must not serialize Submit/Status/List/Cancel behind disk I/O.
+	var resultFile, resultSHA string
+	var saveErr error
+	if err == nil && m.cfg.Store != nil {
+		resultFile, resultSHA, saveErr = m.cfg.Store.SaveResult(j.ID, result)
+	}
+
 	m.mu.Lock()
 	j.finished = time.Now()
 	j.result, j.err = result, err
@@ -305,11 +314,11 @@ func (m *Manager) run(j *Job) {
 		j.state = StateFailed
 	}
 	if j.state == StateDone && m.cfg.Store != nil {
-		if file, sha, serr := m.cfg.Store.SaveResult(j.ID, j.result); serr == nil {
-			j.resultFile, j.resultSHA = file, sha
+		if saveErr == nil {
+			j.resultFile, j.resultSHA = resultFile, resultSHA
 		} else {
 			j.state = StateFailed
-			j.err = fmt.Errorf("jobs: persisting result: %w", serr)
+			j.err = fmt.Errorf("jobs: persisting result: %w", saveErr)
 		}
 	}
 	// The terminal journal is strict for done: an unjournaled completion
@@ -617,23 +626,26 @@ func (m *Manager) DrainContext(ctx context.Context) error {
 	if m.cfg.Store != nil {
 		m.cfg.Store.MarkDrain()
 	}
-	done := make(chan struct{})
-	go func() {
+	// Expiry broadcasts the idle cond so the wait below wakes and re-checks
+	// ctx — no goroutine is left parked past the call's return, so repeated
+	// bounded drains in a long-lived embedder do not accumulate leaks.
+	stop := context.AfterFunc(ctx, func() {
 		m.mu.Lock()
-		for m.queued > 0 || m.running > 0 {
-			m.idle.Wait()
-		}
+		m.idle.Broadcast()
 		m.mu.Unlock()
-		close(done)
-	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		// The watcher goroutine stays parked on the cond until the manager
-		// goes idle; for a process about to exit that is harmless.
-		return ctx.Err()
+	})
+	defer stop()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for (m.queued > 0 || m.running > 0) && ctx.Err() == nil {
+		m.idle.Wait()
 	}
+	if m.queued == 0 && m.running == 0 {
+		return nil
+	}
+	// In-flight jobs keep running and keep journaling; under a durable
+	// store they are resumable after the process exits.
+	return ctx.Err()
 }
 
 // Counts returns the current queued and running totals (for tests and

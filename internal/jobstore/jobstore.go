@@ -97,16 +97,28 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 const (
 	frameHeaderLen = 8
-	// maxFrameLen bounds one entry; a record is a few hundred bytes plus
-	// the service payload, so anything near this is corruption.
-	maxFrameLen = 16 << 20
+	// maxWALFrameLen bounds one journal/snapshot entry; a record is a few
+	// hundred bytes plus the service payload, so anything near this is
+	// corruption.
+	maxWALFrameLen = 16 << 20
+	// maxResultLen bounds a result file's payload — the uint32 length
+	// prefix's ceiling. Result frames are one-per-file, so the read side is
+	// additionally bounded by the file's own size.
+	maxResultLen = 1<<32 - 1
 )
 
 // errTorn reports a frame that ends early or fails its CRC — the shape of a
 // crash mid-append.
 var errTorn = errors.New("jobstore: torn journal record")
 
-func writeFrame(w io.Writer, payload []byte) error {
+// writeFrame frames payload onto w. The size is validated against max (and
+// the uint32 length prefix) before anything is written, so an oversized
+// payload is rejected cleanly rather than persisted as a frame the reader
+// will treat as corrupt.
+func writeFrame(w io.Writer, payload []byte, max int64) error {
+	if int64(len(payload)) > max || int64(len(payload)) > maxResultLen {
+		return fmt.Errorf("jobstore: frame payload %d bytes exceeds limit %d", len(payload), max)
+	}
 	var hdr [frameHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
@@ -119,8 +131,9 @@ func writeFrame(w io.Writer, payload []byte) error {
 
 // readFrame returns the next payload, io.EOF at a clean end of stream, or
 // errTorn for a partial or corrupt trailing frame. remaining bounds the
-// declared length against the bytes actually left in the file.
-func readFrame(r io.Reader, remaining int64) ([]byte, error) {
+// declared length against the bytes actually left in the file; max is the
+// writer-side cap for this frame kind.
+func readFrame(r io.Reader, remaining, max int64) ([]byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
@@ -129,7 +142,7 @@ func readFrame(r io.Reader, remaining int64) ([]byte, error) {
 		return nil, errTorn
 	}
 	n := int64(binary.LittleEndian.Uint32(hdr[0:]))
-	if n == 0 || n > maxFrameLen || n > remaining-frameHeaderLen {
+	if n == 0 || n > max || n > remaining-frameHeaderLen {
 		return nil, errTorn
 	}
 	payload := make([]byte, n)
@@ -223,6 +236,12 @@ type ReplayStats struct {
 // ErrClosed reports an append to a closed (or crash-simulated) store.
 var ErrClosed = errors.New("jobstore: store closed")
 
+// ErrPoisoned reports a store that refused further appends after a journal
+// write or fsync failure it could not repair: accepting more entries after
+// garbage bytes (or an fsync of unknown effect) would ack transitions that
+// replay silently drops at the first torn frame.
+var ErrPoisoned = errors.New("jobstore: store poisoned by unrepairable journal write failure")
+
 // Store is the crash-safe job journal. All methods are safe for concurrent
 // use; Append returns only after the entry is fsynced, so an acknowledged
 // transition survives a kill -9.
@@ -231,14 +250,16 @@ type Store struct {
 	opts Options
 	m    storeMetrics
 
-	mu      sync.Mutex
-	wal     *os.File
-	byID    map[int64]*Record
-	order   []int64 // submission order of byID keys
-	maxID   int64
-	appends int // since the last compaction
-	stats   ReplayStats
-	closed  bool
+	mu       sync.Mutex
+	wal      *os.File
+	walSize  int64 // bytes of intact, fsynced frames in the WAL
+	byID     map[int64]*Record
+	order    []int64 // submission order of byID keys
+	maxID    int64
+	appends  int // since the last compaction
+	stats    ReplayStats
+	closed   bool
+	poisoned bool // a journal write failed and could not be rolled back
 }
 
 const (
@@ -292,7 +313,7 @@ func (s *Store) replaySnapshot() error {
 	}
 	remaining := fi.Size()
 	for remaining > 0 {
-		payload, err := readFrame(f, remaining)
+		payload, err := readFrame(f, remaining, maxWALFrameLen)
 		if err == io.EOF {
 			break
 		}
@@ -331,7 +352,7 @@ func (s *Store) replayWAL() error {
 	size := fi.Size()
 	var good int64
 	for good < size {
-		payload, err := readFrame(f, size-good)
+		payload, err := readFrame(f, size-good, maxWALFrameLen)
 		if err == io.EOF {
 			break
 		}
@@ -355,6 +376,7 @@ func (s *Store) replayWAL() error {
 			return fmt.Errorf("jobstore: repairing torn WAL: %w", err)
 		}
 	}
+	s.walSize = good
 	return nil
 }
 
@@ -407,12 +429,28 @@ func (s *Store) append(e *entry) error {
 	if s.closed {
 		return ErrClosed
 	}
-	if err := writeFrame(s.wal, payload); err != nil {
+	if s.poisoned {
+		return ErrPoisoned
+	}
+	if err := writeFrame(s.wal, payload, maxWALFrameLen); err != nil {
+		// The frame may be partially on disk (e.g. ENOSPC after the header).
+		// Roll the file back to the last intact boundary; if that fails the
+		// garbage would tear every later append off replay, so poison the
+		// store rather than keep acknowledging doomed entries.
+		if terr := s.wal.Truncate(s.walSize); terr != nil {
+			s.poisoned = true
+			return fmt.Errorf("jobstore: appending journal entry: %w (rollback failed: %v; store poisoned)", err, terr)
+		}
 		return fmt.Errorf("jobstore: appending journal entry: %w", err)
 	}
 	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("jobstore: syncing journal: %w", err)
+		// After a failed fsync the kernel may have dropped the dirty pages;
+		// what is durable is unknowable, so no further append may be
+		// acknowledged on top of it.
+		s.poisoned = true
+		return fmt.Errorf("jobstore: syncing journal: %w; store poisoned", err)
 	}
+	s.walSize += frameHeaderLen + int64(len(payload))
 	s.apply(e)
 	s.m.appends.Inc()
 	s.appends++
@@ -479,7 +517,7 @@ func (s *Store) compactLocked() error {
 		if err != nil {
 			return err
 		}
-		return writeFrame(f, payload)
+		return writeFrame(f, payload, maxWALFrameLen)
 	}
 	err = write(&entry{Kind: entryMeta, MaxID: s.maxID})
 	for _, id := range s.order {
@@ -506,9 +544,14 @@ func (s *Store) compactLocked() error {
 	if err := s.wal.Truncate(0); err != nil {
 		return err
 	}
+	s.walSize = 0
 	if err := s.wal.Sync(); err != nil {
 		return err
 	}
+	// The snapshot now holds exactly the acknowledged state and the WAL is
+	// verifiably empty, so a store poisoned by an unrepairable append is
+	// whole again.
+	s.poisoned = false
 	s.appends = 0
 	s.m.compactions.Inc()
 	return nil
@@ -547,8 +590,19 @@ func (s *Store) pruneLocked() {
 // SaveResult persists a done job's result payload as a framed file under
 // results/, atomically, and returns its store-relative path and SHA-256
 // hex. Callers journal the returned references with the done transition,
-// so a journaled "done" always points at a durable result.
+// so a journaled "done" always points at a durable result. Results are one
+// frame per file and may exceed the journal's per-entry cap (bounded only
+// by the uint32 length prefix).
 func (s *Store) SaveResult(id int64, data []byte) (file, shaHex string, err error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		// After Abort (the kill -9 simulation) or Close, durable state must
+		// stay exactly what the last acknowledged Append left — a racing
+		// worker must not keep adding result files.
+		return "", "", ErrClosed
+	}
 	rel := filepath.Join(resultsDir, fmt.Sprintf("job%d.res", id))
 	abs := filepath.Join(s.dir, rel)
 	tmp := abs + ".tmp"
@@ -556,7 +610,7 @@ func (s *Store) SaveResult(id int64, data []byte) (file, shaHex string, err erro
 	if err != nil {
 		return "", "", err
 	}
-	err = writeFrame(f, data)
+	err = writeFrame(f, data, maxResultLen)
 	if err == nil {
 		err = f.Sync()
 	}
@@ -592,7 +646,7 @@ func (s *Store) LoadResult(rec Record) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, err := readFrame(f, fi.Size())
+	data, err := readFrame(f, fi.Size(), maxResultLen)
 	if err != nil {
 		return nil, fmt.Errorf("jobstore: result %s corrupt: %w", rec.ResultFile, err)
 	}

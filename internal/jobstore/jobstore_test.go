@@ -286,6 +286,99 @@ func TestResultRoundTrip(t *testing.T) {
 	}
 }
 
+// TestOversizedAppendRejected: an entry past the journal frame cap is
+// rejected at Append time — never acknowledged, never written — instead of
+// being persisted as a frame replay would treat as torn (which would
+// silently drop every later acknowledged entry).
+func TestOversizedAppendRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(1, "queued")); err != nil {
+		t.Fatal(err)
+	}
+	big := rec(2, "queued")
+	big.Payload = make([]byte, maxWALFrameLen+1)
+	if err := s.Append(big); err == nil {
+		t.Fatal("oversized append acknowledged")
+	}
+	// The store keeps working, and entries after the rejection survive.
+	if err := s.Append(rec(3, "queued")); err != nil {
+		t.Fatalf("append after oversized rejection: %v", err)
+	}
+	s.Abort()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.ReplayInfo().Torn {
+		t.Fatal("rejected oversized append left a torn WAL")
+	}
+	recs := s2.Records()
+	if len(recs) != 2 || recs[0].ID != 1 || recs[1].ID != 3 {
+		t.Fatalf("replayed %v, want jobs 1 and 3", recs)
+	}
+}
+
+// TestLargeResultRoundTrip: result files are one frame per file and are not
+// subject to the journal's 16 MiB entry cap — a result bigger than the cap
+// (e.g. an 8*Dim iterate with millions of elements) persists and loads back
+// across a restart instead of failing as "corrupt".
+func TestLargeResultRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, maxWALFrameLen+4096)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	file, sha, err := s.SaveResult(11, payload)
+	if err != nil {
+		t.Fatalf("saving %d-byte result: %v", len(payload), err)
+	}
+	r := rec(11, "done")
+	r.ResultFile, r.ResultSHA = file, sha
+	if err := s.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	s.Abort()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.LoadResult(s2.Records()[0])
+	if err != nil {
+		t.Fatalf("loading large result after restart: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("large result payload mutated across restart")
+	}
+}
+
+// TestSaveResultAfterAbortRejected: after Abort (the kill -9 simulation) a
+// racing worker must not keep adding durable result files — durable state
+// stays exactly what the last acknowledged Append left.
+func TestSaveResultAfterAbortRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Abort()
+	if _, _, err := s.SaveResult(3, []byte("late")); err != ErrClosed {
+		t.Fatalf("SaveResult after Abort: %v, want ErrClosed", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, resultsDir, "job3.res")); !os.IsNotExist(err) {
+		t.Fatalf("result file written after abort: %v", err)
+	}
+}
+
 // TestDrainMarker: MarkDrain survives replay and is reported.
 func TestDrainMarker(t *testing.T) {
 	dir := t.TempDir()
