@@ -39,6 +39,9 @@ type hotpathReport struct {
 	NumGC         uint32    `json:"num_gc"`
 	ResultSHA256  string    `json:"result_sha256"`
 	ZeroCopyViews bool      `json:"zero_copy_views"`
+	// Metrics is the benchObs registry snapshot at report time (family name
+	// -> summed value), so the artifact carries the run's counter state.
+	Metrics map[string]int64 `json:"metrics"`
 }
 
 // hotpathRun measures the allocator cost of the steady-state data path: the
@@ -141,6 +144,7 @@ func hotpathRun() error {
 		NumGC:         after.NumGC - before.NumGC,
 		ResultSHA256:  refSum,
 		ZeroCopyViews: storage.ZeroCopyViews(),
+		Metrics:       benchObs.Totals(),
 	}
 	fmt.Printf("  allocs/iter %.0f   bytes/iter %.0f (%.2f MB)   ns/iter %.0f (%.1f ms)\n",
 		rep.AllocsPerIter, rep.BytesPerIter, rep.BytesPerIter/1e6, rep.NsPerIter, rep.NsPerIter/1e6)

@@ -26,6 +26,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"dooc/internal/compress"
 	"dooc/internal/core"
@@ -67,6 +68,7 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print a metrics snapshot after the run")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 		validate  = flag.String("validate-trace", "", "validate a Chrome trace-event JSON file and exit (CI smoke mode)")
+		causal    = flag.String("validate-causal", "", "validate that comma-separated Chrome trace files form one causal tree (shared trace ID, no orphan spans) and exit (CI smoke mode)")
 		codecName = flag.String("codec", "", "compress scratch spills with this codec (empty = off, \"default\" = "+compress.Default().Name()+")")
 		server    = flag.String("server", "", "submit the run as a job to a doocserve -jobs service at this address instead of running locally")
 		tenant    = flag.String("tenant", "default", "job mode: tenant name for scheduling")
@@ -87,8 +89,24 @@ func main() {
 		fmt.Printf("%s: valid Chrome trace\n", *validate)
 		return
 	}
+	if *causal != "" {
+		files := strings.Split(*causal, ",")
+		blobs := make([][]byte, 0, len(files))
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			blobs = append(blobs, data)
+		}
+		if err := obs.ValidateCausal(blobs...); err != nil {
+			log.Fatalf("%s: %v", *causal, err)
+		}
+		fmt.Printf("%s: one causal trace tree across %d file(s)\n", *causal, len(files))
+		return
+	}
 	if *server != "" {
-		submitJob(*server, *tenant, *priority, *iters, *seed, *jobMem, *jobScr, *jobKey)
+		submitJob(*server, *tenant, *priority, *iters, *seed, *jobMem, *jobScr, *jobKey, *tracePath)
 		return
 	}
 	if *dir == "" {
@@ -165,12 +183,29 @@ func main() {
 
 // submitJob runs the job-client mode: submit one solve to a doocserve
 // -jobs service, block for the result, and print a deterministic summary.
-func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratch int64, key string) {
+// With tracePath set, the client stamps a fresh 128-bit trace ID on the
+// submission — the server's job, engine, and storage spans all join it —
+// and writes its own side of the causal tree (root, submit, await spans)
+// as a Chrome trace file.
+func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratch int64, key, tracePath string) {
+	var (
+		tracer *obs.Tracer
+		root   obs.SpanContext
+	)
+	if tracePath != "" {
+		tracer = obs.NewTracer()
+		root = obs.NewSpanContext()
+		tracer.SetProcessName(obs.PidClient, "doocrun")
+		tracer.SetThreadName(obs.PidClient, 0, "client")
+		log.Printf("trace %s", root.Trace)
+	}
+	clientStart := time.Now()
 	cl, err := remote.Dial(addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cl.Close()
+	submitStart := time.Now()
 	st, err := cl.SubmitJob(jobs.SolveRequest{
 		Tenant:       tenant,
 		Priority:     priority,
@@ -179,14 +214,31 @@ func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratc
 		MemoryBytes:  jobMem,
 		ScratchBytes: jobScratch,
 		Key:          key,
+		Trace:        root,
 	})
 	if err != nil {
 		log.Fatalf("submit: %v", err)
 	}
+	if tracer != nil {
+		tracer.SpanCtx("submit", "client", obs.PidClient, 0, submitStart, time.Now(),
+			root.Child(), root.Span, map[string]any{"job": st.ID, "tenant": tenant})
+	}
 	log.Printf("job %d submitted (tenant=%s priority=%d state=%s)", st.ID, st.Tenant, st.Priority, st.State)
+	awaitStart := time.Now()
 	data, final, err := cl.JobResult(st.ID)
 	if err != nil {
 		log.Fatalf("job %d: %v", st.ID, err)
+	}
+	if tracer != nil {
+		now := time.Now()
+		tracer.SpanCtx("await result", "client", obs.PidClient, 0, awaitStart, now,
+			root.Child(), root.Span, map[string]any{"job": st.ID})
+		tracer.SpanCtx("doocrun "+tenant, "client", obs.PidClient, 0, clientStart, now,
+			root, obs.SpanID{}, map[string]any{"job": st.ID, "tenant": tenant})
+		if err := tracer.WriteFile(tracePath); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		log.Printf("wrote %d client trace events to %s", tracer.Len(), tracePath)
 	}
 	x := storage.DecodeFloat64s(data)
 	var norm float64
@@ -195,6 +247,9 @@ func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratc
 	}
 	fmt.Printf("job        %d\n", st.ID)
 	fmt.Printf("state      %s\n", final.State)
+	if final.TraceID != "" {
+		fmt.Printf("trace      %s\n", final.TraceID)
+	}
 	fmt.Printf("dim        %d\n", len(x))
 	fmt.Printf("result     sha256=%x\n", sha256.Sum256(data))
 	fmt.Printf("l2norm     %.12e\n", math.Sqrt(norm))

@@ -68,6 +68,10 @@ func main() {
 		workers   = flag.Int("workers", 2, "jobs mode: computing filters per node")
 		jobStore  = flag.String("job-store", "", "jobs mode: durable job-store directory — journal every transition, recover queued/interrupted jobs on boot (empty = in-memory)")
 		jobHist   = flag.Int("job-history", 1024, "jobs mode: terminal jobs retained in the durable store across compactions")
+		traceOut  = flag.String("trace", "", "jobs mode: write a Chrome trace of job lifecycle, engine, and storage spans to this file at shutdown")
+		sloQueue  = flag.Int64("slo-queue-ms", 0, "jobs mode: queue-wait SLO objective in milliseconds (0 = track latency without breach accounting)")
+		sloRun    = flag.Int64("slo-run-ms", 0, "jobs mode: run-latency SLO objective in milliseconds (0 = track latency without breach accounting)")
+		flightN   = flag.Int("flight-events", 0, "jobs mode: per-job flight-recorder ring size (0 = default)")
 	)
 	flag.Parse()
 	if *scratch == "" {
@@ -96,6 +100,8 @@ func main() {
 		svc        *jobs.SolverService
 		statsStore *storage.Store
 	)
+	var tracer *obs.Tracer
+	var slo *jobs.SLOTracker
 	if *jobsMode {
 		info, err := core.DiscoverStagedMatrix(*scratch)
 		if err != nil {
@@ -103,6 +109,14 @@ func main() {
 		}
 		log.Printf("staged matrix: dim=%d K=%d nodes=%d nnz=%d (%.1f MB)",
 			info.Dim, info.K, info.Nodes, info.NNZ, float64(info.Bytes)/1e6)
+		if *traceOut != "" {
+			tracer = obs.NewTracer()
+		}
+		slo = jobs.NewSLOTracker(jobs.SLOConfig{
+			QueueObjective: time.Duration(*sloQueue) * time.Millisecond,
+			RunObjective:   time.Duration(*sloRun) * time.Millisecond,
+			Obs:            reg,
+		})
 		sys, err := core.NewSystem(core.Options{
 			Nodes:          info.Nodes,
 			WorkersPerNode: *workers,
@@ -110,12 +124,16 @@ func main() {
 			ScratchRoot:    *scratch,
 			Obs:            reg,
 			Codec:          codec,
+			Trace:          tracer,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer sys.Close()
-		jcfg := jobs.Config{MaxRunning: *maxJobs, QueueDepth: *queueDep, MemoryBudget: *jobMem, Obs: reg}
+		jcfg := jobs.Config{
+			MaxRunning: *maxJobs, QueueDepth: *queueDep, MemoryBudget: *jobMem, Obs: reg,
+			Trace: tracer, SLO: slo, FlightEvents: *flightN,
+		}
 		if *jobStore != "" {
 			store, err := jobstore.Open(*jobStore, jobstore.Options{RetainHistory: *jobHist, Obs: reg})
 			if err != nil {
@@ -145,6 +163,13 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("job service on %s (max-jobs=%d queue-depth=%d job-mem=%d)", srv.Addr(), *maxJobs, *queueDep, *jobMem)
+		// /healthz detail: SLO standings per tenant, so a probe shows burn
+		// without scraping /metrics.
+		health.SetDetail(func() any {
+			return struct {
+				SLO []jobs.SLOSummary `json:"slo"`
+			}{slo.Summary()}
+		})
 	} else {
 		st, err := storage.NewLocal(storage.Config{MemoryBudget: *mem, ScratchDir: *scratch, IOWorkers: 4, Obs: reg, Codec: codec})
 		if err != nil {
@@ -172,6 +197,7 @@ func main() {
 		if svc != nil {
 			http.HandleFunc("/jobs", svc.ServeJobs)
 			http.HandleFunc("/jobs/history", svc.ServeHistory)
+			http.HandleFunc("/jobs/", svc.ServeJobItem)
 		}
 		httpSrv = &http.Server{Addr: *httpAddr}
 		go func() {
@@ -226,5 +252,12 @@ func main() {
 		cancel()
 	}
 	srv.Shutdown(*drain)
+	if tracer != nil {
+		if err := tracer.WriteFile(*traceOut); err != nil {
+			log.Printf("writing trace: %v", err)
+		} else {
+			log.Printf("wrote %d trace events to %s", tracer.Len(), *traceOut)
+		}
+	}
 	log.Printf("shut down after %d requests", srv.Requests())
 }

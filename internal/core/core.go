@@ -129,6 +129,7 @@ func NewSystem(opts Options) (*System, error) {
 		cfg.Faults = opts.Faults
 		cfg.Obs = opts.Obs
 		cfg.Codec = opts.Codec
+		cfg.Trace = opts.Trace
 		if opts.ScratchRoot != "" {
 			cfg.ScratchDir = filepath.Join(opts.ScratchRoot, fmt.Sprintf("node%d", node))
 		}

@@ -146,6 +146,13 @@ type RunSpec struct {
 	// only ever started with all its inputs published, so cancellation at
 	// task granularity cannot strand a reader on an unwritten interval.
 	Cancel <-chan struct{}
+	// Span, when valid, is the causal parent for this run: task spans are
+	// annotated with trace/span/parent IDs and rolled up into per-iteration
+	// spans via IterOf. Zero keeps tracing exactly as cheap as before.
+	Span obs.SpanContext
+	// IterOf maps a task ID to its iteration index; tasks it recognizes
+	// parent under a per-iteration span instead of directly under Span.
+	IterOf func(taskID string) (int, bool)
 }
 
 // Run executes the program to completion and returns statistics.
@@ -213,6 +220,21 @@ func (s *System) Run(spec RunSpec) (*RunStats, error) {
 		run.policies[i] = p
 	}
 	run.cond = sync.NewCond(&run.mu)
+	if run.trace.Enabled() {
+		// Stable track names: one process track per node, named worker lanes.
+		for i := 0; i < s.opts.Nodes; i++ {
+			run.trace.SetProcessName(i, fmt.Sprintf("node%d", i))
+			for w := 0; w < s.opts.WorkersPerNode; w++ {
+				run.trace.SetThreadName(i, w, fmt.Sprintf("worker%d", w))
+			}
+		}
+		if spec.Span.Valid() {
+			run.trace.SetProcessName(obs.PidEngine, "engine")
+			run.iterSpans = make(map[int]obs.SpanID)
+			run.iterStart = make(map[int]time.Time)
+			run.iterEnd = make(map[int]time.Time)
+		}
+	}
 	for i, st := range s.stores {
 		run.stats.StorageBefore[i] = st.Stats()
 	}
@@ -267,6 +289,17 @@ func (s *System) Run(spec RunSpec) (*RunStats, error) {
 	s.runMu.Lock()
 	delete(s.runs, run)
 	s.runMu.Unlock()
+	// Per-iteration rollup spans: one span per iteration covering its
+	// observed task envelope, parented under the run's causal span. Emitted
+	// after the workers join, so no hot-path synchronization is added.
+	if run.trace.Enabled() && spec.Span.Valid() {
+		for it, sp := range run.iterSpans {
+			run.trace.SpanCtx(fmt.Sprintf("iter %d", it), "engine", obs.PidEngine, 0,
+				run.iterStart[it], run.iterEnd[it],
+				obs.SpanContext{Trace: spec.Span.Trace, Span: sp}, spec.Span.Span,
+				map[string]any{"iter": it})
+		}
+	}
 	run.stats.Wall = time.Since(start)
 	run.stats.StorageAfter = make([]storage.Stats, s.opts.Nodes)
 	for i, st := range s.stores {
@@ -302,6 +335,12 @@ type engineRun struct {
 	// queuedAt stamps when a task first appeared in a ready set, for the
 	// queued→running span in the trace.
 	queuedAt map[string]time.Time
+	// Per-iteration span rollup (guarded by mu; populated only when the run
+	// carries a valid Span and tracing is on): span IDs minted on first use
+	// and the iteration's observed wall-clock envelope.
+	iterSpans map[int]obs.SpanID
+	iterStart map[int]time.Time
+	iterEnd   map[int]time.Time
 	// readyFor/retireInputs scratch, guarded by mu.
 	readyIDs   []string
 	readyTasks []*dag.Task
@@ -333,6 +372,37 @@ func newEngineMetrics(reg *obs.Registry, nodes int) engineMetrics {
 		m.tasksDone[i] = reg.Counter("dooc_engine_tasks_completed_total", "tasks completed", obs.L("node", fmt.Sprint(i)))
 	}
 	return m
+}
+
+// taskParent resolves the causal parent of one task span: the task's
+// per-iteration span when IterOf recognizes it (minted on first use, its
+// time envelope widened to cover this task), the run's span otherwise. Only
+// called with tracing on and a valid run span.
+func (r *engineRun) taskParent(taskID string, start, end time.Time) obs.SpanID {
+	if r.spec.IterOf == nil {
+		return r.spec.Span.Span
+	}
+	it, ok := r.spec.IterOf(taskID)
+	if !ok {
+		return r.spec.Span.Span
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sp, ok := r.iterSpans[it]
+	if !ok {
+		sp = obs.NewSpanID()
+		r.iterSpans[it] = sp
+		r.iterStart[it] = start
+		r.iterEnd[it] = end
+		return sp
+	}
+	if start.Before(r.iterStart[it]) {
+		r.iterStart[it] = start
+	}
+	if end.After(r.iterEnd[it]) {
+		r.iterEnd[it] = end
+	}
+	return sp
 }
 
 // worker is one computing filter: it repeatedly asks the node's local
@@ -395,8 +465,14 @@ func (r *engineRun) worker(node, lane int) {
 		err := executeTask(r.spec.Executors[task.Kind], ctx)
 		ev.End = time.Now()
 		if r.trace.Enabled() {
-			r.trace.Span(task.ID, task.Kind, node, lane, ev.Start, ev.End,
-				map[string]any{"kind": task.Kind, "ok": err == nil})
+			args := map[string]any{"kind": task.Kind, "ok": err == nil}
+			if r.spec.Span.Valid() {
+				r.trace.SpanCtx(task.ID, task.Kind, node, lane, ev.Start, ev.End,
+					obs.SpanContext{Trace: r.spec.Span.Trace, Span: obs.NewSpanID()},
+					r.taskParent(task.ID, ev.Start, ev.End), args)
+			} else {
+				r.trace.Span(task.ID, task.Kind, node, lane, ev.Start, ev.End, args)
+			}
 		}
 
 		r.mu.Lock()

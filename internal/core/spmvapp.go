@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"dooc/internal/dag"
+	"dooc/internal/obs"
 	"dooc/internal/sparse"
 	"dooc/internal/spmv"
 	"dooc/internal/storage"
@@ -29,6 +30,10 @@ type SpMVConfig struct {
 	// partial array — the paper's local-scheduler task splitting
 	// demonstrated through the storage layer's interval write leases.
 	SplitWays int
+	// Trace, when valid, is the causal parent (a job's running-phase span)
+	// the engine attaches this run's per-iteration and per-task spans
+	// under. Zero leaves task spans unannotated, exactly as before.
+	Trace obs.SpanContext
 }
 
 // Validate checks the configuration.
@@ -391,14 +396,25 @@ func runIteratedSpMV(sys *System, cfg SpMVConfig, x0 []float64, opts spmvRunOpts
 	if opts.checkpoint {
 		executors["sum"] = checkpointSumExecutor(sys, prefix, opts.checkpointTag, opts.checkpointBase, p)
 	}
-	stats, err := sys.Run(RunSpec{
+	spec := RunSpec{
 		Tasks:      tasks,
 		Executors:  executors,
 		Locate:     locate,
 		Assignment: opts.assignment,
 		Ephemeral:  ephemeral,
 		Cancel:     opts.cancel,
-	})
+		Span:       cfg.Trace,
+	}
+	if cfg.Trace.Valid() {
+		// Task IDs carry segment-relative iteration indices; the base shift
+		// makes resumed segments report absolute iterations in their spans.
+		base := opts.checkpointBase
+		spec.IterOf = func(id string) (int, bool) {
+			t, ok := spmv.TaskIter(id)
+			return t + base, ok
+		}
+	}
+	stats, err := sys.Run(spec)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dooc/internal/obs"
+	"dooc/internal/sparse"
+)
+
+// causalEvent is the slice of a Chrome trace event this test inspects.
+type causalEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat"`
+	Args map[string]any `json:"args"`
+}
+
+// arg returns a string-valued arg ("" when absent or non-string).
+func (e causalEvent) arg(key string) string {
+	s, _ := e.Args[key].(string)
+	return s
+}
+
+// decodeTraceEvents unwraps a Tracer blob's traceEvents array.
+func decodeTraceEvents(t *testing.T, blob []byte) []causalEvent {
+	t.Helper()
+	var file struct {
+		TraceEvents []causalEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &file); err != nil {
+		t.Fatal(err)
+	}
+	return file.TraceEvents
+}
+
+// TestEngineSpansFormCausalTree runs a traced iterated SpMV under an
+// externally supplied span context (as the job service supplies the job's
+// run span) and asserts the causal topology: every annotated span carries
+// the same trace ID, per-iteration spans parent to the supplied context,
+// task spans parent to their iteration's span, and the whole blob passes
+// obs.ValidateCausal once the root is added.
+func TestEngineSpansFormCausalTree(t *testing.T) {
+	const (
+		nodes = 2
+		dim   = 40
+		iters = 3
+	)
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer()
+	sys, err := NewSystem(Options{Nodes: nodes, WorkersPerNode: 2, Trace: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cfg := SpMVConfig{Dim: dim, K: 2, Iters: iters, Nodes: nodes}
+	if err := LoadMatrixInMemory(sys, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	root := obs.NewSpanContext()
+	cfg.Trace = root
+	rng := rand.New(rand.NewSource(1))
+	start := time.Now()
+	if _, err := RunIteratedSpMV(sys, cfg, randVec(rng, dim)); err != nil {
+		t.Fatal(err)
+	}
+	tracer.SpanCtx("solve", "client", obs.PidClient, 0, start, time.Now(),
+		root, obs.SpanID{}, nil)
+
+	var blob bytes.Buffer
+	if err := tracer.WriteJSON(&blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateCausal(blob.Bytes()); err != nil {
+		t.Fatalf("engine trace is not one causal tree: %v", err)
+	}
+
+	events := decodeTraceEvents(t, blob.Bytes())
+	iterSpans := map[string]string{} // span_id -> name
+	for _, ev := range events {
+		if ev.Cat != "engine" || ev.Ph != "X" {
+			continue
+		}
+		if ev.arg("parent_id") != root.Span.String() {
+			t.Fatalf("iteration span %q parents to %s, want the supplied context %s",
+				ev.Name, ev.arg("parent_id"), root.Span)
+		}
+		iterSpans[ev.arg("span_id")] = ev.Name
+	}
+	if len(iterSpans) != iters {
+		t.Fatalf("found %d iteration spans, want %d", len(iterSpans), iters)
+	}
+	// spmv task IDs number iterations from 1 (x_0 is the start vector).
+	for it := 1; it <= iters; it++ {
+		want := fmt.Sprintf("iter %d", it)
+		found := false
+		for _, name := range iterSpans {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no %q span; have %v", want, iterSpans)
+		}
+	}
+	tasks := 0
+	for _, ev := range events {
+		if ev.Cat != "mult" && ev.Cat != "sum" {
+			continue
+		}
+		if ev.arg("trace_id") == "" {
+			continue // queued-phase spans stay plain
+		}
+		tasks++
+		if ev.arg("trace_id") != root.Trace.String() {
+			t.Fatalf("task span %q carries trace %s, want %s", ev.Name, ev.arg("trace_id"), root.Trace)
+		}
+		if _, ok := iterSpans[ev.arg("parent_id")]; !ok {
+			t.Fatalf("task span %q parents to %s, which is not an iteration span",
+				ev.Name, ev.arg("parent_id"))
+		}
+	}
+	if tasks == 0 {
+		t.Fatal("no causally annotated task spans emitted")
+	}
+}
+
+// TestUntracedRunEmitsNoCausalSpans: without a span context the engine's
+// trace output keeps its pre-existing plain shape — no causal args, no
+// iteration rollups — so the zero-cost-when-off contract is visible.
+func TestUntracedRunEmitsNoCausalSpans(t *testing.T) {
+	const dim = 40
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer()
+	sys, err := NewSystem(Options{Nodes: 2, WorkersPerNode: 2, Trace: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cfg := SpMVConfig{Dim: dim, K: 2, Iters: 2, Nodes: 2}
+	if err := LoadMatrixInMemory(sys, m, cfg); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RunIteratedSpMV(sys, cfg, randVec(rng, dim)); err != nil {
+		t.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := tracer.WriteJSON(&blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range decodeTraceEvents(t, blob.Bytes()) {
+		if ev.arg("trace_id") != "" {
+			t.Fatalf("untraced run emitted causal span %q", ev.Name)
+		}
+		if ev.Cat == "engine" && ev.Ph == "X" {
+			t.Fatalf("untraced run emitted iteration span %q", ev.Name)
+		}
+	}
+}

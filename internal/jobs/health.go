@@ -1,6 +1,7 @@
 package jobs
 
 import (
+	"encoding/json"
 	"net/http"
 	"sync/atomic"
 )
@@ -11,6 +12,9 @@ import (
 // work while in-flight jobs finish.
 type Health struct {
 	draining atomic.Bool
+	// detail, when set, is called per /healthz request to append a JSON
+	// detail object (SLO standings, queue depths) after the "ok" line.
+	detail atomic.Value // func() any
 }
 
 // SetDraining flips the readiness state.
@@ -19,10 +23,25 @@ func (h *Health) SetDraining(v bool) { h.draining.Store(v) }
 // Draining reports whether the drain has started.
 func (h *Health) Draining() bool { return h.draining.Load() }
 
-// Healthz answers the liveness probe: always 200.
+// SetDetail installs a callback whose result is appended to /healthz
+// responses as a JSON object — surfacing SLO standings without a second
+// endpoint. nil-safe to never have been set.
+func (h *Health) SetDetail(f func() any) {
+	if f != nil {
+		h.detail.Store(f)
+	}
+}
+
+// Healthz answers the liveness probe: always 200, "ok" first so trivially
+// cheap probes can match on the first line, then the optional detail JSON.
 func (h *Health) Healthz(w http.ResponseWriter, _ *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte("ok\n"))
+	if f, _ := h.detail.Load().(func() any); f != nil {
+		if v := f(); v != nil {
+			json.NewEncoder(w).Encode(v)
+		}
+	}
 }
 
 // Readyz answers the readiness probe: 200 until the drain starts, 503

@@ -10,6 +10,8 @@ package jobs
 import (
 	"errors"
 	"time"
+
+	"dooc/internal/obs"
 )
 
 // State is a job's lifecycle position:
@@ -110,6 +112,10 @@ type Request struct {
 	// recovery hands it back to the service to rebuild the job's work
 	// function. Unused without a durable store.
 	Payload []byte
+	// Trace is the submitter's span context. When valid, the job joins the
+	// caller's trace (its lifecycle spans parent under the caller's span);
+	// when zero, the manager mints a fresh TraceID at admission.
+	Trace obs.SpanContext
 }
 
 // Work executes one job. It receives the manager-issued job ID (used to
@@ -139,4 +145,7 @@ type JobStatus struct {
 	// ResultSHA is the SHA-256 hex of the durable result payload (done jobs
 	// under a durable store only).
 	ResultSHA string `json:"result_sha256,omitempty"`
+	// TraceID is the job's causal trace identity (hex). Clients that
+	// submitted with a trace context see their own TraceID echoed here.
+	TraceID string `json:"trace_id,omitempty"`
 }

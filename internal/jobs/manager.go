@@ -40,6 +40,17 @@ type Config struct {
 	// job's scratch artifacts. It receives the final state so resumable
 	// residue (checkpoints of a job failed by shutdown) can be kept.
 	Retire func(id int64, final State)
+	// Trace receives lifecycle spans for every job (nil disables). Spans
+	// carry the job's causal identity, so a client trace and this tracer's
+	// output compose into one tree under obs.ValidateCausal.
+	Trace *obs.Tracer
+	// SLO, when non-nil, observes each terminal job's queue-wait, run, and
+	// end-to-end latency against the configured objectives.
+	SLO *SLOTracker
+	// FlightEvents bounds each job's flight-recorder ring
+	// (obs.DefaultFlightEvents when 0). The ring snapshot is journaled with
+	// every record, so the bound also caps journal-entry growth.
+	FlightEvents int
 }
 
 func (c *Config) fill() {
@@ -81,6 +92,16 @@ type Job struct {
 	resumed           int
 	resultFile        string
 	resultSHA         string
+
+	// trace is the job's root span context (the anchor every lifecycle and
+	// engine span parents under); parentSpan links it to the submitting
+	// client's span, when one travelled with the request. runSpan is the
+	// running-phase span, handed to the engine as the parent of its
+	// per-iteration spans. flight is the job's bounded event ring.
+	trace      obs.SpanContext
+	parentSpan obs.SpanID
+	runSpan    obs.SpanID
+	flight     *obs.FlightRecorder
 }
 
 // Manager owns job lifecycle: admission, per-tenant FIFO queues under
@@ -119,6 +140,9 @@ func NewManager(cfg Config) *Manager {
 		queues: make(map[string][]*Job),
 	}
 	m.idle = sync.NewCond(&m.mu)
+	if cfg.Trace.Enabled() {
+		cfg.Trace.SetProcessName(obs.PidJobs, "jobs.Manager")
+	}
 	return m
 }
 
@@ -172,6 +196,18 @@ func (m *Manager) Submit(req Request, work Work) (*Job, error) {
 		state:        StateQueued,
 		submitted:    time.Now(),
 	}
+	// Causal identity: join the submitter's trace when one travelled with
+	// the request, mint a fresh one otherwise. The flight recorder starts
+	// with the queued transition so even a job that dies before running
+	// leaves an account of itself in the journal.
+	if req.Trace.Valid() {
+		j.parentSpan = req.Trace.Span
+		j.trace = obs.SpanContext{Trace: req.Trace.Trace, Span: obs.NewSpanID()}
+	} else {
+		j.trace = obs.NewSpanContext()
+	}
+	j.flight = obs.NewFlightRecorder(m.cfg.FlightEvents)
+	j.flight.Record("transition", "queued", j.trace, j.parentSpan, map[string]string{"tenant": j.Tenant})
 	// Journal-then-admit: an unjournaled submission must not be
 	// acknowledged, or a restart would silently drop a job the client was
 	// told is queued.
@@ -218,6 +254,11 @@ func (m *Manager) recordLocked(j *Job) jobstore.Record {
 		ResultSHA:    j.resultSHA,
 		Resumed:      j.resumed,
 	}
+	if j.trace.Valid() {
+		rec.TraceID = j.trace.Trace.String()
+		rec.RootSpan = j.trace.Span.String()
+	}
+	rec.Events = j.flight.Events()
 	if j.err != nil {
 		rec.Err = j.err.Error()
 	}
@@ -269,6 +310,13 @@ func (m *Manager) dispatchLocked() {
 		m.running++
 		best.state = StateAdmitted
 		best.queueWait = now.Sub(best.submitted)
+		best.flight.Record("transition", "admitted", best.trace.Child(), best.trace.Span, nil)
+		if m.cfg.Trace.Enabled() {
+			m.cfg.Trace.SetThreadName(obs.PidJobs, int(best.ID), fmt.Sprintf("job%d", best.ID))
+			m.cfg.Trace.SpanCtx(fmt.Sprintf("job%d queued", best.ID), "jobs", obs.PidJobs, int(best.ID),
+				best.submitted, now, best.trace.Child(), best.trace.Span,
+				map[string]any{"tenant": best.Tenant})
+		}
 		// Best-effort journal: if the admitted record is lost, replay
 		// re-queues the job from its queued record — same outcome, repeated
 		// queue wait.
@@ -284,6 +332,10 @@ func (m *Manager) run(j *Job) {
 	m.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
+	// The running span is the causal parent the engine hangs its
+	// per-iteration spans under; the service reads it via RunSpanContext.
+	j.runSpan = obs.NewSpanID()
+	j.flight.Record("transition", "running", obs.SpanContext{Trace: j.trace.Trace, Span: j.runSpan}, j.trace.Span, nil)
 	// Best-effort: a lost running record replays as admitted and re-runs.
 	m.journalLocked(j)
 	m.mu.Unlock()
@@ -321,6 +373,11 @@ func (m *Manager) run(j *Job) {
 			j.err = fmt.Errorf("jobs: persisting result: %w", saveErr)
 		}
 	}
+	terminalAttrs := map[string]string{}
+	if j.err != nil {
+		terminalAttrs["error"] = j.err.Error()
+	}
+	j.flight.Record("transition", j.state.String(), j.trace.Child(), j.trace.Span, terminalAttrs)
 	// The terminal journal is strict for done: an unjournaled completion
 	// would be re-run by replay while the client saw success. Flip it to
 	// failed (recoverable: the job re-runs from its checkpoints) and record
@@ -328,7 +385,17 @@ func (m *Manager) run(j *Job) {
 	if jerr := m.journalLocked(j); jerr != nil && j.state == StateDone {
 		j.state = StateFailed
 		j.err = fmt.Errorf("jobs: journaling completion: %w", jerr)
+		j.flight.Record("transition", j.state.String(), j.trace.Child(), j.trace.Span,
+			map[string]string{"error": j.err.Error()})
 		m.journalLocked(j)
+	}
+	if m.cfg.Trace.Enabled() {
+		m.cfg.Trace.SpanCtx(fmt.Sprintf("job%d run", j.ID), "jobs", obs.PidJobs, int(j.ID),
+			j.started, j.finished, obs.SpanContext{Trace: j.trace.Trace, Span: j.runSpan}, j.trace.Span,
+			map[string]any{"state": j.state.String()})
+		m.cfg.Trace.SpanCtx(fmt.Sprintf("job%d", j.ID), "jobs", obs.PidJobs, int(j.ID),
+			j.submitted, j.finished, j.trace, j.parentSpan,
+			map[string]any{"tenant": j.Tenant, "state": j.state.String()})
 	}
 	final := j.state
 	m.finishLocked(j)
@@ -346,11 +413,31 @@ func (m *Manager) finishLocked(j *Job) {
 	m.m.completed(j.state).Inc()
 	m.m.latency(j.Tenant).Observe(j.finished.Sub(j.submitted).Seconds())
 	m.m.runningG.Set(int64(m.running))
+	m.observeSLOLocked(j)
 	close(j.done)
 	m.dispatchLocked()
 	if m.queued == 0 && m.running == 0 {
 		m.idle.Broadcast()
 	}
+}
+
+// observeSLOLocked feeds a terminal job's latencies to the SLO tracker. A
+// job cancelled before admission has no run latency; its whole life was
+// queue wait.
+func (m *Manager) observeSLOLocked(j *Job) {
+	if m.cfg.SLO == nil {
+		return
+	}
+	e2e := j.finished.Sub(j.submitted)
+	ran := !j.started.IsZero()
+	qw := j.queueWait
+	var run time.Duration
+	if ran {
+		run = j.finished.Sub(j.started)
+	} else {
+		qw = e2e
+	}
+	m.cfg.SLO.Observe(j.Tenant, qw, run, e2e, ran)
 }
 
 // Cancel requests cancellation. A queued job is removed immediately; a
@@ -381,12 +468,20 @@ func (m *Manager) Cancel(id int64) error {
 		j.state = StateCancelled
 		j.err = ErrCancelled
 		j.finished = time.Now()
+		j.flight.Record("transition", "cancelled", j.trace.Child(), j.trace.Span,
+			map[string]string{"while": "queued"})
 		// Best-effort: replay of a lost cancelled record re-queues the job;
 		// the client's next Status shows it and can cancel again.
 		m.journalLocked(j)
+		if m.cfg.Trace.Enabled() {
+			m.cfg.Trace.SpanCtx(fmt.Sprintf("job%d", j.ID), "jobs", obs.PidJobs, int(j.ID),
+				j.submitted, j.finished, j.trace, j.parentSpan,
+				map[string]any{"tenant": j.Tenant, "state": "cancelled"})
+		}
 		m.m.completed(StateCancelled).Inc()
 		m.m.latency(j.Tenant).Observe(j.finished.Sub(j.submitted).Seconds())
 		m.m.queuedG.Set(int64(m.queued))
+		m.observeSLOLocked(j)
 		close(j.done)
 		retired = true
 		if m.queued == 0 && m.running == 0 {
@@ -395,6 +490,7 @@ func (m *Manager) Cancel(id int64) error {
 	case StateAdmitted, StateRunning:
 		if !j.cancelRequested {
 			j.cancelRequested = true
+			j.flight.Record("note", "cancel-requested", j.trace.Child(), j.trace.Span, nil)
 			close(j.cancel)
 		}
 	}
@@ -455,6 +551,9 @@ func (m *Manager) statusLocked(j *Job) JobStatus {
 		Key:          j.Key,
 		Resumed:      j.resumed,
 		ResultSHA:    j.resultSHA,
+	}
+	if j.trace.Valid() {
+		st.TraceID = j.trace.Trace.String()
 	}
 	if j.err != nil {
 		st.Err = j.err.Error()
@@ -566,6 +665,16 @@ func (m *Manager) Recover(rebuild RebuildWork) (RecoveryStats, error) {
 		if rec.Err != "" {
 			j.err = errors.New(rec.Err)
 		}
+		// Rebuild the causal identity and the pre-crash flight recorder from
+		// the journal; these events are the only surviving account of what
+		// the job did before the process died.
+		if tr, err := obs.ParseTraceID(rec.TraceID); err == nil {
+			if sp, err := obs.ParseSpanID(rec.RootSpan); err == nil {
+				j.trace = obs.SpanContext{Trace: tr, Span: sp}
+			}
+		}
+		j.flight = obs.NewFlightRecorder(m.cfg.FlightEvents)
+		j.flight.Preload(rec.Events)
 		m.jobs[j.ID] = j
 		if j.Key != "" {
 			m.byKey[j.Key] = j
@@ -577,11 +686,18 @@ func (m *Manager) Recover(rebuild RebuildWork) (RecoveryStats, error) {
 			stats.Historical++
 			continue
 		}
+		// A job that will run again needs a valid trace even if its record
+		// predates tracing.
+		if !j.trace.Valid() {
+			j.trace = obs.NewSpanContext()
+		}
 		work, err := rebuild(rec)
 		if err != nil {
 			j.state = StateFailed
 			j.err = fmt.Errorf("jobs: recovery cannot rebuild work: %w", err)
 			j.finished = time.Now()
+			j.flight.Record("transition", "failed", j.trace.Child(), j.trace.Span,
+				map[string]string{"error": j.err.Error()})
 			m.journalLocked(j)
 			close(j.done)
 			stats.Failed++
@@ -590,12 +706,17 @@ func (m *Manager) Recover(rebuild RebuildWork) (RecoveryStats, error) {
 		j.work = work
 		if state == StateQueued {
 			stats.Requeued++
+			j.flight.Record("note", "recovered", j.trace.Child(), j.trace.Span,
+				map[string]string{"from": rec.State})
 		} else {
 			// Interrupted mid-run: count the resumption and journal it, so a
 			// crash loop is visible in the record.
 			j.resumed++
 			stats.Resumed++
 			m.m.resumedC.Inc()
+			j.flight.Record("note", "recovered", j.trace.Child(), j.trace.Span,
+				map[string]string{"from": rec.State, "resumed": fmt.Sprint(j.resumed)})
+			j.flight.Record("transition", "queued", j.trace.Child(), j.trace.Span, nil)
 			m.journalLocked(j)
 		}
 		j.state = StateQueued
@@ -654,4 +775,41 @@ func (m *Manager) Counts() (queued, running int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.queued, m.running
+}
+
+// FlightEvents returns the job's flight-recorder snapshot (oldest-first)
+// plus how many older events the bounded ring dropped. After a crash the
+// snapshot is whatever the journal preserved.
+func (m *Manager) FlightEvents(id int64) ([]obs.FlightEvent, uint64, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	return j.flight.Events(), j.flight.Dropped(), nil
+}
+
+// TraceContext returns the job's root span context.
+func (m *Manager) TraceContext(id int64) (obs.SpanContext, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return obs.SpanContext{}, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	return j.trace, nil
+}
+
+// RunSpanContext returns the job's running-phase span context — the causal
+// parent a work function hands to the engine so per-iteration and per-task
+// spans attach under the right lifecycle node. Zero before the job runs.
+func (m *Manager) RunSpanContext(id int64) obs.SpanContext {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || j.runSpan.IsZero() {
+		return obs.SpanContext{}
+	}
+	return obs.SpanContext{Trace: j.trace.Trace, Span: j.runSpan}
 }

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"dooc/internal/core"
 	"dooc/internal/jobstore"
@@ -30,6 +31,9 @@ type SolveRequest struct {
 	// reconnect, or post-restart) returns the existing job. "" disables
 	// deduplication for this submission.
 	Key string
+	// Trace is the submitting client's span context; when valid the job
+	// joins the client's trace end-to-end.
+	Trace obs.SpanContext
 }
 
 // solvePayload is the journaled job specification — everything recovery
@@ -100,6 +104,7 @@ func (s *SolverService) Submit(req SolveRequest) (JobStatus, error) {
 		ScratchBytes: req.ScratchBytes,
 		Key:          req.Key,
 		Payload:      payload,
+		Trace:        req.Trace,
 	}, s.work(req.Iters, req.Seed, req.MemoryBytes, req.ScratchBytes))
 	if err != nil {
 		return JobStatus{}, err
@@ -140,6 +145,10 @@ func (s *SolverService) work(iters int, seed int64, memoryBytes, scratchBytes in
 		cfg := s.base
 		cfg.Iters = iters
 		cfg.Tag = fmt.Sprintf("job%d", id)
+		// The engine parents its per-iteration and per-task spans under the
+		// job's running-phase span, linking client → lifecycle → compute
+		// into one causal tree.
+		cfg.Trace = s.Manager.RunSpanContext(id)
 		prefix := cfg.Tag + ":"
 		nodes := s.sys.Nodes()
 		if memoryBytes > 0 || scratchBytes > 0 {
@@ -235,6 +244,69 @@ func EncodeFloat64s(vals []float64) []byte {
 func (s *SolverService) ServeJobs(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.Manager.List())
+}
+
+// ServeJobItem handles the per-job routes under /jobs/:
+//
+//	/jobs/<id>         one job's status (JSON)
+//	/jobs/<id>/events  the job's flight-recorder events (JSON)
+//	/jobs/<id>/trace   Chrome-trace JSON scoped to the job, rebuilt from
+//	                   the flight recorder — available even for jobs that
+//	                   died in a crash, because the ring is journaled
+//
+// Mount it on the "/jobs/" prefix; more specific patterns (/jobs,
+// /jobs/history) win on Go's ServeMux, so they are unaffected.
+func (s *SolverService) ServeJobItem(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	idStr, sub, _ := strings.Cut(rest, "/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil || id <= 0 {
+		http.NotFound(w, r)
+		return
+	}
+	switch sub {
+	case "":
+		st, err := s.Manager.Status(id)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	case "events":
+		events, dropped, err := s.Manager.FlightEvents(id)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		sc, _ := s.Manager.TraceContext(id)
+		resp := struct {
+			Job     int64             `json:"job"`
+			TraceID string            `json:"trace_id,omitempty"`
+			Dropped uint64            `json:"dropped"`
+			Events  []obs.FlightEvent `json:"events"`
+		}{Job: id, Dropped: dropped, Events: events}
+		if sc.Valid() {
+			resp.TraceID = sc.Trace.String()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	case "trace":
+		events, _, err := s.Manager.FlightEvents(id)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		data, err := obs.FlightTrace(events, obs.PidJobs, fmt.Sprintf("job%d", id))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	default:
+		http.NotFound(w, r)
+	}
 }
 
 // ServeHistory is the /jobs/history HTTP handler: a paginated JSON window

@@ -1,0 +1,313 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dooc/internal/jobstore"
+	"dooc/internal/obs"
+)
+
+// TestTraceJoinsClientContext: a job submitted with a client span context
+// reports the client's trace ID in its status, and the manager's spans plus
+// the client's own trace compose into one causal tree.
+func TestTraceJoinsClientContext(t *testing.T) {
+	server := obs.NewTracer()
+	m := NewManager(Config{MaxRunning: 1, Trace: server})
+
+	client := obs.NewTracer()
+	client.SetProcessName(obs.PidClient, "testclient")
+	root := obs.NewSpanContext()
+	clientStart := time.Now()
+
+	j, err := m.Submit(Request{Tenant: "a", Trace: root}, func(int64, <-chan struct{}) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Result(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Status(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != root.Trace.String() {
+		t.Fatalf("status trace ID %q, want the client's %q", st.TraceID, root.Trace.String())
+	}
+	client.SpanCtx("client root", "client", obs.PidClient, 0, clientStart, time.Now(),
+		root, obs.SpanID{}, nil)
+
+	var clientBlob, serverBlob bytes.Buffer
+	if err := client.WriteJSON(&clientBlob); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.WriteJSON(&serverBlob); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateCausal(clientBlob.Bytes(), serverBlob.Bytes()); err != nil {
+		t.Fatalf("client+server traces do not form one causal tree: %v", err)
+	}
+	// The server blob alone must still be a valid Chrome trace (its root
+	// points at the client span, so only the combined view is causal).
+	if err := obs.ValidateTrace(serverBlob.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceMintedWhenClientUntraced: an untraced submission still gets a
+// trace identity so /jobs/<id>/trace works for every job.
+func TestTraceMintedWhenClientUntraced(t *testing.T) {
+	m := NewManager(Config{MaxRunning: 1, Trace: obs.NewTracer()})
+	j, err := m.Submit(Request{Tenant: "a"}, func(int64, <-chan struct{}) ([]byte, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Result(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Status(j.ID)
+	if st.TraceID == "" {
+		t.Fatal("untraced submission got no minted trace ID")
+	}
+	sc, err := m.TraceContext(j.ID)
+	if err != nil || !sc.Valid() {
+		t.Fatalf("TraceContext = %+v, %v", sc, err)
+	}
+}
+
+// TestFlightRecorderLifecycle: the ring sees every lifecycle transition in
+// order, with causal identity on each event.
+func TestFlightRecorderLifecycle(t *testing.T) {
+	m := NewManager(Config{MaxRunning: 1})
+	j, err := m.Submit(Request{Tenant: "a"}, func(int64, <-chan struct{}) ([]byte, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Result(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	events, dropped, err := m.FlightEvents(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	var states []string
+	for _, ev := range events {
+		if ev.Kind == "transition" {
+			states = append(states, ev.Name)
+		}
+		if ev.Trace == "" {
+			t.Fatalf("event %q has no trace ID", ev.Name)
+		}
+	}
+	want := []string{"queued", "admitted", "running", "done"}
+	if len(states) != len(want) {
+		t.Fatalf("transitions = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", states, want)
+		}
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("flight seq not monotonic: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+}
+
+// TestFlightEventsSurviveCrash: a journal frozen mid-lifecycle (the SIGKILL
+// case) still yields the pre-crash flight events after recovery — the
+// "running" journal entry carries the ring, so /jobs/<id>/events and
+// /jobs/<id>/trace answer for jobs that never reached a terminal state.
+func TestFlightEventsSurviveCrash(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := NewManager(Config{MaxRunning: 1, Store: store1})
+	release := make(chan struct{})
+	started := make(chan int64, 1)
+	j, err := m1.Submit(Request{Tenant: "a", Key: "crash"}, gatedWork(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the "running" transition is journaled before work starts
+	store1.Abort()
+
+	store2, err := jobstore.Open(dir, jobstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	m2 := NewManager(Config{MaxRunning: 1, Store: store2})
+	if _, err := m2.Recover(func(rec jobstore.Record) (Work, error) {
+		return gatedWork(nil, release), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := m2.FlightEvents(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range events {
+		seen[ev.Kind+":"+ev.Name] = true
+	}
+	for _, want := range []string{"transition:queued", "transition:running", "note:recovered"} {
+		if !seen[want] {
+			t.Fatalf("recovered flight events missing %q; have %v", want, seen)
+		}
+	}
+	// Preload keeps the sequence ahead of the journaled events, so post-
+	// recovery events never collide with pre-crash ones.
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("flight seq regressed across recovery: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+	// The journaled ring renders as a standalone Chrome trace.
+	if _, err := obs.FlightTrace(events, obs.PidJobs, "job1"); err != nil {
+		t.Fatal(err)
+	}
+	close(release) // let the recovered job (and m1's abandoned one) finish
+	m2.Drain()
+}
+
+// TestSLOTrackerBurn: breach accounting against the objectives, per tenant,
+// including jobs cancelled before they ran.
+func TestSLOTrackerBurn(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := NewSLOTracker(SLOConfig{
+		QueueObjective: 10 * time.Millisecond,
+		RunObjective:   20 * time.Millisecond,
+		Obs:            reg,
+	})
+	tr.Observe("a", 5*time.Millisecond, 10*time.Millisecond, 15*time.Millisecond, true)
+	tr.Observe("a", 20*time.Millisecond, 30*time.Millisecond, 50*time.Millisecond, true)
+	tr.Observe("b", 15*time.Millisecond, 0, 15*time.Millisecond, false) // cancelled while queued
+
+	sum := tr.Summary()
+	if len(sum) != 2 || sum[0].Tenant != "a" || sum[1].Tenant != "b" {
+		t.Fatalf("summary = %+v", sum)
+	}
+	a, b := sum[0], sum[1]
+	if a.Jobs != 2 || a.QueueBreaches != 1 || a.RunBreaches != 1 {
+		t.Fatalf("tenant a = %+v", a)
+	}
+	if a.QueueBurn != 0.5 || a.RunBurn != 0.5 {
+		t.Fatalf("tenant a burn = %v/%v, want 0.5/0.5", a.QueueBurn, a.RunBurn)
+	}
+	if b.Jobs != 1 || b.QueueBreaches != 1 || b.RunBreaches != 0 {
+		t.Fatalf("tenant b = %+v", b)
+	}
+	if got := reg.Sum("dooc_slo_jobs_total"); got != 3 {
+		t.Fatalf("dooc_slo_jobs_total = %d, want 3", got)
+	}
+	if got := reg.Sum("dooc_slo_queue_breaches_total"); got != 2 {
+		t.Fatalf("dooc_slo_queue_breaches_total = %d, want 2", got)
+	}
+	if got := reg.Sum("dooc_slo_run_breaches_total"); got != 1 {
+		t.Fatalf("dooc_slo_run_breaches_total = %d, want 1", got)
+	}
+	// Histograms observed every terminal job; the run histogram skips the
+	// never-ran cancellation.
+	if got := reg.Sum("dooc_slo_e2e_seconds"); got != 3 {
+		t.Fatalf("e2e observations = %d, want 3", got)
+	}
+	if got := reg.Sum("dooc_slo_run_seconds"); got != 2 {
+		t.Fatalf("run observations = %d, want 2", got)
+	}
+}
+
+// TestManagerObservesSLO: terminal jobs feed the tracker through the
+// manager, including queued cancellations.
+func TestManagerObservesSLO(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{})
+	m := NewManager(Config{MaxRunning: 1, SLO: tr})
+	j, err := m.Submit(Request{Tenant: "a"}, func(int64, <-chan struct{}) ([]byte, error) {
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Result(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	sum := tr.Summary()
+	if len(sum) != 1 || sum[0].Tenant != "a" || sum[0].Jobs != 1 {
+		t.Fatalf("summary after done job = %+v", sum)
+	}
+}
+
+// TestServeJobItemEndpoints drives the /jobs/<id>[...] routes end to end
+// over a real (tiny) solver service.
+func TestServeJobItemEndpoints(t *testing.T) {
+	base, root, _ := durableFixture(t)
+	sys := durableSystem(t, root)
+	defer sys.Close()
+	svc := NewSolverService(sys, base, Config{MaxRunning: 1, QueueDepth: 4, Trace: obs.NewTracer()})
+	st, err := svc.Submit(SolveRequest{Tenant: "a", Iters: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Manager.Result(st.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		svc.ServeJobItem(w, httptest.NewRequest("GET", path, nil))
+		return w
+	}
+
+	if w := get("/jobs/1"); w.Code != 200 {
+		t.Fatalf("GET /jobs/1 = %d", w.Code)
+	} else {
+		var got JobStatus
+		if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil || got.ID != 1 {
+			t.Fatalf("status body %q: %v", w.Body.Bytes(), err)
+		}
+		if got.TraceID == "" {
+			t.Fatal("status body has no trace_id")
+		}
+	}
+	if w := get("/jobs/1/events"); w.Code != 200 {
+		t.Fatalf("GET /jobs/1/events = %d", w.Code)
+	} else {
+		var got struct {
+			Job     int64             `json:"job"`
+			TraceID string            `json:"trace_id"`
+			Events  []obs.FlightEvent `json:"events"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Job != 1 || got.TraceID == "" || len(got.Events) == 0 {
+			t.Fatalf("events body = %+v", got)
+		}
+	}
+	if w := get("/jobs/1/trace"); w.Code != 200 {
+		t.Fatalf("GET /jobs/1/trace = %d", w.Code)
+	} else if err := obs.ValidateTrace(w.Body.Bytes()); err != nil {
+		t.Fatalf("/jobs/1/trace is not a valid Chrome trace: %v", err)
+	}
+	for _, path := range []string{"/jobs/99", "/jobs/notanid", "/jobs/1/bogus"} {
+		if w := get(path); w.Code != 404 {
+			t.Fatalf("GET %s = %d, want 404", path, w.Code)
+		}
+	}
+	svc.Manager.Drain()
+}

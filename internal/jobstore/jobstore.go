@@ -76,6 +76,18 @@ type Record struct {
 	// Resumed counts how many times recovery re-admitted this job after a
 	// crash or an interrupted drain.
 	Resumed int
+
+	// TraceID/RootSpan are the job's causal identity (hex; empty for
+	// records written before tracing existed — gob omits zero values, so
+	// old journals replay unchanged).
+	TraceID  string
+	RootSpan string
+
+	// Events is the job's flight-recorder snapshot at the time the record
+	// was journaled. The recorder ring is bounded, so the journal entry
+	// stays within the WAL frame cap; after a crash these are the only
+	// surviving account of what the job did.
+	Events []obs.FlightEvent
 }
 
 // Terminal reports whether the record's state is final.

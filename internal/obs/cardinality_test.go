@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSeriesCardinalityCap(t *testing.T) {
+	r := NewRegistry()
+	r.SetSeriesCap(4)
+
+	var last *Counter
+	for i := 0; i < 10; i++ {
+		last = r.Counter("dooc_test_jobs_total", "per-job counter", L("job", fmt.Sprint(i)))
+		last.Inc()
+	}
+
+	// 4 real series + 1 overflow slot, never more.
+	var fam, overflow int
+	for _, s := range r.Snapshot() {
+		if s.Name != "dooc_test_jobs_total" {
+			continue
+		}
+		fam++
+		if len(s.Labels) == 1 && s.Labels[0].Value == overflowLabelValue {
+			overflow++
+			if s.Value != 6 {
+				t.Fatalf("overflow series = %d, want the 6 capped increments", s.Value)
+			}
+		}
+	}
+	if fam != 5 || overflow != 1 {
+		t.Fatalf("family has %d series (%d overflow), want 5 (1)", fam, overflow)
+	}
+	if got := r.Sum("dooc_obs_series_dropped_total"); got != 6 {
+		t.Fatalf("dropped counter = %d, want 6", got)
+	}
+	if got := r.Sum("dooc_test_jobs_total"); got != 10 {
+		t.Fatalf("Sum = %d, want 10 (no increments lost)", got)
+	}
+
+	// Overflowed registrations share one series.
+	again := r.Counter("dooc_test_jobs_total", "per-job counter", L("job", "99"))
+	if again != last {
+		t.Fatal("capped registrations did not share the overflow series")
+	}
+
+	// Existing series still resolve to themselves past the cap.
+	first := r.Counter("dooc_test_jobs_total", "per-job counter", L("job", "0"))
+	if first == last {
+		t.Fatal("pre-cap series rerouted to overflow")
+	}
+
+	// Unlabelled series are never capped (there is only ever one).
+	if c := r.Counter("dooc_test_plain_total", "no labels"); c == nil {
+		t.Fatal("unlabelled counter nil")
+	}
+}
+
+func TestSeriesCapHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.SetSeriesCap(2)
+	for i := 0; i < 5; i++ {
+		h := r.Histogram("dooc_test_lat_seconds", "per-tenant latency", nil, L("tenant", fmt.Sprint(i)))
+		h.Observe(0.5)
+	}
+	if got := r.Sum("dooc_test_lat_seconds"); got != 5 {
+		t.Fatalf("Sum = %d, want 5", got)
+	}
+	if got := r.Sum("dooc_obs_series_dropped_total"); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+}
+
+func TestSetSeriesCapNilSafe(t *testing.T) {
+	var r *Registry
+	r.SetSeriesCap(10)
+}

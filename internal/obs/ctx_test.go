@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("NewTraceID returned zero")
+	}
+	s := id.String()
+	if len(s) != 32 {
+		t.Fatalf("String() = %q, want 32 hex digits", s)
+	}
+	back, err := ParseTraceID(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("ParseTraceID(%q) = %v, want %v", s, back, id)
+	}
+	hi, lo := id.Words()
+	if TraceIDFromWords(hi, lo) != id {
+		t.Fatal("Words round trip mismatch")
+	}
+	if _, err := ParseTraceID("nothex"); err == nil {
+		t.Fatal("ParseTraceID accepted short input")
+	}
+	if _, err := ParseTraceID("zz000000000000000000000000000000"); err == nil {
+		t.Fatal("ParseTraceID accepted non-hex input")
+	}
+}
+
+func TestSpanIDRoundTrip(t *testing.T) {
+	id := NewSpanID()
+	if id.IsZero() {
+		t.Fatal("NewSpanID returned zero")
+	}
+	back, err := ParseSpanID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatal("ParseSpanID round trip mismatch")
+	}
+	if SpanIDFromWord(id.Word()) != id {
+		t.Fatal("Word round trip mismatch")
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	spans := make(map[SpanID]bool)
+	for i := 0; i < 10000; i++ {
+		tr := NewTraceID()
+		if seen[tr] {
+			t.Fatalf("duplicate trace id after %d draws", i)
+		}
+		seen[tr] = true
+		sp := NewSpanID()
+		if spans[sp] {
+			t.Fatalf("duplicate span id after %d draws", i)
+		}
+		spans[sp] = true
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	var zero SpanContext
+	if zero.Valid() {
+		t.Fatal("zero SpanContext is valid")
+	}
+	root := NewSpanContext()
+	if !root.Valid() {
+		t.Fatal("NewSpanContext not valid")
+	}
+	child := root.Child()
+	if child.Trace != root.Trace {
+		t.Fatal("Child changed trace")
+	}
+	if child.Span == root.Span {
+		t.Fatal("Child kept parent span id")
+	}
+
+	ctx := ContextWithSpan(context.Background(), root)
+	if got := SpanFromContext(ctx); got != root {
+		t.Fatalf("SpanFromContext = %+v, want %+v", got, root)
+	}
+	if got := SpanFromContext(context.Background()); got.Valid() {
+		t.Fatal("empty context yielded a valid span context")
+	}
+	if got := SpanFromContext(nil); got.Valid() { //nolint:staticcheck
+		t.Fatal("nil context yielded a valid span context")
+	}
+}

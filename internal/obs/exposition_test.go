@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildConformanceRegistry returns a registry exercising every exposition
+// shape: escaped label values, escaped help, cumulative histogram buckets.
+func buildConformanceRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("dooc_test_requests_total", "requests served", L("path", "a\\b\"c\nd")).Add(3)
+	r.Counter("dooc_test_requests_total", "requests served", L("path", "/ok")).Add(2)
+	r.Gauge("dooc_test_depth", "queue depth").Set(7)
+	h := r.Histogram("dooc_test_lat_seconds", "latency with\nnewline help", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	return r
+}
+
+func TestPrometheusExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildConformanceRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusConformance checks 0.0.4 invariants structurally, so the
+// golden file cannot lock in a spec violation.
+func TestPrometheusConformance(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildConformanceRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		bucketVals []int64
+		lastLe     string
+		sum        string
+		count      int64
+		sawInf     bool
+	)
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# HELP"), strings.HasPrefix(line, "# TYPE"):
+			if strings.Contains(line, "\n") {
+				t.Fatalf("unescaped newline in %q", line)
+			}
+		case strings.HasPrefix(line, "dooc_test_lat_seconds_bucket"):
+			le := line[strings.Index(line, `le="`)+4:]
+			lastLe = le[:strings.Index(le, `"`)]
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket line %q: %v", line, err)
+			}
+			if n := len(bucketVals); n > 0 && v < bucketVals[n-1] {
+				t.Fatalf("buckets not cumulative: %v then %d", bucketVals, v)
+			}
+			bucketVals = append(bucketVals, v)
+			if lastLe == "+Inf" {
+				sawInf = true
+			}
+		case strings.HasPrefix(line, "dooc_test_lat_seconds_sum"):
+			sum = line[strings.LastIndexByte(line, ' ')+1:]
+		case strings.HasPrefix(line, "dooc_test_lat_seconds_count"):
+			var err error
+			count, err = strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("count line %q: %v", line, err)
+			}
+		case strings.HasPrefix(line, "dooc_test_requests_total{"):
+			val := line[strings.Index(line, `path="`)+6 : strings.LastIndex(line, `"`)]
+			if strings.ContainsAny(val, "\n") {
+				t.Fatalf("raw newline in label value of %q", line)
+			}
+		}
+	}
+	if !sawInf || lastLe != "+Inf" {
+		t.Fatalf("histogram missing trailing +Inf bucket (last le = %q)", lastLe)
+	}
+	if len(bucketVals) != 3 {
+		t.Fatalf("bucket lines = %d, want 3 (2 bounds + +Inf)", len(bucketVals))
+	}
+	if bucketVals[len(bucketVals)-1] != count {
+		t.Fatalf("+Inf bucket %d != _count %d", bucketVals[len(bucketVals)-1], count)
+	}
+	if want := "5.55"; sum != want {
+		t.Fatalf("_sum = %s, want %s", sum, want)
+	}
+	if count != 3 {
+		t.Fatalf("_count = %d, want 3", count)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":      "plain",
+		`back\slash`: `back\\slash`,
+		`qu"ote`:     `qu\"ote`,
+		"new\nline":  `new\nline`,
+		"mix\\\"\nd": `mix\\\"\nd`,
+	}
+	for in, want := range cases {
+		if got := escapeLabelValue(in); got != want {
+			t.Fatalf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -126,18 +126,44 @@ type family struct {
 // registering the same (name, labels) twice returns the same metric, so
 // layers can resolve their counters independently and still share series.
 type Registry struct {
-	mu       sync.Mutex
-	families map[string]*family
-	order    []string           // family registration order
-	byID     map[string]*series // id = name + rendered labels
+	mu        sync.Mutex
+	families  map[string]*family
+	order     []string           // family registration order
+	byID      map[string]*series // id = name + rendered labels
+	seriesCap int
+	dropped   *Counter // dooc_obs_series_dropped_total
 }
+
+// DefaultSeriesCap bounds the distinct series per metric family. High-
+// cardinality label sources (per-job, per-tenant) overflow into a single
+// catch-all series instead of growing the registry without bound.
+const DefaultSeriesCap = 256
+
+// overflowLabelValue replaces every label value of a series that would
+// exceed the family's cardinality cap.
+const overflowLabelValue = "other"
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		families: make(map[string]*family),
-		byID:     make(map[string]*series),
+		families:  make(map[string]*family),
+		byID:      make(map[string]*series),
+		seriesCap: DefaultSeriesCap,
 	}
+}
+
+// SetSeriesCap replaces the per-family series cap (n <= 0 restores the
+// default). Series already registered are unaffected.
+func (r *Registry) SetSeriesCap(n int) {
+	if r == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultSeriesCap
+	}
+	r.mu.Lock()
+	r.seriesCap = n
+	r.mu.Unlock()
 }
 
 // seriesID renders the unique identity of a (name, labels) pair. Labels are
@@ -171,11 +197,18 @@ func sortLabels(labels []Label) []Label {
 
 // lookup finds or creates a series. Registering an existing name with a
 // different kind panics: that is a programming error, not runtime state.
+// A new labelled series that would push its family past the cardinality cap
+// is routed to the family's single overflow series (every label value
+// "other") and counted in dooc_obs_series_dropped_total.
 func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *series {
 	labels = sortLabels(labels)
-	id := seriesID(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.lookupLocked(name, help, kind, labels, true)
+}
+
+func (r *Registry) lookupLocked(name, help string, kind metricKind, labels []Label, capped bool) *series {
+	id := seriesID(name, labels)
 	if s, ok := r.byID[id]; ok {
 		if s.kind != kind {
 			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, s.kind))
@@ -189,6 +222,19 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *s
 		r.order = append(r.order, name)
 	} else if f.kind != kind {
 		panic(fmt.Sprintf("obs: metric family %q re-registered as %v (was %v)", name, kind, f.kind))
+	}
+	if capped && len(labels) > 0 && len(f.series) >= r.seriesCap {
+		if r.dropped == nil {
+			r.dropped = r.lookupLocked("dooc_obs_series_dropped_total",
+				"series routed to a family's overflow slot by the cardinality cap",
+				counterKind, nil, false).counter
+		}
+		r.dropped.Inc()
+		other := make([]Label, len(labels))
+		for i, l := range labels {
+			other[i] = Label{Key: l.Key, Value: overflowLabelValue}
+		}
+		return r.lookupLocked(name, help, kind, other, false)
 	}
 	s := &series{name: name, labels: labels, kind: kind}
 	switch kind {
@@ -261,6 +307,27 @@ func (r *Registry) Sum(name string) int64 {
 		}
 	}
 	return n
+}
+
+// Totals snapshots every family's summed value keyed by family name —
+// counters and gauges sum their series, histograms their observation
+// counts. Benchmark reports embed it (BENCH_*.json) so a result JSON
+// carries the run's full counter state, diffable across PRs.
+func (r *Registry) Totals() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	out := make(map[string]int64, len(names))
+	for _, name := range names {
+		out[name] = r.Sum(name)
+	}
+	return out
 }
 
 // SumWhere is Sum restricted to series carrying the label key=value —

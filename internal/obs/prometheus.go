@@ -75,8 +75,42 @@ func (r *Registry) Snapshot() []SeriesSnapshot {
 // formatFloat renders a float the way Prometheus expects.
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// escapeLabelValue escapes a label value per the 0.0.4 text format:
+// backslash, double-quote, and newline must be backslash-escaped.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string per the 0.0.4 text format (backslash and
+// newline only; quotes are legal there).
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
 // renderLabels renders {k="v",...} for exposition, with an optional extra
-// label appended (used for histogram `le`).
+// label appended (used for histogram `le`). Values are escaped per the
+// 0.0.4 text format.
 func renderLabels(labels []Label, extra ...Label) string {
 	all := append(append([]Label(nil), labels...), extra...)
 	if len(all) == 0 {
@@ -88,7 +122,7 @@ func renderLabels(labels []Label, extra ...Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, `%s="%s"`, l.Key, l.Value)
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabelValue(l.Value))
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -103,7 +137,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for _, ss := range r.snapshotByFamily() {
 		if ss.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", ss.name, ss.help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", ss.name, escapeHelp(ss.help)); err != nil {
 				return err
 			}
 		}

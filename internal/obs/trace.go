@@ -9,9 +9,19 @@ import (
 	"time"
 )
 
+// Stable pid values for tracks that are not cluster nodes. Engine workers
+// keep pid == node index; these sit far above any realistic node count so
+// the subsystem tracks never collide with node tracks.
+const (
+	PidClient = 9000 // doocrun job client
+	PidJobs   = 9001 // jobs.Manager control plane
+	PidEngine = 9002 // engine-level rollups (per-iteration spans)
+)
+
 // TraceEvent is one Chrome trace-event record. Phases used here: "X"
-// (complete event with a duration) and "i" (instant). pid maps to the
-// cluster node, tid to the worker lane within the node.
+// (complete event with a duration), "i" (instant), and "M" (metadata:
+// process_name/thread_name track labels). pid maps to the cluster node,
+// tid to the worker lane within the node.
 type TraceEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -36,6 +46,7 @@ type Tracer struct {
 	mu     sync.Mutex
 	epoch  time.Time
 	events []TraceEvent
+	meta   map[string]bool // emitted process_name/thread_name keys
 }
 
 // NewTracer returns a tracer whose timebase starts now.
@@ -66,6 +77,72 @@ func (t *Tracer) Span(name, cat string, pid, tid int, start, end time.Time, args
 	}
 	t.mu.Lock()
 	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// SpanCtx records a complete event annotated with its causal identity:
+// trace_id, its own span_id, and (when non-zero) the parent span. Extra args
+// may be passed in args (the map is taken over, not copied).
+func (t *Tracer) SpanCtx(name, cat string, pid, tid int, start, end time.Time, sc SpanContext, parent SpanID, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Span(name, cat, pid, tid, start, end, causalArgs(args, sc, parent))
+}
+
+// InstantCtx is Instant with causal annotations.
+func (t *Tracer) InstantCtx(name, cat string, pid, tid int, at time.Time, sc SpanContext, parent SpanID, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.Instant(name, cat, pid, tid, at, causalArgs(args, sc, parent))
+}
+
+// causalArgs attaches the causal identity to an event's args map.
+func causalArgs(args map[string]any, sc SpanContext, parent SpanID) map[string]any {
+	if args == nil {
+		args = make(map[string]any, 3)
+	}
+	if !sc.Trace.IsZero() {
+		args["trace_id"] = sc.Trace.String()
+	}
+	if !sc.Span.IsZero() {
+		args["span_id"] = sc.Span.String()
+	}
+	if !parent.IsZero() {
+		args["parent_id"] = parent.String()
+	}
+	return args
+}
+
+// SetProcessName emits a process_name metadata event so the pid's track
+// carries a stable subsystem name instead of a bare integer. Repeated calls
+// for the same pid are deduplicated.
+func (t *Tracer) SetProcessName(pid int, name string) {
+	t.metadata("process_name", pid, 0, name)
+}
+
+// SetThreadName emits a thread_name metadata event for (pid, tid).
+func (t *Tracer) SetThreadName(pid, tid int, name string) {
+	t.metadata("thread_name", pid, tid, name)
+}
+
+func (t *Tracer) metadata(kind string, pid, tid int, name string) {
+	if t == nil || name == "" {
+		return
+	}
+	key := fmt.Sprintf("%s/%d/%d", kind, pid, tid)
+	t.mu.Lock()
+	if t.meta == nil {
+		t.meta = make(map[string]bool)
+	}
+	if !t.meta[key] {
+		t.meta[key] = true
+		t.events = append(t.events, TraceEvent{
+			Name: kind, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
 	t.mu.Unlock()
 }
 
@@ -125,17 +202,14 @@ func (t *Tracer) WriteFile(path string) error {
 
 // ValidateTrace checks that data is non-empty, well-formed Chrome
 // trace-event JSON: either an object with a traceEvents array or a bare
-// array, every event carrying the required name/ph/ts/pid/tid fields with
-// the right types, and "X" events a non-negative duration.
+// array, every event carrying the required name/ph fields with the right
+// types, "X" events a non-negative duration, and non-metadata events
+// numeric ts/pid/tid. "M" metadata events (process_name/thread_name) need
+// only a string args.name.
 func ValidateTrace(data []byte) error {
-	var wrapper struct {
-		TraceEvents []map[string]any `json:"traceEvents"`
-	}
-	var events []map[string]any
-	if err := json.Unmarshal(data, &wrapper); err == nil && wrapper.TraceEvents != nil {
-		events = wrapper.TraceEvents
-	} else if err := json.Unmarshal(data, &events); err != nil {
-		return fmt.Errorf("obs: not trace-event JSON (neither {\"traceEvents\":[...]} nor a bare array): %w", err)
+	events, err := parseTraceEvents(data)
+	if err != nil {
+		return err
 	}
 	if len(events) == 0 {
 		return fmt.Errorf("obs: trace contains no events")
@@ -147,6 +221,16 @@ func ValidateTrace(data []byte) error {
 		ph, ok := ev["ph"].(string)
 		if !ok || ph == "" {
 			return fmt.Errorf("obs: event %d: missing or non-string \"ph\"", i)
+		}
+		if ph == "M" {
+			args, ok := ev["args"].(map[string]any)
+			if !ok {
+				return fmt.Errorf("obs: event %d: metadata event without args", i)
+			}
+			if _, ok := args["name"].(string); !ok {
+				return fmt.Errorf("obs: event %d: metadata event without string args.name", i)
+			}
+			continue
 		}
 		ts, ok := ev["ts"].(float64)
 		if !ok {
@@ -170,4 +254,158 @@ func ValidateTrace(data []byte) error {
 		}
 	}
 	return nil
+}
+
+// parseTraceEvents accepts both trace-file shapes and returns the raw
+// events.
+func parseTraceEvents(data []byte) ([]map[string]any, error) {
+	var wrapper struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &wrapper); err == nil && wrapper.TraceEvents != nil {
+		return wrapper.TraceEvents, nil
+	} else if err := json.Unmarshal(data, &events); err != nil {
+		return nil, fmt.Errorf("obs: not trace-event JSON (neither {\"traceEvents\":[...]} nor a bare array): %w", err)
+	}
+	return events, nil
+}
+
+// ValidateCausal checks that the causally-annotated events across one or
+// more trace blobs (e.g. the client's trace file and the server's per-job
+// trace) form a single coherent tree: every trace_id is the same, every
+// parent_id resolves to some span_id in the combined set (no orphan spans),
+// and at least one root span (trace_id but no parent_id) exists. Each blob
+// must independently pass ValidateTrace first.
+func ValidateCausal(blobs ...[]byte) error {
+	spans := make(map[string]bool)
+	var traceID string
+	type pref struct {
+		blob, idx int
+		parent    string
+	}
+	var parents []pref
+	roots := 0
+	total := 0
+	for bi, blob := range blobs {
+		if err := ValidateTrace(blob); err != nil {
+			return fmt.Errorf("obs: blob %d: %w", bi, err)
+		}
+		events, err := parseTraceEvents(blob)
+		if err != nil {
+			return fmt.Errorf("obs: blob %d: %w", bi, err)
+		}
+		for i, ev := range events {
+			args, _ := ev["args"].(map[string]any)
+			if args == nil {
+				continue
+			}
+			tid, hasTrace := args["trace_id"].(string)
+			if !hasTrace {
+				continue
+			}
+			total++
+			if traceID == "" {
+				traceID = tid
+			} else if tid != traceID {
+				return fmt.Errorf("obs: blob %d event %d: trace_id %s, want shared %s", bi, i, tid, traceID)
+			}
+			if sid, ok := args["span_id"].(string); ok {
+				spans[sid] = true
+			}
+			if pid, ok := args["parent_id"].(string); ok {
+				parents = append(parents, pref{blob: bi, idx: i, parent: pid})
+			} else {
+				roots++
+			}
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("obs: no causally-annotated events found")
+	}
+	if roots == 0 {
+		return fmt.Errorf("obs: no root span (every annotated event has a parent_id)")
+	}
+	for _, p := range parents {
+		if !spans[p.parent] {
+			return fmt.Errorf("obs: blob %d event %d: orphan span (parent_id %s not found in any blob)", p.blob, p.idx, p.parent)
+		}
+	}
+	return nil
+}
+
+// FlightTrace renders a flight-recorder snapshot as a self-contained Chrome
+// trace scoped to one job. Consecutive "transition" events become state
+// spans (the state entered lasts until the next transition); the final
+// transition and every other kind become instants. All causal annotations
+// survive, so the result composes with other trace files under
+// ValidateCausal. label names the single process track.
+func FlightTrace(events []FlightEvent, pid int, label string) ([]byte, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("obs: no flight events")
+	}
+	epoch := events[0].At
+	us := func(at time.Time) float64 {
+		d := float64(at.Sub(epoch)) / float64(time.Microsecond)
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	args := func(ev FlightEvent) map[string]any {
+		a := make(map[string]any, len(ev.Attrs)+4)
+		for k, v := range ev.Attrs {
+			a[k] = v
+		}
+		a["seq"] = ev.Seq
+		if ev.Trace != "" {
+			a["trace_id"] = ev.Trace
+		}
+		if ev.Span != "" {
+			a["span_id"] = ev.Span
+		}
+		if ev.Parent != "" {
+			a["parent_id"] = ev.Parent
+		}
+		return a
+	}
+	out := []TraceEvent{{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": label},
+	}}
+	// Index of the next transition after each transition, for span ends.
+	lastTransition := -1
+	for i, ev := range events {
+		if ev.Kind != "transition" {
+			out = append(out, TraceEvent{
+				Name: ev.Kind + ":" + ev.Name, Cat: "flight", Ph: "i",
+				Ts: us(ev.At), Pid: pid, Tid: 0, S: "t", Args: args(ev),
+			})
+			continue
+		}
+		if lastTransition >= 0 {
+			prev := events[lastTransition]
+			out = append(out, TraceEvent{
+				Name: prev.Name, Cat: "flight", Ph: "X",
+				Ts: us(prev.At), Dur: us(ev.At) - us(prev.At),
+				Pid: pid, Tid: 0, Args: args(prev),
+			})
+		}
+		lastTransition = i
+	}
+	if lastTransition >= 0 {
+		ev := events[lastTransition]
+		out = append(out, TraceEvent{
+			Name: ev.Name, Cat: "flight", Ph: "i",
+			Ts: us(ev.At), Pid: pid, Tid: 0, S: "t", Args: args(ev),
+		})
+	}
+	data, err := json.Marshal(traceFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateTrace(data); err != nil {
+		return nil, err
+	}
+	return data, nil
 }

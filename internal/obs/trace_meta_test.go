@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestTracerMetadataEvents(t *testing.T) {
+	tr := NewTracer()
+	tr.SetProcessName(PidJobs, "jobs.Manager")
+	tr.SetProcessName(PidJobs, "jobs.Manager") // deduplicated
+	tr.SetThreadName(PidJobs, 7, "job7")
+	tr.SetProcessName(0, "node0")
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (duplicate metadata suppressed)", tr.Len())
+	}
+	tr.Span("work", "test", 0, 0, time.Now(), time.Now().Add(time.Millisecond), nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("trace with M events rejected: %v", err)
+	}
+
+	// Nil tracer: all metadata calls are no-ops.
+	var nilTr *Tracer
+	nilTr.SetProcessName(1, "x")
+	nilTr.SetThreadName(1, 2, "y")
+	nilTr.SpanCtx("a", "b", 0, 0, time.Now(), time.Now(), NewSpanContext(), SpanID{}, nil)
+	nilTr.InstantCtx("a", "b", 0, 0, time.Now(), NewSpanContext(), SpanID{}, nil)
+}
+
+func TestValidateTraceMetadataShapes(t *testing.T) {
+	// M event without ts/pid is fine; without args.name it is not.
+	ok := []byte(`[{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"client"}},` +
+		`{"name":"s","ph":"X","ts":0,"dur":1,"pid":1,"tid":0}]`)
+	if err := ValidateTrace(ok); err != nil {
+		t.Fatalf("valid M event rejected: %v", err)
+	}
+	bad := []byte(`[{"name":"process_name","ph":"M","pid":1,"tid":0}]`)
+	if err := ValidateTrace(bad); err == nil {
+		t.Fatal("M event without args accepted")
+	}
+	bad = []byte(`[{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":3}}]`)
+	if err := ValidateTrace(bad); err == nil {
+		t.Fatal("M event with numeric args.name accepted")
+	}
+}
+
+func TestValidateCausal(t *testing.T) {
+	root := NewSpanContext()
+	child := root.Child()
+	a := []byte(`[{"name":"submit","ph":"X","ts":0,"dur":5,"pid":1,"tid":0,"args":{"trace_id":"` +
+		root.Trace.String() + `","span_id":"` + root.Span.String() + `"}}]`)
+	b := []byte(`[{"name":"run","ph":"X","ts":1,"dur":3,"pid":2,"tid":0,"args":{"trace_id":"` +
+		child.Trace.String() + `","span_id":"` + child.Span.String() + `","parent_id":"` + root.Span.String() + `"}}]`)
+	if err := ValidateCausal(a, b); err != nil {
+		t.Fatalf("coherent tree rejected: %v", err)
+	}
+	// Orphan: parent never defined anywhere.
+	orphan := []byte(`[{"name":"run","ph":"X","ts":1,"dur":3,"pid":2,"tid":0,"args":{"trace_id":"` +
+		root.Trace.String() + `","span_id":"` + NewSpanID().String() + `","parent_id":"` + NewSpanID().String() + `"}}]`)
+	if err := ValidateCausal(a, orphan); err == nil {
+		t.Fatal("orphan span accepted")
+	}
+	// Split trace IDs.
+	other := NewSpanContext()
+	c := []byte(`[{"name":"x","ph":"X","ts":0,"dur":1,"pid":3,"tid":0,"args":{"trace_id":"` +
+		other.Trace.String() + `","span_id":"` + other.Span.String() + `"}}]`)
+	if err := ValidateCausal(a, c); err == nil {
+		t.Fatal("split trace ids accepted")
+	}
+	// No annotations at all.
+	plain := []byte(`[{"name":"x","ph":"X","ts":0,"dur":1,"pid":3,"tid":0}]`)
+	if err := ValidateCausal(plain); err == nil {
+		t.Fatal("unannotated trace accepted as causal")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"dooc/internal/jobs"
+	"dooc/internal/obs"
 )
 
 // jobWire carries job-verb parameters inside a request. Submit fills the
@@ -30,6 +31,11 @@ type jobWire struct {
 	// Key is the submit verb's idempotency key ("" = unkeyed). Keyed
 	// submissions are replay-safe: a duplicate lands on the original job.
 	Key string
+	// TraceHi/TraceLo/TraceSpan carry the submitter's trace context (the
+	// 128-bit trace ID and the client root span) so the server's job spans
+	// join the client's causal tree. All-zero means untraced; gob omits
+	// zero fields, so legacy peers on either side interoperate unchanged.
+	TraceHi, TraceLo, TraceSpan uint64
 	// Offset/Limit paginate the history verb.
 	Offset int
 	Limit  int
@@ -53,6 +59,10 @@ func (s *Server) dispatchJob(req *request) *response {
 			MemoryBytes:  req.Job.MemoryBytes,
 			ScratchBytes: req.Job.ScratchBytes,
 			Key:          req.Job.Key,
+			Trace: obs.SpanContext{
+				Trace: obs.TraceIDFromWords(req.Job.TraceHi, req.Job.TraceLo),
+				Span:  obs.SpanIDFromWord(req.Job.TraceSpan),
+			},
 		})
 		if err != nil {
 			return fail(err)
@@ -120,6 +130,7 @@ func mapJobError(err error) error {
 // — a duplicate lands on the original job — so it rides the full
 // reconnect-and-replay recovery path.
 func (cl *Client) SubmitJob(req jobs.SolveRequest) (jobs.JobStatus, error) {
+	hi, lo := req.Trace.Trace.Words()
 	wire := &request{Op: opJobSubmit, Job: jobWire{
 		Tenant:       req.Tenant,
 		Priority:     req.Priority,
@@ -128,6 +139,9 @@ func (cl *Client) SubmitJob(req jobs.SolveRequest) (jobs.JobStatus, error) {
 		MemoryBytes:  req.MemoryBytes,
 		ScratchBytes: req.ScratchBytes,
 		Key:          req.Key,
+		TraceHi:      hi,
+		TraceLo:      lo,
+		TraceSpan:    req.Trace.Span.Word(),
 	}}
 	var resp *response
 	var err error

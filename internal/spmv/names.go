@@ -65,6 +65,22 @@ func parseIntSep(s string, sep byte) (val int, rest string, ok bool) {
 	return val, s[i+1:], true
 }
 
+// TaskIter extracts the iteration index t from a program task ID
+// ("mult:<t>:<u>:<v>[...]" or "reduce:<t>:<u>") — the engine's hook for
+// rolling task spans up into per-iteration spans. Alloc-free, like the
+// array-name parsers, though it only runs when tracing is enabled.
+func TaskIter(id string) (int, bool) {
+	if rest, found := cutPrefix(id, "mult:"); found {
+		t, _, ok := parseIntSep(rest, ':')
+		return t, ok
+	}
+	if rest, found := cutPrefix(id, "reduce:"); found {
+		t, _, ok := parseIntSep(rest, ':')
+		return t, ok
+	}
+	return 0, false
+}
+
 // OwnerIndex extracts the grid row index u that determines data placement
 // from an array name (after any program prefix has been trimmed):
 //

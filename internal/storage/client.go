@@ -83,11 +83,19 @@ func (s *Store) RequestBlock(array string, block int, perm Perm) (*Lease, error)
 func (s *Store) request(c *cmdRequest) (*Lease, error) {
 	reply := leaseReplyPool.Get().(chan leaseResult)
 	c.reply = reply
+	// The loop recycles c before the reply lands; capture the label first.
+	var array string
+	if s.cfg.Trace.Enabled() {
+		array = c.array
+	}
 	start := time.Now()
 	s.post(c)
 	res := <-reply
 	leaseReplyPool.Put(reply)
 	s.metrics.leaseWait.Observe(time.Since(start).Seconds())
+	if array != "" {
+		s.traceGrant(array, start, time.Now(), res.err)
+	}
 	return res.lease, res.err
 }
 

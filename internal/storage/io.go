@@ -51,7 +51,7 @@ func newIOPool(workers int, s *Store) *ioPool {
 func (p *ioPool) start() {
 	for i := 0; i < p.workers; i++ {
 		p.wg.Add(1)
-		go p.worker()
+		go p.worker(i)
 	}
 }
 
@@ -74,7 +74,7 @@ func (p *ioPool) write(array string, block int, path string, off int64, data []b
 	p.jobs.put(ioJob{write: true, array: array, block: block, path: path, off: off, data: data, codec: codec})
 }
 
-func (p *ioPool) worker() {
+func (p *ioPool) worker(idx int) {
 	defer p.wg.Done()
 	for {
 		item, ok := p.jobs.get()
@@ -107,12 +107,14 @@ func (p *ioPool) worker() {
 			err, retries := p.attempt(j)
 			sharedArena.Put(frameBuf)
 			p.store.metrics.ioWriteSeconds.Observe(time.Since(start).Seconds())
+			p.store.traceIO("spill", j.array, j.block, idx, start, time.Now(), err)
 			p.store.post(ioWrote{array: j.array, block: j.block, err: err, retries: retries, codec: cs})
 		} else {
 			var data []byte
 			var cs codecStats
 			err, retries := p.attemptRead(j, &data, &cs)
 			p.store.metrics.ioReadSeconds.Observe(time.Since(start).Seconds())
+			p.store.traceIO("load", j.array, j.block, idx, start, time.Now(), err)
 			p.store.post(ioDone{array: j.array, block: j.block, data: data, err: err, retries: retries, codec: cs})
 		}
 	}

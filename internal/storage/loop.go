@@ -1057,6 +1057,7 @@ func (s *Store) reclaim(st *loopState, protectArray string, protectBlock int) {
 		s.dropBlock(st, v.name, v.idx, v.b)
 		st.stats.Evictions++
 		s.metrics.evictions.Inc()
+		s.traceEvict(v.name, v.idx)
 	}
 	s.metrics.memUsed.Set(used)
 	if used > s.cfg.MemoryBudget {
@@ -1165,6 +1166,7 @@ func (s *Store) handleEvict(st *loopState, m cmdEvict) error {
 	s.dropBlock(st, m.array, m.block, b)
 	st.stats.Evictions++
 	s.metrics.evictions.Inc()
+	s.traceEvict(m.array, m.block)
 	return nil
 }
 

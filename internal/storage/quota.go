@@ -197,6 +197,7 @@ func (s *Store) reclaimQuota(st *loopState, q *quotaState, protectArray string, 
 		s.dropBlock(st, v.name, v.idx, v.b)
 		st.stats.Evictions++
 		s.metrics.evictions.Inc()
+		s.traceEvict(v.name, v.idx)
 		st.stats.QuotaEvictions++
 		q.evictions++
 		s.metrics.quotaEvictions(q.prefix).Inc()

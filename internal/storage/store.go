@@ -109,6 +109,10 @@ type Config struct {
 	// hits/misses, eviction and load counters, lease-wait and I/O latency
 	// histograms) under dooc_storage_* names with a node label.
 	Obs *obs.Registry
+	// Trace, when non-nil, records storage events into the shared Chrome
+	// trace: load/spill spans on per-worker I/O lanes, lease-grant spans,
+	// and eviction instants. Plain (non-causal) events on the node's pid.
+	Trace *obs.Tracer
 }
 
 // ArrayInfo describes an array known to the storage layer.
@@ -386,6 +390,7 @@ func newStore(cfg Config) (*Store, error) {
 
 // start launches the actor loop and I/O workers.
 func (s *Store) start() {
+	s.traceLanes()
 	s.io.start()
 	go s.loop()
 }

@@ -1,0 +1,72 @@
+package storage
+
+import (
+	"strconv"
+	"time"
+)
+
+// Trace lane layout within a node's pid. The engine owns tids equal to its
+// worker-lane indices, so storage claims a band well above any realistic
+// lane count: the actor loop (evictions) on one lane, lease grants on the
+// next, and one lane per I/O worker after that.
+const (
+	traceTidLoop    = 90  // storage actor loop: eviction instants
+	traceTidLease   = 91  // lease grants (all requester goroutines share it)
+	traceTidIOBase  = 100 // I/O worker w emits on traceTidIOBase + w
+	traceCatStorage = "storage"
+)
+
+// traceLanes names this store's lanes in the Chrome trace so the storage
+// band is legible next to the engine's worker lanes. Called once at start.
+func (s *Store) traceLanes() {
+	t := s.cfg.Trace
+	if !t.Enabled() {
+		return
+	}
+	t.SetThreadName(s.cfg.NodeID, traceTidLoop, "storage")
+	t.SetThreadName(s.cfg.NodeID, traceTidLease, "lease")
+	for w := 0; w < s.io.workers; w++ {
+		t.SetThreadName(s.cfg.NodeID, traceTidIOBase+w, "io"+strconv.Itoa(w))
+	}
+}
+
+// traceIO records one completed load or spill as a span on the worker's
+// lane. kind is "load" or "spill"; err colors failed attempts.
+func (s *Store) traceIO(kind, array string, block, worker int, start, end time.Time, err error) {
+	t := s.cfg.Trace
+	if !t.Enabled() {
+		return
+	}
+	args := map[string]any{"array": array, "block": block}
+	if err != nil {
+		args["error"] = err.Error()
+	}
+	t.Span(kind+" "+array+"#"+strconv.Itoa(block), traceCatStorage,
+		s.cfg.NodeID, traceTidIOBase+worker, start, end, args)
+}
+
+// traceEvict marks one block eviction as an instant on the loop lane.
+func (s *Store) traceEvict(array string, block int) {
+	t := s.cfg.Trace
+	if !t.Enabled() {
+		return
+	}
+	t.Instant("evict "+array+"#"+strconv.Itoa(block), traceCatStorage,
+		s.cfg.NodeID, traceTidLoop, time.Now(),
+		map[string]any{"array": array, "block": block})
+}
+
+// traceGrant records the request→grant window of one lease on the shared
+// lease lane (grants from concurrent requesters overlap there; the Chrome
+// viewer stacks them).
+func (s *Store) traceGrant(array string, start, end time.Time, err error) {
+	t := s.cfg.Trace
+	if !t.Enabled() {
+		return
+	}
+	args := map[string]any{"array": array}
+	if err != nil {
+		args["error"] = err.Error()
+	}
+	t.Span("grant "+array, traceCatStorage, s.cfg.NodeID, traceTidLease, start, end, args)
+}
