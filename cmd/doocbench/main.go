@@ -61,6 +61,7 @@ var experiments = []struct {
 	{"jobs", "EXTENSION: multi-tenant job service — serial vs concurrent, bit-identical", jobsRun},
 	{"durable", "EXTENSION: durable control plane — kill mid-job, replay journal, resume from checkpoint", durableRun},
 	{"hotpath", "EXTENSION: allocation/GC cost of the steady-state data path", hotpathRun},
+	{"cluster", "EXTENSION: peer-to-peer sharded storage — 1 vs 3 real TCP peers, bit-identical", clusterRun},
 }
 
 // faultRate is the -faults flag: when > 0, the `real` experiment also runs

@@ -27,10 +27,19 @@
 // admitted memory reservation; over-capacity submissions are rejected with
 // typed errors, never queued blocking. The HTTP listener additionally
 // serves GET /jobs, a JSON array of every job's status.
+//
+// With -node-id (and -peers), the process joins a peer-to-peer sharded
+// storage ring spanning several doocserve processes: written blocks are
+// pushed to their consistent-hash owners, misses are forwarded to the owner
+// peer, hot read blocks are replicated locally with epoch invalidation, and
+// a peer death fails the engine nodes mapped to it onto the survivors. The
+// HTTP listener additionally serves GET /cluster, the live membership view
+// and shard counters as JSON.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -38,9 +47,13 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"dooc/internal/cluster"
 	"dooc/internal/compress"
 	"dooc/internal/core"
 	"dooc/internal/jobs"
@@ -49,6 +62,58 @@ import (
 	"dooc/internal/remote"
 	"dooc/internal/storage"
 )
+
+// parsePeers decodes the -peers flag: a comma-separated id=addr list.
+func parsePeers(s string) ([]cluster.Member, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []cluster.Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=addr)", part)
+		}
+		out = append(out, cluster.Member{ID: id, Addr: addr})
+	}
+	return out, nil
+}
+
+// hotSpMVArray marks the SpMV input vector generations — x_t blocks, read
+// by every owning sub-matrix each iteration — as read-replica candidates.
+// Array names may carry a job prefix ("job3:x_0_1").
+func hotSpMVArray(array string) bool {
+	if i := strings.LastIndexByte(array, ':'); i >= 0 {
+		array = array[i+1:]
+	}
+	return strings.HasPrefix(array, "x_")
+}
+
+// deathHook late-binds the cluster's OnDeath callback: the cluster node
+// must exist before the engine it notifies is built.
+type deathHook struct {
+	mu sync.Mutex
+	fn func(id string)
+}
+
+func (h *deathHook) set(fn func(id string)) {
+	h.mu.Lock()
+	h.fn = fn
+	h.mu.Unlock()
+}
+
+func (h *deathHook) call(id string) {
+	h.mu.Lock()
+	fn := h.fn
+	h.mu.Unlock()
+	if fn != nil {
+		fn(id)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -72,6 +137,10 @@ func main() {
 		sloQueue  = flag.Int64("slo-queue-ms", 0, "jobs mode: queue-wait SLO objective in milliseconds (0 = track latency without breach accounting)")
 		sloRun    = flag.Int64("slo-run-ms", 0, "jobs mode: run-latency SLO objective in milliseconds (0 = track latency without breach accounting)")
 		flightN   = flag.Int("flight-events", 0, "jobs mode: per-job flight-recorder ring size (0 = default)")
+		nodeID    = flag.String("node-id", "", "cluster: this peer's stable identity on the sharded-storage ring (empty = cluster off)")
+		peersFlag = flag.String("peers", "", "cluster: comma-separated id=addr list of the other doocserve peers")
+		vnodes    = flag.Int("vnodes", 0, "cluster: virtual nodes per member on the consistent-hash ring (0 = default)")
+		tableMem  = flag.Int64("table-mem", 0, "cluster: byte budget for blocks held on behalf of the ring (0 = default)")
 	)
 	flag.Parse()
 	if *scratch == "" {
@@ -91,6 +160,47 @@ func main() {
 	}
 	reg := obs.NewRegistry()
 	health := &jobs.Health{}
+
+	// Cluster membership: with -node-id set, this process joins the
+	// peer-to-peer sharded storage ring. The node is built before the engine
+	// and the RPC listener because both hang off it — the engine pushes
+	// written blocks through it (core.Options.Shard) and the listener serves
+	// the peer verbs for it (remote.ServerOptions.Peer).
+	var (
+		clusterNode *cluster.Node
+		hook        *deathHook
+		memberIDs   []string
+	)
+	if *nodeID != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		memberIDs = append(memberIDs, *nodeID)
+		for _, p := range peers {
+			memberIDs = append(memberIDs, p.ID)
+		}
+		sort.Strings(memberIDs)
+		hook = &deathHook{}
+		clusterNode, err = cluster.NewNode(cluster.Config{
+			Self:       cluster.Member{ID: *nodeID, Addr: *listen},
+			Peers:      peers,
+			VNodes:     *vnodes,
+			TableBytes: *tableMem,
+			Obs:        reg,
+			Codec:      codec,
+			Hot:        hotSpMVArray,
+			OnDeath:    hook.call,
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer clusterNode.Close()
+		log.Printf("cluster node %q on a ring of %d members", *nodeID, len(memberIDs))
+	} else if *peersFlag != "" {
+		log.Fatal("-peers requires -node-id")
+	}
 
 	// Build the served store: a plain scratch-directory store, or — in jobs
 	// mode — node 0 of a full system spanning the staged matrix, with a
@@ -117,6 +227,11 @@ func main() {
 			RunObjective:   time.Duration(*sloRun) * time.Millisecond,
 			Obs:            reg,
 		})
+		// Avoid a typed-nil interface: only assign when the cluster is on.
+		var shard storage.ShardBackend
+		if clusterNode != nil {
+			shard = clusterNode
+		}
 		sys, err := core.NewSystem(core.Options{
 			Nodes:          info.Nodes,
 			WorkersPerNode: *workers,
@@ -125,11 +240,31 @@ func main() {
 			Obs:            reg,
 			Codec:          codec,
 			Trace:          tracer,
+			Shard:          shard,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer sys.Close()
+		if clusterNode != nil {
+			// A dead peer takes its share of engine nodes with it: engine
+			// node i maps to the i mod M-th member of the initial sorted
+			// membership. The self member's share never fails this way — a
+			// process cannot observe its own death.
+			ids := memberIDs
+			self := *nodeID
+			hook.set(func(dead string) {
+				if dead == self {
+					return
+				}
+				for i := 0; i < sys.Nodes(); i++ {
+					if ids[i%len(ids)] == dead {
+						log.Printf("cluster: peer %s dead; failing engine node %d onto survivors", dead, i)
+						_ = sys.FailNode(i)
+					}
+				}
+			})
+		}
 		jcfg := jobs.Config{
 			MaxRunning: *maxJobs, QueueDepth: *queueDep, MemoryBudget: *jobMem, Obs: reg,
 			Trace: tracer, SLO: slo, FlightEvents: *flightN,
@@ -158,7 +293,11 @@ func main() {
 				*jobStore, rec.ReplayDuration.Round(time.Microsecond), rec.Historical, rec.Requeued, rec.Resumed, rec.Failed, torn)
 		}
 		statsStore = sys.Store(0)
-		srv, err = remote.ListenOptions(statsStore, *listen, remote.ServerOptions{Obs: reg, Codec: codec, Jobs: svc})
+		sopts := remote.ServerOptions{Obs: reg, Codec: codec, Jobs: svc}
+		if clusterNode != nil {
+			sopts.Peer = clusterNode
+		}
+		srv, err = remote.ListenOptions(statsStore, *listen, sopts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -177,7 +316,11 @@ func main() {
 		}
 		defer st.Close()
 		statsStore = st
-		srv, err = remote.ListenOptions(st, *listen, remote.ServerOptions{Obs: reg, Codec: codec})
+		sopts := remote.ServerOptions{Obs: reg, Codec: codec}
+		if clusterNode != nil {
+			sopts.Peer = clusterNode
+		}
+		srv, err = remote.ListenOptions(st, *listen, sopts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -198,6 +341,14 @@ func main() {
 			http.HandleFunc("/jobs", svc.ServeJobs)
 			http.HandleFunc("/jobs/history", svc.ServeHistory)
 			http.HandleFunc("/jobs/", svc.ServeJobItem)
+		}
+		if clusterNode != nil {
+			http.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(clusterNode.Status())
+			})
 		}
 		httpSrv = &http.Server{Addr: *httpAddr}
 		go func() {

@@ -1,0 +1,821 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dooc/internal/compress"
+	"dooc/internal/obs"
+	"dooc/internal/remote"
+)
+
+// Member identifies one cluster peer: a stable node ID and the TCP
+// address its doocserve process listens on.
+type Member struct {
+	ID   string
+	Addr string
+}
+
+// Config builds a Node.
+type Config struct {
+	// Self is this process's identity. Self.Addr is what other peers dial;
+	// it must match the doocserve listen address.
+	Self Member
+	// Peers are the other expected members at startup. Peers that turn out
+	// to be legacy binaries are rejected from membership on first contact
+	// (ErrLegacyPeer); peers that never answer are marked dead only after
+	// they have been seen alive once, so a slow-starting cluster does not
+	// eat spurious deaths.
+	Peers []Member
+	// VNodes is the virtual-node count per member (DefaultVNodes when 0).
+	VNodes int
+	// Obs, when non-nil, receives the node's dooc_cluster_* series.
+	Obs *obs.Registry
+	// Codec, when non-nil, compresses inter-peer block traffic.
+	Codec compress.Codec
+	// Hot reports whether an array's blocks are worth read-replicating
+	// (the SpMV input vector — read K times per iteration). Nil disables
+	// the replica cache.
+	Hot func(array string) bool
+	// TableBytes bounds the shard table (DefaultTableBytes when 0).
+	TableBytes int64
+	// ReplicaBytes bounds the replica cache (DefaultReplicaBytes when 0).
+	ReplicaBytes int64
+	// ProbeInterval paces the gossip/liveness prober (default 250ms).
+	ProbeInterval time.Duration
+	// RPCTimeout bounds each inter-peer round trip (default 2s).
+	RPCTimeout time.Duration
+	// OnDeath, when non-nil, is called (on its own goroutine) once per
+	// peer declared dead — the hook doocserve uses to fail the engine
+	// nodes mapped onto that peer so their tasks re-execute on survivors.
+	OnDeath func(id string)
+	// Logf, when non-nil, receives membership event lines.
+	Logf func(format string, args ...any)
+}
+
+// ReplicateCopies is how many ring-walk owners a written block is pushed
+// to, and DurableCopies how many *remote* acks make the block durable —
+// durable blocks survive any single peer death, so the pusher's storage
+// layer may drop its local copy without a disk spill. A self-owned copy
+// lands in the local table (it serves other peers' reads) but does not
+// count toward durability: it dies with the pusher.
+const (
+	ReplicateCopies = 2
+	DurableCopies   = 2
+	fetchCandidates = 3
+)
+
+// Counters is an atomic snapshot of a node's event counts; the same
+// increments feed the dooc_cluster_* obs series, so the two reconcile.
+type Counters struct {
+	ForwardedReads      int64
+	ForwardedReadMisses int64
+	ForwardedBytes      int64
+	Pushes              int64
+	PushAcks            int64
+	PushBytes           int64
+	ReplicaHits         int64
+	ReplicaStale        int64
+	ReplicaFills        int64
+	PeerDeaths          int64
+	LegacyRejections    int64
+	ServedGets          int64
+	ServedPuts          int64
+	ViewExchanges       int64
+}
+
+// Status is the /cluster endpoint's payload: the node's identity, its
+// current membership view, shard/replica residency, and event counters.
+type Status struct {
+	Self          string
+	Addr          string
+	Version       uint64
+	Members       []Member
+	Dead          []string
+	TableBlocks   int
+	TableBytes    int64
+	ReplicaBlocks int
+	ReplicaBytes  int64
+	Counters      Counters
+}
+
+// arrayEpochs tracks the write epochs this node has assigned or observed
+// for one array. floor carries the high-water mark across a delete —
+// a recreated array's pushes start above every epoch the old incarnation
+// ever used, which is what makes stale replicas detectable.
+type arrayEpochs struct {
+	floor  uint64
+	blocks map[int]uint64
+}
+
+// Node is the per-process cluster runtime: membership view, consistent-
+// hash ring, lazily dialed peer clients, shard table, replica cache, and
+// the liveness prober. It implements remote.PeerHandler (the server-side
+// verbs) and the storage layer's shard backend (FetchBlock / PushBlock /
+// InvalidateArray). All methods are safe for concurrent use.
+type Node struct {
+	cfg      Config
+	table    *BlockTable
+	replicas *ReplicaCache
+	metrics  nodeMetrics
+
+	mu      sync.Mutex
+	members map[string]Member
+	dead    map[string]bool
+	seen    map[string]bool // peers successfully contacted at least once
+	version uint64
+	ring    *Ring
+	epochs  map[string]*arrayEpochs
+	closed  bool
+
+	clientsMu sync.Mutex
+	clients   map[string]*remote.Client
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	forwardedReads      atomic.Int64
+	forwardedReadMisses atomic.Int64
+	forwardedBytes      atomic.Int64
+	pushes              atomic.Int64
+	pushAcks            atomic.Int64
+	pushBytes           atomic.Int64
+	replicaHits         atomic.Int64
+	replicaStale        atomic.Int64
+	replicaFills        atomic.Int64
+	peerDeaths          atomic.Int64
+	legacyRejections    atomic.Int64
+	servedGets          atomic.Int64
+	servedPuts          atomic.Int64
+	viewExchanges       atomic.Int64
+}
+
+// NewNode builds and starts a cluster node. The prober begins gossiping
+// immediately; Close stops it.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Self.ID == "" {
+		return nil, fmt.Errorf("cluster: empty self node ID")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 250 * time.Millisecond
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 2 * time.Second
+	}
+	n := &Node{
+		cfg:      cfg,
+		table:    NewBlockTable(cfg.TableBytes),
+		replicas: NewReplicaCache(cfg.ReplicaBytes),
+		metrics:  newNodeMetrics(cfg.Obs, cfg.Self.ID),
+		members:  make(map[string]Member),
+		dead:     make(map[string]bool),
+		seen:     make(map[string]bool),
+		epochs:   make(map[string]*arrayEpochs),
+		clients:  make(map[string]*remote.Client),
+		stop:     make(chan struct{}),
+	}
+	n.members[cfg.Self.ID] = cfg.Self
+	for _, p := range cfg.Peers {
+		if p.ID == "" || p.ID == cfg.Self.ID {
+			continue
+		}
+		n.members[p.ID] = p
+	}
+	n.version = 1
+	n.rebuildRingLocked()
+	n.wg.Add(1)
+	go n.probeLoop()
+	return n, nil
+}
+
+// Close stops the prober and tears down every peer connection.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.stop)
+	n.wg.Wait()
+	n.clientsMu.Lock()
+	for id, cl := range n.clients {
+		cl.Close()
+		delete(n.clients, id)
+	}
+	n.clientsMu.Unlock()
+}
+
+func (n *Node) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// rebuildRingLocked recomputes the ring over the live membership and
+// refreshes the membership gauges. Caller holds n.mu.
+func (n *Node) rebuildRingLocked() {
+	ids := make([]string, 0, len(n.members))
+	for id := range n.members {
+		ids = append(ids, id)
+	}
+	n.ring = NewRing(ids, n.cfg.VNodes)
+	n.metrics.members.Set(int64(len(n.members)))
+	n.metrics.viewVersion.Set(int64(n.version))
+}
+
+// currentRing snapshots the ring pointer; rings are immutable once built.
+func (n *Node) currentRing() *Ring {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ring
+}
+
+// LiveMembers returns the current live membership, sorted by ID — the
+// deterministic order doocserve uses to map engine nodes onto peers.
+func (n *Node) LiveMembers() []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Member, 0, len(n.members))
+	for _, m := range n.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Version returns the current membership view version.
+func (n *Node) Version() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.version
+}
+
+// Counters snapshots the node's event counts.
+func (n *Node) Counters() Counters {
+	return Counters{
+		ForwardedReads:      n.forwardedReads.Load(),
+		ForwardedReadMisses: n.forwardedReadMisses.Load(),
+		ForwardedBytes:      n.forwardedBytes.Load(),
+		Pushes:              n.pushes.Load(),
+		PushAcks:            n.pushAcks.Load(),
+		PushBytes:           n.pushBytes.Load(),
+		ReplicaHits:         n.replicaHits.Load(),
+		ReplicaStale:        n.replicaStale.Load(),
+		ReplicaFills:        n.replicaFills.Load(),
+		PeerDeaths:          n.peerDeaths.Load(),
+		LegacyRejections:    n.legacyRejections.Load(),
+		ServedGets:          n.servedGets.Load(),
+		ServedPuts:          n.servedPuts.Load(),
+		ViewExchanges:       n.viewExchanges.Load(),
+	}
+}
+
+// Status snapshots the node for the /cluster endpoint.
+func (n *Node) Status() Status {
+	n.mu.Lock()
+	version := n.version
+	members := make([]Member, 0, len(n.members))
+	for _, m := range n.members {
+		members = append(members, m)
+	}
+	deadIDs := make([]string, 0, len(n.dead))
+	for id := range n.dead {
+		deadIDs = append(deadIDs, id)
+	}
+	n.mu.Unlock()
+	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+	sort.Strings(deadIDs)
+	return Status{
+		Self:          n.cfg.Self.ID,
+		Addr:          n.cfg.Self.Addr,
+		Version:       version,
+		Members:       members,
+		Dead:          deadIDs,
+		TableBlocks:   n.table.Len(),
+		TableBytes:    n.table.Bytes(),
+		ReplicaBlocks: n.replicas.Len(),
+		ReplicaBytes:  n.replicas.Bytes(),
+		Counters:      n.Counters(),
+	}
+}
+
+// syncStorageGauges refreshes the table/replica residency gauges after a
+// mutation.
+func (n *Node) syncStorageGauges() {
+	n.metrics.tableBlocks.Set(int64(n.table.Len()))
+	n.metrics.tableBytes.Set(n.table.Bytes())
+	n.metrics.replicaCount.Set(int64(n.replicas.Len()))
+	n.metrics.replicaBytes.Set(n.replicas.Bytes())
+}
+
+// ---- peer client pool ----
+
+// client returns a connected, cluster-capable client for a member,
+// dialing lazily. A member whose handshake lacks the cluster capability
+// is expelled from membership and reported as ErrLegacyPeer.
+func (n *Node) client(id string) (*remote.Client, error) {
+	n.mu.Lock()
+	m, ok := n.members[id]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !ok {
+		return nil, ErrNotMember
+	}
+	n.clientsMu.Lock()
+	defer n.clientsMu.Unlock()
+	if cl, ok := n.clients[id]; ok {
+		return cl, nil
+	}
+	cl, err := remote.DialOptions(m.Addr, remote.Options{
+		Handshake:  true,
+		Codec:      n.cfg.Codec,
+		Timeout:    n.cfg.RPCTimeout,
+		MaxRetries: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !cl.ClusterCapable() {
+		cl.Close()
+		n.expelLegacy(id)
+		return nil, ErrLegacyPeer
+	}
+	n.clients[id] = cl
+	return cl, nil
+}
+
+// dropClient closes and forgets a member's pooled connection.
+func (n *Node) dropClient(id string) {
+	n.clientsMu.Lock()
+	cl, ok := n.clients[id]
+	if ok {
+		delete(n.clients, id)
+	}
+	n.clientsMu.Unlock()
+	if ok {
+		cl.Close()
+	}
+}
+
+// markSeen records that a peer answered an RPC, making it eligible for
+// death-marking later.
+func (n *Node) markSeen(id string) {
+	n.mu.Lock()
+	n.seen[id] = true
+	n.mu.Unlock()
+}
+
+// maybeDead marks a peer dead after a transport failure, but only if it
+// was seen alive before — errors against a never-contacted peer (still
+// starting up) are skipped without prejudice.
+func (n *Node) maybeDead(id string) {
+	n.mu.Lock()
+	if !n.seen[id] {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	n.markDead(id)
+}
+
+// markDead removes a peer from membership, bumps the view version, and
+// fires the OnDeath hook. Idempotent.
+func (n *Node) markDead(id string) {
+	n.mu.Lock()
+	if _, ok := n.members[id]; !ok || id == n.cfg.Self.ID {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.members, id)
+	n.dead[id] = true
+	n.version++
+	n.rebuildRingLocked()
+	cb := n.cfg.OnDeath
+	n.mu.Unlock()
+	n.peerDeaths.Add(1)
+	n.metrics.peerDeaths.Inc()
+	n.logf("cluster: peer %s declared dead; view now v%d", id, n.Version())
+	n.dropClient(id)
+	if cb != nil {
+		go cb(id)
+	}
+}
+
+// expelLegacy removes a peer that cannot speak the cluster protocol.
+// Unlike death, this is permanent for the peer's lifetime: it will never
+// gossip its way back in, because it cannot gossip at all.
+func (n *Node) expelLegacy(id string) {
+	n.mu.Lock()
+	if _, ok := n.members[id]; !ok {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.members, id)
+	n.dead[id] = true
+	n.version++
+	n.rebuildRingLocked()
+	n.mu.Unlock()
+	n.legacyRejections.Add(1)
+	n.metrics.legacyRejections.Inc()
+	n.logf("cluster: peer %s rejected: %v", id, ErrLegacyPeer)
+}
+
+// ---- membership gossip ----
+
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.gossipOnce()
+		}
+	}
+}
+
+// gossipOnce exchanges views with every live remote member. N is small
+// (a handful of I/O peers), so all-to-all keeps convergence fast and the
+// code free of randomness.
+func (n *Node) gossipOnce() {
+	for _, m := range n.LiveMembers() {
+		if m.ID == n.cfg.Self.ID {
+			continue
+		}
+		cl, err := n.client(m.ID)
+		if err != nil {
+			n.maybeDead(m.ID)
+			continue
+		}
+		theirs, err := cl.PeerViewExchange(n.wireView())
+		if err != nil {
+			n.maybeDead(m.ID)
+			continue
+		}
+		n.markSeen(m.ID)
+		n.viewExchanges.Add(1)
+		n.metrics.viewExchanges.Inc()
+		n.mergeView(theirs)
+	}
+}
+
+// wireView snapshots the membership view in wire form, members sorted for
+// determinism.
+func (n *Node) wireView() remote.PeerView {
+	n.mu.Lock()
+	v := remote.PeerView{From: n.cfg.Self.ID, Version: n.version}
+	v.Members = make([]remote.PeerMember, 0, len(n.members))
+	for _, m := range n.members {
+		v.Members = append(v.Members, remote.PeerMember{ID: m.ID, Addr: m.Addr})
+	}
+	n.mu.Unlock()
+	sort.Slice(v.Members, func(i, j int) bool { return v.Members[i].ID < v.Members[j].ID })
+	return v
+}
+
+// mergeView folds a received view into ours. A strictly newer view is
+// adopted wholesale (self is always re-added — a node never removes
+// itself from its own view); otherwise an unknown sender is admitted as a
+// join or rejoin with a version bump, which is how a freshly (re)started
+// peer propagates into an established cluster whose version has moved on.
+func (n *Node) mergeView(v remote.PeerView) {
+	n.mu.Lock()
+	changed := false
+	if v.Version > n.version {
+		nm := make(map[string]Member, len(v.Members)+1)
+		for _, m := range v.Members {
+			nm[m.ID] = Member{ID: m.ID, Addr: m.Addr}
+		}
+		version := v.Version
+		if _, ok := nm[n.cfg.Self.ID]; !ok {
+			nm[n.cfg.Self.ID] = n.cfg.Self
+			version++
+		}
+		n.members = nm
+		n.version = version
+		for id := range nm {
+			delete(n.dead, id) // present in a newer view = alive again
+		}
+		changed = true
+	} else if v.From != "" && v.From != n.cfg.Self.ID {
+		if _, ok := n.members[v.From]; !ok {
+			for _, m := range v.Members {
+				if m.ID == v.From {
+					n.members[v.From] = Member{ID: m.ID, Addr: m.Addr}
+					delete(n.dead, v.From)
+					n.version++
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	if v.From != "" && v.From != n.cfg.Self.ID {
+		n.seen[v.From] = true
+	}
+	if changed {
+		n.rebuildRingLocked()
+	}
+	n.mu.Unlock()
+	if changed {
+		n.logf("cluster: view now v%d with %d members", n.Version(), len(n.LiveMembers()))
+	}
+}
+
+// ---- epochs ----
+
+// bumpEpoch assigns the next write epoch for a block: one past anything
+// this node ever pushed or observed for it, including pre-delete history
+// via the array floor.
+func (n *Node) bumpEpoch(array string, block int) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ae, ok := n.epochs[array]
+	if !ok {
+		ae = &arrayEpochs{blocks: make(map[int]uint64)}
+		n.epochs[array] = ae
+	}
+	e := ae.floor
+	if be := ae.blocks[block]; be > e {
+		e = be
+	}
+	e++
+	ae.blocks[block] = e
+	return e
+}
+
+// noteEpoch records an epoch observed from a peer fetch, so later replica
+// reads validate against it.
+func (n *Node) noteEpoch(array string, block int, epoch uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ae, ok := n.epochs[array]
+	if !ok {
+		ae = &arrayEpochs{blocks: make(map[int]uint64)}
+		n.epochs[array] = ae
+	}
+	if epoch > ae.blocks[block] {
+		ae.blocks[block] = epoch
+	}
+}
+
+// epochOf returns the epoch this node expects for a block, 0 when it has
+// no knowledge (accept any).
+func (n *Node) epochOf(array string, block int) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ae, ok := n.epochs[array]; ok {
+		return ae.blocks[block]
+	}
+	return 0
+}
+
+// foldEpochs collapses an array's per-block epochs into the floor on
+// delete: the recreated array's pushes start above the old incarnation's
+// epochs, and the per-block map stops growing across delete cycles.
+func (n *Node) foldEpochs(array string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ae, ok := n.epochs[array]
+	if !ok {
+		return
+	}
+	for _, e := range ae.blocks {
+		if e > ae.floor {
+			ae.floor = e
+		}
+	}
+	ae.blocks = make(map[int]uint64)
+}
+
+// ---- shard backend (the storage layer's hooks) ----
+
+// FetchBlock resolves a block over the ring: replica cache first for hot
+// arrays, then the owner walk — own table for self-owned keys, forwarded
+// PeerGet otherwise. ok=false means no live peer holds the block and the
+// caller should fall back to its normal load path. The returned slice is
+// shared and must be treated as immutable.
+func (n *Node) FetchBlock(array string, block int) ([]byte, bool) {
+	if n.isClosed() {
+		return nil, false
+	}
+	hot := n.cfg.Hot != nil && n.cfg.Hot(array)
+	want := n.epochOf(array, block)
+	if hot {
+		data, ok, stale := n.replicas.Get(array, block, want)
+		if ok {
+			n.replicaHits.Add(1)
+			n.metrics.replicaHits.Inc()
+			return data, true
+		}
+		if stale {
+			n.replicaStale.Add(1)
+			n.metrics.replicaStale.Inc()
+			n.syncStorageGauges()
+		}
+	}
+	ring := n.currentRing()
+	if ring == nil || len(ring.Members()) == 0 {
+		return nil, false
+	}
+	key := BlockKey(array, block)
+	for _, id := range ring.Owners(key, fetchCandidates) {
+		if id == n.cfg.Self.ID {
+			data, epoch, ok := n.table.Get(array, block)
+			if ok && (want == 0 || epoch >= want) {
+				return data, true
+			}
+			continue
+		}
+		cl, err := n.client(id)
+		if err != nil {
+			if err != ErrLegacyPeer && err != ErrNotMember && err != ErrClosed {
+				n.maybeDead(id)
+			}
+			continue
+		}
+		data, epoch, held, err := cl.PeerGet(array, block)
+		if err != nil {
+			n.maybeDead(id)
+			continue
+		}
+		n.markSeen(id)
+		if !held || (want != 0 && epoch < want) {
+			continue
+		}
+		n.forwardedReads.Add(1)
+		n.forwardedBytes.Add(int64(len(data)))
+		n.metrics.forwardedReads.Inc()
+		n.metrics.forwardedBytes.Add(int64(len(data)))
+		n.noteEpoch(array, block, epoch)
+		if hot {
+			n.replicas.Put(array, block, epoch, data)
+			n.replicaFills.Add(1)
+			n.metrics.replicaFills.Inc()
+			n.syncStorageGauges()
+		}
+		return data, true
+	}
+	n.forwardedReadMisses.Add(1)
+	n.metrics.forwardedReadMiss.Inc()
+	return nil, false
+}
+
+// PushBlock places a written block on its ring owners at a fresh epoch.
+// The local replica (if any) is invalidated first — this is the write-
+// back invalidation path. The return value reports durability: true only
+// when DurableCopies distinct *remote* peers acknowledged the bytes, in
+// which case the block survives any single peer death and the caller may
+// skip its local disk spill. Node does not retain data; it copies what it
+// keeps.
+func (n *Node) PushBlock(array string, block int, data []byte) bool {
+	if n.isClosed() {
+		return false
+	}
+	epoch := n.bumpEpoch(array, block)
+	n.replicas.Invalidate(array, block)
+	ring := n.currentRing()
+	if ring == nil || len(ring.Members()) == 0 {
+		return false
+	}
+	n.pushes.Add(1)
+	n.pushBytes.Add(int64(len(data)))
+	n.metrics.pushes.Inc()
+	n.metrics.pushBytes.Add(int64(len(data)))
+	remoteAcks := 0
+	attempted := 0
+	// Walk one owner past ReplicateCopies so the self slot does not eat a
+	// replica: the target is ReplicateCopies *remote* copies, with the self
+	// copy as a bonus read server when self is among the owners.
+	for _, id := range ring.Owners(BlockKey(array, block), ReplicateCopies+1) {
+		if id == n.cfg.Self.ID {
+			// The self copy serves other peers' forwarded reads but never
+			// counts toward durability (it dies with this process), so it
+			// is not pinned — LRU pressure may shed it.
+			n.table.Put(array, block, epoch, append([]byte(nil), data...), false)
+			continue
+		}
+		if attempted >= ReplicateCopies {
+			break
+		}
+		attempted++
+		cl, err := n.client(id)
+		if err != nil {
+			if err != ErrLegacyPeer && err != ErrNotMember && err != ErrClosed {
+				n.maybeDead(id)
+			}
+			continue
+		}
+		ok, err := cl.PeerPut(array, block, epoch, data, true)
+		if err != nil {
+			n.maybeDead(id)
+			continue
+		}
+		n.markSeen(id)
+		if ok {
+			remoteAcks++
+			n.pushAcks.Add(1)
+			n.metrics.pushAcks.Inc()
+		}
+	}
+	n.syncStorageGauges()
+	return remoteAcks >= DurableCopies
+}
+
+// InvalidateArray drops every trace of an array: local table and replica
+// entries synchronously, remote peers' tables best-effort on a background
+// goroutine (a peer that misses the delete can serve at most stale-epoch
+// bytes, which readers reject). Per-block epochs fold into the array
+// floor so a recreated array starts above them.
+func (n *Node) InvalidateArray(array string) {
+	if n.isClosed() {
+		return
+	}
+	n.foldEpochs(array)
+	n.table.DeleteArray(array)
+	n.replicas.InvalidateArray(array)
+	n.syncStorageGauges()
+	members := n.LiveMembers()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for _, m := range members {
+			if m.ID == n.cfg.Self.ID {
+				continue
+			}
+			cl, err := n.client(m.ID)
+			if err != nil {
+				continue
+			}
+			cl.PeerDelete(array) // best-effort; epoch checks cover stragglers
+		}
+	}()
+}
+
+// ---- remote.PeerHandler (the server-side verbs) ----
+
+// PeerPut stores a block pushed by a peer.
+func (n *Node) PeerPut(array string, block int, epoch uint64, data []byte, durable bool) (bool, error) {
+	if n.isClosed() {
+		return false, ErrClosed
+	}
+	ok := n.table.Put(array, block, epoch, data, durable)
+	if ok {
+		n.servedPuts.Add(1)
+		n.metrics.servedPuts.Inc()
+	}
+	n.syncStorageGauges()
+	return ok, nil
+}
+
+// PeerGet serves a block from the local table.
+func (n *Node) PeerGet(array string, block int) ([]byte, uint64, bool, error) {
+	if n.isClosed() {
+		return nil, 0, false, ErrClosed
+	}
+	data, epoch, ok := n.table.Get(array, block)
+	if !ok {
+		return nil, 0, false, nil
+	}
+	n.servedGets.Add(1)
+	n.metrics.servedGets.Inc()
+	return data, epoch, true, nil
+}
+
+// PeerDelete drops an array's blocks and replicas on behalf of the
+// deleting peer.
+func (n *Node) PeerDelete(array string) error {
+	if n.isClosed() {
+		return ErrClosed
+	}
+	n.foldEpochs(array)
+	n.table.DeleteArray(array)
+	n.replicas.InvalidateArray(array)
+	n.syncStorageGauges()
+	return nil
+}
+
+// PeerViewExchange merges the caller's view and returns ours — the
+// server half of a gossip round.
+func (n *Node) PeerViewExchange(v remote.PeerView) remote.PeerView {
+	n.mergeView(v)
+	n.viewExchanges.Add(1)
+	n.metrics.viewExchanges.Inc()
+	return n.wireView()
+}

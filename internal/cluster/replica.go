@@ -1,0 +1,136 @@
+package cluster
+
+import "sync"
+
+// ReplicaCache holds read replicas of hot blocks on the reading side — the
+// SpMV input vector is read K times per iteration, so a forwarded fetch
+// that will repeat is worth keeping. Every replica is epoch-tagged; a read
+// presents the epoch it expects (the epoch its own shard layer last pushed
+// or observed), and a mismatch drops the replica as stale — the
+// write-back invalidation path. The cache is bounded with LRU drops.
+type ReplicaCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	tick   int64
+	byKey  map[string]*replicaEntry
+}
+
+type replicaEntry struct {
+	array   string
+	block   int
+	epoch   uint64
+	data    []byte
+	lastUse int64
+}
+
+// DefaultReplicaBytes bounds the replica cache when the caller does not
+// choose: 64 MiB of hot blocks.
+const DefaultReplicaBytes = 64 << 20
+
+// NewReplicaCache builds a cache bounded to budget bytes
+// (DefaultReplicaBytes when <= 0).
+func NewReplicaCache(budget int64) *ReplicaCache {
+	if budget <= 0 {
+		budget = DefaultReplicaBytes
+	}
+	return &ReplicaCache{budget: budget, byKey: make(map[string]*replicaEntry)}
+}
+
+// Get returns a replica when one is resident at exactly wantEpoch
+// (wantEpoch 0 accepts any resident epoch — the reader has no local epoch
+// knowledge). A resident replica at the wrong epoch is dropped and
+// reported stale, so the caller refetches from the owner.
+func (c *ReplicaCache) Get(array string, block int, wantEpoch uint64) (data []byte, ok, stale bool) {
+	key := BlockKey(array, block)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, found := c.byKey[key]
+	if !found {
+		return nil, false, false
+	}
+	if wantEpoch != 0 && e.epoch != wantEpoch {
+		delete(c.byKey, key)
+		c.used -= int64(len(e.data))
+		return nil, false, true
+	}
+	c.tick++
+	e.lastUse = c.tick
+	return e.data, true, false
+}
+
+// Put fills (or refreshes) a replica. The cache takes ownership of data;
+// entries are replaced wholesale, never written in place.
+func (c *ReplicaCache) Put(array string, block int, epoch uint64, data []byte) {
+	key := BlockKey(array, block)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, found := c.byKey[key]; found {
+		if epoch < e.epoch {
+			return
+		}
+		c.used += int64(len(data)) - int64(len(e.data))
+		e.epoch, e.data = epoch, data
+		c.tick++
+		e.lastUse = c.tick
+		c.reclaimLocked()
+		return
+	}
+	e := &replicaEntry{array: array, block: block, epoch: epoch, data: data}
+	c.tick++
+	e.lastUse = c.tick
+	c.byKey[key] = e
+	c.used += int64(len(data))
+	c.reclaimLocked()
+}
+
+// Invalidate drops a block's replica (write-back epoch bump).
+func (c *ReplicaCache) Invalidate(array string, block int) {
+	key := BlockKey(array, block)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, found := c.byKey[key]; found {
+		delete(c.byKey, key)
+		c.used -= int64(len(e.data))
+	}
+}
+
+// InvalidateArray drops every replica of an array.
+func (c *ReplicaCache) InvalidateArray(array string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.byKey {
+		if e.array == array {
+			delete(c.byKey, key)
+			c.used -= int64(len(e.data))
+		}
+	}
+}
+
+// Len returns the resident replica count.
+func (c *ReplicaCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}
+
+// Bytes returns the resident byte total.
+func (c *ReplicaCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+func (c *ReplicaCache) reclaimLocked() {
+	for c.used > c.budget && len(c.byKey) > 0 {
+		var victimKey string
+		var victim *replicaEntry
+		for key, e := range c.byKey {
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = key, e
+			}
+		}
+		delete(c.byKey, victimKey)
+		c.used -= int64(len(victim.data))
+	}
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+func replicaData(size int, fill byte) []byte {
+	d := make([]byte, size)
+	for i := range d {
+		d[i] = fill
+	}
+	return d
+}
+
+// TestReplicaEpochValidation checks the write-back invalidation contract:
+// a reader that expects a specific epoch gets the replica only at exactly
+// that epoch; any mismatch drops the replica and reports stale so the
+// caller refetches from the owner.
+func TestReplicaEpochValidation(t *testing.T) {
+	c := NewReplicaCache(1 << 20)
+	c.Put("x_t", 0, 3, replicaData(16, 3))
+
+	// Exact epoch: hit.
+	if data, ok, stale := c.Get("x_t", 0, 3); !ok || stale || data[0] != 3 {
+		t.Fatalf("exact-epoch get: ok=%v stale=%v", ok, stale)
+	}
+	// No epoch knowledge (0): accepts any resident epoch.
+	if _, ok, stale := c.Get("x_t", 0, 0); !ok || stale {
+		t.Fatalf("want-any get: ok=%v stale=%v", ok, stale)
+	}
+	// Newer expectation: the resident replica is stale — dropped, reported.
+	if _, ok, stale := c.Get("x_t", 0, 4); ok || !stale {
+		t.Fatalf("stale get: ok=%v stale=%v", ok, stale)
+	}
+	// The stale entry is gone for good: next read is a clean miss.
+	if _, ok, stale := c.Get("x_t", 0, 4); ok || stale {
+		t.Fatalf("post-stale get: ok=%v stale=%v, want clean miss", ok, stale)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("after stale drop: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+// TestReplicaOlderPutIgnored checks that a late fill cannot roll a replica
+// back to an older epoch.
+func TestReplicaOlderPutIgnored(t *testing.T) {
+	c := NewReplicaCache(1 << 20)
+	c.Put("x_t", 0, 5, replicaData(16, 5))
+	c.Put("x_t", 0, 2, replicaData(16, 2)) // late straggler
+	data, ok, _ := c.Get("x_t", 0, 5)
+	if !ok || data[0] != 5 {
+		t.Fatalf("older put rolled the replica back: ok=%v data=%v", ok, data)
+	}
+}
+
+// TestReplicaInvalidate checks the explicit invalidation paths used on
+// write-back (single block) and array delete (all blocks).
+func TestReplicaInvalidate(t *testing.T) {
+	c := NewReplicaCache(1 << 20)
+	for b := 0; b < 3; b++ {
+		c.Put("x_t", b, 1, replicaData(16, byte(b)))
+	}
+	c.Put("other", 0, 1, replicaData(16, 9))
+	c.Invalidate("x_t", 1)
+	if _, ok, _ := c.Get("x_t", 1, 0); ok {
+		t.Fatal("invalidated block still resident")
+	}
+	c.InvalidateArray("x_t")
+	if c.Len() != 1 {
+		t.Fatalf("after InvalidateArray: %d replicas resident, want 1", c.Len())
+	}
+	if _, ok, _ := c.Get("other", 0, 0); !ok {
+		t.Fatal("unrelated array's replica vanished")
+	}
+}
+
+// TestReplicaLRUBudget checks that the cache sheds least recently used
+// replicas to fit its byte budget.
+func TestReplicaLRUBudget(t *testing.T) {
+	c := NewReplicaCache(3 * 100)
+	for b := 0; b < 3; b++ {
+		c.Put("x_t", b, 1, replicaData(100, byte(b)))
+	}
+	c.Get("x_t", 0, 0) // touch 0 so 1 is the victim
+	c.Put("x_t", 3, 1, replicaData(100, 3))
+	if _, ok, _ := c.Get("x_t", 1, 0); ok {
+		t.Fatal("LRU victim still resident")
+	}
+	for _, b := range []int{0, 2, 3} {
+		if _, ok, _ := c.Get("x_t", b, 0); !ok {
+			t.Fatalf("block %d evicted though not LRU", b)
+		}
+	}
+	if c.Bytes() > 300 {
+		t.Fatalf("cache over budget: %d bytes", c.Bytes())
+	}
+}
+
+// TestReplicaConcurrent hammers one cache with concurrent fills at rising
+// epochs, epoch-checked reads, and invalidations — the -race exercise for
+// the replica path. Readers assert self-consistency: whatever epoch a read
+// lands on, the bytes must be that epoch's fill pattern (entries are
+// replaced wholesale, never written in place).
+func TestReplicaConcurrent(t *testing.T) {
+	c := NewReplicaCache(1 << 20)
+	const (
+		blocks  = 8
+		rounds  = 200
+		readers = 4
+	)
+	var wg sync.WaitGroup
+	wg.Add(1 + readers + 1)
+	go func() { // writer: rising epochs per block
+		defer wg.Done()
+		for e := uint64(1); e <= rounds; e++ {
+			for b := 0; b < blocks; b++ {
+				c.Put("x_t", b, e, replicaData(64, byte(e)))
+			}
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds*blocks; i++ {
+				b := i % blocks
+				want := uint64(0)
+				if i%3 == 0 {
+					want = uint64(1 + i%rounds)
+				}
+				data, ok, _ := c.Get("x_t", b, want)
+				if !ok {
+					continue
+				}
+				fill := data[0]
+				for _, by := range data {
+					if by != fill {
+						t.Errorf("torn replica read: %v", data[:8])
+						return
+					}
+				}
+				if want != 0 && fill != byte(want) {
+					t.Errorf("epoch-checked read returned fill %d, want %d", fill, byte(want))
+					return
+				}
+			}
+		}(r)
+	}
+	go func() { // invalidator: the write-back and delete paths
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			c.Invalidate("x_t", i%blocks)
+			if i%32 == 0 {
+				c.InvalidateArray("x_t")
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringTestKeys builds count realistic placement keys: a few array name
+// shapes (plain, hot-vector, job-scoped) crossed with block indices.
+func ringTestKeys(count int) []string {
+	arrays := []string{"A", "x_t", "y_next", "job42:basis", "cg:p"}
+	keys := make([]string, 0, count)
+	for i := 0; len(keys) < count; i++ {
+		keys = append(keys, BlockKey(arrays[i%len(arrays)], i))
+	}
+	return keys
+}
+
+func memberIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node%d", i)
+	}
+	return ids
+}
+
+// TestRingBalance checks the load-spread acceptance number: with the
+// default 128 vnodes per member, the most loaded member carries at most
+// 1.15x the mean over a large keyspace.
+func TestRingBalance(t *testing.T) {
+	keys := ringTestKeys(100_000)
+	for _, n := range []int{3, 5, 8} {
+		r := NewRing(memberIDs(n), DefaultVNodes)
+		load := make(map[string]int, n)
+		for _, k := range keys {
+			load[r.Owner(k)]++
+		}
+		if len(load) != n {
+			t.Fatalf("n=%d: only %d members own keys", n, len(load))
+		}
+		max := 0
+		for _, c := range load {
+			if c > max {
+				max = c
+			}
+		}
+		mean := float64(len(keys)) / float64(n)
+		if ratio := float64(max) / mean; ratio > 1.15 {
+			t.Errorf("n=%d: max/mean load %.3f > 1.15 (max %d, mean %.0f)", n, ratio, max, mean)
+		}
+	}
+}
+
+// TestRingRemapOnJoin checks minimal remapping: adding one member moves
+// only that member's fair share of keys (~1/N of the keyspace), and every
+// moved key moves TO the new member — no unrelated shuffling.
+func TestRingRemapOnJoin(t *testing.T) {
+	keys := ringTestKeys(100_000)
+	before := NewRing(memberIDs(4), DefaultVNodes)
+	after := NewRing(append(memberIDs(4), "node4"), DefaultVNodes)
+	moved := 0
+	for _, k := range keys {
+		oldOwner, newOwner := before.Owner(k), after.Owner(k)
+		if oldOwner == newOwner {
+			continue
+		}
+		moved++
+		if newOwner != "node4" {
+			t.Fatalf("key %q moved %s -> %s, not to the joining member", k, oldOwner, newOwner)
+		}
+	}
+	// The moved fraction is exactly the new member's load share, which the
+	// balance bound keeps within 1.15x of fair (1/N of the keyspace).
+	limit := 1.15 * float64(len(keys)) / 5
+	if float64(moved) > limit {
+		t.Errorf("join moved %d keys, want <= %.0f (~1/N of %d)", moved, limit, len(keys))
+	}
+	if moved == 0 {
+		t.Error("join moved no keys at all")
+	}
+}
+
+// TestRingRemapOnLeave is the converse: removing one member moves only the
+// keys it owned, each onto some survivor.
+func TestRingRemapOnLeave(t *testing.T) {
+	keys := ringTestKeys(100_000)
+	before := NewRing(memberIDs(5), DefaultVNodes)
+	after := NewRing(memberIDs(4), DefaultVNodes) // node4 left
+	moved := 0
+	for _, k := range keys {
+		oldOwner, newOwner := before.Owner(k), after.Owner(k)
+		if oldOwner == newOwner {
+			continue
+		}
+		moved++
+		if oldOwner != "node4" {
+			t.Fatalf("key %q moved %s -> %s though its owner did not leave", k, oldOwner, newOwner)
+		}
+	}
+	limit := 1.15 * float64(len(keys)) / 5
+	if float64(moved) > limit {
+		t.Errorf("leave moved %d keys, want <= %.0f (~1/N of %d)", moved, limit, len(keys))
+	}
+	if moved == 0 {
+		t.Error("leave moved no keys at all")
+	}
+}
+
+// TestRingDeterministic checks that two processes building rings from the
+// same membership — in different orders, with duplicates and blanks —
+// resolve identical owner walks. Placement must never depend on which peer
+// computes it.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"n0", "n1", "n2", "n3"}, 64)
+	b := NewRing([]string{"n3", "n1", "", "n0", "n2", "n1"}, 64)
+	for _, k := range ringTestKeys(1_000) {
+		oa, ob := a.Owners(k, 3), b.Owners(k, 3)
+		if len(oa) != len(ob) {
+			t.Fatalf("walk lengths differ for %q: %v vs %v", k, oa, ob)
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("walks differ for %q: %v vs %v", k, oa, ob)
+			}
+		}
+	}
+}
+
+// TestRingOwnersWalk checks the owner-walk contract: distinct members,
+// primary first, truncated to the member count.
+func TestRingOwnersWalk(t *testing.T) {
+	r := NewRing(memberIDs(3), 64)
+	for _, k := range ringTestKeys(500) {
+		owners := r.Owners(k, 5)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%q, 5) on a 3-ring returned %v", k, owners)
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("walk head %q != Owner %q", owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, id := range owners {
+			if seen[id] {
+				t.Fatalf("duplicate member in walk %v for %q", owners, k)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate rings the node can pass
+// through during startup and mass death.
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if got := empty.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	if got := empty.Owners("k", 3); got != nil {
+		t.Fatalf("empty ring owners = %v", got)
+	}
+	solo := NewRing([]string{"only"}, 0)
+	if solo.VNodes() != DefaultVNodes {
+		t.Fatalf("vnodes default = %d", solo.VNodes())
+	}
+	for _, k := range ringTestKeys(100) {
+		if got := solo.Owner(k); got != "only" {
+			t.Fatalf("solo ring owner(%q) = %q", k, got)
+		}
+	}
+}
+
+// TestBlockKeyCollisionFree checks that the NUL separator keeps distinct
+// (array, block) pairs distinct even for adversarial array names ending in
+// digits.
+func TestBlockKeyCollisionFree(t *testing.T) {
+	arrays := []string{"a", "a1", "a11", "x_t", "x_t1"}
+	blocks := []int{0, 1, 11, 111, -1}
+	seen := make(map[string][2]any)
+	for _, a := range arrays {
+		for _, b := range blocks {
+			k := BlockKey(a, b)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("BlockKey collision: (%s,%d) and %v -> %q", a, b, prev, k)
+			}
+			seen[k] = [2]any{a, b}
+		}
+	}
+}

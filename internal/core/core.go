@@ -75,6 +75,11 @@ type Options struct {
 	// Trace, when non-nil, records task lifecycle spans and engine events
 	// in Chrome trace-event form (pid = node, tid = worker lane).
 	Trace *obs.Tracer
+	// Shard, when non-nil, connects every node's storage filter to the
+	// cross-process cluster tier (internal/cluster.Node): written blocks
+	// are pushed to their consistent-hash owners, durably pushed blocks
+	// evict without a disk spill, and misses refetch over the ring.
+	Shard storage.ShardBackend
 }
 
 func (o *Options) fill() {
@@ -130,6 +135,7 @@ func NewSystem(opts Options) (*System, error) {
 		cfg.Obs = opts.Obs
 		cfg.Codec = opts.Codec
 		cfg.Trace = opts.Trace
+		cfg.Shard = opts.Shard
 		if opts.ScratchRoot != "" {
 			cfg.ScratchDir = filepath.Join(opts.ScratchRoot, fmt.Sprintf("node%d", node))
 		}
@@ -306,4 +312,22 @@ func (r *RunStats) CompressStoredBytes() int64 {
 // the run.
 func (r *RunStats) CompressBailouts() int64 {
 	return r.storageDelta(func(s *storage.Stats) int64 { return s.CompressBailouts })
+}
+
+// ShardPushes sums blocks pushed toward their cluster ring owners during
+// the run.
+func (r *RunStats) ShardPushes() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.ShardPushes })
+}
+
+// ShardFetches sums blocks installed from the cluster shard tier during
+// the run.
+func (r *RunStats) ShardFetches() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.ShardFetches })
+}
+
+// ShardBytes sums block bytes fetched from the cluster shard tier during
+// the run.
+func (r *RunStats) ShardBytes() int64 {
+	return r.storageDelta(func(s *storage.Stats) int64 { return s.BytesFetchedShard })
 }

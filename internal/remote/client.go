@@ -40,6 +40,11 @@ type Options struct {
 	Codec compress.Codec
 	// CompressMin is the smallest payload worth compressing (default 1 KiB).
 	CompressMin int
+	// Handshake forces the capability hello even without a codec, so the
+	// client learns the server's full capability mask (ClusterCapable).
+	// Against a legacy server the client still falls back to the plain
+	// protocol; the mask then stays zero.
+	Handshake bool
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +106,7 @@ type Client struct {
 	closed     bool
 	reconnects int64
 	negotiated compress.Codec // wire codec agreed at handshake; nil = plain
+	peerMask   uint8          // server capability mask from the handshake; 0 = plain/legacy
 
 	metrics clientMetrics
 
@@ -138,8 +144,13 @@ func (cl *Client) dialConn() (*conn, error) {
 		return nil, err
 	}
 	var negotiated compress.Codec
-	if cl.opts.Codec != nil && cl.opts.Codec.ID() != (compress.Raw{}).ID() {
-		neg, herr := clientHandshake(raw, cl.opts.Codec)
+	var peerMask uint8
+	codec := cl.opts.Codec
+	if codec != nil && codec.ID() == (compress.Raw{}).ID() {
+		codec = nil
+	}
+	if codec != nil || cl.opts.Handshake {
+		neg, mask, herr := clientHandshake(raw, codec)
 		if herr != nil {
 			raw.Close()
 			raw, err = net.Dial("tcp", cl.addr)
@@ -147,7 +158,7 @@ func (cl *Client) dialConn() (*conn, error) {
 				return nil, err
 			}
 		} else {
-			negotiated = neg
+			negotiated, peerMask = neg, mask
 		}
 	}
 	c := newFaultyConn(raw, cl.opts.Faults)
@@ -156,6 +167,7 @@ func (cl *Client) dialConn() (*conn, error) {
 	c.wire = cl.metrics.wire
 	cl.mu.Lock()
 	cl.negotiated = negotiated
+	cl.peerMask = peerMask
 	cl.mu.Unlock()
 	return c, nil
 }

@@ -1,0 +1,139 @@
+// Cluster peer verbs: the remote protocol's third personality. A server
+// constructed with ServerOptions.Peer joins the sharded storage tier —
+// other doocserve processes push owned blocks into it, fetch them back on
+// miss, and exchange versioned membership views over the same
+// gob/CRC32/hello-negotiated connection the storage and job verbs use.
+// Block payloads ride the normal payload path, so they get wire
+// compression and checksum protection for free.
+//
+// Capability gating: a cluster-enabled server advertises ClusterCapBit in
+// its handshake hello mask. Peers that do not (legacy pre-cluster
+// binaries, or current ones started without a peer role) are detected at
+// dial time — Client.ClusterCapable reports false — and the cluster layer
+// rejects them from ring membership with a typed error instead of ever
+// sending them a peer verb they would garble.
+
+package remote
+
+import (
+	"fmt"
+)
+
+// ClusterCapBit is the handshake hello mask bit advertising the cluster
+// peer verbs. The low bits of the mask byte carry codec capabilities
+// (compress.Mask, IDs 0..6); bit 7 is reserved for this.
+const ClusterCapBit uint8 = 1 << 7
+
+// PeerMember identifies one cluster member on the wire.
+type PeerMember struct {
+	ID   string
+	Addr string
+}
+
+// PeerView is a versioned membership view. Higher versions supersede
+// lower ones; every membership change (death, join) bumps the version on
+// the node that observed it and gossips outward on view exchanges. From
+// identifies the sender, so a receiver that does not know the sender yet
+// can admit it (the join/rejoin path) even when the sender's view version
+// is behind.
+type PeerView struct {
+	From    string
+	Version uint64
+	Members []PeerMember
+}
+
+// PeerHandler is the server-side cluster hook. internal/cluster.Node
+// implements it; the interface lives here so remote does not import the
+// cluster package.
+type PeerHandler interface {
+	// PeerPut stores a block at the given epoch on behalf of the ring.
+	// durable pins the copy (the pusher relies on it for spill-free
+	// eviction). A put older than the resident epoch reports ok=false.
+	PeerPut(array string, block int, epoch uint64, data []byte, durable bool) (ok bool, err error)
+	// PeerGet returns a held block and its epoch; held=false is a clean
+	// miss (never an error).
+	PeerGet(array string, block int) (data []byte, epoch uint64, held bool, err error)
+	// PeerDelete drops every held block of an array.
+	PeerDelete(array string) error
+	// PeerViewExchange merges the caller's view and returns this node's
+	// (possibly updated) view — the gossip primitive.
+	PeerViewExchange(v PeerView) PeerView
+}
+
+// dispatchPeer executes one cluster peer verb.
+func (s *Server) dispatchPeer(req *request) *response {
+	fail := func(err error) *response { return &response{Err: err.Error()} }
+	h := s.opts.Peer
+	if h == nil {
+		return fail(fmt.Errorf("remote: %s: cluster peer role not enabled on this server", req.Op))
+	}
+	switch req.Op {
+	case opPeerPut:
+		ok, err := h.PeerPut(req.Array, req.Block, req.Epoch, req.Data, req.Durable)
+		if err != nil {
+			return fail(err)
+		}
+		return &response{Held: ok}
+	case opPeerGet:
+		data, epoch, held, err := h.PeerGet(req.Array, req.Block)
+		if err != nil {
+			return fail(err)
+		}
+		return &response{Data: data, Epoch: epoch, Held: held}
+	case opPeerDel:
+		if err := h.PeerDelete(req.Array); err != nil {
+			return fail(err)
+		}
+		return &response{}
+	case opPeerView:
+		return &response{View: h.PeerViewExchange(req.View)}
+	}
+	return fail(fmt.Errorf("remote: unknown peer opcode %v", req.Op))
+}
+
+// ClusterCapable reports whether the server at the other end advertised
+// the cluster peer verbs in the last (re)connect's handshake. False for
+// legacy binaries (the handshake itself fell back to the plain protocol)
+// and for current binaries running without a peer role.
+func (cl *Client) ClusterCapable() bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.peerMask&ClusterCapBit != 0
+}
+
+// PeerPut pushes one block of an array to the peer at the given epoch.
+// ok=false means the peer already held a newer epoch and refused the
+// rollback. Idempotent: a reconnect replay re-puts identical bytes.
+func (cl *Client) PeerPut(array string, block int, epoch uint64, data []byte, durable bool) (bool, error) {
+	resp, err := cl.call(&request{Op: opPeerPut, Array: array, Block: block, Epoch: epoch, Durable: durable, Data: data})
+	if err != nil {
+		return false, err
+	}
+	return resp.Held, nil
+}
+
+// PeerGet fetches one block of an array from the peer. held=false is a
+// clean miss.
+func (cl *Client) PeerGet(array string, block int) (data []byte, epoch uint64, held bool, err error) {
+	resp, err := cl.call(&request{Op: opPeerGet, Array: array, Block: block})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return resp.Data, resp.Epoch, resp.Held, nil
+}
+
+// PeerDelete drops every block of an array held by the peer.
+func (cl *Client) PeerDelete(array string) error {
+	_, err := cl.call(&request{Op: opPeerDel, Array: array})
+	return err
+}
+
+// PeerViewExchange sends this node's membership view and returns the
+// peer's — one gossip round, also the liveness probe.
+func (cl *Client) PeerViewExchange(v PeerView) (PeerView, error) {
+	resp, err := cl.call(&request{Op: opPeerView, View: v})
+	if err != nil {
+		return PeerView{}, err
+	}
+	return resp.View, nil
+}

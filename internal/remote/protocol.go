@@ -51,6 +51,12 @@ const (
 	// opJobHistory pages through terminal jobs (appended last for wire
 	// compatibility with older peers).
 	opJobHistory
+	// Cluster peer verbs (server must be constructed with
+	// ServerOptions.Peer; gated by ClusterCapBit in the handshake mask).
+	opPeerPut
+	opPeerGet
+	opPeerDel
+	opPeerView
 )
 
 func (o opcode) String() string {
@@ -85,6 +91,14 @@ func (o opcode) String() string {
 		return "job-list"
 	case opJobHistory:
 		return "job-history"
+	case opPeerPut:
+		return "peer-put"
+	case opPeerGet:
+		return "peer-get"
+	case opPeerDel:
+		return "peer-del"
+	case opPeerView:
+		return "peer-view"
 	default:
 		return fmt.Sprintf("opcode(%d)", uint8(o))
 	}
@@ -106,6 +120,12 @@ type request struct {
 	// Job carries the job-verb parameters (gob omits the zero value for
 	// storage verbs; old peers simply never see the field).
 	Job jobWire
+	// Cluster peer-verb parameters: the block epoch and durability pin for
+	// peer-put, and the gossiped membership view for peer-view. Gob omits
+	// the zero values on every other verb.
+	Epoch   uint64
+	Durable bool
+	View    PeerView
 }
 
 // response is one server->client message. Sum covers Data (the wire form
@@ -123,6 +143,12 @@ type response struct {
 	JobList []jobs.JobStatus
 	// JobTotal is the total terminal-job count behind a job-history page.
 	JobTotal int
+	// Cluster peer-verb results: Held reports a peer-get hit (and a
+	// peer-put accepted), Epoch tags the returned block, View answers a
+	// view exchange.
+	Held  bool
+	Epoch uint64
+	View  PeerView
 }
 
 // Wire-compression handshake. A gob stream's first byte is a message length
@@ -176,27 +202,34 @@ func parseHello(b []byte) (mask, pref uint8, err error) {
 }
 
 // clientHandshake sends a hello and waits (bounded) for the server's reply.
-// It returns the negotiated encode codec (nil when the server cannot decode
-// it). An error means the peer did not speak the handshake — the caller
-// must discard the connection and redial plain.
-func clientHandshake(raw net.Conn, codec compress.Codec) (compress.Codec, error) {
+// It returns the negotiated encode codec (nil when no codec was requested
+// or the server cannot decode it) and the server's raw capability mask —
+// codec bits plus ClusterCapBit. An error means the peer did not speak the
+// handshake — the caller must discard the connection and redial plain.
+// codec may be nil: the hello is then a pure capability probe (the cluster
+// layer dials with no codec but still needs the mask).
+func clientHandshake(raw net.Conn, codec compress.Codec) (compress.Codec, uint8, error) {
+	pref := (compress.Raw{}).ID()
+	if codec != nil {
+		pref = codec.ID()
+	}
 	raw.SetDeadline(time.Now().Add(handshakeTimeout))
 	defer raw.SetDeadline(time.Time{})
-	if _, err := raw.Write(helloFrame(compress.Mask(), codec.ID())); err != nil {
-		return nil, err
+	if _, err := raw.Write(helloFrame(compress.Mask()&^ClusterCapBit, pref)); err != nil {
+		return nil, 0, err
 	}
 	reply := make([]byte, helloLen)
 	if _, err := io.ReadFull(raw, reply); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	mask, _, err := parseHello(reply)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if mask&(1<<codec.ID()) == 0 {
-		return nil, nil
+	if codec == nil || mask&(1<<codec.ID()) == 0 {
+		return nil, mask, nil
 	}
-	return codec, nil
+	return codec, mask, nil
 }
 
 // payloadSum is the wire checksum of a payload (CRC32/IEEE; 0 for empty).

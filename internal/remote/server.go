@@ -38,6 +38,10 @@ type ServerOptions struct {
 	// cancel, result, list) against this solver service. When nil those
 	// verbs fail cleanly; plain storage servers are unaffected.
 	Jobs *jobs.SolverService
+	// Peer, when non-nil, enables the cluster peer verbs (peer-put,
+	// peer-get, peer-del, peer-view) and advertises ClusterCapBit in the
+	// handshake hello, admitting this server to ring membership.
+	Peer PeerHandler
 }
 
 // Server exposes one storage filter over TCP. It is the I/O-node role:
@@ -192,7 +196,11 @@ func (s *Server) negotiate(c *conn) error {
 	if err != nil {
 		return err
 	}
-	if _, err := c.raw.Write(helloFrame(compress.Mask(), pref)); err != nil {
+	replyMask := compress.Mask() &^ ClusterCapBit
+	if s.opts.Peer != nil {
+		replyMask |= ClusterCapBit
+	}
+	if _, err := c.raw.Write(helloFrame(replyMask, pref)); err != nil {
 		return err
 	}
 	enc := s.opts.Codec
@@ -323,6 +331,8 @@ func (s *Server) dispatch(req *request) *response {
 		return &response{Stats: s.store.Stats()}
 	case opJobSubmit, opJobStatus, opJobCancel, opJobResult, opJobList, opJobHistory:
 		return s.dispatchJob(req)
+	case opPeerPut, opPeerGet, opPeerDel, opPeerView:
+		return s.dispatchPeer(req)
 	default:
 		return fail(fmt.Errorf("remote: unknown opcode %v", req.Op))
 	}

@@ -34,7 +34,14 @@ func (s *Store) Delete(name string) error {
 		m.ack = ack
 		p.post(m)
 	}
-	return collectAcks(ack, len(s.peers))
+	err := collectAcks(ack, len(s.peers))
+	if err == nil && s.cfg.Shard != nil {
+		// Drop the array from the cluster tier exactly once, from the
+		// initiating store; peers that miss the delete serve at most
+		// stale-epoch bytes, which readers reject.
+		s.cfg.Shard.InvalidateArray(name)
+	}
+	return err
 }
 
 // ackPool recycles broadcast ack channels. A channel is returned only after

@@ -217,9 +217,17 @@ type blockState struct {
 	// prefetched marks a block whose in-flight fetch was initiated by a
 	// prefetch; the first resident read hit consumes it (a prefetch hit).
 	prefetched bool
-	waiters    []readWaiter
-	lastUse    int64
-	loadTick   int64 // when buf was (re)allocated, for FIFO eviction
+	// Shard-tier state: shardBacked+shardDurable mark a block whose bytes
+	// enough remote cluster peers acknowledged to survive any single peer
+	// death — such a block is evictable without a local disk spill and is
+	// refetched over the ring first. shardPushing guards one background
+	// push at a time.
+	shardBacked  bool
+	shardDurable bool
+	shardPushing bool
+	waiters      []readWaiter
+	lastUse      int64
+	loadTick     int64 // when buf was (re)allocated, for FIFO eviction
 }
 
 type arrayState struct {
@@ -334,6 +342,10 @@ func (s *Store) loop() {
 			s.handleIODone(st, m)
 		case ioWrote:
 			s.handleIOWrote(st, m)
+		case shardDone:
+			s.handleShardDone(st, m)
+		case shardPushed:
+			s.handleShardPushed(st, m)
 		case cmdSetQuota:
 			s.handleSetQuota(st, m)
 		case cmdClearQuota:
@@ -707,6 +719,7 @@ func (s *Store) handleRelease(st *loopState, c *cmdRelease) {
 			de.mem[s.cfg.NodeID] = true
 			s.wakePending(st, blockKey{l.Array, l.block}, de)
 		}
+		s.maybeShardPush(st, ast, l.block, b)
 	}
 	s.reclaim(st, "", -1)
 	s.reclaimQuota(st, ast.quota, "", -1)
@@ -754,6 +767,15 @@ func (s *Store) ensureBlockData(st *loopState, ast *arrayState, bi int, b *block
 		} else {
 			s.io.read(name, bi, s.arrayPath(name), bs.Lo, bs.Hi-bs.Lo, false)
 		}
+		return
+	}
+	// A shard-backed block was durably pushed onto the cluster ring; its
+	// bytes live on remote peers, not local disk. Refetch over the ring —
+	// a miss (owner died) falls back to the paths below via
+	// handleShardDone.
+	if s.cfg.Shard != nil && b.shardBacked {
+		b.fetching = true
+		go s.shardFetch(name, bi)
 		return
 	}
 	home := s.homeOf(name, bi)
@@ -1089,7 +1111,7 @@ func (s *Store) collectVictims(st *loopState, protectArray string, protectBlock 
 			if b.buf == nil || b.refcnt > 0 || b.fetching || b.flushing || len(b.waiters) > 0 || len(b.writing) > 0 {
 				continue
 			}
-			if !(b.persistedLocal || b.remoteBacked || ast.diskNodes[s.cfg.NodeID]) {
+			if !(b.persistedLocal || b.remoteBacked || ast.diskNodes[s.cfg.NodeID] || (b.shardBacked && b.shardDurable)) {
 				continue
 			}
 			var key int64
@@ -1160,7 +1182,7 @@ func (s *Store) handleEvict(st *loopState, m cmdEvict) error {
 	if b.fetching || b.flushing || len(b.waiters) > 0 || len(b.writing) > 0 {
 		return fmt.Errorf("storage: %q block %d has activity in flight", m.array, m.block)
 	}
-	if !(b.persistedLocal || b.remoteBacked || ast.diskNodes[s.cfg.NodeID]) {
+	if !(b.persistedLocal || b.remoteBacked || ast.diskNodes[s.cfg.NodeID] || (b.shardBacked && b.shardDurable)) {
 		return fmt.Errorf("storage: %q block %d is the only copy (flush it first)", m.array, m.block)
 	}
 	s.dropBlock(st, m.array, m.block, b)

@@ -29,6 +29,13 @@ type storeMetrics struct {
 
 	compressBailouts *obs.Counter
 
+	shardPushes     *obs.Counter
+	shardDurable    *obs.Counter
+	shardFetches    *obs.Counter
+	shardFallbacks  *obs.Counter
+	shardPushBytes  *obs.Counter
+	shardFetchBytes *obs.Counter
+
 	memUsed              *obs.Gauge
 	ioQueueDepth         *obs.Gauge
 	compressRatioPercent *obs.Gauge
@@ -115,6 +122,13 @@ func newStoreMetrics(reg *obs.Registry, node int) storeMetrics {
 		peerBytes:        reg.Counter("dooc_storage_peer_fetch_bytes_total", "bytes fetched from peer stores", l),
 		ioRetries:        reg.Counter("dooc_storage_io_retries_total", "transient disk errors survived by the retry policy", l),
 		compressBailouts: reg.Counter("dooc_storage_compress_bailouts_total", "blocks stored raw by the adaptive bail-out", l),
+
+		shardPushes:     reg.Counter("dooc_storage_shard_pushes_total", "blocks pushed toward their cluster ring owners", l),
+		shardDurable:    reg.Counter("dooc_storage_shard_durable_total", "pushes acked by enough remote peers to be durable", l),
+		shardFetches:    reg.Counter("dooc_storage_shard_fetches_total", "blocks installed from the cluster shard tier", l),
+		shardFallbacks:  reg.Counter("dooc_storage_shard_fallbacks_total", "shard fetches that missed and fell back to the normal path", l),
+		shardPushBytes:  reg.Counter("dooc_storage_shard_push_bytes_total", "block bytes pushed to the shard tier", l),
+		shardFetchBytes: reg.Counter("dooc_storage_shard_fetch_bytes_total", "block bytes fetched from the shard tier", l),
 
 		memUsed:              reg.Gauge("dooc_storage_mem_used_bytes", "resident block bytes", l),
 		ioQueueDepth:         reg.Gauge("dooc_storage_io_queue_depth", "jobs queued for the asynchronous I/O filters", l),

@@ -113,6 +113,13 @@ type Config struct {
 	// trace: load/spill spans on per-worker I/O lanes, lease-grant spans,
 	// and eviction instants. Plain (non-causal) events on the node's pid.
 	Trace *obs.Tracer
+	// Shard, when non-nil, connects this store to the cross-process
+	// cluster tier: fully written blocks are pushed toward their
+	// consistent-hash owners in the background, durably pushed blocks
+	// become evictable without a local disk spill, and a miss on a
+	// shard-backed block is refetched over the ring before falling back
+	// to the normal load path.
+	Shard ShardBackend
 }
 
 // ArrayInfo describes an array known to the storage layer.
@@ -213,6 +220,14 @@ type Stats struct {
 	PrefetchHits      int64 // cache hits on blocks a prefetch brought in
 	ImplicitDiskReads int64
 	IORetries         int64 // transient disk errors survived by the retry policy
+
+	// Cluster shard-tier accounting (zero without Config.Shard).
+	ShardPushes        int64 // blocks pushed toward their ring owners
+	ShardDurablePushes int64 // pushes acked by enough remote peers to be durable
+	ShardFetches       int64 // blocks installed from the shard tier
+	ShardFallbacks     int64 // shard fetches that missed and fell back
+	BytesPushedShard   int64
+	BytesFetchedShard  int64
 
 	// Compression accounting. BytesWrittenDisk/BytesReadDisk count physical
 	// scratch traffic, so with a codec they shrink; the pairs below relate
