@@ -173,7 +173,9 @@ func clusterRun() error {
 				}
 			}
 			node, err := cluster.NewNode(cluster.Config{
-				Self:          members[i],
+				Self: members[i],
+				// Production-faithful: doocserve scopes ring keys by node ID.
+				Scope:         ids[i],
 				Peers:         others,
 				Obs:           benchObs,
 				Hot:           clusterHot,
@@ -307,7 +309,9 @@ func clusterTierRun() error {
 				}
 			}
 			node, err := cluster.NewNode(cluster.Config{
-				Self:          members[i],
+				Self: members[i],
+				// Production-faithful: doocserve scopes ring keys by node ID.
+				Scope:         ids[i],
 				Peers:         others,
 				Obs:           benchObs,
 				Hot:           clusterHot,

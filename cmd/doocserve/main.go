@@ -34,7 +34,9 @@
 // peer, hot read blocks are replicated locally with epoch invalidation, and
 // a peer death fails the engine nodes mapped to it onto the survivors. The
 // HTTP listener additionally serves GET /cluster, the live membership view
-// and shard counters as JSON.
+// and shard counters as JSON. Peers dial this node at -advertise (default
+// -listen, which must then carry a concrete host: wildcard and host-less
+// listen addresses are rejected because remote peers cannot dial them).
 package main
 
 import (
@@ -43,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -138,6 +141,7 @@ func main() {
 		sloRun    = flag.Int64("slo-run-ms", 0, "jobs mode: run-latency SLO objective in milliseconds (0 = track latency without breach accounting)")
 		flightN   = flag.Int("flight-events", 0, "jobs mode: per-job flight-recorder ring size (0 = default)")
 		nodeID    = flag.String("node-id", "", "cluster: this peer's stable identity on the sharded-storage ring (empty = cluster off)")
+		advertise = flag.String("advertise", "", "cluster: address other peers dial to reach this node (default -listen; required when -listen has a wildcard or empty host)")
 		peersFlag = flag.String("peers", "", "cluster: comma-separated id=addr list of the other doocserve peers")
 		vnodes    = flag.Int("vnodes", 0, "cluster: virtual nodes per member on the consistent-hash ring (0 = default)")
 		tableMem  = flag.Int64("table-mem", 0, "cluster: byte budget for blocks held on behalf of the ring (0 = default)")
@@ -176,6 +180,21 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// The gossiped self address must be dialable from other hosts: a
+		// host-less or wildcard -listen (":7777", "0.0.0.0:7777") would be
+		// dialed by remote peers as localhost, silently mis-routing peer
+		// traffic in any multi-host deployment.
+		selfAddr := *advertise
+		if selfAddr == "" {
+			host, _, herr := net.SplitHostPort(*listen)
+			if herr != nil || host == "" {
+				log.Fatalf("cluster: -listen %q has no dialable host; set -advertise to this node's reachable address", *listen)
+			}
+			if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+				log.Fatalf("cluster: -listen %q is a wildcard address peers cannot dial; set -advertise to this node's reachable address", *listen)
+			}
+			selfAddr = *listen
+		}
 		memberIDs = append(memberIDs, *nodeID)
 		for _, p := range peers {
 			memberIDs = append(memberIDs, p.ID)
@@ -183,7 +202,11 @@ func main() {
 		sort.Strings(memberIDs)
 		hook = &deathHook{}
 		clusterNode, err = cluster.NewNode(cluster.Config{
-			Self:       cluster.Member{ID: *nodeID, Addr: *listen},
+			Self: cluster.Member{ID: *nodeID, Addr: selfAddr},
+			// Job-scoped array names are numbered by this process's own job
+			// counter; scoping them with the node ID keeps two peers' "job1:"
+			// arrays from colliding in the shared ring.
+			Scope:      *nodeID,
 			Peers:      peers,
 			VNodes:     *vnodes,
 			TableBytes: *tableMem,

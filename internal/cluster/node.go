@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,18 @@ type Config struct {
 	// they have been seen alive once, so a slow-starting cluster does not
 	// eat spurious deaths.
 	Peers []Member
+	// Scope, when non-empty, namespaces every array name this node
+	// originates (FetchBlock/PushBlock/InvalidateArray) as
+	// "<scope>\x00<name>" ring-wide. Array names that are only unique
+	// within one process — doocserve's job-scoped "jobN:..." arrays,
+	// numbered by a per-process counter — MUST be scoped with a
+	// cluster-unique value (doocserve uses the node ID), or two peers
+	// accepting jobs would collide on "job1:..." keys and silently serve
+	// each other's bytes. Empty keeps a single shared namespace, for
+	// deployments whose array names are already cluster-unique. The scope
+	// must not contain NUL. Peer verbs are exempt: wire names arrive
+	// already scoped by their origin.
+	Scope string
 	// VNodes is the virtual-node count per member (DefaultVNodes when 0).
 	VNodes int
 	// Obs, when non-nil, receives the node's dooc_cluster_* series.
@@ -129,10 +142,18 @@ type Node struct {
 	version uint64
 	ring    *Ring
 	epochs  map[string]*arrayEpochs
-	closed  bool
+	// pendingDel tracks per-array delete fan-outs not yet acknowledged:
+	// array -> member IDs still owing an ack. The prober retries them every
+	// tick until each member acks or is expelled, so a peer that missed a
+	// delete (network blip, restart mid-RPC) still drops its copies once
+	// reachable again. Entries survive a member's death on purpose — the
+	// flaky peer that failed the delete RPC is exactly the one that gets
+	// marked dead and later gossips back in with its table intact.
+	pendingDel map[string]map[string]bool
+	closed     bool
 
 	clientsMu sync.Mutex
-	clients   map[string]*remote.Client
+	clients   map[string]*clientEntry
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -159,6 +180,9 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Self.ID == "" {
 		return nil, fmt.Errorf("cluster: empty self node ID")
 	}
+	if strings.ContainsRune(cfg.Scope, 0) {
+		return nil, fmt.Errorf("cluster: scope %q contains NUL", cfg.Scope)
+	}
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = 250 * time.Millisecond
 	}
@@ -166,16 +190,17 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg.RPCTimeout = 2 * time.Second
 	}
 	n := &Node{
-		cfg:      cfg,
-		table:    NewBlockTable(cfg.TableBytes),
-		replicas: NewReplicaCache(cfg.ReplicaBytes),
-		metrics:  newNodeMetrics(cfg.Obs, cfg.Self.ID),
-		members:  make(map[string]Member),
-		dead:     make(map[string]bool),
-		seen:     make(map[string]bool),
-		epochs:   make(map[string]*arrayEpochs),
-		clients:  make(map[string]*remote.Client),
-		stop:     make(chan struct{}),
+		cfg:        cfg,
+		table:      NewBlockTable(cfg.TableBytes),
+		replicas:   NewReplicaCache(cfg.ReplicaBytes),
+		metrics:    newNodeMetrics(cfg.Obs, cfg.Self.ID),
+		members:    make(map[string]Member),
+		dead:       make(map[string]bool),
+		seen:       make(map[string]bool),
+		epochs:     make(map[string]*arrayEpochs),
+		pendingDel: make(map[string]map[string]bool),
+		clients:    make(map[string]*clientEntry),
+		stop:       make(chan struct{}),
 	}
 	n.members[cfg.Self.ID] = cfg.Self
 	for _, p := range cfg.Peers {
@@ -203,11 +228,17 @@ func (n *Node) Close() {
 	close(n.stop)
 	n.wg.Wait()
 	n.clientsMu.Lock()
-	for id, cl := range n.clients {
-		cl.Close()
-		delete(n.clients, id)
-	}
+	entries := n.clients
+	n.clients = make(map[string]*clientEntry)
 	n.clientsMu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.cl != nil {
+			e.cl.Close()
+			e.cl = nil
+		}
+		e.mu.Unlock()
+	}
 }
 
 func (n *Node) isClosed() bool {
@@ -321,6 +352,15 @@ func (n *Node) syncStorageGauges() {
 
 // ---- peer client pool ----
 
+// clientEntry is one member's slot in the pool. The per-entry mutex
+// serializes dials to that member only, so a slow or unreachable peer
+// being dialed (up to RPCTimeout) never stalls other peers' RPCs — the
+// pool-wide clientsMu is held just for map lookups.
+type clientEntry struct {
+	mu sync.Mutex
+	cl *remote.Client
+}
+
 // client returns a connected, cluster-capable client for a member,
 // dialing lazily. A member whose handshake lacks the cluster capability
 // is expelled from membership and reported as ErrLegacyPeer.
@@ -336,9 +376,16 @@ func (n *Node) client(id string) (*remote.Client, error) {
 		return nil, ErrNotMember
 	}
 	n.clientsMu.Lock()
-	defer n.clientsMu.Unlock()
-	if cl, ok := n.clients[id]; ok {
-		return cl, nil
+	e, ok := n.clients[id]
+	if !ok {
+		e = &clientEntry{}
+		n.clients[id] = e
+	}
+	n.clientsMu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cl != nil {
+		return e.cl, nil
 	}
 	cl, err := remote.DialOptions(m.Addr, remote.Options{
 		Handshake:  true,
@@ -354,19 +401,37 @@ func (n *Node) client(id string) (*remote.Client, error) {
 		n.expelLegacy(id)
 		return nil, ErrLegacyPeer
 	}
-	n.clients[id] = cl
+	// The entry may have been dropped while we dialed (peer died, node
+	// closed); a dropped entry must not resurrect in the pool.
+	n.clientsMu.Lock()
+	current := n.clients[id]
+	n.clientsMu.Unlock()
+	if current != e {
+		cl.Close()
+		return nil, ErrNotMember
+	}
+	e.cl = cl
 	return cl, nil
 }
 
-// dropClient closes and forgets a member's pooled connection.
+// dropClient closes and forgets a member's pooled connection. A dial in
+// flight for the same member notices the dropped entry and discards its
+// own result.
 func (n *Node) dropClient(id string) {
 	n.clientsMu.Lock()
-	cl, ok := n.clients[id]
+	e, ok := n.clients[id]
 	if ok {
 		delete(n.clients, id)
 	}
 	n.clientsMu.Unlock()
-	if ok {
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	cl := e.cl
+	e.cl = nil
+	e.mu.Unlock()
+	if cl != nil {
 		cl.Close()
 	}
 }
@@ -428,6 +493,14 @@ func (n *Node) expelLegacy(id string) {
 	n.dead[id] = true
 	n.version++
 	n.rebuildRingLocked()
+	// A legacy peer never held ring blocks and can never ack, so it owes
+	// no deletes.
+	for array, owing := range n.pendingDel {
+		delete(owing, id)
+		if len(owing) == 0 {
+			delete(n.pendingDel, array)
+		}
+	}
 	n.mu.Unlock()
 	n.legacyRejections.Add(1)
 	n.metrics.legacyRejections.Inc()
@@ -446,6 +519,7 @@ func (n *Node) probeLoop() {
 			return
 		case <-t.C:
 			n.gossipOnce()
+			n.flushDeletes()
 		}
 	}
 }
@@ -575,13 +649,22 @@ func (n *Node) noteEpoch(array string, block int, epoch uint64) {
 	}
 }
 
-// epochOf returns the epoch this node expects for a block, 0 when it has
-// no knowledge (accept any).
+// epochOf returns the minimum epoch this node accepts for a block, 0 when
+// it has no knowledge (accept any). A block with no post-delete epoch in
+// an array that has a floor demands floor+1 — strictly above everything
+// the dead incarnation ever pushed — so a reader rejects old-incarnation
+// bytes from a peer that missed the delete even before the retried delete
+// lands there.
 func (n *Node) epochOf(array string, block int) uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if ae, ok := n.epochs[array]; ok {
-		return ae.blocks[block]
+		if e := ae.blocks[block]; e > 0 {
+			return e
+		}
+		if ae.floor > 0 {
+			return ae.floor + 1
+		}
 	}
 	return 0
 }
@@ -606,6 +689,19 @@ func (n *Node) foldEpochs(array string) {
 
 // ---- shard backend (the storage layer's hooks) ----
 
+// scoped maps a caller-facing array name into the ring namespace. With a
+// configured scope, every key this node originates carries a
+// "<scope>\x00" prefix, so array names that are only unique per process
+// (job-scoped "job1:x_0_0" from each peer's local job counter) never
+// collide across peers in the shared ring. The peer verbs stay raw: wire
+// names arrive already scoped by their origin.
+func (n *Node) scoped(array string) string {
+	if n.cfg.Scope == "" {
+		return array
+	}
+	return n.cfg.Scope + "\x00" + array
+}
+
 // FetchBlock resolves a block over the ring: replica cache first for hot
 // arrays, then the owner walk — own table for self-owned keys, forwarded
 // PeerGet otherwise. ok=false means no live peer holds the block and the
@@ -616,6 +712,7 @@ func (n *Node) FetchBlock(array string, block int) ([]byte, bool) {
 		return nil, false
 	}
 	hot := n.cfg.Hot != nil && n.cfg.Hot(array)
+	array = n.scoped(array)
 	want := n.epochOf(array, block)
 	if hot {
 		data, ok, stale := n.replicas.Get(array, block, want)
@@ -688,6 +785,7 @@ func (n *Node) PushBlock(array string, block int, data []byte) bool {
 	if n.isClosed() {
 		return false
 	}
+	array = n.scoped(array)
 	epoch := n.bumpEpoch(array, block)
 	n.replicas.Invalidate(array, block)
 	ring := n.currentRing()
@@ -739,33 +837,84 @@ func (n *Node) PushBlock(array string, block int, data []byte) bool {
 }
 
 // InvalidateArray drops every trace of an array: local table and replica
-// entries synchronously, remote peers' tables best-effort on a background
-// goroutine (a peer that misses the delete can serve at most stale-epoch
-// bytes, which readers reject). Per-block epochs fold into the array
-// floor so a recreated array starts above them.
+// entries synchronously, remote peers' tables via a delete fan-out that
+// is kicked immediately and retried from the probe loop until every live
+// member acks. Per-block epochs fold into the array floor so a recreated
+// array starts above them; until a straggling peer's ack lands, this
+// node's reads demand epochs above the floor (epochOf), so the straggler
+// can never serve old-incarnation bytes back to us.
 func (n *Node) InvalidateArray(array string) {
 	if n.isClosed() {
 		return
 	}
+	array = n.scoped(array)
 	n.foldEpochs(array)
 	n.table.DeleteArray(array)
 	n.replicas.InvalidateArray(array)
 	n.syncStorageGauges()
-	members := n.LiveMembers()
+	// Record the members owing an ack, then kick one immediate round. The
+	// closed-check and wg.Add are one critical section with Close's setting
+	// of closed, so Add can never race the final Wait.
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	owing := make(map[string]bool, len(n.members))
+	for id := range n.members {
+		if id != n.cfg.Self.ID {
+			owing[id] = true
+		}
+	}
+	if len(owing) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	n.pendingDel[array] = owing
 	n.wg.Add(1)
+	n.mu.Unlock()
 	go func() {
 		defer n.wg.Done()
-		for _, m := range members {
-			if m.ID == n.cfg.Self.ID {
-				continue
-			}
-			cl, err := n.client(m.ID)
-			if err != nil {
-				continue
-			}
-			cl.PeerDelete(array) // best-effort; epoch checks cover stragglers
-		}
+		n.flushDeletes()
 	}()
+}
+
+// flushDeletes retries every pending delete against its still-owing live
+// members, clearing acked entries. Called from the probe loop each tick
+// and once immediately per InvalidateArray. Members that are currently
+// dead are skipped but stay owed — if they gossip back in with their
+// table intact, the next tick reaches them; a restarted peer acks the
+// no-op delete and clears itself.
+func (n *Node) flushDeletes() {
+	type target struct{ array, id string }
+	n.mu.Lock()
+	var work []target
+	for array, owing := range n.pendingDel {
+		for id := range owing {
+			if _, live := n.members[id]; live {
+				work = append(work, target{array, id})
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, w := range work {
+		cl, err := n.client(w.id)
+		if err != nil {
+			continue
+		}
+		if err := cl.PeerDelete(w.array); err != nil {
+			continue // transport or handler failure: stays owed, retried next tick
+		}
+		n.markSeen(w.id)
+		n.mu.Lock()
+		if owing, ok := n.pendingDel[w.array]; ok {
+			delete(owing, w.id)
+			if len(owing) == 0 {
+				delete(n.pendingDel, w.array)
+			}
+		}
+		n.mu.Unlock()
+	}
 }
 
 // ---- remote.PeerHandler (the server-side verbs) ----

@@ -327,8 +327,8 @@ func TestNodeReplicaLifecycle(t *testing.T) {
 }
 
 // TestNodeInvalidateArray checks the delete path: the deleting peer drops
-// its own state synchronously and peers drop theirs (best-effort, promptly
-// in practice), with epochs folded so a recreated array starts fresh.
+// its own state synchronously and peers drop theirs via the acked delete
+// fan-out, with epochs folded so a recreated array starts fresh.
 func TestNodeInvalidateArray(t *testing.T) {
 	peers := startTestCluster(t, 3, nil)
 	payload := bytes.Repeat([]byte{9}, 256)
@@ -356,6 +356,115 @@ func TestNodeInvalidateArray(t *testing.T) {
 	if e := peers[0].node.epochOf("gone", 0); e < 2 {
 		t.Fatalf("recreated epoch %d does not clear the old incarnation", e)
 	}
+}
+
+// TestNodeScopeIsolation checks the ring-key namespace: two peers with
+// distinct scopes (the doocserve wiring — scope = node ID) pushing the
+// same per-process array name ("job1:x", numbered by each peer's own job
+// counter) never see each other's bytes, and one peer's delete leaves the
+// other's data intact.
+func TestNodeScopeIsolation(t *testing.T) {
+	peers := startTestCluster(t, 3, func(i int, cfg *Config) {
+		cfg.Scope = cfg.Self.ID
+	})
+	const array = "job1:x"
+	a := bytes.Repeat([]byte{0xA0}, 512)
+	b := bytes.Repeat([]byte{0xB1}, 512)
+	if !peers[0].node.PushBlock(array, 0, a) {
+		t.Fatal("n0 push not durable")
+	}
+	if !peers[1].node.PushBlock(array, 0, b) {
+		t.Fatal("n1 push not durable")
+	}
+	if data, ok := peers[0].node.FetchBlock(array, 0); !ok || !bytes.Equal(data, a) {
+		t.Fatalf("n0 fetch: ok=%v, want its own bytes", ok)
+	}
+	if data, ok := peers[1].node.FetchBlock(array, 0); !ok || !bytes.Equal(data, b) {
+		t.Fatalf("n1 fetch: ok=%v, want its own bytes", ok)
+	}
+	// n0's delete removes only n0's scoped keys, everywhere.
+	peers[0].node.InvalidateArray(array)
+	waitFor(t, 2*time.Second, "n0's scoped delete to land", func() bool {
+		_, ok := peers[0].node.FetchBlock(array, 0)
+		return !ok
+	})
+	if data, ok := peers[1].node.FetchBlock(array, 0); !ok || !bytes.Equal(data, b) {
+		t.Fatalf("n1 lost its data to n0's delete: ok=%v", ok)
+	}
+	// A scope containing NUL would alias other scopes' keys; refused.
+	if _, err := NewNode(Config{Self: Member{ID: "bad"}, Scope: "a\x00b"}); err == nil {
+		t.Fatal("NUL scope accepted")
+	}
+}
+
+// denyDeletes wraps a peer handler with a switchable PeerDelete failure —
+// the stand-in for a peer that is unreachable exactly when the delete
+// fan-out runs.
+type denyDeletes struct {
+	remote.PeerHandler
+	mu   sync.Mutex
+	deny bool
+}
+
+func (d *denyDeletes) setDeny(v bool) {
+	d.mu.Lock()
+	d.deny = v
+	d.mu.Unlock()
+}
+
+func (d *denyDeletes) PeerDelete(array string) error {
+	d.mu.Lock()
+	deny := d.deny
+	d.mu.Unlock()
+	if deny {
+		return fmt.Errorf("injected delete failure")
+	}
+	return d.PeerHandler.PeerDelete(array)
+}
+
+// TestNodeDeleteRetryAndStaleEpochGuard covers the missed-delete hole: a
+// peer that fails the delete RPC keeps its old-incarnation bytes, but (1)
+// the deleting node's reads demand epochs above the folded floor, so the
+// straggler's stale copy is rejected rather than served, and (2) the
+// prober retries the delete until the straggler acks and drops the copy.
+func TestNodeDeleteRetryAndStaleEpochGuard(t *testing.T) {
+	peers := startTestCluster(t, 3, func(i int, cfg *Config) {
+		cfg.ProbeInterval = 20 * time.Millisecond
+	})
+	deny := &denyDeletes{PeerHandler: peers[1].node}
+	deny.setDeny(true)
+	peers[1].late.set(deny)
+
+	payload := bytes.Repeat([]byte{0x5A}, 256)
+	// With 3 members the push walk covers every peer, so n1 holds a copy.
+	if !peers[0].node.PushBlock("gone", 0, payload) {
+		t.Fatal("push not durable")
+	}
+	if _, _, ok := peers[1].node.table.Get("gone", 0); !ok {
+		t.Fatal("n1 did not receive the pushed copy")
+	}
+
+	peers[0].node.InvalidateArray("gone")
+	// n1 missed the delete and still holds epoch-1 bytes...
+	if _, _, ok := peers[1].node.table.Get("gone", 0); !ok {
+		t.Fatal("denied delete still removed n1's copy")
+	}
+	// ...but the deleting node's want is floor+1, so the stale copy can
+	// never be served back to it.
+	if want := peers[0].node.epochOf("gone", 0); want < 2 {
+		t.Fatalf("post-delete epoch demand %d does not clear the dead incarnation", want)
+	}
+	if _, ok := peers[0].node.FetchBlock("gone", 0); ok {
+		t.Fatal("deleted array served from a peer that missed the delete")
+	}
+
+	// Once the peer is reachable again, the prober's retry delivers the
+	// delete and the stale copy disappears.
+	deny.setDeny(false)
+	waitFor(t, 5*time.Second, "retried delete to reach n1", func() bool {
+		_, _, ok := peers[1].node.table.Get("gone", 0)
+		return !ok
+	})
 }
 
 // TestNodeDeathFailover kills one peer (SIGKILL-style: TCP gone, no
