@@ -62,6 +62,7 @@ var experiments = []struct {
 	{"durable", "EXTENSION: durable control plane — kill mid-job, replay journal, resume from checkpoint", durableRun},
 	{"hotpath", "EXTENSION: allocation/GC cost of the steady-state data path", hotpathRun},
 	{"cluster", "EXTENSION: peer-to-peer sharded storage — 1 vs 3 real TCP peers, bit-identical", clusterRun},
+	{"proxy", "EXTENSION: proxy-object result plane — by-value vs by-reference fan-out, chained dataflow", proxyRun},
 }
 
 // faultRate is the -faults flag: when > 0, the `real` experiment also runs
@@ -85,6 +86,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a metrics snapshot (Prometheus text format) after the run")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (load in perfetto or chrome://tracing)")
 	flag.StringVar(&benchOut, "bench-out", "", "write the hotpath experiment's machine-readable result JSON here")
+	flag.StringVar(&proxyBenchOut, "proxy-bench-out", "", "write the proxy experiment's machine-readable result JSON here")
 	flag.Parse()
 	if *tracePath != "" {
 		benchTrace = obs.NewTracer()

@@ -32,6 +32,7 @@ import (
 	"dooc/internal/core"
 	"dooc/internal/jobs"
 	"dooc/internal/obs"
+	"dooc/internal/proxy"
 	"dooc/internal/remote"
 	"dooc/internal/storage"
 )
@@ -76,6 +77,10 @@ func main() {
 		jobMem    = flag.Int64("job-mem", 0, "job mode: per-job aggregate cache budget in bytes (0 = none)")
 		jobScr    = flag.Int64("job-scratch", 0, "job mode: per-job aggregate scratch ceiling in bytes (0 = unlimited)")
 		jobKey    = flag.String("job-key", "", "job mode: idempotency key — a resubmit with the same key (retry, reconnect, server restart) returns the existing job instead of starting a duplicate")
+		proxyOut  = flag.Bool("proxy", false, "job mode: collect the job's result HANDLE (pass-by-reference) instead of its bytes — prints name@epoch[@scope] and the registered sha256; the vector stays on the server")
+		inputRef  = flag.String("input-proxy", "", "job mode: chain the job's starting vector from this proxy handle (name@epoch[@scope]) instead of the seed — the payload never crosses the client link")
+		resolveR  = flag.String("resolve", "", "job client: resolve this proxy handle at -server, print its payload summary, and exit")
+		releaseR  = flag.String("release", "", "job client: release this proxy handle at -server (an anonymous reference, or with none outstanding the origin lease), print remaining refs, and exit")
 	)
 	flag.Parse()
 	if *validate != "" {
@@ -106,8 +111,15 @@ func main() {
 		return
 	}
 	if *server != "" {
-		submitJob(*server, *tenant, *priority, *iters, *seed, *jobMem, *jobScr, *jobKey, *tracePath)
+		if *resolveR != "" || *releaseR != "" {
+			proxyVerb(*server, *resolveR, *releaseR)
+			return
+		}
+		submitJob(*server, *tenant, *priority, *iters, *seed, *jobMem, *jobScr, *jobKey, *tracePath, *inputRef, *proxyOut)
 		return
+	}
+	if *resolveR != "" || *releaseR != "" || *inputRef != "" || *proxyOut {
+		log.Fatal("-proxy, -input-proxy, -resolve, and -release need -server")
 	}
 	if *dir == "" {
 		flag.Usage()
@@ -187,7 +199,7 @@ func main() {
 // submission — the server's job, engine, and storage spans all join it —
 // and writes its own side of the causal tree (root, submit, await spans)
 // as a Chrome trace file.
-func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratch int64, key, tracePath string) {
+func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratch int64, key, tracePath, inputRef string, proxyOut bool) {
 	var (
 		tracer *obs.Tracer
 		root   obs.SpanContext
@@ -199,14 +211,7 @@ func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratc
 		tracer.SetThreadName(obs.PidClient, 0, "client")
 		log.Printf("trace %s", root.Trace)
 	}
-	clientStart := time.Now()
-	cl, err := remote.Dial(addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer cl.Close()
-	submitStart := time.Now()
-	st, err := cl.SubmitJob(jobs.SolveRequest{
+	req := jobs.SolveRequest{
 		Tenant:       tenant,
 		Priority:     priority,
 		Iters:        iters,
@@ -215,7 +220,28 @@ func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratc
 		ScratchBytes: jobScratch,
 		Key:          key,
 		Trace:        root,
-	})
+	}
+	needProxy := proxyOut || inputRef != ""
+	if inputRef != "" {
+		ref, err := proxy.ParseRef(inputRef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Input = ref
+	}
+	clientStart := time.Now()
+	// The proxy verbs need the capability handshake to detect a legacy
+	// server; the plain result path keeps the zero-negotiation dial. The
+	// client's own registry counts received payload bytes, so the
+	// by-reference path can PROVE no result vector crossed this link.
+	clObs := obs.NewRegistry()
+	cl, err := remote.DialOptions(addr, remote.Options{Handshake: needProxy, Obs: clObs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	submitStart := time.Now()
+	st, err := cl.SubmitJob(req)
 	if err != nil {
 		log.Fatalf("submit: %v", err)
 	}
@@ -224,6 +250,20 @@ func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratc
 			root.Child(), root.Span, map[string]any{"job": st.ID, "tenant": tenant})
 	}
 	log.Printf("job %d submitted (tenant=%s priority=%d state=%s)", st.ID, st.Tenant, st.Priority, st.State)
+	if proxyOut {
+		h, final, err := cl.JobProxy(st.ID)
+		if err != nil {
+			log.Fatalf("job %d: %v", st.ID, err)
+		}
+		fmt.Printf("job        %d\n", st.ID)
+		fmt.Printf("state      %s\n", final.State)
+		fmt.Printf("proxy      %s\n", h)
+		fmt.Printf("length     %d\n", h.Length)
+		fmt.Printf("result     sha256=%s\n", h.SHA256)
+		fmt.Printf("queue-wait %.3fs\n", final.QueueWait)
+		fmt.Printf("recv-bytes %d\n", clObs.Sum("dooc_remote_client_bytes_in_total"))
+		return
+	}
 	awaitStart := time.Now()
 	data, final, err := cl.JobResult(st.ID)
 	if err != nil {
@@ -256,6 +296,48 @@ func submitJob(addr, tenant string, priority, iters int, seed, jobMem, jobScratc
 	fmt.Printf("queue-wait %.3fs\n", final.QueueWait)
 	if !final.FinishedAt.IsZero() && !final.StartedAt.IsZero() {
 		fmt.Printf("run-time   %.3fs\n", final.FinishedAt.Sub(final.StartedAt).Seconds())
+	}
+}
+
+// proxyVerb runs the standalone proxy-handle client verbs: -resolve prints
+// a handle's payload summary (the bytes cross the wire once, on demand);
+// -release drops a reference and prints what remains.
+func proxyVerb(addr, resolveRef, releaseRef string) {
+	cl, err := remote.DialOptions(addr, remote.Options{Handshake: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	if resolveRef != "" {
+		ref, err := proxy.ParseRef(resolveRef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, h, err := cl.ResolveProxy(ref)
+		if err != nil {
+			log.Fatalf("resolve %s: %v", ref, err)
+		}
+		x := storage.DecodeFloat64s(data)
+		var norm float64
+		for _, v := range x {
+			norm += v * v
+		}
+		fmt.Printf("proxy      %s\n", h)
+		fmt.Printf("dim        %d\n", len(x))
+		fmt.Printf("result     sha256=%x\n", sha256.Sum256(data))
+		fmt.Printf("l2norm     %.12e\n", math.Sqrt(norm))
+	}
+	if releaseRef != "" {
+		ref, err := proxy.ParseRef(releaseRef)
+		if err != nil {
+			log.Fatal(err)
+		}
+		refs, err := cl.ProxyRelease(ref, "")
+		if err != nil {
+			log.Fatalf("release %s: %v", ref, err)
+		}
+		fmt.Printf("released   %s\n", ref)
+		fmt.Printf("refs-left  %d\n", refs)
 	}
 }
 

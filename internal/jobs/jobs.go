@@ -90,6 +90,9 @@ var (
 	// ErrCancelled is the result error of a job cancelled before or during
 	// execution.
 	ErrCancelled = errors.New("jobs: job cancelled")
+	// ErrNoProxy reports a result-proxy request for a job that registered no
+	// handle (no proxy registry, or registration was rejected by quota).
+	ErrNoProxy = errors.New("jobs: job has no proxy handle")
 )
 
 // Request carries a submission's scheduling and resource parameters.
@@ -148,4 +151,7 @@ type JobStatus struct {
 	// TraceID is the job's causal trace identity (hex). Clients that
 	// submitted with a trace context see their own TraceID echoed here.
 	TraceID string `json:"trace_id,omitempty"`
+	// Proxy is the job's registered result handle ("name@epoch[@scope]"),
+	// present once a done job's iterate is resolvable by reference.
+	Proxy string `json:"proxy,omitempty"`
 }

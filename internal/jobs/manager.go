@@ -10,6 +10,7 @@ import (
 
 	"dooc/internal/jobstore"
 	"dooc/internal/obs"
+	"dooc/internal/proxy"
 )
 
 // Config parameterizes a Manager.
@@ -51,6 +52,16 @@ type Config struct {
 	// (obs.DefaultFlightEvents when 0). The ring snapshot is journaled with
 	// every record, so the bound also caps journal-entry growth.
 	FlightEvents int
+	// Proxy, when non-nil, is the pass-by-reference result plane: the
+	// solver service registers each done job's iterate as a refcounted
+	// handle instead of eagerly deleting its arrays, and retirement routes
+	// through the registry's refcounts.
+	Proxy *proxy.Registry
+	// ProxyFetch, when non-nil, materializes a foreign-scope proxy from its
+	// origin node over the cluster tier (owner-forwarded fetch) — how a
+	// chained job consumes an input produced on another peer without the
+	// bytes crossing a client link.
+	ProxyFetch func(scope, name string, epoch uint64) ([]byte, error)
 }
 
 func (c *Config) fill() {
@@ -92,6 +103,12 @@ type Job struct {
 	resumed           int
 	resultFile        string
 	resultSHA         string
+	proxyHandle       proxy.Handle
+
+	// loadOnce gates the one durable-result disk read however many clients
+	// poll Result concurrently; loadErr is its sticky failure.
+	loadOnce sync.Once
+	loadErr  error
 
 	// trace is the job's root span context (the anchor every lifecycle and
 	// engine span parents under); parentSpan links it to the submitting
@@ -504,7 +521,10 @@ func (m *Manager) Cancel(id int64) error {
 // Result blocks until the job finishes and returns its payload or error.
 // Under a durable store, a done job recovered from a previous process
 // lifetime serves its result from the store (verified against the
-// journaled SHA-256).
+// journaled SHA-256). The loaded bytes are memoized and the disk read runs
+// outside the manager lock, single-flight: N clients polling one result
+// pay one read and one allocation between them, and a multi-MB load never
+// serializes Submit/Status/List/Cancel behind disk I/O.
 func (m *Manager) Result(id int64) ([]byte, error) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
@@ -514,15 +534,65 @@ func (m *Manager) Result(id int64) ([]byte, error) {
 	}
 	<-j.done
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if j.result == nil && j.err == nil && j.resultFile != "" && m.cfg.Store != nil {
-		data, err := m.cfg.Store.LoadResult(m.recordLocked(j))
+	result, jerr, file := j.result, j.err, j.resultFile
+	m.mu.Unlock()
+	if result != nil || jerr != nil || file == "" || m.cfg.Store == nil {
+		return result, jerr
+	}
+	j.loadOnce.Do(func() {
+		m.mu.Lock()
+		rec := m.recordLocked(j)
+		m.mu.Unlock()
+		data, err := m.cfg.Store.LoadResult(rec)
+		m.mu.Lock()
 		if err != nil {
-			return nil, err
+			j.loadErr = err
+		} else {
+			j.result = data
 		}
-		j.result = data
+		m.mu.Unlock()
+	})
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.loadErr != nil {
+		return nil, j.loadErr
 	}
 	return j.result, j.err
+}
+
+// ResultProxy blocks until the job finishes and returns its registered
+// result handle — the pass-by-reference alternative to Result: ~100 bytes
+// naming the iterate instead of the iterate itself. Fails with the job's
+// error for failed/cancelled jobs and with ErrNoProxy when no handle was
+// registered (no registry configured, or registration rejected by quota).
+func (m *Manager) ResultProxy(id int64) (proxy.Handle, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return proxy.Handle{}, fmt.Errorf("%w: %d", ErrUnknownJob, id)
+	}
+	<-j.done
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.err != nil {
+		return proxy.Handle{}, j.err
+	}
+	if !j.proxyHandle.Valid() {
+		return proxy.Handle{}, fmt.Errorf("%w: job %d", ErrNoProxy, id)
+	}
+	return j.proxyHandle, nil
+}
+
+// SetProxy records a job's registered result handle (the solver service
+// calls it at registration time and again when recovery re-associates
+// journal-recovered handles with their jobs).
+func (m *Manager) SetProxy(id int64, h proxy.Handle) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		j.proxyHandle = h
+	}
 }
 
 // Status returns a snapshot of one job.
@@ -554,6 +624,9 @@ func (m *Manager) statusLocked(j *Job) JobStatus {
 	}
 	if j.trace.Valid() {
 		st.TraceID = j.trace.Trace.String()
+	}
+	if j.proxyHandle.Valid() {
+		st.Proxy = j.proxyHandle.String()
 	}
 	if j.err != nil {
 		st.Err = j.err.Error()

@@ -95,6 +95,44 @@ func (r Record) Terminal() bool {
 	return r.State == "done" || r.State == "failed" || r.State == "cancelled"
 }
 
+// ProxyRecord is the durable state of one proxy handle — a pass-by-reference
+// job result registered by the proxy registry (internal/proxy). Like job
+// records, entries journal the whole record: the newest entry for a
+// (Name, Epoch) pair is the handle's state, and a Released entry is a
+// tombstone that removes it. Tombstones live only in the WAL — a released
+// handle is simply absent from the next snapshot — so the proxy namespace
+// never accretes dead entries across compactions.
+type ProxyRecord struct {
+	// Name/Epoch identify the handle; Epoch disambiguates re-registrations
+	// under a reused name (a re-run job) so a stale handle can never resolve
+	// to fresh bytes.
+	Name  string
+	Epoch uint64
+	// SHA256 (hex) and Length pin the payload's identity; resolvers verify
+	// bytes against them end to end.
+	SHA256 string
+	Length int64
+	// Scope is the origin node's cluster scope (doocserve's node ID), so a
+	// foreign handle routes to its owner for resolution.
+	Scope  string
+	Tenant string
+	// JobID is the owning job — the result the handle names.
+	JobID int64
+	// Arrays are the storage-tier array names retained under this handle
+	// (the job's final iterate); reclaim drops them.
+	Arrays []string
+	// Refs counts anonymous (wire addref) references; Owners are named
+	// references (the origin lease, downstream consumer jobs). The handle is
+	// live while Refs+len(Owners) > 0.
+	Refs   int
+	Owners []string
+	// Deadline is the origin lease's TTL expiry (zero = no expiry).
+	Deadline time.Time
+	// Released marks a tombstone: the last reference dropped and the handle
+	// was reclaimed.
+	Released bool
+}
+
 // ---- frame codec ----
 
 // Every journal and snapshot entry travels as one frame:
@@ -175,18 +213,21 @@ const (
 	entryRecord entryKind = iota + 1
 	entryMeta
 	entryDrain
+	entryProxy
 )
 
 // entry is the unit both the WAL and the snapshot are made of. Meta
 // entries persist the ID high-water mark (so pruning old history never
 // recycles an ID); drain entries mark a graceful shutdown's start, which
 // recovery reports so an operator can tell a drain-interrupted boot from a
-// crash.
+// crash; proxy entries journal proxy-handle state (gob omits the zero
+// value, so journals written before the proxy plane replay unchanged).
 type entry struct {
 	Kind  entryKind
 	Rec   Record
 	MaxID int64
 	At    time.Time
+	Proxy ProxyRecord
 }
 
 func encodeEntry(e *entry) ([]byte, error) {
@@ -267,6 +308,8 @@ type Store struct {
 	walSize  int64 // bytes of intact, fsynced frames in the WAL
 	byID     map[int64]*Record
 	order    []int64 // submission order of byID keys
+	byProxy  map[string]*ProxyRecord
+	prxOrder []string // registration order of byProxy keys
 	maxID    int64
 	appends  int // since the last compaction
 	stats    ReplayStats
@@ -287,10 +330,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		dir:  dir,
-		opts: opts,
-		m:    newStoreMetrics(opts.Obs),
-		byID: make(map[int64]*Record),
+		dir:     dir,
+		opts:    opts,
+		m:       newStoreMetrics(opts.Obs),
+		byID:    make(map[int64]*Record),
+		byProxy: make(map[string]*ProxyRecord),
 	}
 	start := time.Now()
 	if err := s.replaySnapshot(); err != nil {
@@ -415,7 +459,35 @@ func (s *Store) apply(e *entry) {
 		if rec.ID > s.maxID {
 			s.maxID = rec.ID
 		}
+	case entryProxy:
+		rec := e.Proxy
+		key := proxyKey(rec.Name, rec.Epoch)
+		if rec.Released {
+			// Tombstone: the handle was reclaimed. Drop it; the next snapshot
+			// simply omits it.
+			if _, ok := s.byProxy[key]; ok {
+				delete(s.byProxy, key)
+				for i, k := range s.prxOrder {
+					if k == key {
+						s.prxOrder = append(s.prxOrder[:i], s.prxOrder[i+1:]...)
+						break
+					}
+				}
+			}
+			return
+		}
+		if existing, ok := s.byProxy[key]; ok {
+			*existing = rec
+		} else {
+			cp := rec
+			s.byProxy[key] = &cp
+			s.prxOrder = append(s.prxOrder, key)
+		}
 	}
+}
+
+func proxyKey(name string, epoch uint64) string {
+	return fmt.Sprintf("%s@%d", name, epoch)
 }
 
 // Append journals one job record: framed, written, fsynced — only then is
@@ -429,6 +501,26 @@ func (s *Store) Append(rec Record) error {
 // an interrupted drain from a crash (both resume the interrupted jobs).
 func (s *Store) MarkDrain() error {
 	return s.append(&entry{Kind: entryDrain, At: time.Now()})
+}
+
+// AppendProxy journals one proxy-handle record (same fsync-before-ack
+// contract as Append). A record with Released set is a tombstone that
+// removes the handle from replayed state.
+func (s *Store) AppendProxy(rec ProxyRecord) error {
+	return s.append(&entry{Kind: entryProxy, Proxy: rec})
+}
+
+// ProxyRecords returns the live (non-released) proxy handles in
+// registration order — what the proxy registry rebuilds its refcounts from
+// after a restart.
+func (s *Store) ProxyRecords() []ProxyRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ProxyRecord, 0, len(s.prxOrder))
+	for _, key := range s.prxOrder {
+		out = append(out, *s.byProxy[key])
+	}
+	return out
 }
 
 func (s *Store) append(e *entry) error {
@@ -537,6 +629,14 @@ func (s *Store) compactLocked() error {
 			break
 		}
 		err = write(&entry{Kind: entryRecord, Rec: *s.byID[id]})
+	}
+	// Live proxy handles compact alongside the job records; released
+	// handles were dropped at their tombstone and are simply absent.
+	for _, key := range s.prxOrder {
+		if err != nil {
+			break
+		}
+		err = write(&entry{Kind: entryProxy, Proxy: *s.byProxy[key]})
 	}
 	if err == nil {
 		err = f.Sync()

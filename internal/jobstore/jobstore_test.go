@@ -403,3 +403,70 @@ func TestDrainMarker(t *testing.T) {
 		t.Fatalf("drain marker not replayed: %v", d)
 	}
 }
+
+// TestProxyRecordReplay: proxy-handle records replay across close/reopen —
+// latest-wins updates, tombstone deletion, and survival of compaction.
+func TestProxyRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prx := func(name string, epoch uint64, refs int, owners ...string) ProxyRecord {
+		return ProxyRecord{
+			Name: name, Epoch: epoch, SHA256: "aa", Length: 16,
+			Scope: "nodeA", Tenant: "t", JobID: 1,
+			Arrays: []string{name + ":x_1_0"}, Refs: refs, Owners: owners,
+		}
+	}
+	for _, r := range []ProxyRecord{
+		prx("a", 1, 0, "origin"),
+		prx("b", 1, 0, "origin"),
+		prx("a", 1, 2, "origin", "job3"), // update in place, latest wins
+	} {
+		if err := s.AppendProxy(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tomb := prx("b", 1, 0)
+	tomb.Released = true
+	if err := s.AppendProxy(tomb); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := s2.ProxyRecords()
+	if len(live) != 1 || live[0].Name != "a" || live[0].Refs != 2 {
+		t.Fatalf("replayed %+v", live)
+	}
+	if fmt.Sprint(live[0].Owners) != "[origin job3]" {
+		t.Fatalf("owners %v", live[0].Owners)
+	}
+	if len(live[0].Arrays) != 1 || live[0].Arrays[0] != "a:x_1_0" {
+		t.Fatalf("arrays %v", live[0].Arrays)
+	}
+
+	// Compaction folds the journal down to live state only: the surviving
+	// handle rides through, the tombstoned one stays dead.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	live = s3.ProxyRecords()
+	if len(live) != 1 || live[0].Name != "a" || live[0].Epoch != 1 || live[0].Refs != 2 {
+		t.Fatalf("post-compaction %+v", live)
+	}
+}

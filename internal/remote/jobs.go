@@ -16,6 +16,7 @@ import (
 
 	"dooc/internal/jobs"
 	"dooc/internal/obs"
+	"dooc/internal/proxy"
 )
 
 // jobWire carries job-verb parameters inside a request. Submit fills the
@@ -39,6 +40,10 @@ type jobWire struct {
 	// Offset/Limit paginate the history verb.
 	Offset int
 	Limit  int
+	// InputProxy is the submit verb's chained input handle in its
+	// "name@epoch[@scope]" string form ("" = seed-derived start vector).
+	// Gob omits the empty string, so legacy peers never see the field.
+	InputProxy string
 }
 
 // dispatchJob executes one job-verb request. The caller runs it in a
@@ -51,7 +56,7 @@ func (s *Server) dispatchJob(req *request) *response {
 	}
 	switch req.Op {
 	case opJobSubmit:
-		st, err := svc.Submit(jobs.SolveRequest{
+		sr := jobs.SolveRequest{
 			Tenant:       req.Job.Tenant,
 			Priority:     req.Job.Priority,
 			Iters:        req.Job.Iters,
@@ -63,7 +68,15 @@ func (s *Server) dispatchJob(req *request) *response {
 				Trace: obs.TraceIDFromWords(req.Job.TraceHi, req.Job.TraceLo),
 				Span:  obs.SpanIDFromWord(req.Job.TraceSpan),
 			},
-		})
+		}
+		if req.Job.InputProxy != "" {
+			ref, err := proxy.ParseRef(req.Job.InputProxy)
+			if err != nil {
+				return fail(err)
+			}
+			sr.Input = ref
+		}
+		st, err := svc.Submit(sr)
 		if err != nil {
 			return fail(err)
 		}
@@ -91,6 +104,13 @@ func (s *Server) dispatchJob(req *request) *response {
 	case opJobHistory:
 		page, total := svc.Manager.History(req.Job.Offset, req.Job.Limit)
 		return &response{JobList: page, JobTotal: total}
+	case opJobProxy:
+		h, err := svc.ResultProxy(req.Job.ID)
+		if err != nil {
+			return fail(err)
+		}
+		st, _ := svc.Manager.Status(req.Job.ID)
+		return &response{Proxy: h, Job: st}
 	}
 	return fail(fmt.Errorf("remote: unknown job opcode %v", req.Op))
 }
@@ -112,6 +132,11 @@ func mapJobError(err error) error {
 		jobs.ErrDraining,
 		jobs.ErrUnknownJob,
 		jobs.ErrCancelled,
+		jobs.ErrNoProxy,
+		proxy.ErrUnknownProxy,
+		proxy.ErrProxyGone,
+		proxy.ErrProxyQuota,
+		proxy.ErrNoRefs,
 	} {
 		if strings.Contains(se.msg, typed.Error()) {
 			return fmt.Errorf("%w (%s)", typed, se.msg)
@@ -143,6 +168,14 @@ func (cl *Client) SubmitJob(req jobs.SolveRequest) (jobs.JobStatus, error) {
 		TraceLo:      lo,
 		TraceSpan:    req.Trace.Span.Word(),
 	}}
+	if req.Input.Valid() {
+		// A chained input is a proxy-plane feature: refuse locally rather
+		// than let a legacy server silently run from the seed vector.
+		if !cl.ProxyCapable() {
+			return jobs.JobStatus{}, fmt.Errorf("%w (submit with -input-proxy)", ErrLegacyProxy)
+		}
+		wire.Job.InputProxy = req.Input.String()
+	}
 	var resp *response
 	var err error
 	if req.Key != "" {

@@ -21,7 +21,8 @@ import (
 
 // ClusterCapBit is the handshake hello mask bit advertising the cluster
 // peer verbs. The low bits of the mask byte carry codec capabilities
-// (compress.Mask, IDs 0..6); bit 7 is reserved for this.
+// (compress.Mask, IDs 0..5); bit 7 is reserved for this and bit 6 for
+// ProxyCapBit.
 const ClusterCapBit uint8 = 1 << 7
 
 // PeerMember identifies one cluster member on the wire.

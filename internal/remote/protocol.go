@@ -26,6 +26,7 @@ import (
 	"dooc/internal/compress"
 	"dooc/internal/faults"
 	"dooc/internal/jobs"
+	"dooc/internal/proxy"
 	"dooc/internal/storage"
 )
 
@@ -57,6 +58,15 @@ const (
 	opPeerGet
 	opPeerDel
 	opPeerView
+	// Proxy-object verbs (server's job service must have a proxy registry;
+	// gated by ProxyCapBit in the handshake mask). Appended last for wire
+	// compatibility with older peers.
+	opProxyStat
+	opProxyAddRef
+	opProxyRelease
+	opProxyResolve
+	// opJobProxy returns a finished job's result handle instead of its bytes.
+	opJobProxy
 )
 
 func (o opcode) String() string {
@@ -99,6 +109,16 @@ func (o opcode) String() string {
 		return "peer-del"
 	case opPeerView:
 		return "peer-view"
+	case opProxyStat:
+		return "proxy-stat"
+	case opProxyAddRef:
+		return "proxy-addref"
+	case opProxyRelease:
+		return "proxy-release"
+	case opProxyResolve:
+		return "proxy-resolve"
+	case opJobProxy:
+		return "job-proxy"
 	default:
 		return fmt.Sprintf("opcode(%d)", uint8(o))
 	}
@@ -149,6 +169,12 @@ type response struct {
 	Held  bool
 	Epoch uint64
 	View  PeerView
+	// Proxy-verb results: the handle (stat/addref/job-proxy/resolve), the
+	// live reference count (stat/addref/release), and the payload's total
+	// length behind a chunked resolve. Gob omits the zero values elsewhere.
+	Proxy proxy.Handle
+	Refs  int
+	Total int64
 }
 
 // Wire-compression handshake. A gob stream's first byte is a message length
@@ -204,7 +230,7 @@ func parseHello(b []byte) (mask, pref uint8, err error) {
 // clientHandshake sends a hello and waits (bounded) for the server's reply.
 // It returns the negotiated encode codec (nil when no codec was requested
 // or the server cannot decode it) and the server's raw capability mask —
-// codec bits plus ClusterCapBit. An error means the peer did not speak the
+// codec bits plus ClusterCapBit and ProxyCapBit. An error means the peer did not speak the
 // handshake — the caller must discard the connection and redial plain.
 // codec may be nil: the hello is then a pure capability probe (the cluster
 // layer dials with no codec but still needs the mask).
@@ -215,7 +241,7 @@ func clientHandshake(raw net.Conn, codec compress.Codec) (compress.Codec, uint8,
 	}
 	raw.SetDeadline(time.Now().Add(handshakeTimeout))
 	defer raw.SetDeadline(time.Time{})
-	if _, err := raw.Write(helloFrame(compress.Mask()&^ClusterCapBit, pref)); err != nil {
+	if _, err := raw.Write(helloFrame(compress.Mask()&^(ClusterCapBit|ProxyCapBit), pref)); err != nil {
 		return nil, 0, err
 	}
 	reply := make([]byte, helloLen)

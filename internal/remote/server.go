@@ -196,9 +196,12 @@ func (s *Server) negotiate(c *conn) error {
 	if err != nil {
 		return err
 	}
-	replyMask := compress.Mask() &^ ClusterCapBit
+	replyMask := compress.Mask() &^ (ClusterCapBit | ProxyCapBit)
 	if s.opts.Peer != nil {
 		replyMask |= ClusterCapBit
+	}
+	if s.opts.Jobs != nil && s.opts.Jobs.ProxyEnabled() {
+		replyMask |= ProxyCapBit
 	}
 	if _, err := c.raw.Write(helloFrame(replyMask, pref)); err != nil {
 		return err
@@ -329,10 +332,12 @@ func (s *Server) dispatch(req *request) *response {
 		}
 	case opStats:
 		return &response{Stats: s.store.Stats()}
-	case opJobSubmit, opJobStatus, opJobCancel, opJobResult, opJobList, opJobHistory:
+	case opJobSubmit, opJobStatus, opJobCancel, opJobResult, opJobList, opJobHistory, opJobProxy:
 		return s.dispatchJob(req)
 	case opPeerPut, opPeerGet, opPeerDel, opPeerView:
 		return s.dispatchPeer(req)
+	case opProxyStat, opProxyAddRef, opProxyRelease, opProxyResolve:
+		return s.dispatchProxy(req)
 	default:
 		return fail(fmt.Errorf("remote: unknown opcode %v", req.Op))
 	}
