@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke debugtag hotpath vet fmt fuzz figures experiments clean
+.PHONY: all build test race bench bench-smoke debugtag hotpath perf-gate vet fmt fuzz figures experiments clean
 
 all: build test
 
@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/storage/ ./internal/core/ ./internal/datacutter/ ./internal/simnet/ ./internal/mfdn/ ./internal/bfs/ ./internal/remote/ ./internal/scheduler/ ./internal/faults/ ./internal/compress/ ./internal/jobs/ ./internal/jobstore/ ./internal/cluster/ ./internal/proxy/
+	$(GO) test -race ./internal/obs/ ./internal/storage/ ./internal/core/ ./internal/datacutter/ ./internal/simnet/ ./internal/mfdn/ ./internal/bfs/ ./internal/remote/ ./internal/scheduler/ ./internal/faults/ ./internal/compress/ ./internal/jobs/ ./internal/jobstore/ ./internal/cluster/ ./internal/proxy/ ./internal/sparse/ ./internal/lanczos/
 
 # Short fuzz pass over every codec round trip and the frame decoder.
 fuzz:
@@ -41,6 +41,13 @@ debugtag:
 # touching the data path).
 hotpath:
 	$(GO) run ./cmd/doocbench -exp hotpath -bench-out BENCH_hotpath.json
+
+# Perf regression gate: re-run the hot path and fail if the result hash
+# drifts from the committed BENCH_hotpath.json or allocations regress past
+# the budget. Wall-clock is reported but deliberately not gated (CI runners
+# have no stable clock); bit-identity and allocation count are deterministic.
+perf-gate:
+	$(GO) run ./cmd/doocbench -exp hotpath -bench-out /tmp/BENCH_hotpath.json -gate BENCH_hotpath.json -gate-allocs 1100
 
 vet:
 	$(GO) vet ./...

@@ -86,6 +86,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a metrics snapshot (Prometheus text format) after the run")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (load in perfetto or chrome://tracing)")
 	flag.StringVar(&benchOut, "bench-out", "", "write the hotpath experiment's machine-readable result JSON here")
+	flag.StringVar(&gateRef, "gate", "", "perf regression gate: reference BENCH_hotpath.json; fail unless result_sha256 matches and allocs_per_iter stays under -gate-allocs")
+	flag.Float64Var(&gateAllocs, "gate-allocs", 1100, "allocs_per_iter ceiling enforced by -gate (0 disables the allocation check)")
 	flag.StringVar(&proxyBenchOut, "proxy-bench-out", "", "write the proxy experiment's machine-readable result JSON here")
 	flag.Parse()
 	if *tracePath != "" {

@@ -24,6 +24,7 @@ import (
 	"dooc/internal/faults"
 	"dooc/internal/obs"
 	"dooc/internal/simnet"
+	"dooc/internal/sparse"
 	"dooc/internal/storage"
 )
 
@@ -110,6 +111,13 @@ type System struct {
 	stores  []*storage.Store
 	decode  []*decodeCache // per node; nil entries when disabled
 
+	// Kernel layer: one persistent stripe pool per computing filter (indexed
+	// node*WorkersPerNode+lane, started once and parked between multiplies)
+	// and one decode pipeline per node (only when the decode cache is on).
+	kern    []*sparse.Pool
+	pipes   []*decodePipeline
+	kernObs kernelMetrics
+
 	// Failure registry. FailNode marks a node dead: active runs stop its
 	// workers and reassign its incomplete tasks; runs started afterwards
 	// never schedule onto it.
@@ -150,11 +158,34 @@ func NewSystem(opts Options) (*System, error) {
 		runs:        make(map[*engineRun]struct{}),
 		failedNodes: make(map[int]bool),
 	}
+	sys.kernObs = newKernelMetrics(opts.Obs)
 	sys.decode = make([]*decodeCache, opts.Nodes)
+	sys.pipes = make([]*decodePipeline, opts.Nodes)
 	for i := range sys.decode {
-		sys.decode[i] = newDecodeCache(opts.DecodeCacheBytes)
+		c := newDecodeCache(opts.DecodeCacheBytes)
+		sys.decode[i] = c
+		if c != nil {
+			c.obsHits = sys.nodeCounter("dooc_core_decode_cache_hits_total", "decoded-block cache hits", i)
+			c.obsMisses = sys.nodeCounter("dooc_core_decode_cache_misses_total", "decoded-block cache misses (synchronous decodes)", i)
+			c.obsOverlap = sys.kernObs.pipeOverlap
+			sys.pipes[i] = newDecodePipeline(stores[i], c, sys.kernObs)
+		}
+	}
+	sys.kern = make([]*sparse.Pool, opts.Nodes*opts.WorkersPerNode)
+	for i := range sys.kern {
+		p := sparse.NewPool(opts.WorkersPerNode)
+		p.Fused = sys.kernObs.fused
+		p.Blocked = sys.kernObs.blocked
+		p.Scalar = sys.kernObs.scalar
+		sys.kern[i] = p
 	}
 	return sys, nil
+}
+
+// nodeCounter registers a per-node counter on the system registry (nil when
+// observability is off).
+func (s *System) nodeCounter(name, help string, node int) *obs.Counter {
+	return s.opts.Obs.Counter(name, help, obs.L("node", fmt.Sprint(node)))
 }
 
 // Nodes returns the cluster size.
@@ -207,8 +238,15 @@ func (s *System) FailedNodes() []int {
 	return out
 }
 
-// Close shuts all nodes down.
+// Close shuts all nodes down: decode pipelines first (they read through
+// storage), then the kernel pools, then the storage filters.
 func (s *System) Close() {
+	for _, p := range s.pipes {
+		p.close()
+	}
+	for _, p := range s.kern {
+		p.Close()
+	}
 	for _, st := range s.stores {
 		st.Close()
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"dooc/internal/obs"
 	"dooc/internal/sparse"
 	"dooc/internal/storage"
 )
@@ -21,12 +22,22 @@ type decodeCache struct {
 	entries map[string]*decEntry
 
 	hits, misses int64
+
+	// Observability mirrors of hits/misses plus the pipeline-overlap credit
+	// (nil counters are no-ops; wired by NewSystem when Options.Obs is set).
+	obsHits, obsMisses, obsOverlap *obs.Counter
 }
 
 type decEntry struct {
 	m       *sparse.CSR
 	bytes   int64
 	lastUse int64
+	// pipelined marks an entry decoded ahead of use by the decode pipeline
+	// and not yet consumed: the first hit credits a fully-overlapped decode.
+	// A consumer that had to wait on the in-flight decode clears the flag
+	// first, so the overlap counter only counts decodes that finished before
+	// anyone asked.
+	pipelined bool
 }
 
 func newDecodeCache(capBytes int64) *decodeCache {
@@ -42,13 +53,12 @@ func (c *decodeCache) matrix(store *storage.Store, array string) (*sparse.CSR, e
 	if c != nil {
 		c.mu.Lock()
 		if e, ok := c.entries[array]; ok {
-			c.tick++
-			e.lastUse = c.tick
-			c.hits++
+			m := c.hitLocked(e)
 			c.mu.Unlock()
-			return e.m, nil
+			return m, nil
 		}
 		c.misses++
+		c.obsMisses.Inc()
 		c.mu.Unlock()
 	}
 	lease, err := store.RequestBlock(array, 0, storage.PermRead)
@@ -66,7 +76,56 @@ func (c *decodeCache) matrix(store *storage.Store, array string) (*sparse.CSR, e
 	return m, nil
 }
 
+// hitLocked records a cache hit and returns the entry's matrix; caller
+// holds c.mu.
+func (c *decodeCache) hitLocked(e *decEntry) *sparse.CSR {
+	c.tick++
+	e.lastUse = c.tick
+	c.hits++
+	c.obsHits.Inc()
+	if e.pipelined {
+		e.pipelined = false
+		c.obsOverlap.Inc()
+	}
+	return e.m
+}
+
+// peek reports residency without touching recency or hit/miss accounting —
+// used by the scheduler's residency scoring and by the pipeline to skip
+// already-decoded blocks.
+func (c *decodeCache) peek(array string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	_, ok := c.entries[array]
+	c.mu.Unlock()
+	return ok
+}
+
+// clearPipelined removes the overlap credit from an entry whose consumer
+// had to wait for the in-flight decode.
+func (c *decodeCache) clearPipelined(array string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[array]; ok {
+		e.pipelined = false
+	}
+	c.mu.Unlock()
+}
+
 func (c *decodeCache) put(array string, m *sparse.CSR) {
+	c.insert(array, m, false)
+}
+
+// putPipelined inserts a block decoded ahead of use by the pipeline.
+func (c *decodeCache) putPipelined(array string, m *sparse.CSR) {
+	c.insert(array, m, true)
+}
+
+func (c *decodeCache) insert(array string, m *sparse.CSR, pipelined bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.entries[array]; dup {
@@ -74,7 +133,7 @@ func (c *decodeCache) put(array string, m *sparse.CSR) {
 	}
 	sz := m.Bytes()
 	c.tick++
-	c.entries[array] = &decEntry{m: m, bytes: sz, lastUse: c.tick}
+	c.entries[array] = &decEntry{m: m, bytes: sz, lastUse: c.tick, pipelined: pipelined}
 	c.used += sz
 	for c.used > c.cap && len(c.entries) > 1 {
 		victim := ""

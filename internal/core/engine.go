@@ -24,6 +24,8 @@ type ExecContext struct {
 	Task    *dag.Task
 
 	cache   *decodeCache
+	pool    *sparse.Pool
+	pipe    *decodePipeline
 	scratch execScratch
 
 	mu     sync.Mutex
@@ -67,10 +69,19 @@ func (c *ExecContext) reset(t *dag.Task) {
 }
 
 // Matrix returns the decoded CRS block stored in `array`, consulting the
-// node's decode cache when Options.DecodeCacheBytes enabled one.
+// node's decode cache when Options.DecodeCacheBytes enabled one. Under
+// RunSpec.DecodeAhead the request also consults the node's decode pipeline,
+// waiting on an in-flight background decode instead of duplicating it.
 func (c *ExecContext) Matrix(array string) (*sparse.CSR, error) {
+	if c.pipe != nil {
+		return c.pipe.matrix(c.Store, array)
+	}
 	return c.cache.matrix(c.Store, array)
 }
+
+// Pool returns the computing filter's persistent kernel pool (never nil;
+// width is Options.WorkersPerNode).
+func (c *ExecContext) Pool() *sparse.Pool { return c.pool }
 
 // Request leases an interval through the task's lease tracker. Executors
 // should prefer this over ctx.Store.Request: if the executor errors or
@@ -153,6 +164,12 @@ type RunSpec struct {
 	// IterOf maps a task ID to its iteration index; tasks it recognizes
 	// parent under a per-iteration span instead of directly under Span.
 	IterOf func(taskID string) (int, bool)
+	// DecodeAhead routes the prefetch order into the node decode pipelines,
+	// so heavy blocks are codec-decoded and CSR-materialized concurrently
+	// with compute. Only set it for programs whose heavy refs are CRS blocks
+	// (the SpMV family); requires Options.DecodeCacheBytes > 0 to have any
+	// effect.
+	DecodeAhead bool
 }
 
 // Run executes the program to completion and returns statistics.
@@ -217,6 +234,11 @@ func (s *System) Run(spec RunSpec) (*RunStats, error) {
 		p.Picks = s.opts.Obs.Counter("dooc_sched_picks_total", "local-scheduler task selections", node)
 		p.Reorders = s.opts.Obs.Counter("dooc_sched_reorders_total", "picks where the data-aware score overrode FIFO order", node)
 		p.PrefetchRefs = s.opts.Obs.Counter("dooc_sched_prefetch_refs_total", "data refs handed to the prefetcher", node)
+		if c := s.decode[i]; c != nil {
+			// Blocks already decoded past the storage tier never burn a
+			// prefetch-window slot.
+			p.Decoded = c.peek
+		}
 		run.policies[i] = p
 	}
 	run.cond = sync.NewCond(&run.mu)
@@ -410,11 +432,16 @@ func (r *engineRun) taskParent(taskID string, start, end time.Time) obs.SpanID {
 // lane identifies the worker within its node (the trace's tid).
 func (r *engineRun) worker(node, lane int) {
 	store := r.sys.stores[node]
+	cache := r.sys.decode[node]
 	ctx := &ExecContext{
 		Node:    node,
 		Workers: r.sys.opts.WorkersPerNode,
 		Store:   store,
-		cache:   r.sys.decode[node],
+		cache:   cache,
+		pool:    r.sys.kern[node*r.sys.opts.WorkersPerNode+lane],
+	}
+	if r.spec.DecodeAhead {
+		ctx.pipe = r.sys.pipes[node]
 	}
 	var deadScratch []string
 	for {
@@ -430,17 +457,22 @@ func (r *engineRun) worker(node, lane int) {
 			if len(mine) > 0 {
 				// Residency snapshot for the pick. The map call leaves the
 				// lock briefly cold but keeps decisions fresh; the snapshot
-				// is recycled as soon as the pick is made.
+				// is recycled as soon as the pick is made. A block living only
+				// in the decode cache counts as resident: the multiply that
+				// consumes it touches no storage bytes.
 				rm := store.Map()
 				resident := func(ref dag.Ref) bool {
-					return rm.Resident(ref.Array, blockOrZero(ref))
+					return cache.peek(ref.Array) || rm.Resident(ref.Array, blockOrZero(ref))
 				}
 				task = r.policies[node].Pick(mine, resident)
 				// Keep the prefetch window full with the runner-up tasks'
-				// heavy data.
+				// heavy data; the decode pipeline rides the same order, and
+				// blocks it already holds decoded skip the storage prefetch.
 				if w := r.sys.opts.PrefetchWindow; w > 0 {
 					for _, ref := range r.policies[node].PrefetchTargets(mine, resident, w) {
-						store.PrefetchBlock(ref.Array, blockOrZero(ref))
+						if ctx.pipe.wants(ref.Array) {
+							store.PrefetchBlock(ref.Array, blockOrZero(ref))
+						}
 					}
 				}
 				store.RecycleMap(rm)

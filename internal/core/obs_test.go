@@ -51,12 +51,13 @@ func TestObsReconcilesAcrossLayers(t *testing.T) {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer()
 	sys, err := NewSystem(Options{
-		Nodes:          nodes,
-		WorkersPerNode: 2,
-		Reorder:        true,
-		PrefetchWindow: 2,
-		Obs:            reg,
-		Trace:          tracer,
+		Nodes:            nodes,
+		WorkersPerNode:   2,
+		Reorder:          true,
+		PrefetchWindow:   2,
+		DecodeCacheBytes: 1 << 20,
+		Obs:              reg,
+		Trace:            tracer,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -135,6 +136,38 @@ func TestObsReconcilesAcrossLayers(t *testing.T) {
 	}
 	if got := reg.Sum("dooc_storage_lease_wait_seconds"); got != reg.Sum("dooc_storage_read_requests_total")+reg.Sum("dooc_storage_write_requests_total") {
 		t.Errorf("lease-wait observations (%d) != total requests", got)
+	}
+
+	// Decode-cache layer: the per-node dooc_core_decode_cache series mirror
+	// each cache's own stats(), and every Matrix lookup lands as exactly one
+	// hit or one miss. The pipeline's background decodes are accounted
+	// separately (dooc_kernel_pipeline_decodes_total), never as cache misses.
+	var decodeHits, decodeMisses int64
+	for n := 0; n < nodes; n++ {
+		hits, misses := sys.decode[n].stats()
+		if got := obsSeriesValue(snap, "dooc_core_decode_cache_hits_total", n); got != hits {
+			t.Errorf("node %d: decode_cache_hits = %d, stats says %d", n, got, hits)
+		}
+		if got := obsSeriesValue(snap, "dooc_core_decode_cache_misses_total", n); got != misses {
+			t.Errorf("node %d: decode_cache_misses = %d, stats says %d", n, got, misses)
+		}
+		decodeHits += hits
+		decodeMisses += misses
+	}
+	if decodeHits+decodeMisses == 0 {
+		t.Error("decode cache saw no lookups despite DecodeCacheBytes being set")
+	}
+	// Kernel layer: every multiply dispatch is counted once, scalar or
+	// blocked, and pipeline accounting stays internally consistent.
+	dispatches := reg.Sum("dooc_kernel_scalar_dispatch_total") + reg.Sum("dooc_kernel_blocked_dispatch_total")
+	if dispatches == 0 {
+		t.Error("kernel layer recorded no SpMV dispatches")
+	}
+	if overlap := reg.Sum("dooc_kernel_pipeline_overlap_total"); overlap > reg.Sum("dooc_kernel_pipeline_decodes_total") {
+		t.Errorf("pipeline overlap (%d) exceeds pipeline decodes (%d)", overlap, reg.Sum("dooc_kernel_pipeline_decodes_total"))
+	}
+	if stalls := reg.Sum("dooc_kernel_pipeline_stalls_total"); stalls > decodeMisses {
+		t.Errorf("pipeline stalls (%d) exceed synchronous decodes (%d)", stalls, decodeMisses)
 	}
 
 	// RunStats deltas derived from the same counters must agree with a

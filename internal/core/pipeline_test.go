@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dooc/internal/obs"
+	"dooc/internal/sparse"
+)
+
+// stageBlockArray writes one encoded CRS block into node 0's store.
+func stageBlockArray(t *testing.T, sys *System, name string, m *sparse.CSR) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sparse.WriteCRS(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Store(0).WriteArray(name, buf.Bytes(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testMatrix(t *testing.T, seed int64) *sparse.CSR {
+	t.Helper()
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: 60, Cols: 60, D: 2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDecodePipelineAheadOfUse drives one pipeline directly: a block handed
+// to wants() must be decoded in the background, count as a fully-overlapped
+// decode when consumed, and never be re-requested.
+func TestDecodePipelineAheadOfUse(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys, err := NewSystem(Options{Nodes: 1, DecodeCacheBytes: 1 << 20, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	pipe := sys.pipes[0]
+	if pipe == nil {
+		t.Fatal("DecodeCacheBytes > 0 must start a decode pipeline")
+	}
+	m := testMatrix(t, 11)
+	stageBlockArray(t, sys, "blk", m)
+
+	if !pipe.wants("blk") {
+		t.Fatal("first wants() must still request the storage prefetch")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !sys.decode[0].peek("blk") {
+		if time.Now().After(deadline) {
+			t.Fatal("pipeline never decoded the block")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if pipe.wants("blk") {
+		t.Fatal("a decoded block must not be prefetched again")
+	}
+
+	got, err := pipe.matrix(sys.Store(0), "blk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != m.Rows || got.NNZ() != m.NNZ() {
+		t.Fatalf("pipeline decoded %dx%d/%d nnz, want %dx%d/%d", got.Rows, got.Cols, got.NNZ(), m.Rows, m.Cols, m.NNZ())
+	}
+	for i := range m.Val {
+		if math.Float64bits(got.Val[i]) != math.Float64bits(m.Val[i]) {
+			t.Fatalf("decoded value %d differs", i)
+		}
+	}
+
+	hits, misses := sys.decode[0].stats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("cache saw hits=%d misses=%d, want 1/0 (decode happened off the consumer path)", hits, misses)
+	}
+	if got := reg.Sum("dooc_kernel_pipeline_decodes_total"); got != 1 {
+		t.Errorf("pipeline_decodes = %d, want 1", got)
+	}
+	if got := reg.Sum("dooc_kernel_pipeline_overlap_total"); got != 1 {
+		t.Errorf("pipeline_overlap = %d, want 1 (decode finished before the consumer asked)", got)
+	}
+	if got := reg.Sum("dooc_kernel_pipeline_stalls_total"); got != 0 {
+		t.Errorf("pipeline_stalls = %d, want 0", got)
+	}
+}
+
+// TestDecodePipelineStallAccounting: a consumer that arrives before any
+// prefetch is a stall — the decode runs synchronously and counts as a cache
+// miss, exactly like the pipeline-less path.
+func TestDecodePipelineStallAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys, err := NewSystem(Options{Nodes: 1, DecodeCacheBytes: 1 << 20, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	m := testMatrix(t, 12)
+	stageBlockArray(t, sys, "cold", m)
+
+	if _, err := sys.pipes[0].matrix(sys.Store(0), "cold"); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := sys.decode[0].stats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("cache saw hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	if got := reg.Sum("dooc_kernel_pipeline_stalls_total"); got != 1 {
+		t.Errorf("pipeline_stalls = %d, want 1", got)
+	}
+	if got := reg.Sum("dooc_kernel_pipeline_overlap_total"); got != 0 {
+		t.Errorf("pipeline_overlap = %d, want 0", got)
+	}
+	// Second touch is a plain hit, no new pipeline activity.
+	if _, err := sys.pipes[0].matrix(sys.Store(0), "cold"); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := sys.decode[0].stats(); hits != 1 {
+		t.Fatalf("second touch: hits = %d, want 1", hits)
+	}
+}
+
+// TestDecodeAheadBitIdentical runs the staged out-of-core SpMV with the
+// decode cache + pipeline enabled and disabled under a tight memory budget
+// and requires bit-identical iterates: the pipeline moves decode work off
+// the critical path but may never change the arithmetic.
+func TestDecodeAheadBitIdentical(t *testing.T) {
+	const dim, k, nodes, iters = 600, 3, 3, 4
+	rng := rand.New(rand.NewSource(21))
+	m, err := sparse.GapMatrix(sparse.GapGenConfig{Rows: dim, Cols: dim, D: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := randVec(rng, dim)
+	cfg := SpMVConfig{Dim: dim, K: k, Iters: iters, Nodes: nodes}
+
+	run := func(cacheBytes int64, reg *obs.Registry) []float64 {
+		root := t.TempDir()
+		if err := StageMatrix(root, m, cfg); err != nil {
+			t.Fatal(err)
+		}
+		info, err := DiscoverStagedMatrix(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockBytes := info.Bytes / int64(k*k)
+		sys, err := NewSystem(Options{
+			Nodes:            nodes,
+			WorkersPerNode:   1,
+			MemoryBudget:     blockBytes*2 + 1<<14,
+			ScratchRoot:      root,
+			PrefetchWindow:   2,
+			Reorder:          true,
+			DecodeCacheBytes: cacheBytes,
+			Obs:              reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		res, err := RunIteratedSpMV(sys, cfg, x0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.X
+	}
+
+	base := run(0, nil)
+	reg := obs.NewRegistry()
+	piped := run(1<<22, reg)
+	for i := range base {
+		if math.Float64bits(base[i]) != math.Float64bits(piped[i]) {
+			t.Fatalf("element %d: pipelined run %v, baseline %v", i, piped[i], base[i])
+		}
+	}
+	decodes := reg.Sum("dooc_kernel_pipeline_decodes_total")
+	stalls := reg.Sum("dooc_kernel_pipeline_stalls_total")
+	if decodes+stalls == 0 {
+		t.Error("decode-ahead run materialized no CRS blocks at all")
+	}
+	t.Logf("pipeline decodes=%d stalls=%d waits=%d overlap=%d",
+		decodes, stalls, reg.Sum("dooc_kernel_pipeline_waits_total"), reg.Sum("dooc_kernel_pipeline_overlap_total"))
+}

@@ -474,6 +474,9 @@ func runIteratedSpMV(sys *System, cfg SpMVConfig, x0 []float64, opts spmvRunOpts
 		Ephemeral:  ephemeral,
 		Cancel:     opts.cancel,
 		Span:       cfg.Trace,
+		// Every heavy ref in the SpMV program is a CRS block: let the node
+		// decode pipelines materialize them concurrently with compute.
+		DecodeAhead: true,
 	}
 	if cfg.Trace.Valid() {
 		// Task IDs carry segment-relative iteration indices; the base shift
@@ -581,7 +584,7 @@ func execMultiply(ctx *ExecContext) error {
 	if !direct {
 		y = ctx.ScratchFloats(a.Rows)
 	}
-	sparse.MulVecParallel(a, xv, y, ctx.Workers)
+	ctx.pool.MulVec(a, xv, y)
 	if !direct {
 		storage.PutFloat64s(out, y)
 	}
@@ -635,13 +638,7 @@ func execMultiplyPart(ctx *ExecContext) error {
 	if !direct {
 		y = ctx.ScratchFloats(r1 - r0)
 	}
-	for i := r0; i < r1; i++ {
-		sum := 0.0
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			sum += a.Val[k] * xv[a.ColIdx[k]]
-		}
-		y[i-r0] = sum
-	}
+	sparse.MulVecRows(a, xv, y, r0, r1)
 	if !direct {
 		storage.PutFloat64s(out, y)
 	}

@@ -15,11 +15,34 @@ type Operator interface {
 	Apply(x []float64) ([]float64, error)
 }
 
+// FusedOperator is an Operator that can run the Lanczos three-term update
+// as one fused kernel: w = A x, alpha = w·x, w -= alpha·x (and, when prev
+// is non-nil, w -= beta·prev), returning w and alpha. Implementations MUST
+// be bit-identical to the composed Apply + sparse.Dot + sparse.Axpy
+// sequence — Solve uses the fusion as a pure strength reduction, never a
+// numerical change.
+type FusedOperator interface {
+	Operator
+	ApplyAxpyDot(x, prev []float64, beta float64) ([]float64, float64, error)
+}
+
+// DotOperator is an Operator that fuses the inner product the CG iteration
+// needs right after its SpMV: ap = A p plus p·ap in one pass, bit-identical
+// to Apply followed by sparse.Dot(p, ap).
+type DotOperator interface {
+	Operator
+	ApplyDot(x []float64) ([]float64, float64, error)
+}
+
 // MatrixOperator adapts an in-core CSR matrix.
 type MatrixOperator struct {
 	M *sparse.CSR
 	// Workers parallelizes the multiply (0 = sequential).
 	Workers int
+	// Pool, when non-nil, runs the kernels on a persistent stripe pool
+	// instead of spawning goroutines per multiply; its width overrides
+	// Workers.
+	Pool *sparse.Pool
 }
 
 // Dim returns the operator dimension.
@@ -31,9 +54,41 @@ func (m MatrixOperator) Apply(x []float64) ([]float64, error) {
 		return nil, fmt.Errorf("lanczos: operator matrix is %dx%d, need square", m.M.Rows, m.M.Cols)
 	}
 	y := make([]float64, m.M.Rows)
-	sparse.MulVecParallel(m.M, x, y, m.Workers)
+	if m.Pool != nil {
+		m.Pool.MulVec(m.M, x, y)
+	} else {
+		sparse.MulVecParallel(m.M, x, y, m.Workers)
+	}
 	return y, nil
 }
+
+// ApplyAxpyDot implements FusedOperator: the SpMV, the reduction dot, and
+// the orthogonalization AXPYs in one pass over the output. Per-row and
+// per-element operation order match the composed sequence exactly, so the
+// result is bit-identical (see internal/sparse.MulVecAxpyDot).
+func (m MatrixOperator) ApplyAxpyDot(x, prev []float64, beta float64) ([]float64, float64, error) {
+	if m.M.Rows != m.M.Cols {
+		return nil, 0, fmt.Errorf("lanczos: operator matrix is %dx%d, need square", m.M.Rows, m.M.Cols)
+	}
+	y := make([]float64, m.M.Rows)
+	alpha := m.Pool.MulVecAxpyDot(m.M, x, prev, beta, y)
+	return y, alpha, nil
+}
+
+// ApplyDot implements DotOperator: y = A x and x·y in one kernel call.
+func (m MatrixOperator) ApplyDot(x []float64) ([]float64, float64, error) {
+	if m.M.Rows != m.M.Cols {
+		return nil, 0, fmt.Errorf("lanczos: operator matrix is %dx%d, need square", m.M.Rows, m.M.Cols)
+	}
+	y := make([]float64, m.M.Rows)
+	dot := m.Pool.MulVecDot(m.M, x, y)
+	return y, dot, nil
+}
+
+var (
+	_ FusedOperator = MatrixOperator{}
+	_ DotOperator   = MatrixOperator{}
+)
 
 // Basis stores the growing set of Lanczos vectors. The default keeps them
 // in memory; out-of-core implementations (e.g. internal/core.BasisStore)
@@ -160,20 +215,44 @@ func Solve(op Operator, opts Options) (*Result, error) {
 	var alphas, betas []float64
 	spmvs := 0
 
+	fop, fused := op.(FusedOperator)
 	for j := 0; j < k; j++ {
-		w, err := op.Apply(cur)
-		if err != nil {
-			return nil, fmt.Errorf("lanczos: SpMV at step %d: %w", j+1, err)
-		}
-		spmvs++
-		if len(w) != n {
-			return nil, fmt.Errorf("lanczos: operator returned %d entries, want %d", len(w), n)
-		}
-		alpha := sparse.Dot(w, cur)
-		alphas = append(alphas, alpha)
-		sparse.Axpy(-alpha, cur, w)
-		if j > 0 {
-			sparse.Axpy(-betas[j-1], prev, w)
+		var w []float64
+		var alpha float64
+		var err error
+		if fused {
+			// One fused kernel for SpMV + dot + both orthogonalization AXPYs.
+			// FusedOperator implementations are bit-identical to the composed
+			// branch below, so both paths produce the same coefficients.
+			var bprev []float64
+			var b0 float64
+			if j > 0 {
+				bprev, b0 = prev, betas[j-1]
+			}
+			w, alpha, err = fop.ApplyAxpyDot(cur, bprev, b0)
+			if err != nil {
+				return nil, fmt.Errorf("lanczos: fused SpMV at step %d: %w", j+1, err)
+			}
+			spmvs++
+			if len(w) != n {
+				return nil, fmt.Errorf("lanczos: operator returned %d entries, want %d", len(w), n)
+			}
+			alphas = append(alphas, alpha)
+		} else {
+			w, err = op.Apply(cur)
+			if err != nil {
+				return nil, fmt.Errorf("lanczos: SpMV at step %d: %w", j+1, err)
+			}
+			spmvs++
+			if len(w) != n {
+				return nil, fmt.Errorf("lanczos: operator returned %d entries, want %d", len(w), n)
+			}
+			alpha = sparse.Dot(w, cur)
+			alphas = append(alphas, alpha)
+			sparse.Axpy(-alpha, cur, w)
+			if j > 0 {
+				sparse.Axpy(-betas[j-1], prev, w)
+			}
 		}
 		// Full reorthogonalization (two passes of classical Gram-Schmidt,
 		// the "twice is enough" rule), streaming the basis.

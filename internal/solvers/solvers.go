@@ -86,12 +86,24 @@ func CG(op Operator, b []float64, opts CGOptions) ([]float64, Stats, error) {
 			st.Converged = true
 			return x, st, nil
 		}
-		ap, err := op.Apply(p)
+		var ap []float64
+		var pap float64
+		var err error
+		if dop, ok := op.(lanczos.DotOperator); ok {
+			// Fused SpMV + reduction: one pass over ap while it is cache-hot.
+			// Bit-identical to the composed branch — the kernel folds the dot
+			// in the same index order, and float multiply commutes bitwise.
+			ap, pap, err = dop.ApplyDot(p)
+		} else {
+			ap, err = op.Apply(p)
+			if err == nil {
+				pap = sparse.Dot(p, ap)
+			}
+		}
 		if err != nil {
 			return nil, st, err
 		}
 		st.SpMVs++
-		pap := sparse.Dot(p, ap)
 		if pap <= 0 {
 			return nil, st, fmt.Errorf("solvers: CG broke down (pᵀAp = %v <= 0): operator not SPD", pap)
 		}

@@ -3,6 +3,7 @@ package sparse
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -58,29 +59,37 @@ func MulVecParallel(a *CSR, x, y []float64, workers int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				sum := 0.0
-				for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-					sum += a.Val[k] * x[a.ColIdx[k]]
-				}
-				y[i] = sum
-			}
+			mulVecRows(a, x, y[lo:hi], lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
 }
 
 // nnzBalancedStripes returns workers+1 row boundaries such that each stripe
-// holds roughly nnz/workers stored entries.
+// holds roughly nnz/workers stored entries. Boundaries are located by binary
+// search over the cumulative RowPtr — O(workers·log rows) instead of
+// rescanning rows per worker. On pathological skew (e.g. one dense row
+// holding most of the matrix) leading or trailing stripes may be empty;
+// callers skip any stripe with lo >= hi.
 func nnzBalancedStripes(a *CSR, workers int) []int {
-	bounds := make([]int, workers+1)
+	return nnzBalancedStripesInto(nil, a, workers)
+}
+
+// nnzBalancedStripesInto is the allocation-free variant used by the
+// persistent pool: dst is reused when it has capacity.
+func nnzBalancedStripesInto(dst []int, a *CSR, workers int) []int {
+	if cap(dst) < workers+1 {
+		dst = make([]int, workers+1)
+	}
+	bounds := dst[:workers+1]
+	bounds[0] = 0
 	bounds[workers] = a.Rows
 	total := a.NNZ()
-	row := 0
 	for w := 1; w < workers; w++ {
 		target := total * int64(w) / int64(workers)
-		for row < a.Rows && a.RowPtr[row] < target {
-			row++
+		row := sort.Search(a.Rows, func(r int) bool { return a.RowPtr[r] >= target })
+		if row < bounds[w-1] {
+			row = bounds[w-1]
 		}
 		bounds[w] = row
 	}

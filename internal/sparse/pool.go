@@ -1,0 +1,468 @@
+package sparse
+
+import (
+	"fmt"
+	"sync"
+
+	"dooc/internal/obs"
+)
+
+// This file is the persistent kernel layer behind the engine's computing
+// filters: a striped worker pool that parks between multiplies instead of
+// spawning goroutines per call, an instruction-parallel CRS traversal, a
+// cache-blocked traversal for matrices whose input vector outgrows L2, and
+// fused SpMV+AXPY+dot kernels for the iterative solvers.
+//
+// Everything here is constrained by bit-identity: the distributed SpMV path
+// is validated by hashing its iterates, so a kernel may change the memory
+// schedule and the instruction schedule but never the floating-point
+// summation order of any row. Three rules follow:
+//
+//   - each row's products are folded left-to-right in ascending k (multiple
+//     accumulators per row are forbidden);
+//   - every kernel uses the same `s += Val[k] * x[ColIdx[k]]` expression
+//     shape as the reference MulVec, so any fused-multiply-add contraction
+//     the compiler performs applies identically everywhere;
+//   - reductions across rows (the fused dot) stay one sequential pass in
+//     ascending index order — per-stripe partial dots would re-associate the
+//     sum.
+//
+// Row interleaving is the legal instruction-level win: ILPRows rows advance
+// together, each with its own dependency chain, so the ~4-cycle latency of
+// a chained scalar add no longer bounds throughput — but every chain is
+// still one row folded in its own order.
+
+// colTileFloats is the column-tile width (in float64 entries of x) of the
+// cache-blocked CRS traversal: 32Ki entries = 256 KiB, sized so the active
+// slice of x stays resident in a typical per-core L2 while every row of the
+// stripe streams through it. A var so tests can force tiling on small
+// matrices.
+var colTileFloats = 32 << 10
+
+// blockedMinRowNNZ gates the tiled traversal: below ~4 stored entries per
+// row the per-tile cursor sweep costs more than the locality it buys.
+const blockedMinRowNNZ = 4
+
+// useBlockedTraversal reports whether the cache-blocked path pays off: the
+// input vector must outgrow one tile and rows must be dense enough to visit
+// most tiles.
+func useBlockedTraversal(a *CSR) bool {
+	return a.Cols > colTileFloats && a.Rows > 0 && a.NNZ() >= int64(a.Rows)*blockedMinRowNNZ
+}
+
+// Pool is a persistent striped worker pool for the CRS kernels. A Pool with
+// W workers runs each kernel as W nnz-balanced row stripes: W-1 helper
+// goroutines park on a condition variable between calls (no per-call
+// spawning) and the dispatching goroutine claims stripes alongside them. A
+// nil Pool, or a Pool built with workers <= 1, runs every kernel inline
+// with zero synchronization — the hot configuration for one computing
+// filter per node.
+//
+// A Pool is safe for concurrent use: concurrent kernel calls serialize on
+// an internal dispatch lock (the engine gives each computing filter its own
+// Pool, so dispatch never contends in practice).
+type Pool struct {
+	helpers int // parked worker goroutines beyond the dispatcher
+
+	// dispatchMu serializes dispatchers: one kernel call owns the stripe
+	// state and scratch below at a time.
+	dispatchMu sync.Mutex
+
+	mu        sync.Mutex
+	work      *sync.Cond // helpers park here between jobs
+	idle      *sync.Cond // the dispatcher waits here for stripe completion
+	job       func(stripe int)
+	stripes   int
+	next      int
+	remaining int
+	closed    bool
+
+	// Reused dispatch scratch (guarded by dispatchMu; tileCur[s] is owned by
+	// stripe s while a job runs).
+	bounds  []int
+	tileCur [][]int64
+
+	// Optional observability hooks (nil counters are no-ops): Fused counts
+	// fused-kernel invocations, Blocked and Scalar the dispatches taking the
+	// cache-blocked vs the row-serial traversal.
+	Fused   *obs.Counter
+	Blocked *obs.Counter
+	Scalar  *obs.Counter
+}
+
+// NewPool starts a pool of `workers` stripe workers (the dispatcher
+// included); workers <= 1 yields an inline pool with no goroutines.
+func NewPool(workers int) *Pool {
+	p := &Pool{}
+	p.work = sync.NewCond(&p.mu)
+	p.idle = sync.NewCond(&p.mu)
+	if workers > 1 {
+		p.helpers = workers - 1
+		for i := 0; i < p.helpers; i++ {
+			go p.helper()
+		}
+	}
+	return p
+}
+
+// Workers reports the stripe width (1 for a nil pool: the inline path).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.helpers + 1
+}
+
+// Close releases the helper goroutines. Safe on a nil pool and idempotent;
+// the pool must be idle (no kernel call in flight).
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.work.Broadcast()
+}
+
+// helper is one parked stripe worker.
+func (p *Pool) helper() {
+	p.mu.Lock()
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		if p.job != nil && p.next < p.stripes {
+			s := p.next
+			p.next++
+			job := p.job
+			p.mu.Unlock()
+			job(s)
+			p.mu.Lock()
+			p.remaining--
+			if p.remaining == 0 {
+				p.idle.Signal()
+			}
+			continue
+		}
+		p.work.Wait()
+	}
+}
+
+// runStripes executes job(0..stripes-1) across the pool and returns when
+// every stripe is done. The dispatcher claims stripes too, so a helper
+// stall never idles the calling goroutine. Caller must hold dispatchMu.
+func (p *Pool) runStripes(stripes int, job func(int)) {
+	if p == nil || p.helpers == 0 || stripes <= 1 {
+		for s := 0; s < stripes; s++ {
+			job(s)
+		}
+		return
+	}
+	p.mu.Lock()
+	p.job = job
+	p.stripes = stripes
+	p.next = 0
+	p.remaining = stripes
+	p.mu.Unlock()
+	p.work.Broadcast()
+	for {
+		p.mu.Lock()
+		s := -1
+		if p.next < p.stripes {
+			s = p.next
+			p.next++
+		}
+		p.mu.Unlock()
+		if s < 0 {
+			break
+		}
+		job(s)
+		p.mu.Lock()
+		p.remaining--
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	for p.remaining > 0 {
+		p.idle.Wait()
+	}
+	p.job = nil
+	p.mu.Unlock()
+}
+
+// MulVec computes y = A*x across the pool's stripes. Bit-identical to the
+// sequential MulVec: rows are independent, so striping cannot reorder any
+// row's fold.
+func (p *Pool) MulVec(a *CSR, x, y []float64) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic(fmt.Sprintf("sparse: Pool.MulVec shapes: A %dx%d, x %d, y %d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	p.mulVec(a, x, y)
+}
+
+// mulVec dispatches the traversal without re-checking shapes (fused kernels
+// validate once).
+func (p *Pool) mulVec(a *CSR, x, y []float64) {
+	blocked := useBlockedTraversal(a)
+	workers := 1
+	if p != nil {
+		workers = p.helpers + 1
+		if blocked {
+			p.Blocked.Inc()
+		} else {
+			p.Scalar.Inc()
+		}
+	}
+	if p == nil {
+		if blocked {
+			mulVecRowsBlocked(a, x, y, 0, a.Rows, make([]int64, a.Rows))
+		} else {
+			mulVecRows(a, x, y, 0, a.Rows)
+		}
+		return
+	}
+	if workers <= 1 || a.Rows < 2*workers {
+		if blocked {
+			p.dispatchMu.Lock()
+			p.growTiles(1)
+			p.stripeBlocked(a, x, y, 0, a.Rows, 0)
+			p.dispatchMu.Unlock()
+		} else {
+			mulVecRows(a, x, y, 0, a.Rows)
+		}
+		return
+	}
+	p.dispatchMu.Lock()
+	p.bounds = nnzBalancedStripesInto(p.bounds, a, workers)
+	bounds := p.bounds
+	if blocked {
+		p.growTiles(workers)
+	}
+	p.runStripes(workers, func(s int) {
+		lo, hi := bounds[s], bounds[s+1]
+		if lo >= hi {
+			return
+		}
+		if blocked {
+			p.stripeBlocked(a, x, y[lo:hi], lo, hi, s)
+		} else {
+			mulVecRows(a, x, y[lo:hi], lo, hi)
+		}
+	})
+	p.dispatchMu.Unlock()
+}
+
+// growTiles ensures one cursor-scratch slot per stripe. Caller holds
+// dispatchMu.
+func (p *Pool) growTiles(stripes int) {
+	for len(p.tileCur) < stripes {
+		p.tileCur = append(p.tileCur, nil)
+	}
+}
+
+// stripeBlocked runs the tiled traversal over one stripe with the stripe's
+// reusable cursor scratch.
+func (p *Pool) stripeBlocked(a *CSR, x, y []float64, lo, hi, s int) {
+	cur := p.tileCur[s]
+	if cap(cur) < hi-lo {
+		cur = make([]int64, hi-lo)
+		p.tileCur[s] = cur
+	}
+	mulVecRowsBlocked(a, x, y, lo, hi, cur[:hi-lo])
+}
+
+// MulVecDot computes y = A*x and returns the inner product y·x in one
+// kernel call; A must be square. Bit-identical to MulVec followed by
+// Dot(y, x): the SpMV stripes are row-independent and the reduction is one
+// sequential pass in ascending index order over the just-written (still
+// cache-hot) y — per-stripe partial dots would re-associate the sum and are
+// deliberately not used.
+func (p *Pool) MulVecDot(a *CSR, x, y []float64) float64 {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic(fmt.Sprintf("sparse: MulVecDot shapes: A %dx%d, x %d, y %d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("sparse: MulVecDot needs a square matrix, got %dx%d", a.Rows, a.Cols))
+	}
+	if p != nil {
+		p.Fused.Inc()
+	}
+	p.mulVec(a, x, y)
+	return Dot(y, x)
+}
+
+// MulVecAxpyDot runs the Lanczos three-term update as one kernel:
+//
+//	y = A*x
+//	alpha = y·x
+//	y -= alpha*x;  if prev != nil, y -= beta*prev
+//
+// returning alpha. The two AXPYs are applied in a single striped pass over
+// y while it is cache-hot, instead of re-streaming the vectors once per
+// update. Each element receives exactly the operations of the composed
+// sparse.Axpy(-alpha, x, y) then sparse.Axpy(-beta, prev, y) sequence, in
+// the same order, so the fusion is bit-identical to the separate passes.
+func (p *Pool) MulVecAxpyDot(a *CSR, x, prev []float64, beta float64, y []float64) float64 {
+	if prev != nil && len(prev) != len(y) {
+		panic(fmt.Sprintf("sparse: MulVecAxpyDot prev length %d, y %d", len(prev), len(y)))
+	}
+	alpha := p.MulVecDot(a, x, y)
+	na, nb := -alpha, -beta
+	n := len(y)
+	seg := func(lo, hi int) {
+		if prev == nil {
+			for i := lo; i < hi; i++ {
+				y[i] += na * x[i]
+			}
+			return
+		}
+		for i := lo; i < hi; i++ {
+			y[i] += na * x[i]
+			y[i] += nb * prev[i]
+		}
+	}
+	workers := 1
+	if p != nil {
+		workers = p.helpers + 1
+	}
+	if workers <= 1 || n < 2*workers {
+		seg(0, n)
+		return alpha
+	}
+	p.dispatchMu.Lock()
+	p.runStripes(workers, func(s int) {
+		seg(n*s/workers, n*(s+1)/workers)
+	})
+	p.dispatchMu.Unlock()
+	return alpha
+}
+
+// MulVecDot is the package-level fused y = A*x, y·x kernel on the inline
+// (nil-pool) path.
+func MulVecDot(a *CSR, x, y []float64) float64 {
+	return (*Pool)(nil).MulVecDot(a, x, y)
+}
+
+// MulVecAxpyDot is the package-level fused Lanczos update on the inline
+// (nil-pool) path; see Pool.MulVecAxpyDot.
+func MulVecAxpyDot(a *CSR, x, prev []float64, beta float64, y []float64) float64 {
+	return (*Pool)(nil).MulVecAxpyDot(a, x, prev, beta, y)
+}
+
+// MulVecRows computes rows [lo, hi) of A*x into y (length hi-lo), each row
+// bit-identical to MulVec — the kernel behind the engine's split
+// multiply-part tasks.
+func MulVecRows(a *CSR, x, y []float64, lo, hi int) {
+	if lo < 0 || hi > a.Rows || lo > hi || len(x) != a.Cols || len(y) != hi-lo {
+		panic(fmt.Sprintf("sparse: MulVecRows shapes: A %dx%d, rows [%d,%d), x %d, y %d",
+			a.Rows, a.Cols, lo, hi, len(x), len(y)))
+	}
+	mulVecRows(a, x, y, lo, hi)
+}
+
+// ilpRows is the interleave width of the row-serial kernel: four rows
+// advance together, each folding its own products left-to-right, which
+// breaks the single-accumulator dependency chain without touching any
+// row's summation order.
+const ilpRows = 4
+
+// mulVecRows computes rows [lo, hi) of A*x into y (indexed from 0, i.e.
+// y[i-lo] = row i). The common prefix of each 4-row group runs interleaved;
+// the ragged tails finish per row.
+func mulVecRows(a *CSR, x, y []float64, lo, hi int) {
+	rp, ci, vs := a.RowPtr, a.ColIdx, a.Val
+	i := lo
+	for ; i+ilpRows <= hi; i += ilpRows {
+		k0, k1, k2, k3 := rp[i], rp[i+1], rp[i+2], rp[i+3]
+		e0, e1, e2, e3 := rp[i+1], rp[i+2], rp[i+3], rp[i+4]
+		var s0, s1, s2, s3 float64
+		n := e0 - k0
+		if m := e1 - k1; m < n {
+			n = m
+		}
+		if m := e2 - k2; m < n {
+			n = m
+		}
+		if m := e3 - k3; m < n {
+			n = m
+		}
+		for ; n > 0; n-- {
+			s0 += vs[k0] * x[ci[k0]]
+			s1 += vs[k1] * x[ci[k1]]
+			s2 += vs[k2] * x[ci[k2]]
+			s3 += vs[k3] * x[ci[k3]]
+			k0++
+			k1++
+			k2++
+			k3++
+		}
+		for ; k0 < e0; k0++ {
+			s0 += vs[k0] * x[ci[k0]]
+		}
+		for ; k1 < e1; k1++ {
+			s1 += vs[k1] * x[ci[k1]]
+		}
+		for ; k2 < e2; k2++ {
+			s2 += vs[k2] * x[ci[k2]]
+		}
+		for ; k3 < e3; k3++ {
+			s3 += vs[k3] * x[ci[k3]]
+		}
+		o := i - lo
+		y[o] = s0
+		y[o+1] = s1
+		y[o+2] = s2
+		y[o+3] = s3
+	}
+	for ; i < hi; i++ {
+		var s float64
+		for k, e := rp[i], rp[i+1]; k < e; k++ {
+			s += vs[k] * x[ci[k]]
+		}
+		y[i-lo] = s
+	}
+}
+
+// mulVecRowsBlocked computes rows [lo, hi) of A*x into y (indexed from 0)
+// with the column-tiled traversal: one tile's slice of x stays
+// cache-resident while every row of the stripe advances through it, cur
+// holding each row's position between tiles. ColIdx is strictly increasing
+// within a row, so visiting tiles in ascending column order folds each
+// row's products in exactly MulVec's ascending-k order — tiling changes the
+// memory schedule, never the arithmetic.
+func mulVecRowsBlocked(a *CSR, x, y []float64, lo, hi int, cur []int64) {
+	rp, ci, vs := a.RowPtr, a.ColIdx, a.Val
+	for r := lo; r < hi; r++ {
+		cur[r-lo] = rp[r]
+		y[r-lo] = 0
+	}
+	for c0 := 0; c0 < a.Cols; c0 += colTileFloats {
+		cEnd := c0 + colTileFloats
+		if cEnd > a.Cols {
+			cEnd = a.Cols
+		}
+		ce := int32(cEnd)
+		done := true
+		for r := lo; r < hi; r++ {
+			k := cur[r-lo]
+			e := rp[r+1]
+			if k >= e {
+				continue
+			}
+			s := y[r-lo]
+			for k < e && ci[k] < ce {
+				s += vs[k] * x[ci[k]]
+				k++
+			}
+			y[r-lo] = s
+			cur[r-lo] = k
+			if k < e {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomCSR builds a random rows x cols matrix; trial%7 == 0 inserts
+// alternating empty rows, matching the parallel-fuzz generator.
+func randomPoolCSR(t *testing.T, rng *rand.Rand, rows, cols, trial int) *CSR {
+	t.Helper()
+	density := rng.Float64() * 0.3
+	var ts []Triplet
+	for i := 0; i < rows; i++ {
+		if trial%7 == 0 && i%2 == 0 {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				ts = append(ts, Triplet{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	a, err := FromTriplets(rows, cols, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func bitsEqual(t *testing.T, tag string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s element %d: got %v want %v", tag, i, got[i], want[i])
+		}
+	}
+}
+
+// TestNnzBalancedStripesDenseRow is the regression test for the
+// sort.Search rewrite: a single dense row holding every stored entry must
+// yield empty leading/trailing stripes (tolerated, skipped by callers)
+// while still covering all nnz exactly once and keeping boundaries
+// monotone.
+func TestNnzBalancedStripesDenseRow(t *testing.T) {
+	for _, denseRow := range []int{0, 7, 15} {
+		var ts []Triplet
+		for j := 0; j < 200; j++ {
+			ts = append(ts, Triplet{Row: denseRow, Col: j % 16, Val: float64(j + 1)})
+		}
+		a, err := FromTriplets(16, 16, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 4, 8} {
+			bounds := stripesCoverRows(t, a, workers)
+			covered := int64(0)
+			owners := 0
+			for w := 0; w < workers; w++ {
+				covered += int64(a.RowPtr[bounds[w+1]] - a.RowPtr[bounds[w]])
+				if bounds[w] <= denseRow && denseRow < bounds[w+1] {
+					owners++
+				}
+			}
+			if covered != a.NNZ() {
+				t.Fatalf("dense row %d, %d workers: stripes cover %d nnz, want %d", denseRow, workers, covered, a.NNZ())
+			}
+			if owners != 1 {
+				t.Fatalf("dense row %d owned by %d stripes, want 1 (bounds %v)", denseRow, owners, bounds)
+			}
+		}
+	}
+}
+
+// TestNnzBalancedStripesIntoReuse checks the allocation-free variant reuses
+// a caller buffer and agrees with the allocating form.
+func TestNnzBalancedStripesIntoReuse(t *testing.T) {
+	a, err := FromTriplets(12, 12, []Triplet{{0, 0, 1}, {3, 3, 2}, {7, 1, 3}, {11, 4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]int, 16)
+	got := nnzBalancedStripesInto(scratch, a, 5)
+	want := nnzBalancedStripes(a, 5)
+	if &got[0] != &scratch[0] {
+		t.Fatal("nnzBalancedStripesInto did not reuse the provided buffer")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds differ at %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+// TestPoolMulVecFuzzEquivalence checks the persistent pool's dispatch (all
+// worker widths, reused across trials) against sequential MulVec
+// bit-for-bit.
+func TestPoolMulVecFuzzEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pools := make([]*Pool, 0, 8)
+	for w := 1; w <= 8; w++ {
+		p := NewPool(w)
+		defer p.Close()
+		pools = append(pools, p)
+	}
+	for trial := 0; trial < 40; trial++ {
+		rows := 1 + rng.Intn(64)
+		cols := 1 + rng.Intn(64)
+		a := randomPoolCSR(t, rng, rows, cols, trial)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, rows)
+		MulVec(a, x, want)
+		for _, p := range pools {
+			got := make([]float64, rows)
+			for i := range got {
+				got[i] = math.NaN()
+			}
+			p.MulVec(a, x, got)
+			bitsEqual(t, "Pool.MulVec", got, want)
+		}
+	}
+}
+
+// TestMulVecFusedFuzzEquivalence proves MulVecDot and MulVecAxpyDot are
+// bit-identical to the composed MulVecParallel + Dot + Axpy reference
+// across random square systems, pool widths 1..8, the nil-pool package
+// functions, and the empty-matrix edge.
+func TestMulVecFusedFuzzEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	pools := []*Pool{nil}
+	for w := 1; w <= 8; w++ {
+		p := NewPool(w)
+		defer p.Close()
+		pools = append(pools, p)
+	}
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(96)
+		var a *CSR
+		if trial == 3 {
+			// Empty-matrix edge: square, zero stored entries.
+			empty, err := FromTriplets(n, n, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a = empty
+		} else {
+			a = randomPoolCSR(t, rng, n, n, trial)
+		}
+		x := make([]float64, n)
+		prev := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			prev[i] = rng.NormFloat64()
+		}
+		beta := rng.NormFloat64()
+
+		for pi, p := range pools {
+			workers := p.Workers()
+
+			// Composed reference, built with the public kernels exactly as
+			// lanczos.Solve composes them.
+			want := make([]float64, n)
+			MulVecParallel(a, x, want, workers)
+			alphaWant := Dot(want, x)
+
+			got := make([]float64, n)
+			for i := range got {
+				got[i] = math.NaN()
+			}
+			var alpha float64
+			if p == nil {
+				alpha = MulVecDot(a, x, got)
+			} else {
+				alpha = p.MulVecDot(a, x, got)
+			}
+			if math.Float64bits(alpha) != math.Float64bits(alphaWant) {
+				t.Fatalf("trial %d pool %d: MulVecDot alpha %v want %v", trial, pi, alpha, alphaWant)
+			}
+			bitsEqual(t, "MulVecDot y", got, want)
+
+			// Three-term update, with and without the prev vector.
+			for _, withPrev := range []bool{false, true} {
+				pv := prev
+				if !withPrev {
+					pv = nil
+				}
+				wantW := make([]float64, n)
+				MulVecParallel(a, x, wantW, workers)
+				aW := Dot(wantW, x)
+				Axpy(-aW, x, wantW)
+				if withPrev {
+					Axpy(-beta, prev, wantW)
+				}
+
+				gotW := make([]float64, n)
+				for i := range gotW {
+					gotW[i] = math.NaN()
+				}
+				var aG float64
+				if p == nil {
+					aG = MulVecAxpyDot(a, x, pv, beta, gotW)
+				} else {
+					aG = p.MulVecAxpyDot(a, x, pv, beta, gotW)
+				}
+				if math.Float64bits(aG) != math.Float64bits(aW) {
+					t.Fatalf("trial %d pool %d prev=%v: alpha %v want %v", trial, pi, withPrev, aG, aW)
+				}
+				bitsEqual(t, "MulVecAxpyDot y", gotW, wantW)
+			}
+		}
+	}
+}
+
+// TestMulVecBlockedFuzzEquivalence forces the column-tiled traversal (tile
+// width shrunk so small matrices tile) and checks it bit-identical to
+// MulVec, both through the kernel directly and through the pool dispatch.
+func TestMulVecBlockedFuzzEquivalence(t *testing.T) {
+	saved := colTileFloats
+	colTileFloats = 8
+	defer func() { colTileFloats = saved }()
+
+	rng := rand.New(rand.NewSource(45))
+	p := NewPool(4)
+	defer p.Close()
+	for trial := 0; trial < 40; trial++ {
+		rows := 1 + rng.Intn(48)
+		cols := 9 + rng.Intn(80) // always wider than one tile
+		a := randomPoolCSR(t, rng, rows, cols, trial)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, rows)
+		MulVec(a, x, want)
+
+		got := make([]float64, rows)
+		for i := range got {
+			got[i] = math.NaN()
+		}
+		mulVecRowsBlocked(a, x, got, 0, rows, make([]int64, rows))
+		bitsEqual(t, "mulVecRowsBlocked", got, want)
+
+		for i := range got {
+			got[i] = math.NaN()
+		}
+		p.MulVec(a, x, got) // dispatch picks blocked iff dense enough; either way bits match
+		bitsEqual(t, "Pool.MulVec tiled", got, want)
+	}
+
+	// Dispatch accounting: a matrix dense enough for the heuristic must be
+	// counted as a blocked dispatch.
+	var ts []Triplet
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 64; j += 2 {
+			ts = append(ts, Triplet{Row: i, Col: j, Val: float64(i*64 + j)})
+		}
+	}
+	dense, err := FromTriplets(16, 64, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !useBlockedTraversal(dense) {
+		t.Fatal("dense wide matrix should take the blocked traversal")
+	}
+}
+
+// TestMulVecRowsPartial checks the exported row-range kernel against the
+// matching slice of a full MulVec.
+func TestMulVecRowsPartial(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	a := randomPoolCSR(t, rng, 37, 23, 1)
+	x := make([]float64, 23)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 37)
+	MulVec(a, x, want)
+	for _, rr := range [][2]int{{0, 37}, {0, 0}, {5, 9}, {3, 36}, {36, 37}, {0, 4}} {
+		lo, hi := rr[0], rr[1]
+		got := make([]float64, hi-lo)
+		for i := range got {
+			got[i] = math.NaN()
+		}
+		MulVecRows(a, x, got, lo, hi)
+		bitsEqual(t, "MulVecRows", got, want[lo:hi])
+	}
+}
+
+// TestPoolConcurrentCallers hammers one pool from several goroutines; the
+// dispatch lock must serialize them without corrupting results (run under
+// -race in CI).
+func TestPoolConcurrentCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	a := randomPoolCSR(t, rng, 200, 200, 1)
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 200)
+	MulVec(a, x, want)
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			y := make([]float64, 200)
+			for it := 0; it < 50; it++ {
+				p.MulVec(a, x, y)
+				for i := range want {
+					if math.Float64bits(y[i]) != math.Float64bits(want[i]) {
+						t.Errorf("concurrent caller diverged at row %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPoolCloseIdempotent ensures Close is safe on nil pools and called
+// twice.
+func TestPoolCloseIdempotent(t *testing.T) {
+	var nilPool *Pool
+	nilPool.Close() // must not panic
+	p := NewPool(3)
+	p.Close()
+	p.Close()
+}
+
+// BenchmarkMulVecFused measures the fused SpMV + dot + double-AXPY Lanczos
+// update; SetBytes counts the matrix stream so go test -bench reports GB/s.
+func BenchmarkMulVecFused(b *testing.B) {
+	m, err := GapMatrix(GapGenConfig{Rows: 4096, Cols: 4096, D: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, m.Cols)
+	prev := make([]float64, m.Cols)
+	y := make([]float64, m.Rows)
+	for i := range x {
+		x[i] = float64(i%17) * 0.25
+		prev[i] = float64(i%13) * 0.5
+	}
+	p := NewPool(4)
+	defer p.Close()
+	b.SetBytes(m.Bytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MulVecAxpyDot(m, x, prev, 0.5, y)
+	}
+}
+
+// BenchmarkMulVecBlocked exercises the cache-blocked traversal on a matrix
+// whose input vector (64Ki columns = 512 KiB) outgrows one L2 tile.
+func BenchmarkMulVecBlocked(b *testing.B) {
+	m, err := GapMatrix(GapGenConfig{Rows: 4096, Cols: 65536, D: 128, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !useBlockedTraversal(m) {
+		b.Fatal("benchmark matrix does not trigger the blocked traversal")
+	}
+	x := make([]float64, m.Cols)
+	y := make([]float64, m.Rows)
+	for i := range x {
+		x[i] = float64(i%17) * 0.25
+	}
+	p := NewPool(4)
+	defer p.Close()
+	b.SetBytes(m.Bytes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MulVec(m, x, y)
+	}
+}
